@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Figure 4: average LET and LIT hit ratios across the suite
+ * for 2/4/8/16-entry tables (CLS fixed at 16 entries). The paper's text
+ * quotes four anchor values; they are printed alongside.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench/paper_ref.hh"
+#include "harness/runner.hh"
+#include "util/table_writer.hh"
+
+using namespace loopspec;
+
+int
+main(int argc, char **argv)
+{
+    RunOptions opts = parseRunOptions(argc, argv, {});
+
+    CollectFlags flags;
+    flags.hitRatios = true;
+
+    std::map<size_t, double> let_sum, lit_sum;
+    std::map<size_t, std::map<std::string, std::pair<double, double>>>
+        per_bench; // size -> bench -> (let, lit)
+    unsigned count = 0;
+
+    for (const auto &name : opts.selected()) {
+        WorkloadArtifacts a = runWorkload(name, opts, flags);
+        for (const auto &[sz, res] : a.letResults) {
+            let_sum[sz] += 100.0 * res.ratio();
+            per_bench[sz][name].first = 100.0 * res.ratio();
+        }
+        for (const auto &[sz, res] : a.litResults) {
+            lit_sum[sz] += 100.0 * res.ratio();
+            per_bench[sz][name].second = 100.0 * res.ratio();
+        }
+        ++count;
+    }
+
+    auto paper_let = [](size_t sz) -> std::string {
+        if (sz == 8)
+            return "72.44";
+        if (sz == 16)
+            return "91.98";
+        return "-";
+    };
+    auto paper_lit = [](size_t sz) -> std::string {
+        if (sz == 2)
+            return "85.00";
+        if (sz == 4)
+            return "90.50";
+        return "-";
+    };
+
+    TableWriter t({"entries", "LET hit%", "LET(paper)", "LIT hit%",
+                   "LIT(paper)"});
+    for (size_t sz : hitRatioTableSizes()) {
+        t.row();
+        t.cell(static_cast<uint64_t>(sz));
+        t.cell(let_sum[sz] / count, 2);
+        t.cell(paper_let(sz));
+        t.cell(lit_sum[sz] / count, 2);
+        t.cell(paper_lit(sz));
+    }
+
+    std::cout << "Figure 4: average LET/LIT hit ratios "
+                 "(suite average, measured vs paper anchors)\n";
+    if (opts.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+
+    // Per-benchmark detail at the paper's trade-off sizes (LIT=4,
+    // LET=16).
+    TableWriter d({"bench", "LET@16 %", "LIT@4 %"});
+    for (const auto &name : opts.selected()) {
+        d.row();
+        d.cell(name);
+        d.cell(per_bench[16][name].first, 2);
+        d.cell(per_bench[4][name].second, 2);
+    }
+    std::cout << "\nPer-benchmark detail at the paper's recommended "
+                 "configuration:\n";
+    if (opts.csv)
+        d.printCsv(std::cout);
+    else
+        d.print(std::cout);
+    return 0;
+}

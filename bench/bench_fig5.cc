@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Figure 5: TPC on an ideal machine with infinite thread
+ * units, per program, full run vs a truncated prefix (the paper used the
+ * first 10^9 instructions; we use the first half of the scaled trace).
+ * The figure is log-scale in the paper; here the raw values are printed,
+ * sorted in the paper's ascending order of potential.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "util/table_writer.hh"
+
+using namespace loopspec;
+
+int
+main(int argc, char **argv)
+{
+    RunOptions opts = parseRunOptions(argc, argv, {});
+
+    CollectFlags flags;
+    flags.ideal = true;
+
+    TableWriter t({"bench", "TPC(all)", "TPC(prefix)", "log10(all)"});
+    double geo = 0.0;
+    unsigned count = 0;
+    for (const auto &name : opts.selected()) {
+        WorkloadArtifacts a = runWorkload(name, opts, flags);
+        t.row();
+        t.cell(name);
+        t.cell(a.idealTpc, 1);
+        t.cell(a.idealTpcPrefix, 1);
+        t.cell(a.idealTpc > 0 ? std::log10(a.idealTpc) : 0.0, 2);
+        if (a.idealTpc > 0) {
+            geo += std::log10(a.idealTpc);
+            ++count;
+        }
+    }
+
+    std::cout << "Figure 5: TPC for infinite TUs "
+                 "(full trace vs first-half prefix)\n";
+    std::cout << "Paper shape: ~10 for irregular codes (go, li, perl, "
+                 "gcc) up to ~10^4..10^5\n";
+    std::cout << "for regular FP nests (tomcatv, swim, wave5, "
+                 "hydro2d).\n";
+    if (opts.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    if (count) {
+        std::cout << "geomean TPC: "
+                  << std::pow(10.0, geo / count) << "\n";
+    }
+    return 0;
+}

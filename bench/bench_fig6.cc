@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Figure 6: per-program TPC under the STR policy for 2, 4, 8
+ * and 16 thread units. One trace pass per workload produces the event
+ * recording; the event-driven TU simulator then replays it per
+ * configuration.
+ */
+
+#include <iostream>
+
+#include "bench/paper_ref.hh"
+#include "harness/runner.hh"
+#include "speculation/spec_sim.hh"
+#include "util/table_writer.hh"
+
+using namespace loopspec;
+
+int
+main(int argc, char **argv)
+{
+    RunOptions opts = parseRunOptions(argc, argv, {});
+
+    CollectFlags flags;
+    flags.recording = true;
+
+    const unsigned tus[] = {2, 4, 8, 16};
+
+    TableWriter t({"bench", "2 TUs", "4 TUs", "8 TUs", "16 TUs"});
+    double sum[4] = {};
+    unsigned count = 0;
+    for (const auto &name : opts.selected()) {
+        WorkloadArtifacts a = runWorkload(name, opts, flags);
+        t.row();
+        t.cell(name);
+        for (unsigned i = 0; i < 4; ++i) {
+            SpecConfig cfg;
+            cfg.numTUs = tus[i];
+            cfg.policy = SpecPolicy::Str;
+            ThreadSpecSimulator sim(a.recording, cfg);
+            double tpc = sim.run().tpc();
+            t.cell(tpc, 2);
+            sum[i] += tpc;
+        }
+        ++count;
+    }
+    t.row();
+    t.cell(std::string("AVG"));
+    for (unsigned i = 0; i < 4; ++i)
+        t.cell(sum[i] / count, 2);
+    t.row();
+    t.cell(std::string("AVG(paper)"));
+    for (unsigned i = 0; i < 4; ++i)
+        t.cell(paper::fig6AvgStr.at(tus[i]), 2);
+
+    std::cout << "Figure 6: TPC with the STR policy, 2/4/8/16 TUs\n";
+    if (opts.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    return 0;
+}

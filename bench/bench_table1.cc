@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces Table 1: per-program loop statistics (#instructions, static
+ * loop count, iterations per execution, instructions per iteration,
+ * average and maximum nesting level), side by side with the paper's
+ * values. Absolute instruction counts are scaled (synthetic workloads);
+ * every other column is a shape statistic and comparable directly.
+ */
+
+#include <iostream>
+
+#include "bench/paper_ref.hh"
+#include "harness/runner.hh"
+#include "util/table_writer.hh"
+
+using namespace loopspec;
+
+int
+main(int argc, char **argv)
+{
+    RunOptions opts = parseRunOptions(argc, argv, {});
+
+    TableWriter t({"bench", "#instr/1e6", "#loops", "#loops(paper)",
+                   "#iter/exec", "(paper)", "#instr/iter", "(paper)",
+                   "avg.nl", "(paper)", "max.nl", "(paper)"});
+
+    CollectFlags flags;
+    flags.loopStats = true;
+
+    for (const auto &name : opts.selected()) {
+        WorkloadArtifacts a = runWorkload(name, opts, flags);
+        const auto &r = a.loopStats;
+        const auto &p = paper::table1.at(name);
+        t.row();
+        t.cell(name);
+        t.cell(static_cast<double>(r.totalInstrs) / 1e6, 2);
+        t.cell(r.staticLoops);
+        t.cell(p.loops);
+        t.cell(r.itersPerExec, 2);
+        t.cell(p.itersPerExec, 2);
+        t.cell(r.instrsPerIter, 2);
+        t.cell(p.instrsPerIter, 2);
+        t.cell(r.avgNesting, 2);
+        t.cell(p.avgNest, 2);
+        t.cell(static_cast<uint64_t>(r.maxNesting));
+        t.cell(static_cast<uint64_t>(p.maxNest));
+    }
+
+    std::cout << "Table 1: loop statistics (measured vs paper)\n";
+    if (opts.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Table 2: STR(3) control-speculation statistics on 4 TUs:
+ * number of speculation actions, threads per action, thread hit ratio,
+ * instructions from speculation to verification, and TPC — measured vs
+ * paper. Absolute event counts scale with trace length; ratios compare
+ * directly.
+ */
+
+#include <iostream>
+
+#include "bench/paper_ref.hh"
+#include "harness/runner.hh"
+#include "speculation/spec_sim.hh"
+#include "util/table_writer.hh"
+
+using namespace loopspec;
+
+int
+main(int argc, char **argv)
+{
+    RunOptions opts = parseRunOptions(argc, argv, {});
+
+    CollectFlags flags;
+    flags.recording = true;
+
+    TableWriter t({"bench", "#spec", "#thr/spec", "(paper)", "hit%",
+                   "(paper)", "#instr-verif", "(paper)", "TPC",
+                   "(paper)"});
+
+    double tpc_sum = 0.0, hit_sum = 0.0;
+    unsigned count = 0;
+    for (const auto &name : opts.selected()) {
+        WorkloadArtifacts a = runWorkload(name, opts, flags);
+        SpecConfig cfg;
+        cfg.numTUs = 4;
+        cfg.policy = SpecPolicy::StrI;
+        cfg.nestLimit = 3;
+        ThreadSpecSimulator sim(a.recording, cfg);
+        SpecStats s = sim.run();
+        const auto &p = paper::table2.at(name);
+        t.row();
+        t.cell(name);
+        t.cell(s.specEvents);
+        t.cell(s.threadsPerSpec(), 2);
+        t.cell(p.threadsPerSpec, 2);
+        t.cell(100.0 * s.hitRatio(), 2);
+        t.cell(p.hitRatioPct, 2);
+        t.cell(s.avgInstrToVerif(), 0);
+        t.cell(p.instrsToVerify, 0);
+        t.cell(s.tpc(), 2);
+        t.cell(p.tpc, 2);
+        tpc_sum += s.tpc();
+        hit_sum += 100.0 * s.hitRatio();
+        ++count;
+    }
+
+    std::cout << "Table 2: control speculation statistics, STR(3), "
+                 "4 TUs (measured vs paper)\n";
+    if (opts.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    std::cout << "suite averages: TPC " << tpc_sum / count << ", hit "
+              << hit_sum / count << "%\n";
+    return 0;
+}

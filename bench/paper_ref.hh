@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The paper's published numbers (HPCA 1998, Tables 1-2, Figures 4-7),
+ * embedded so every bench binary prints measured-vs-paper side by side.
+ * Absolute magnitudes differ (the paper ran 10^9+ Alpha instructions of
+ * real SPEC95; we run scaled synthetic workloads) — the comparison is
+ * about shape: orderings, ratios, crossovers.
+ */
+
+#ifndef LOOPSPEC_BENCH_PAPER_REF_HH
+#define LOOPSPEC_BENCH_PAPER_REF_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace loopspec
+{
+namespace paper
+{
+
+/** Table 1: loop statistics. */
+struct Table1Row
+{
+    double instrsG; //!< 10^9 instructions, whole run
+    uint64_t loops;
+    double itersPerExec;
+    double instrsPerIter;
+    double avgNest;
+    uint32_t maxNest;
+};
+
+inline const std::map<std::string, Table1Row> table1 = {
+    {"applu", {53.02, 189, 3.50, 261.08, 5.16, 7}},
+    {"apsi", {33.06, 207, 10.75, 229.34, 3.14, 5}},
+    {"compress", {61.05, 45, 6.27, 84.65, 2.52, 4}},
+    {"fpppp", {144.49, 83, 3.05, 3217.80, 6.66, 9}},
+    {"gcc", {1.93, 1229, 5.28, 80.21, 3.43, 7}},
+    {"go", {38.87, 709, 3.76, 156.60, 4.86, 11}},
+    {"hydro2d", {50.57, 291, 29.37, 127.66, 3.50, 4}},
+    {"ijpeg", {40.98, 198, 20.75, 336.26, 6.37, 9}},
+    {"li", {70.77, 94, 3.48, 107.80, 5.15, 10}},
+    {"m88ksim", {79.19, 127, 9.38, 39.82, 1.98, 5}},
+    {"mgrid", {102.81, 142, 28.93, 512.68, 4.93, 6}},
+    {"perl", {30.66, 147, 3.11, 47.02, 1.35, 5}},
+    {"su2cor", {40.23, 213, 51.23, 257.17, 3.50, 5}},
+    {"swim", {40.75, 79, 188.54, 278.89, 2.99, 3}},
+    {"tomcatv", {32.05, 91, 57.18, 224.82, 3.01, 4}},
+    {"turb3d", {96.27, 152, 4.11, 239.44, 3.97, 6}},
+    {"vortex", {94.98, 220, 12.08, 215.56, 3.06, 6}},
+    {"wave5", {35.69, 195, 56.15, 164.25, 3.12, 5}},
+};
+
+/** Table 2: STR(3) speculation statistics on 4 TUs. */
+struct Table2Row
+{
+    uint64_t specs;
+    double threadsPerSpec;
+    double hitRatioPct;
+    double instrsToVerify;
+    double tpc;
+};
+
+inline const std::map<std::string, Table2Row> table2 = {
+    {"applu", {218661, 2.62, 54.51, 2316, 2.21}},
+    {"apsi", {118637, 2.91, 90.48, 2301, 3.51}},
+    {"compress", {2804450, 2.69, 100.00, 91.94, 3.23}},
+    {"fpppp", {3417, 1.67, 86.92, 191727, 2.71}},
+    {"gcc", {1206937, 2.06, 76.05, 370, 2.37}},
+    {"go", {18427, 2.09, 71.17, 69749, 1.06}},
+    {"hydro2d", {706635, 2.99, 99.43, 433, 2.52}},
+    {"ijpeg", {150450, 2.72, 96.54, 1608, 2.36}},
+    {"li", {1567433, 1.71, 69.16, 353, 1.75}},
+    {"m88ksim", {1097194, 2.77, 97.32, 292, 2.78}},
+    {"mgrid", {7900, 2.80, 97.50, 36523, 3.71}},
+    {"perl", {3114338, 2.33, 60.34, 35, 1.17}},
+    {"su2cor", {4906331, 2.22, 99.92, 45, 1.94}},
+    {"swim", {61005, 3.00, 99.91, 4455, 3.48}},
+    {"tomcatv", {111394, 2.86, 77.24, 2363, 3.85}},
+    {"turb3d", {106237, 2.99, 99.18, 2417, 3.84}},
+    {"vortex", {131024, 2.12, 90.25, 2502, 3.03}},
+    {"wave5", {165950, 2.60, 99.95, 1778, 3.75}},
+};
+
+/** Figure 4 anchors quoted in the text (average hit ratios, percent). */
+inline constexpr double fig4LitAt2 = 85.00;
+inline constexpr double fig4LitAt4 = 90.50;
+inline constexpr double fig4LetAt8 = 72.44;
+inline constexpr double fig4LetAt16 = 91.98;
+
+/** Figures 6/7: suite-average TPC for the STR policy. */
+inline const std::map<unsigned, double> fig6AvgStr = {
+    {2, 1.65}, {4, 2.6}, {8, 4.0}, {16, 6.2}};
+
+} // namespace paper
+} // namespace loopspec
+
+#endif // LOOPSPEC_BENCH_PAPER_REF_HH

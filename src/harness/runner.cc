@@ -1,0 +1,147 @@
+#include "harness/runner.hh"
+
+#include <memory>
+
+#include "loop/loop_detector.hh"
+#include "speculation/ideal_tpc.hh"
+#include "tracegen/trace_engine.hh"
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+std::vector<std::string>
+RunOptions::selected() const
+{
+    if (!benchmarks.empty())
+        return benchmarks;
+    return workloadNames();
+}
+
+RunOptions
+parseRunOptions(int argc, char **argv,
+                const std::vector<std::string> &extra_flags,
+                CliArgs **args_out)
+{
+    std::vector<std::string> known = {"scale", "benchmarks", "cls",
+                                      "max-instrs", "csv"};
+    known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+
+    static std::unique_ptr<CliArgs> args;
+    args = std::make_unique<CliArgs>(argc, argv, known);
+    if (args_out)
+        *args_out = args.get();
+
+    RunOptions opts;
+    opts.scale.factor = args->getDouble("scale", 1.0);
+    if (opts.scale.factor <= 0.0)
+        fatal("--scale must be positive");
+    opts.benchmarks = splitList(args->getString("benchmarks", ""));
+    opts.clsEntries = args->getUint("cls", 16);
+    opts.maxInstrs = args->getUint("max-instrs", 0);
+    opts.csv = args->getBool("csv", false);
+    return opts;
+}
+
+const std::vector<size_t> &
+hitRatioTableSizes()
+{
+    static const std::vector<size_t> sizes = {2, 4, 8, 16};
+    return sizes;
+}
+
+namespace
+{
+
+/** One full trace pass with a given listener set. */
+uint64_t
+tracePass(const Program &prog, uint64_t max_instrs, size_t cls_entries,
+          const std::vector<LoopListener *> &listeners)
+{
+    EngineConfig ecfg;
+    ecfg.maxInstrs = max_instrs;
+    TraceEngine engine(prog, ecfg);
+    LoopDetector detector({cls_entries});
+    for (auto *l : listeners)
+        detector.addListener(l);
+    engine.addObserver(&detector);
+    return engine.run();
+}
+
+} // namespace
+
+WorkloadArtifacts
+runWorkload(const std::string &name, const RunOptions &opts,
+            const CollectFlags &flags_in)
+{
+    WorkloadArtifacts out;
+    out.name = name;
+
+    CollectFlags flags = flags_in;
+    if (flags.dataCorrectness) {
+        flags.recording = true;
+        flags.dataSpec = true;
+    }
+
+    Program prog = buildWorkload(name, opts.scale);
+
+    LoopStats stats;
+    std::vector<std::unique_ptr<LetHitMeter>> lets;
+    std::vector<std::unique_ptr<LitHitMeter>> lits;
+    IdealTpcComputer ideal;
+    LoopEventRecorder recorder;
+    DataSpecConfig dcfg;
+    dcfg.recordPerIteration = flags.dataCorrectness;
+    DataSpecProfiler profiler(dcfg);
+
+    std::vector<LoopListener *> listeners;
+    if (flags.loopStats)
+        listeners.push_back(&stats);
+    if (flags.hitRatios) {
+        for (size_t sz : hitRatioTableSizes()) {
+            lets.push_back(std::make_unique<LetHitMeter>(sz));
+            lits.push_back(std::make_unique<LitHitMeter>(sz));
+            listeners.push_back(lets.back().get());
+            listeners.push_back(lits.back().get());
+        }
+    }
+    if (flags.ideal)
+        listeners.push_back(&ideal);
+    if (flags.recording)
+        listeners.push_back(&recorder);
+    if (flags.dataSpec)
+        listeners.push_back(&profiler);
+
+    out.totalInstrs =
+        tracePass(prog, opts.maxInstrs, opts.clsEntries, listeners);
+
+    if (flags.loopStats)
+        out.loopStats = stats.report();
+    if (flags.hitRatios) {
+        for (size_t i = 0; i < lets.size(); ++i) {
+            out.letResults.emplace_back(lets[i]->numEntries(),
+                                        lets[i]->result());
+            out.litResults.emplace_back(lits[i]->numEntries(),
+                                        lits[i]->result());
+        }
+    }
+    if (flags.ideal) {
+        out.idealTpc = ideal.tpc();
+        // Figure 5 pairs the full run with a truncated prefix to show
+        // the behaviour is stable; rerun on the first half.
+        IdealTpcComputer prefix;
+        Program prog2 = buildWorkload(name, opts.scale);
+        tracePass(prog2, out.totalInstrs / 2, opts.clsEntries, {&prefix});
+        out.idealTpcPrefix = prefix.tpc();
+    }
+    if (flags.recording)
+        out.recording = recorder.take();
+    if (flags.dataSpec)
+        out.dataSpec = profiler.report();
+    if (flags.dataCorrectness)
+        mergeDataCorrectness(out.recording, profiler);
+
+    return out;
+}
+
+} // namespace loopspec

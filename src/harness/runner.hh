@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared experiment driver: builds a workload, executes its trace once
+ * through the loop detector with the listeners an experiment needs, and
+ * returns the collected artifacts. Every bench binary (one per paper
+ * table/figure) is a thin layer over this.
+ */
+
+#ifndef LOOPSPEC_HARNESS_RUNNER_HH
+#define LOOPSPEC_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataspec/data_profiler.hh"
+#include "loop/loop_stats.hh"
+#include "speculation/event_record.hh"
+#include "tables/hit_ratio.hh"
+#include "util/cli.hh"
+#include "workloads/workload.hh"
+
+namespace loopspec
+{
+
+/** Options shared by all experiment binaries. */
+struct RunOptions
+{
+    WorkloadScale scale;
+    std::vector<std::string> benchmarks; //!< empty = whole suite
+    size_t clsEntries = 16;
+    uint64_t maxInstrs = 0; //!< trace truncation (0 = run to Halt)
+    bool csv = false;
+
+    /** Benchmarks to run (selection or full registry order). */
+    std::vector<std::string> selected() const;
+};
+
+/** Parse the standard flags: --scale --benchmarks --cls --max-instrs
+ *  --csv. Extra flags may be listed in @p extra_flags and read from the
+ *  returned CliArgs. */
+RunOptions parseRunOptions(int argc, char **argv,
+                           const std::vector<std::string> &extra_flags,
+                           CliArgs **args_out = nullptr);
+
+/** What a trace pass should collect. */
+struct CollectFlags
+{
+    bool loopStats = false;
+    bool hitRatios = false; //!< LET/LIT meters at 2/4/8/16 entries
+    bool ideal = false;     //!< infinite-TU TPC (plus half-prefix rerun)
+    bool recording = false; //!< event recording for the TU simulator
+    bool dataSpec = false;  //!< §4 profiler
+    /** Annotate the recording with per-iteration live-in correctness
+     *  (implies recording + dataSpec); enables DataMode::Profiled. */
+    bool dataCorrectness = false;
+};
+
+/** Everything a pass can produce. */
+struct WorkloadArtifacts
+{
+    std::string name;
+    uint64_t totalInstrs = 0;
+    LoopStatsReport loopStats;
+    std::vector<std::pair<size_t, HitRatioResult>> letResults;
+    std::vector<std::pair<size_t, HitRatioResult>> litResults;
+    double idealTpc = 0.0;
+    double idealTpcPrefix = 0.0; //!< first half of the trace
+    LoopEventRecording recording;
+    DataSpecReport dataSpec;
+};
+
+/** Build + trace one workload, collecting per @p flags. */
+WorkloadArtifacts runWorkload(const std::string &name,
+                              const RunOptions &opts,
+                              const CollectFlags &flags);
+
+/** The table sizes Figure 4 sweeps. */
+const std::vector<size_t> &hitRatioTableSizes();
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_HARNESS_RUNNER_HH

@@ -1,0 +1,76 @@
+#include "isa/disasm.hh"
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+std::string
+disassemble(const Instr &in)
+{
+    const char *m = mnemonic(in.op);
+    switch (in.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::Ret:
+        return m;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Slt:
+      case Opcode::Sle:
+      case Opcode::Seq:
+      case Opcode::Sne:
+        return strprintf("%s r%d, r%d, r%d", m, in.rd, in.rs1, in.rs2);
+      case Opcode::Addi:
+      case Opcode::Muli:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Shli:
+      case Opcode::Shri:
+        return strprintf("%s r%d, r%d, %lld", m, in.rd, in.rs1,
+                         static_cast<long long>(in.imm));
+      case Opcode::Li:
+        return strprintf("%s r%d, %lld", m, in.rd,
+                         static_cast<long long>(in.imm));
+      case Opcode::Mov:
+        return strprintf("%s r%d, r%d", m, in.rd, in.rs1);
+      case Opcode::Ld:
+        return strprintf("%s r%d, %lld(r%d)", m, in.rd,
+                         static_cast<long long>(in.imm), in.rs1);
+      case Opcode::St:
+        return strprintf("%s r%d, %lld(r%d)", m, in.rs2,
+                         static_cast<long long>(in.imm), in.rs1);
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Ble:
+      case Opcode::Bgt:
+        return strprintf("%s r%d, r%d, 0x%x", m, in.rs1, in.rs2, in.target);
+      case Opcode::Jmp:
+      case Opcode::Call:
+        return strprintf("%s 0x%x", m, in.target);
+      case Opcode::JmpInd:
+      case Opcode::CallInd:
+        return strprintf("%s r%d", m, in.rs1);
+      default:
+        panic("disassemble: bad opcode %d", static_cast<int>(in.op));
+    }
+}
+
+std::string
+disassembleAt(uint32_t addr, const Instr &in)
+{
+    return strprintf("%x: %s", addr, disassemble(in).c_str());
+}
+
+} // namespace loopspec

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Textual disassembly of mini-RISC instructions, for debugging and the
+ * example tools.
+ */
+
+#ifndef LOOPSPEC_ISA_DISASM_HH
+#define LOOPSPEC_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/instr.hh"
+
+namespace loopspec
+{
+
+/** Render one instruction as text, e.g. "add r3, r3, r1". */
+std::string disassemble(const Instr &instr);
+
+/** Render with its address prefix, e.g. "1020: blt r1, r2, 0x1008". */
+std::string disassembleAt(uint32_t addr, const Instr &instr);
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_ISA_DISASM_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Static instruction representation and register naming.
+ */
+
+#ifndef LOOPSPEC_ISA_INSTR_HH
+#define LOOPSPEC_ISA_INSTR_HH
+
+#include <cstdint>
+
+#include "isa/opcode.hh"
+
+namespace loopspec
+{
+
+/** Number of architectural integer registers; register 0 is wired to 0. */
+constexpr unsigned numRegs = 32;
+
+/** Typed register index (Core Guidelines P.4: avoid bare ints). */
+struct Reg
+{
+    uint8_t idx = 0;
+};
+
+constexpr bool operator==(Reg a, Reg b) { return a.idx == b.idx; }
+
+/** Named register constants r0..r31 for workload authors. */
+namespace regs
+{
+#define LOOPSPEC_DEF_REG(n) inline constexpr Reg r##n{n}
+LOOPSPEC_DEF_REG(0); LOOPSPEC_DEF_REG(1); LOOPSPEC_DEF_REG(2);
+LOOPSPEC_DEF_REG(3); LOOPSPEC_DEF_REG(4); LOOPSPEC_DEF_REG(5);
+LOOPSPEC_DEF_REG(6); LOOPSPEC_DEF_REG(7); LOOPSPEC_DEF_REG(8);
+LOOPSPEC_DEF_REG(9); LOOPSPEC_DEF_REG(10); LOOPSPEC_DEF_REG(11);
+LOOPSPEC_DEF_REG(12); LOOPSPEC_DEF_REG(13); LOOPSPEC_DEF_REG(14);
+LOOPSPEC_DEF_REG(15); LOOPSPEC_DEF_REG(16); LOOPSPEC_DEF_REG(17);
+LOOPSPEC_DEF_REG(18); LOOPSPEC_DEF_REG(19); LOOPSPEC_DEF_REG(20);
+LOOPSPEC_DEF_REG(21); LOOPSPEC_DEF_REG(22); LOOPSPEC_DEF_REG(23);
+LOOPSPEC_DEF_REG(24); LOOPSPEC_DEF_REG(25); LOOPSPEC_DEF_REG(26);
+LOOPSPEC_DEF_REG(27); LOOPSPEC_DEF_REG(28); LOOPSPEC_DEF_REG(29);
+LOOPSPEC_DEF_REG(30); LOOPSPEC_DEF_REG(31);
+#undef LOOPSPEC_DEF_REG
+} // namespace regs
+
+/**
+ * One static instruction. Targets of direct control transfers are stored
+ * as resolved byte addresses (the ProgramBuilder patches labels).
+ */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int64_t imm = 0;
+    uint32_t target = 0; //!< resolved address for Beq..Jmp/Call
+};
+
+/** Base byte address of the code segment. */
+constexpr uint32_t codeBase = 0x1000;
+
+/** Byte size of each instruction slot. */
+constexpr uint32_t instrBytes = 4;
+
+/** Address of the instruction at code index @p index. */
+constexpr uint32_t
+addrOfIndex(uint64_t index)
+{
+    return codeBase + static_cast<uint32_t>(index) * instrBytes;
+}
+
+/** Code index of the instruction at byte address @p addr. */
+constexpr uint64_t
+indexOfAddr(uint32_t addr)
+{
+    return (addr - codeBase) / instrBytes;
+}
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_ISA_INSTR_HH

@@ -1,0 +1,91 @@
+#include "isa/opcode.hh"
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+CtrlKind
+ctrlKindOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Ble:
+      case Opcode::Bgt:
+        return CtrlKind::Branch;
+      case Opcode::Jmp:
+      case Opcode::JmpInd:
+        return CtrlKind::Jump;
+      case Opcode::Call:
+      case Opcode::CallInd:
+        return CtrlKind::Call;
+      case Opcode::Ret:
+        return CtrlKind::Ret;
+      default:
+        return CtrlKind::None;
+    }
+}
+
+bool
+isBranch(Opcode op)
+{
+    return ctrlKindOf(op) == CtrlKind::Branch;
+}
+
+bool
+isControl(Opcode op)
+{
+    return ctrlKindOf(op) != CtrlKind::None;
+}
+
+const char *
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Slt: return "slt";
+      case Opcode::Sle: return "sle";
+      case Opcode::Seq: return "seq";
+      case Opcode::Sne: return "sne";
+      case Opcode::Addi: return "addi";
+      case Opcode::Muli: return "muli";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Shli: return "shli";
+      case Opcode::Shri: return "shri";
+      case Opcode::Li: return "li";
+      case Opcode::Mov: return "mov";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Ble: return "ble";
+      case Opcode::Bgt: return "bgt";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::JmpInd: return "jmpi";
+      case Opcode::Call: return "call";
+      case Opcode::CallInd: return "calli";
+      case Opcode::Ret: return "ret";
+      default:
+        panic("mnemonic: bad opcode %d", static_cast<int>(op));
+    }
+}
+
+} // namespace loopspec

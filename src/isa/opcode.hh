@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Mini-RISC instruction set used by the synthetic workload substrate.
+ *
+ * The CLS mechanism (paper §2.2) classifies retired instructions into
+ * branch / jump / call / return and otherwise only needs PC, direction,
+ * taken-ness and target; the data-speculation statistics (§4) additionally
+ * need register and memory operand values. This ISA is the smallest one
+ * that produces all of that with realistic control-flow shapes.
+ */
+
+#ifndef LOOPSPEC_ISA_OPCODE_HH
+#define LOOPSPEC_ISA_OPCODE_HH
+
+#include <cstdint>
+
+namespace loopspec
+{
+
+/** Opcodes of the mini-RISC ISA. */
+enum class Opcode : uint8_t
+{
+    Nop,
+    Halt,
+
+    // ALU, register forms: rd = rs1 <op> rs2.
+    Add,
+    Sub,
+    Mul,
+    Div, // division by zero yields 0 (synthetic substrate convention)
+    Rem, // remainder by zero yields 0
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+
+    // Comparisons: rd = (rs1 <cmp> rs2) ? 1 : 0.
+    Slt,
+    Sle,
+    Seq,
+    Sne,
+
+    // ALU, immediate forms: rd = rs1 <op> imm.
+    Addi,
+    Muli,
+    Andi,
+    Ori,
+    Xori,
+    Shli,
+    Shri,
+
+    Li,  // rd = imm
+    Mov, // rd = rs1
+
+    // Memory (word addressed): Ld rd, imm(rs1); St rs2 -> imm(rs1).
+    Ld,
+    St,
+
+    // Conditional branches: if (rs1 <cmp> rs2) pc = target.
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Ble,
+    Bgt,
+
+    // Unconditional control.
+    Jmp,     // pc = target
+    JmpInd,  // pc = value(rs1)
+    Call,    // call target; return address kept on the engine RA stack
+    CallInd, // call value(rs1)
+    Ret,     // return to popped RA
+
+    NumOpcodes,
+};
+
+/**
+ * Control-transfer classification, exactly the categories the CLS update
+ * algorithm distinguishes (§2.2: "three kinds of instructions: branch,
+ * jump and return"; calls are jumps that never terminate a loop).
+ */
+enum class CtrlKind : uint8_t
+{
+    None,   //!< not a control transfer
+    Branch, //!< conditional branch
+    Jump,   //!< unconditional jump (direct or indirect)
+    Call,   //!< subroutine call (direct or indirect)
+    Ret,    //!< subroutine return
+};
+
+/** Classification of an opcode into its control kind. */
+CtrlKind ctrlKindOf(Opcode op);
+
+/** True for Beq..Bgt. */
+bool isBranch(Opcode op);
+
+/** True for any opcode that may redirect the PC. */
+bool isControl(Opcode op);
+
+/** Printable mnemonic. */
+const char *mnemonic(Opcode op);
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_ISA_OPCODE_HH

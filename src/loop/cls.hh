@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The Current Loop Stack (CLS), the paper's central hardware structure
+ * (§2.2, Figure 3): all currently executing loops, innermost on top, each
+ * entry holding the loop target address T and the highest closing-branch
+ * address B seen so far, plus bookkeeping the detector hangs off it
+ * (execution id, iteration index).
+ */
+
+#ifndef LOOPSPEC_LOOP_CLS_HH
+#define LOOPSPEC_LOOP_CLS_HH
+
+#include <cstdint>
+
+#include "util/fixed_vector.hh"
+
+namespace loopspec
+{
+
+/** One CLS entry: a live loop execution. */
+struct ClsEntry
+{
+    uint32_t loop = 0;      //!< target address T (the loop identifier)
+    uint32_t branchAddr = 0; //!< B: highest backward-transfer addr to T
+    uint64_t execId = 0;    //!< detector-assigned unique execution id
+    uint32_t iterIndex = 0; //!< 1-based index of the current iteration
+
+    /** Static-body membership test: addr in [T, B]. */
+    bool
+    bodyContains(uint32_t addr) const
+    {
+        return addr >= loop && addr <= branchAddr;
+    }
+};
+
+/** Hard upper bound on configurable CLS capacity. */
+constexpr size_t clsMaxCapacity = 64;
+
+/**
+ * The stack itself. Fixed capacity; on overflow the *deepest* (bottom,
+ * outermost) entry is dropped, penalising outer loops as the paper
+ * prescribes. Index 0 is the bottom; size()-1 is the top (innermost).
+ */
+class CurrentLoopStack
+{
+  public:
+    explicit CurrentLoopStack(size_t capacity_ = 16)
+        : cap(capacity_ == 0 ? 1 : capacity_)
+    {
+        LOOPSPEC_ASSERT(cap <= clsMaxCapacity,
+                        "CLS capacity above hard limit");
+    }
+
+    size_t size() const { return entries.size(); }
+    size_t capacity() const { return cap; }
+    bool empty() const { return entries.empty(); }
+    bool full() const { return entries.size() >= cap; }
+
+    ClsEntry &at(size_t i) { return entries[i]; }
+    const ClsEntry &at(size_t i) const { return entries[i]; }
+    ClsEntry &top() { return entries.back(); }
+
+    /**
+     * Search for a loop with target @p t, from the top (innermost)
+     * downwards. Returns the entry index, or -1 if absent.
+     */
+    int
+    find(uint32_t t) const
+    {
+        for (size_t i = entries.size(); i-- > 0;) {
+            if (entries[i].loop == t)
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
+
+    /**
+     * Push a new innermost loop. If full, the caller must first make room
+     * with dropDeepest(); pushing a full stack panics.
+     */
+    void
+    push(const ClsEntry &entry)
+    {
+        LOOPSPEC_ASSERT(!full(), "CLS push on full stack");
+        entries.push_back(entry);
+    }
+
+    /** Pop the innermost entry, returning a copy. */
+    ClsEntry
+    pop()
+    {
+        ClsEntry e = entries.back();
+        entries.pop_back();
+        return e;
+    }
+
+    /** Remove the bottom (deepest, outermost) entry, returning a copy. */
+    ClsEntry
+    dropDeepest()
+    {
+        LOOPSPEC_ASSERT(!empty());
+        ClsEntry e = entries[0];
+        entries.erase_at(0);
+        return e;
+    }
+
+    /** Remove the entry at @p i (middle removal: overlapped-loop exits). */
+    ClsEntry
+    removeAt(size_t i)
+    {
+        ClsEntry e = entries[i];
+        entries.erase_at(i);
+        return e;
+    }
+
+    void clear() { entries.clear(); }
+
+  private:
+    FixedVector<ClsEntry, clsMaxCapacity> entries;
+    size_t cap;
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_LOOP_CLS_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Loop event vocabulary emitted by the LoopDetector (paper §2.1: loop
+ * executions and loop iterations) and the listener interface consumers
+ * implement (statistics, LET/LIT models, speculation, data profiling).
+ */
+
+#ifndef LOOPSPEC_LOOP_LOOP_EVENT_HH
+#define LOOPSPEC_LOOP_LOOP_EVENT_HH
+
+#include <cstdint>
+
+#include "tracegen/dyn_instr.hh"
+
+namespace loopspec
+{
+
+/** Why a loop execution left the CLS. */
+enum class ExecEndReason : uint8_t
+{
+    Close,      //!< not-taken closing branch at B (normal termination)
+    Exit,       //!< taken branch/jump from inside the body to outside
+    Return,     //!< return instruction inside the body
+    OuterClose, //!< popped because an outer loop closed an iteration
+    OuterEnd,   //!< popped because an outer loop execution terminated
+    Overflow,   //!< lost as the deepest entry on CLS overflow
+    Flush,      //!< periodic CLS flush (§2.2's setjmp safety valve)
+    TraceEnd,   //!< still live when the trace ended (flush)
+};
+
+/** Printable name of an ExecEndReason. */
+const char *execEndReasonName(ExecEndReason reason);
+
+/**
+ * A loop execution was detected: the first taken backward transfer to T.
+ * By the paper's definitions this instant is simultaneously the end of the
+ * (undetectable) first iteration and the start of iteration 2; an
+ * IterStart with iterIndex == 2 follows immediately.
+ */
+struct ExecStartEvent
+{
+    uint64_t pos;      //!< retire seq of the detecting backward transfer
+    uint64_t execId;   //!< unique id of this execution
+    uint32_t loop;     //!< loop identifier T (target address)
+    uint32_t branchAddr; //!< address of the detecting transfer (initial B)
+    uint32_t depth;    //!< CLS depth after push, 1-based
+    uint64_t parentExecId; //!< execId of the enclosing CLS entry, or 0
+};
+
+/** An iteration boundary of a detected loop execution. */
+struct IterEvent
+{
+    uint64_t pos;    //!< retire seq of the closing/opening transfer
+    uint64_t execId;
+    uint32_t loop;
+    uint32_t iterIndex; //!< 1-based; first observable start has index 2
+    uint32_t depth;     //!< CLS depth of this loop at the event, 1-based
+};
+
+/** A loop execution terminated (or was lost). */
+struct ExecEndEvent
+{
+    uint64_t pos;
+    uint64_t execId;
+    uint32_t loop;
+    uint32_t iterCount; //!< iterations started, including the first
+    ExecEndReason reason;
+};
+
+/**
+ * A single-iteration loop execution: a not-taken backward branch whose
+ * target is not in the CLS (§2.2: "a loop with only one iteration has
+ * been executed"). Such executions are never live in the CLS and are
+ * invisible to the speculation engine, but they count in statistics.
+ */
+struct SingleIterExecEvent
+{
+    uint64_t pos;
+    uint32_t loop;
+    uint32_t branchAddr;
+    uint32_t depth; //!< CLS depth + 1 (where it would have lived)
+};
+
+/**
+ * Consumer interface for the detector's event stream. onInstr is called
+ * for every retired instruction *before* any loop events that instruction
+ * triggers, so instruction counts attribute closing branches to the
+ * iteration they terminate.
+ */
+class LoopListener
+{
+  public:
+    virtual ~LoopListener() = default;
+
+    virtual void onInstr(const DynInstr &instr) { (void)instr; }
+    virtual void onExecStart(const ExecStartEvent &ev) { (void)ev; }
+    virtual void onIterStart(const IterEvent &ev) { (void)ev; }
+    virtual void onIterEnd(const IterEvent &ev) { (void)ev; }
+    virtual void onExecEnd(const ExecEndEvent &ev) { (void)ev; }
+    virtual void onSingleIterExec(const SingleIterExecEvent &ev)
+    {
+        (void)ev;
+    }
+    virtual void onTraceDone(uint64_t total_instrs) { (void)total_instrs; }
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_LOOP_LOOP_EVENT_HH

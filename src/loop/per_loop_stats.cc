@@ -1,0 +1,106 @@
+#include "loop/per_loop_stats.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+void
+PerLoopStats::onInstr(const DynInstr &instr)
+{
+    (void)instr;
+    ++instrs;
+    if (!frames.empty())
+        ++frames.back().instrs;
+}
+
+void
+PerLoopStats::onExecStart(const ExecStartEvent &ev)
+{
+    frames.push_back({ev.execId, ev.loop, 0});
+    LoopRecord &r = table[ev.loop];
+    r.loop = ev.loop;
+    r.branchAddr = std::max(r.branchAddr, ev.branchAddr);
+    r.maxDepth = std::max(r.maxDepth, ev.depth);
+}
+
+void
+PerLoopStats::onExecEnd(const ExecEndEvent &ev)
+{
+    size_t idx = frames.size();
+    for (size_t i = frames.size(); i-- > 0;) {
+        if (frames[i].execId == ev.execId) {
+            idx = i;
+            break;
+        }
+    }
+    LOOPSPEC_ASSERT(idx < frames.size(), "ExecEnd for unknown frame");
+    uint64_t span = frames[idx].instrs;
+    if (idx > 0)
+        frames[idx - 1].instrs += span;
+    frames.erase(frames.begin() + static_cast<long>(idx));
+
+    LoopRecord &r = table[ev.loop];
+    ++r.execs;
+    r.iters += ev.iterCount;
+    r.instrSpan += span;
+    if (r.execs == 1) {
+        r.minTrip = r.maxTrip = ev.iterCount;
+    } else {
+        r.minTrip = std::min(r.minTrip, ev.iterCount);
+        r.maxTrip = std::max(r.maxTrip, ev.iterCount);
+    }
+    switch (ev.reason) {
+      case ExecEndReason::Close:
+        ++r.endsByClose;
+        break;
+      case ExecEndReason::Exit:
+        ++r.endsByExit;
+        break;
+      default:
+        ++r.endsByOther;
+        break;
+    }
+}
+
+void
+PerLoopStats::onSingleIterExec(const SingleIterExecEvent &ev)
+{
+    LoopRecord &r = table[ev.loop];
+    r.loop = ev.loop;
+    r.branchAddr = std::max(r.branchAddr, ev.branchAddr);
+    ++r.singleIterExecs;
+    ++r.iters;
+    r.maxDepth = std::max(r.maxDepth, ev.depth);
+}
+
+void
+PerLoopStats::onTraceDone(uint64_t total_instrs)
+{
+    LOOPSPEC_ASSERT(!done, "onTraceDone twice");
+    LOOPSPEC_ASSERT(frames.empty(), "frames must drain at trace end");
+    done = true;
+    instrs = total_instrs;
+}
+
+std::vector<LoopRecord>
+PerLoopStats::bySpan() const
+{
+    std::vector<LoopRecord> out;
+    out.reserve(table.size());
+    for (const auto &[loop, rec] : table) {
+        (void)loop;
+        out.push_back(rec);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const LoopRecord &a, const LoopRecord &b) {
+                  if (a.instrSpan != b.instrSpan)
+                      return a.instrSpan > b.instrSpan;
+                  return a.loop < b.loop;
+              });
+    return out;
+}
+
+} // namespace loopspec

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-loop profiling: everything LoopStats aggregates program-wide,
+ * broken out by loop identifier T — executions, iterations, trip-count
+ * distribution, dynamic instruction span, nesting. This is the library
+ * feature behind the loop_topology example and the kind of data a
+ * hardware implementation's §2.3.2 suitability table would be trained
+ * on.
+ */
+
+#ifndef LOOPSPEC_LOOP_PER_LOOP_STATS_HH
+#define LOOPSPEC_LOOP_PER_LOOP_STATS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "loop/loop_event.hh"
+
+namespace loopspec
+{
+
+/** Profile of a single static loop (identified by target address T). */
+struct LoopRecord
+{
+    uint32_t loop = 0;       //!< T
+    uint32_t branchAddr = 0; //!< highest closing-branch address observed
+    uint64_t execs = 0;      //!< detected executions
+    uint64_t singleIterExecs = 0;
+    uint64_t iters = 0;      //!< iterations incl. the undetected firsts
+    uint32_t minTrip = 0;    //!< over detected executions
+    uint32_t maxTrip = 0;
+    uint64_t instrSpan = 0;  //!< dynamic instructions inside executions
+    uint32_t maxDepth = 0;   //!< deepest CLS position observed
+    uint64_t endsByClose = 0;
+    uint64_t endsByExit = 0;
+    uint64_t endsByOther = 0; //!< return/outer/overflow/flush/trace-end
+
+    /** Average iterations per detected execution (firsts included). */
+    double
+    itersPerExec() const
+    {
+        uint64_t e = execs + singleIterExecs;
+        return e ? static_cast<double>(iters) / static_cast<double>(e)
+                 : 0.0;
+    }
+
+    /** Is the trip count constant across detected executions? */
+    bool
+    constantTrip() const
+    {
+        return execs > 0 && minTrip == maxTrip;
+    }
+};
+
+/**
+ * LoopListener building per-loop records. Span accounting follows
+ * LoopStats: each instruction accrues to the innermost live execution
+ * and cascades into the parent on termination, so a loop's span covers
+ * everything retired during its executions (callees and inner loops
+ * included) from detection to termination.
+ */
+class PerLoopStats : public LoopListener
+{
+  public:
+    void onInstr(const DynInstr &instr) override;
+    void onExecStart(const ExecStartEvent &ev) override;
+    void onExecEnd(const ExecEndEvent &ev) override;
+    void onSingleIterExec(const SingleIterExecEvent &ev) override;
+    void onTraceDone(uint64_t total_instrs) override;
+
+    /** All profiled loops; valid after onTraceDone. */
+    const std::unordered_map<uint32_t, LoopRecord> &
+    records() const
+    {
+        return table;
+    }
+
+    /** Records sorted by descending instruction span (top-N report). */
+    std::vector<LoopRecord> bySpan() const;
+
+    uint64_t totalInstrs() const { return instrs; }
+
+  private:
+    struct Frame
+    {
+        uint64_t execId;
+        uint32_t loop;
+        uint64_t instrs;
+    };
+
+    std::unordered_map<uint32_t, LoopRecord> table;
+    std::vector<Frame> frames;
+    uint64_t instrs = 0;
+    bool done = false;
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_LOOP_PER_LOOP_STATS_HH

@@ -1,0 +1,78 @@
+#include "program/program.hh"
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+const Instr &
+Program::fetch(uint32_t addr) const
+{
+    if (addr < codeBase || (addr - codeBase) % instrBytes != 0)
+        panic("fetch from bad address 0x%x in %s", addr, name.c_str());
+    uint64_t idx = indexOfAddr(addr);
+    if (idx >= code.size())
+        panic("fetch past code end: 0x%x in %s", addr, name.c_str());
+    return code[idx];
+}
+
+uint32_t
+Program::funcEntry(const std::string &fn) const
+{
+    auto it = functions.find(fn);
+    if (it == functions.end())
+        fatal("program %s has no function '%s'", name.c_str(), fn.c_str());
+    return it->second;
+}
+
+void
+Program::validate() const
+{
+    if (code.empty())
+        fatal("program %s has no code", name.c_str());
+    if (entry < codeBase || indexOfAddr(entry) >= code.size())
+        fatal("program %s entry 0x%x out of range", name.c_str(), entry);
+
+    auto checkTarget = [&](size_t i, uint32_t target) {
+        if (target < codeBase || (target - codeBase) % instrBytes != 0 ||
+            indexOfAddr(target) >= code.size()) {
+            fatal("program %s: instr %zu (%s) target 0x%x out of range",
+                  name.c_str(), i, mnemonic(code[i].op), target);
+        }
+    };
+
+    for (size_t i = 0; i < code.size(); ++i) {
+        const Instr &in = code[i];
+        if (in.rd >= numRegs || in.rs1 >= numRegs || in.rs2 >= numRegs)
+            fatal("program %s: instr %zu has bad register", name.c_str(), i);
+        switch (ctrlKindOf(in.op)) {
+          case CtrlKind::Branch:
+            checkTarget(i, in.target);
+            break;
+          case CtrlKind::Jump:
+          case CtrlKind::Call:
+            if (in.op == Opcode::Jmp || in.op == Opcode::Call)
+                checkTarget(i, in.target);
+            break;
+          default:
+            break;
+        }
+    }
+
+    // The final instruction must not fall through past the code end.
+    const Instr &last = code.back();
+    bool terminal = last.op == Opcode::Halt || last.op == Opcode::Ret ||
+                    last.op == Opcode::Jmp || last.op == Opcode::JmpInd;
+    if (!terminal) {
+        fatal("program %s: last instruction (%s) may fall off code end",
+              name.c_str(), mnemonic(last.op));
+    }
+
+    for (const auto &[fn, addr] : functions) {
+        if (addr < codeBase || indexOfAddr(addr) >= code.size())
+            fatal("program %s: function %s entry out of range",
+                  name.c_str(), fn.c_str());
+    }
+}
+
+} // namespace loopspec

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Static program container: a code segment of mini-RISC instructions, a
+ * function entry map and a data segment size. Programs are produced by the
+ * ProgramBuilder and executed by the TraceEngine.
+ */
+
+#ifndef LOOPSPEC_PROGRAM_PROGRAM_HH
+#define LOOPSPEC_PROGRAM_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace loopspec
+{
+
+/**
+ * An executable synthetic program. Code lives at codeBase with 4-byte
+ * instruction slots; data memory is a flat array of 64-bit words of size
+ * dataWords, zero initialised by the engine.
+ */
+class Program
+{
+  public:
+    std::string name;
+    std::vector<Instr> code;
+    std::map<std::string, uint32_t> functions; //!< name -> entry address
+    uint32_t entry = codeBase;                 //!< address of first instr
+    uint64_t dataWords = 0;                    //!< data segment size
+
+    /** Number of static instructions. */
+    size_t size() const { return code.size(); }
+
+    /** Fetch by byte address; panics if out of range or misaligned. */
+    const Instr &fetch(uint32_t addr) const;
+
+    /** Address one past the last instruction. */
+    uint32_t
+    endAddr() const
+    {
+        return addrOfIndex(code.size());
+    }
+
+    /** Entry address of a named function; fatal() if missing. */
+    uint32_t funcEntry(const std::string &fn) const;
+
+    /**
+     * Structural validation: entry in range, every direct control-transfer
+     * target is an in-range, aligned code address, register indices are
+     * legal, and the last instruction cannot fall off the end. fatal() on
+     * the first violation (these are workload-author errors).
+     */
+    void validate() const;
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_PROGRAM_PROGRAM_HH

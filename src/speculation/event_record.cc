@@ -1,0 +1,198 @@
+#include "speculation/event_record.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "dataspec/data_profiler.hh"
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+void
+mergeDataCorrectness(LoopEventRecording &recording,
+                     const DataSpecProfiler &profiler)
+{
+    const auto &flags = profiler.perIterationOk();
+    for (auto &x : recording.execs) {
+        auto it = flags.find(x.execId);
+        if (it != flags.end())
+            x.iterDataOk = it->second;
+    }
+}
+
+std::pair<uint64_t, uint64_t>
+ExecRecord::iterSegment(uint32_t j) const
+{
+    LOOPSPEC_ASSERT(j >= 2 && j <= iterCount, "iteration out of range");
+    uint64_t start = iterBoundaries[j - 2];
+    uint64_t end =
+        (j < iterCount) ? iterBoundaries[j - 1] : endBoundary;
+    return {start, end};
+}
+
+void
+LoopEventRecorder::onExecStart(const ExecStartEvent &ev)
+{
+    uint32_t idx = static_cast<uint32_t>(rec.execs.size());
+    execIndex.emplace(ev.execId, idx);
+    ExecRecord r;
+    r.execId = ev.execId;
+    r.loop = ev.loop;
+    r.depth = ev.depth;
+    r.parentExecId = ev.parentExecId;
+    rec.execs.push_back(std::move(r));
+    // The matching IterStart (iteration 2) arrives immediately after and
+    // appends both the boundary and the SimEvent.
+}
+
+void
+LoopEventRecorder::onIterStart(const IterEvent &ev)
+{
+    auto it = execIndex.find(ev.execId);
+    LOOPSPEC_ASSERT(it != execIndex.end(), "IterStart for unknown exec");
+    ExecRecord &r = rec.execs[it->second];
+    uint64_t boundary = ev.pos + 1;
+    r.iterBoundaries.push_back(boundary);
+    rec.events.push_back(
+        {boundary, it->second, ev.iterIndex, SimEventKind::IterStart});
+}
+
+void
+LoopEventRecorder::onExecEnd(const ExecEndEvent &ev)
+{
+    auto it = execIndex.find(ev.execId);
+    LOOPSPEC_ASSERT(it != execIndex.end(), "ExecEnd for unknown exec");
+    ExecRecord &r = rec.execs[it->second];
+    r.endBoundary = ev.pos + 1;
+    r.iterCount = ev.iterCount;
+    r.endReason = ev.reason;
+    rec.events.push_back(
+        {r.endBoundary, it->second, ev.iterCount, SimEventKind::ExecEnd});
+    execIndex.erase(it);
+}
+
+void
+LoopEventRecorder::onTraceDone(uint64_t total_instrs)
+{
+    LOOPSPEC_ASSERT(!done, "onTraceDone twice");
+    LOOPSPEC_ASSERT(execIndex.empty(),
+                    "executions still open at trace end (missing flush?)");
+    done = true;
+    rec.totalInstrs = total_instrs;
+    // The detector's flush reports positions one past the last retired
+    // instruction; clamp all boundaries into [0, totalInstrs].
+    for (auto &e : rec.events) {
+        if (e.boundary > total_instrs)
+            e.boundary = total_instrs;
+    }
+    for (auto &x : rec.execs) {
+        if (x.endBoundary > total_instrs)
+            x.endBoundary = total_instrs;
+        for (auto &b : x.iterBoundaries) {
+            if (b > total_instrs)
+                b = total_instrs;
+        }
+    }
+}
+
+LoopEventRecording
+LoopEventRecorder::take()
+{
+    LOOPSPEC_ASSERT(done, "take() before onTraceDone");
+    return std::move(rec);
+}
+
+namespace
+{
+
+constexpr uint64_t recordingMagic = 0x4c53524543303176ull; // "LSREC01v"
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!is)
+        fatal("recording stream truncated");
+    return value;
+}
+
+} // namespace
+
+void
+LoopEventRecording::save(std::ostream &os) const
+{
+    writePod(os, recordingMagic);
+    writePod(os, totalInstrs);
+    writePod(os, static_cast<uint64_t>(execs.size()));
+    for (const auto &x : execs) {
+        writePod(os, x.execId);
+        writePod(os, x.loop);
+        writePod(os, x.depth);
+        writePod(os, x.parentExecId);
+        writePod(os, x.endBoundary);
+        writePod(os, x.iterCount);
+        writePod(os, static_cast<uint8_t>(x.endReason));
+        writePod(os, static_cast<uint64_t>(x.iterBoundaries.size()));
+        for (uint64_t b : x.iterBoundaries)
+            writePod(os, b);
+        writePod(os, static_cast<uint64_t>(x.iterDataOk.size()));
+        for (bool f : x.iterDataOk)
+            writePod(os, static_cast<uint8_t>(f));
+    }
+    writePod(os, static_cast<uint64_t>(events.size()));
+    for (const auto &e : events) {
+        writePod(os, e.boundary);
+        writePod(os, e.execIdx);
+        writePod(os, e.iterIndex);
+        writePod(os, static_cast<uint8_t>(e.kind));
+    }
+}
+
+LoopEventRecording
+LoopEventRecording::load(std::istream &is)
+{
+    if (readPod<uint64_t>(is) != recordingMagic)
+        fatal("not a loopspec recording (bad magic)");
+    LoopEventRecording rec;
+    rec.totalInstrs = readPod<uint64_t>(is);
+    uint64_t num_execs = readPod<uint64_t>(is);
+    rec.execs.resize(num_execs);
+    for (auto &x : rec.execs) {
+        x.execId = readPod<uint64_t>(is);
+        x.loop = readPod<uint32_t>(is);
+        x.depth = readPod<uint32_t>(is);
+        x.parentExecId = readPod<uint64_t>(is);
+        x.endBoundary = readPod<uint64_t>(is);
+        x.iterCount = readPod<uint32_t>(is);
+        x.endReason = static_cast<ExecEndReason>(readPod<uint8_t>(is));
+        uint64_t nb = readPod<uint64_t>(is);
+        x.iterBoundaries.resize(nb);
+        for (auto &b : x.iterBoundaries)
+            b = readPod<uint64_t>(is);
+        uint64_t nf = readPod<uint64_t>(is);
+        x.iterDataOk.resize(nf);
+        for (uint64_t i = 0; i < nf; ++i)
+            x.iterDataOk[i] = readPod<uint8_t>(is) != 0;
+    }
+    uint64_t num_events = readPod<uint64_t>(is);
+    rec.events.resize(num_events);
+    for (auto &e : rec.events) {
+        e.boundary = readPod<uint64_t>(is);
+        e.execIdx = readPod<uint32_t>(is);
+        e.iterIndex = readPod<uint32_t>(is);
+        e.kind = static_cast<SimEventKind>(readPod<uint8_t>(is));
+    }
+    return rec;
+}
+
+} // namespace loopspec

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Compact recording of the loop-event stream for the thread-speculation
+ * simulator. The simulator is event driven (it never re-walks individual
+ * instructions), so one trace pass yields a recording that can be re-used
+ * across every policy / TU-count configuration — the experimental sweeps
+ * of Figures 6 and 7 run off a single execution per workload.
+ *
+ * Positions are expressed as *boundaries*: the trace position just after
+ * the triggering instruction retires, i.e. the index of the first
+ * instruction of the newly started iteration.
+ */
+
+#ifndef LOOPSPEC_SPECULATION_EVENT_RECORD_HH
+#define LOOPSPEC_SPECULATION_EVENT_RECORD_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "loop/loop_event.hh"
+
+namespace loopspec
+{
+
+/** One detected loop execution, with all its iteration boundaries. */
+struct ExecRecord
+{
+    uint64_t execId = 0;
+    uint32_t loop = 0;
+    uint32_t depth = 0;
+    uint64_t parentExecId = 0;
+    uint64_t endBoundary = 0;
+    uint32_t iterCount = 0; //!< started iterations incl. the first
+    ExecEndReason endReason = ExecEndReason::Close;
+    /**
+     * iterBoundaries[j-2] = first trace position of iteration j, for
+     * j = 2..iterCount. Iteration j's segment is
+     * [iterBoundaries[j-2], iterBoundaries[j-1]) with the last segment
+     * closed by endBoundary.
+     */
+    std::vector<uint64_t> iterBoundaries;
+
+    /**
+     * Optional §4 annotation (mergeDataCorrectness): iterDataOk[j-2]
+     * says whether every live-in value of iteration j was stride
+     * predictable. Empty = not annotated (data assumed correct).
+     */
+    std::vector<bool> iterDataOk;
+
+    /** Segment of iteration @p j (2-based); iteration must exist. */
+    std::pair<uint64_t, uint64_t> iterSegment(uint32_t j) const;
+};
+
+/** Event kinds the simulator consumes. */
+enum class SimEventKind : uint8_t
+{
+    IterStart, //!< iteration @p iterIndex of @p execIdx begins
+    ExecEnd,   //!< execution @p execIdx terminates
+};
+
+/** One simulator event, in trace order. */
+struct SimEvent
+{
+    uint64_t boundary;
+    uint32_t execIdx; //!< index into LoopEventRecording::execs
+    uint32_t iterIndex;
+    SimEventKind kind;
+};
+
+/** The full recording of one trace. */
+struct LoopEventRecording
+{
+    uint64_t totalInstrs = 0;
+    std::vector<ExecRecord> execs;
+    std::vector<SimEvent> events;
+
+    /** Serialise to a stream (simple binary format, versioned). */
+    void save(std::ostream &os) const;
+
+    /** Load a recording saved by save(); fatal() on format errors. */
+    static LoopEventRecording load(std::istream &is);
+};
+
+class DataSpecProfiler; // forward: see dataspec/data_profiler.hh
+
+/**
+ * Copy the profiler's per-iteration all-live-ins-predicted flags into a
+ * recording's ExecRecords (profiler must have run with
+ * recordPerIteration over the same trace). Enables the simulator's
+ * Profiled data mode.
+ */
+void mergeDataCorrectness(LoopEventRecording &recording,
+                          const DataSpecProfiler &profiler);
+
+/**
+ * LoopListener building a LoopEventRecording. Attach to a LoopDetector,
+ * run the trace, then take() the result.
+ */
+class LoopEventRecorder : public LoopListener
+{
+  public:
+    void onExecStart(const ExecStartEvent &ev) override;
+    void onIterStart(const IterEvent &ev) override;
+    void onExecEnd(const ExecEndEvent &ev) override;
+    void onTraceDone(uint64_t total_instrs) override;
+
+    /** Move the finished recording out (valid after onTraceDone). */
+    LoopEventRecording take();
+
+  private:
+    LoopEventRecording rec;
+    std::unordered_map<uint64_t, uint32_t> execIndex; //!< execId -> idx
+    bool done = false;
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_SPECULATION_EVENT_RECORD_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Infinite-TU thread-level-parallelism model (Figure 5). The ideal
+ * machine detects a loop execution at the end of its first iteration and
+ * immediately starts every remaining iteration on its own TU; speculative
+ * threads recursively parallelise their inner loops the same way. The
+ * duration recursion is
+ *
+ *     dur(execution) = dur(iter 1) + max_{k >= 2} dur(iter k)
+ *
+ * where iteration 1 serialises with its parent (detection happens at its
+ * end) and each dur(iter k) collapses inner executions recursively.
+ * TPC = total instructions / dur(whole program).
+ */
+
+#ifndef LOOPSPEC_SPECULATION_IDEAL_TPC_HH
+#define LOOPSPEC_SPECULATION_IDEAL_TPC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "loop/loop_event.hh"
+
+namespace loopspec
+{
+
+/**
+ * Streaming computation of the ideal duration over the detector's event
+ * stream: a frame per live execution accumulates the current iteration's
+ * cost; IterEnd folds it into the per-execution max; ExecEnd collapses
+ * the execution into its parent's current iteration as the max iteration
+ * cost (iteration 1's cost accrued to the parent inline, which is exactly
+ * the serialisation the detection delay imposes).
+ */
+class IdealTpcComputer : public LoopListener
+{
+  public:
+    void onInstr(const DynInstr &instr) override;
+    void onExecStart(const ExecStartEvent &ev) override;
+    void onIterEnd(const IterEvent &ev) override;
+    void onExecEnd(const ExecEndEvent &ev) override;
+    void onTraceDone(uint64_t total_instrs) override;
+
+    /** Ideal-machine cycle count; valid after onTraceDone. */
+    uint64_t idealCycles() const;
+
+    /** Instructions observed. */
+    uint64_t totalInstrs() const { return instrs; }
+
+    /** TPC on the infinite-TU machine. */
+    double tpc() const;
+
+  private:
+    struct Frame
+    {
+        uint64_t execId;
+        uint64_t curCost;  //!< current iteration, collapsed children incl.
+        uint64_t maxCost;  //!< max over finished iterations >= 2
+    };
+
+    std::vector<Frame> frames;
+    uint64_t rootCost = 0;
+    uint64_t instrs = 0;
+    bool done = false;
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_SPECULATION_IDEAL_TPC_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Thread-speculation policy configuration (§3.1.2): IDLE, STR and STR(i).
+ */
+
+#ifndef LOOPSPEC_SPECULATION_POLICY_HH
+#define LOOPSPEC_SPECULATION_POLICY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace loopspec
+{
+
+/** Which §3.1.2 policy decides how many threads to speculate. */
+enum class SpecPolicy : uint8_t
+{
+    Idle, //!< speculate on every idle TU
+    Str,  //!< bound by the LET trip-count stride prediction
+    StrI, //!< STR plus the nested-non-speculated-loop squash rule
+};
+
+/** Printable policy name ("IDLE", "STR", "STR(i)"). */
+std::string specPolicyName(SpecPolicy policy, unsigned nest_limit);
+
+/** Parse "idle" / "str" / "str1".."str9"; fatal() on anything else. */
+void parseSpecPolicy(const std::string &text, SpecPolicy *policy,
+                     unsigned *nest_limit);
+
+/**
+ * How the simulator treats inter-thread *data* dependences — the paper's
+ * §4 follow-up, modelled on top of its §3 control speculation.
+ */
+enum class DataMode : uint8_t
+{
+    /** §3 model: data dependences ignored (control-only upper bound). */
+    None,
+    /**
+     * A speculative thread is only useful if every live-in value of its
+     * iteration was stride-predictable (per-iteration flags merged from
+     * the DataSpecProfiler via mergeDataCorrectness); otherwise its work
+     * is discarded at verification and the front re-executes the
+     * iteration — a value misprediction squash.
+     */
+    Profiled,
+};
+
+/** Full simulator configuration. */
+struct SpecConfig
+{
+    unsigned numTUs = 4;
+    SpecPolicy policy = SpecPolicy::Str;
+    /** The i in STR(i): max non-speculated loops nested in a speculated
+     *  one before its threads are squashed. Ignored by IDLE/STR. */
+    unsigned nestLimit = 3;
+    DataMode dataMode = DataMode::None;
+    /** LET capacity backing the STR trip predictor; 0 = unbounded
+     *  (the §3 evaluation's assumption). */
+    size_t letEntries = 0;
+};
+
+/** Results of one speculation simulation. */
+struct SpecStats
+{
+    uint64_t totalInstrs = 0;
+    uint64_t cycles = 0;
+    uint64_t specEvents = 0;        //!< speculation actions (>=1 thread)
+    uint64_t threadsSpeculated = 0; //!< total speculative threads created
+    uint64_t threadsVerified = 0;   //!< became non-speculative (correct)
+    uint64_t threadsSquashed = 0;   //!< squashed (misspeculation or rule)
+    uint64_t squashedByNestRule = 0; //!< subset of squashed: STR(i) rule
+    uint64_t dataMisses = 0; //!< control-correct threads whose live-in
+                             //!< values mispredicted (Profiled mode)
+    uint64_t instrToVerifSum = 0;   //!< over all threads, spawn->verify
+
+    /** Average active-and-correct threads per cycle. */
+    double
+    tpc() const
+    {
+        return cycles ? static_cast<double>(totalInstrs) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Fraction of speculative threads that were verified correct. */
+    double
+    hitRatio() const
+    {
+        uint64_t n = threadsVerified + threadsSquashed;
+        return n ? static_cast<double>(threadsVerified) /
+                       static_cast<double>(n)
+                 : 0.0;
+    }
+
+    /** Average threads per speculation action. */
+    double
+    threadsPerSpec() const
+    {
+        return specEvents ? static_cast<double>(threadsSpeculated) /
+                                static_cast<double>(specEvents)
+                          : 0.0;
+    }
+
+    /** Average instructions between speculation and verification. */
+    double
+    avgInstrToVerif() const
+    {
+        uint64_t n = threadsVerified + threadsSquashed;
+        return n ? static_cast<double>(instrToVerifSum) /
+                       static_cast<double>(n)
+                 : 0.0;
+    }
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_SPECULATION_POLICY_HH

@@ -1,0 +1,354 @@
+#include "speculation/spec_sim.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+std::string
+specPolicyName(SpecPolicy policy, unsigned nest_limit)
+{
+    switch (policy) {
+      case SpecPolicy::Idle:
+        return "IDLE";
+      case SpecPolicy::Str:
+        return "STR";
+      case SpecPolicy::StrI:
+        return strprintf("STR(%u)", nest_limit);
+      default:
+        panic("bad SpecPolicy");
+    }
+}
+
+void
+parseSpecPolicy(const std::string &text, SpecPolicy *policy,
+                unsigned *nest_limit)
+{
+    if (text == "idle" || text == "IDLE") {
+        *policy = SpecPolicy::Idle;
+        return;
+    }
+    if (text == "str" || text == "STR") {
+        *policy = SpecPolicy::Str;
+        return;
+    }
+    if ((text.rfind("str", 0) == 0 || text.rfind("STR", 0) == 0) &&
+        text.size() == 4 && text[3] >= '1' && text[3] <= '9') {
+        *policy = SpecPolicy::StrI;
+        *nest_limit = static_cast<unsigned>(text[3] - '0');
+        return;
+    }
+    fatal("bad speculation policy '%s' (want idle|str|strN)",
+          text.c_str());
+}
+
+ThreadSpecSimulator::ThreadSpecSimulator(
+    const LoopEventRecording &recording, SpecConfig config)
+    : rec(recording), cfg(config), predictor(config.letEntries)
+{
+    LOOPSPEC_ASSERT(cfg.numTUs >= 1, "need at least one TU");
+
+    // Resolve parent execIds to indices once; the recording stores ids.
+    std::unordered_map<uint64_t, uint32_t> byId;
+    byId.reserve(rec.execs.size());
+    for (uint32_t i = 0; i < rec.execs.size(); ++i)
+        byId.emplace(rec.execs[i].execId, i);
+    parentIdx.resize(rec.execs.size(), noParent);
+    for (uint32_t i = 0; i < rec.execs.size(); ++i) {
+        uint64_t p = rec.execs[i].parentExecId;
+        if (p != 0) {
+            auto it = byId.find(p);
+            if (it != byId.end())
+                parentIdx[i] = it->second;
+        }
+    }
+}
+
+bool
+ThreadSpecSimulator::iterDataCorrect(const ExecRecord &exec,
+                                     uint32_t iter_index) const
+{
+    if (cfg.dataMode == DataMode::None)
+        return true;
+    if (iter_index < 2)
+        return false;
+    size_t idx = iter_index - 2;
+    // Un-annotated iterations (no profile data) are conservatively
+    // treated as mispredicted.
+    return idx < exec.iterDataOk.size() && exec.iterDataOk[idx];
+}
+
+unsigned
+ThreadSpecSimulator::idleTUs() const
+{
+    unsigned busy = 1 + outstanding; // the front plus live spec threads
+    return busy >= cfg.numTUs ? 0 : cfg.numTUs - busy;
+}
+
+uint64_t
+ThreadSpecSimulator::executedSoFar(const SpecThread &t) const
+{
+    if (t.phantom)
+        return 0;
+    uint64_t len = t.segEnd - t.segStart;
+    uint64_t elapsed = clock - t.spawnClock;
+    return std::min(len, elapsed);
+}
+
+unsigned
+ThreadSpecSimulator::spawnCount(const ExecRecord &exec, uint32_t j,
+                                const ActiveExec &ax, unsigned idle) const
+{
+    if (idle == 0)
+        return 0;
+    if (cfg.policy == SpecPolicy::Idle)
+        return idle;
+
+    TripPrediction p = predictor.predict(exec.loop);
+    if (p.kind == TripPredictionKind::Unknown)
+        return idle; // §3.1.2: nothing known -> use every idle TU
+    // A prediction the execution has already outlived is disproven.
+    // Recover by doubling the predicted total until it covers the
+    // current iteration: short loops overshoot by at most one thread,
+    // while a dispatch loop whose warm-up split left a tiny last-count
+    // ramps back to full speculation within a few iterations (without
+    // this, such loops starve forever; with a jump straight to "all
+    // idle", trip-2..3 loops drown in phantom threads).
+    int64_t predicted = p.count;
+    while (predicted < static_cast<int64_t>(j))
+        predicted *= 2;
+    int64_t remaining = predicted - static_cast<int64_t>(j) -
+                        static_cast<int64_t>(ax.queue.size());
+    if (remaining <= 0)
+        return 0;
+    return static_cast<unsigned>(
+        std::min<int64_t>(remaining, static_cast<int64_t>(idle)));
+}
+
+void
+ThreadSpecSimulator::trySpawn(uint32_t exec_idx, uint32_t j,
+                              uint64_t boundary)
+{
+    const ExecRecord &exec = rec.execs[exec_idx];
+    ActiveExec &ax = active[exec_idx];
+    // Threads are allocated in bursts: a loop with outstanding
+    // speculative threads keeps them; a refill happens when the queue
+    // drains. This matches the paper's threads-per-speculation counts
+    // (~2.7 on 4 TUs, Table 2) and leaves steady-state TPC unchanged
+    // (each thread still pre-executes at least one full iteration by
+    // its verification point).
+    if (!ax.queue.empty())
+        return;
+    // Disabled by repeated nest-rule squashes (§2.3.2)?
+    auto pen = squashPenalty.find(exec.loop);
+    if (pen != squashPenalty.end() && pen->second.confident())
+        return;
+    unsigned n = spawnCount(exec, j, ax, idleTUs());
+    if (n == 0)
+        return;
+
+    ++stats.specEvents;
+    stats.threadsSpeculated += n;
+
+    uint32_t next_iter =
+        ax.queue.empty() ? j + 1 : ax.queue.back().iterIndex + 1;
+    for (unsigned k = 0; k < n; ++k, ++next_iter) {
+        SpecThread t;
+        t.iterIndex = next_iter;
+        t.spawnClock = clock;
+        t.spawnBoundary = boundary;
+        if (next_iter <= exec.iterCount) {
+            auto [s, e] = exec.iterSegment(next_iter);
+            t.segStart = s;
+            t.segEnd = e;
+            t.phantom = false;
+        } else {
+            // Beyond the execution's real trip count: this TU fetches a
+            // non-existent iteration and will be squashed at the
+            // execution's end (§3.1.3).
+            t.segStart = t.segEnd = 0;
+            t.phantom = true;
+        }
+        ax.queue.push_back(t);
+        ++outstanding;
+    }
+}
+
+void
+ThreadSpecSimulator::squashAll(ActiveExec &ax, uint64_t boundary,
+                               bool nest_rule)
+{
+    if (nest_rule && !ax.queue.empty())
+        squashPenalty[ax.loop].up();
+    while (!ax.queue.empty()) {
+        const SpecThread &t = ax.queue.front();
+        ++stats.threadsSquashed;
+        if (nest_rule)
+            ++stats.squashedByNestRule;
+        if (boundary > t.spawnBoundary)
+            stats.instrToVerifSum += boundary - t.spawnBoundary;
+        ax.queue.pop_front();
+        --outstanding;
+    }
+}
+
+void
+ThreadSpecSimulator::applyNestRule(const ExecRecord &exec,
+                                   uint64_t boundary)
+{
+    // STR(i) is a state condition on the CLS (§3.1.2): a speculated loop
+    // may have at most i live non-speculated loops nested inside it.
+    // Evaluated when a new non-speculated execution starts: walk the
+    // ancestor chain counting live non-speculated loops (this execution
+    // included); any speculated ancestor whose below-count exceeds i is
+    // squashed, freeing its TUs for the inner loops. A squashed ancestor
+    // becomes non-speculated and counts against ancestors above it.
+    unsigned nonspec = 1; // the just-started execution itself
+    uint32_t idx = parentIdx[static_cast<uint32_t>(
+        &exec - rec.execs.data())];
+    while (idx != noParent) {
+        auto it = active.find(idx);
+        if (it != active.end()) {
+            ActiveExec &anc = it->second;
+            if (anc.queue.empty()) {
+                ++nonspec;
+            } else if (nonspec > cfg.nestLimit) {
+                squashAll(anc, boundary, true);
+                ++nonspec;
+            }
+            // A surviving speculated ancestor does not count against
+            // the levels above it.
+        }
+        idx = parentIdx[idx];
+    }
+}
+
+void
+ThreadSpecSimulator::handleIterStart(const SimEvent &ev, bool at_front)
+{
+    const ExecRecord &exec = rec.execs[ev.execIdx];
+    ActiveExec &ax = active[ev.execIdx];
+    ax.loop = exec.loop;
+
+    if (!at_front) {
+        // This iteration start lies inside a prefix the front jumped
+        // over: the instructions were already executed by a speculative
+        // TU, which performs no verification or spawning. If (only
+        // possible with overlapped loops) a thread for this iteration is
+        // outstanding, verify it without moving the front.
+        if (!ax.queue.empty() &&
+            ax.queue.front().iterIndex == ev.iterIndex) {
+            const SpecThread &t = ax.queue.front();
+            stats.instrToVerifSum += ev.boundary - t.spawnBoundary;
+            if (iterDataCorrect(exec, ev.iterIndex)) {
+                ++stats.threadsVerified;
+            } else {
+                ++stats.threadsSquashed;
+                ++stats.dataMisses;
+            }
+            ax.queue.pop_front();
+            --outstanding;
+        }
+        return;
+    }
+
+    // Verification (§3.1.3): the first speculated iteration of this loop
+    // becomes the new non-speculative thread; the front jumps over what
+    // it already executed.
+    if (!ax.queue.empty()) {
+        SpecThread t = ax.queue.front();
+        LOOPSPEC_ASSERT(t.iterIndex == ev.iterIndex,
+                        "non-consecutive speculation queue");
+        LOOPSPEC_ASSERT(!t.phantom, "phantom thread verified");
+        ax.queue.pop_front();
+        --outstanding;
+        stats.instrToVerifSum += ev.boundary - t.spawnBoundary;
+        if (iterDataCorrect(exec, ev.iterIndex)) {
+            // Control and data both correct: the thread's work stands
+            // and the front jumps over it.
+            ++stats.threadsVerified;
+            frontPos += executedSoFar(t);
+            auto pen = squashPenalty.find(exec.loop);
+            if (pen != squashPenalty.end())
+                pen->second.down();
+        } else {
+            // Mispredicted live-in values: the thread computed with
+            // wrong inputs; discard its work, the front re-executes.
+            ++stats.threadsSquashed;
+            ++stats.dataMisses;
+        }
+    }
+
+    // Speculation (§3.1.1): a loop iteration just started in the
+    // non-speculative thread.
+    trySpawn(ev.execIdx, ev.iterIndex, ev.boundary);
+
+    // STR(i): a loop execution that *wanted* speculative threads at its
+    // first observable iteration but received none is a non-speculated
+    // loop nested inside whatever speculated ancestors exist. Loops that
+    // want nothing (e.g. a trip-2 loop already at its predicted last
+    // iteration) charge nobody — see spawnCount() docs.
+    if (cfg.policy == SpecPolicy::StrI && ev.iterIndex == 2 &&
+        ax.queue.empty() &&
+        spawnCount(exec, ev.iterIndex, ax, cfg.numTUs) > 0) {
+        applyNestRule(exec, ev.boundary);
+        // Freed TUs may immediately serve this inner loop.
+        trySpawn(ev.execIdx, ev.iterIndex, ev.boundary);
+    }
+}
+
+void
+ThreadSpecSimulator::handleExecEnd(const SimEvent &ev)
+{
+    const ExecRecord &exec = rec.execs[ev.execIdx];
+    auto it = active.find(ev.execIdx);
+    if (it != active.end()) {
+        // Whatever is still outstanding speculates iterations that will
+        // never exist: control misspeculation, squash (§3.1.3).
+        squashAll(it->second, exec.endBoundary, false);
+        active.erase(it);
+    }
+    // The non-speculative thread updates the LET when the execution
+    // completes; truncated executions (overflow loss, trace end) never
+    // report a trustworthy count.
+    if (exec.endReason != ExecEndReason::Overflow &&
+        exec.endReason != ExecEndReason::Flush &&
+        exec.endReason != ExecEndReason::TraceEnd) {
+        predictor.recordExecution(exec.loop, exec.iterCount);
+    }
+}
+
+SpecStats
+ThreadSpecSimulator::run()
+{
+    stats = SpecStats{};
+    stats.totalInstrs = rec.totalInstrs;
+    clock = 0;
+    frontPos = 0;
+    outstanding = 0;
+    active.clear();
+    squashPenalty.clear();
+
+    for (const SimEvent &ev : rec.events) {
+        if (frontPos < ev.boundary) {
+            clock += ev.boundary - frontPos;
+            frontPos = ev.boundary;
+        }
+        if (ev.kind == SimEventKind::ExecEnd)
+            handleExecEnd(ev);
+        else
+            handleIterStart(ev, frontPos == ev.boundary);
+    }
+
+    if (frontPos < rec.totalInstrs) {
+        clock += rec.totalInstrs - frontPos;
+        frontPos = rec.totalInstrs;
+    }
+
+    stats.cycles = clock;
+    return stats;
+}
+
+} // namespace loopspec

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Event-driven multithreaded thread-unit (TU) simulator implementing the
+ * paper's §3.1 control-speculation scheme over a recorded loop-event
+ * stream.
+ *
+ * Machine model (DESIGN.md §5.8-§5.11): N TUs retire one instruction per
+ * cycle; one TU is non-speculative (the "front") and always runs; idle
+ * TUs are allocated to future iterations of the loop whose iteration the
+ * front just started; the allocation count follows the IDLE/STR/STR(i)
+ * policy; when the front reaches the start of a speculated iteration the
+ * owning TU is verified and becomes the new front, the front jumping over
+ * the instructions that TU already executed; when the front reaches the
+ * end of a loop execution, outstanding speculative threads on that loop
+ * are squashed. Spawn, verification and squash are free (0 cycles).
+ */
+
+#ifndef LOOPSPEC_SPECULATION_SPEC_SIM_HH
+#define LOOPSPEC_SPECULATION_SPEC_SIM_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "speculation/event_record.hh"
+#include "speculation/policy.hh"
+#include "tables/iter_predictor.hh"
+#include "util/sat_counter.hh"
+
+namespace loopspec
+{
+
+/**
+ * Runs one (policy, TU-count) configuration over a recording. The same
+ * recording can be reused across any number of simulator instances.
+ */
+class ThreadSpecSimulator
+{
+  public:
+    ThreadSpecSimulator(const LoopEventRecording &recording,
+                        SpecConfig config);
+
+    /** Execute the whole recording and return the statistics. */
+    SpecStats run();
+
+  private:
+    /** One outstanding speculative thread (a future loop iteration). */
+    struct SpecThread
+    {
+        uint32_t iterIndex;
+        bool phantom;       //!< beyond the execution's real trip count
+        uint64_t segStart;  //!< trace segment (real threads only)
+        uint64_t segEnd;
+        uint64_t spawnClock;
+        uint64_t spawnBoundary;
+    };
+
+    /** Per-live-execution speculation state. */
+    struct ActiveExec
+    {
+        std::deque<SpecThread> queue; //!< outstanding, by iteration order
+        uint32_t loop = 0;            //!< loop address (disable keying)
+    };
+
+    void handleIterStart(const SimEvent &ev, bool at_front);
+    void handleExecEnd(const SimEvent &ev);
+
+    /** Instructions thread @p t has retired by the current clock. */
+    uint64_t executedSoFar(const SpecThread &t) const;
+
+    /**
+     * Policy decision: threads to spawn for @p exec at iteration @p j,
+     * with @p idle TUs available. Passing a large @p idle measures
+     * *desire* — how many threads the loop would take if TUs were free
+     * (the STR(i) rule only charges a nested loop to its speculated
+     * ancestors when it wanted threads and got none; this is what keeps
+     * trip-2 inner loops, which want nothing at their only observable
+     * iteration start, from squashing well-speculated outer loops).
+     */
+    unsigned spawnCount(const ExecRecord &exec, uint32_t j,
+                        const ActiveExec &ax, unsigned idle) const;
+
+    /** Spawn up to policy for @p exec whose iteration @p j just began. */
+    void trySpawn(uint32_t exec_idx, uint32_t j, uint64_t boundary);
+
+    /** Squash every outstanding thread of @p ax (stats charged at
+     *  @p boundary); frees their TUs. */
+    void squashAll(ActiveExec &ax, uint64_t boundary, bool nest_rule);
+
+    /** STR(i): charge a non-speculated nested loop to its speculated
+     *  ancestors, squashing those over the limit. */
+    void applyNestRule(const ExecRecord &exec, uint64_t boundary);
+
+    /** Profiled data mode: were iteration @p iter_index's live-ins all
+     *  predicted? Always true in DataMode::None. */
+    bool iterDataCorrect(const ExecRecord &exec,
+                         uint32_t iter_index) const;
+
+    unsigned idleTUs() const;
+
+    const LoopEventRecording &rec;
+    SpecConfig cfg;
+
+    std::vector<uint32_t> parentIdx; //!< execIdx -> parent execIdx or self
+    static constexpr uint32_t noParent = UINT32_MAX;
+
+    std::unordered_map<uint32_t, ActiveExec> active;
+    IterCountPredictor predictor;
+    /**
+     * §2.3.2 speculation-disable state, keyed by loop address: a loop
+     * whose threads keep being squashed by the STR(i) nest rule without
+     * intervening verified speculations stops being speculated (the
+     * paper's "loops with a poor prediction rate may be good candidates
+     * to store in this [disable] table"). Verified threads decay the
+     * penalty. Only the nest rule charges it; plain STR/IDLE never
+     * disable anything.
+     */
+    std::unordered_map<uint32_t, SatCounter<2>> squashPenalty;
+    uint64_t clock = 0;
+    uint64_t frontPos = 0;
+    unsigned outstanding = 0; //!< live speculative threads (incl. phantom)
+    SpecStats stats;
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_SPECULATION_SPEC_SIM_HH

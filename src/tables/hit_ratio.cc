@@ -1,0 +1,101 @@
+#include "tables/hit_ratio.hh"
+
+namespace loopspec
+{
+
+LetHitMeter::LetHitMeter(size_t num_entries, TableReplacement policy_)
+    : table(num_entries), policy(policy_)
+{
+}
+
+void
+LetHitMeter::onExecStart(const ExecStartEvent &ev)
+{
+    nesting.onExecStart(ev.loop);
+    ++res.accesses;
+    if (Entry *e = table.find(ev.loop)) {
+        if (e->completedExecs >= 2)
+            ++res.hits;
+        table.touch(ev.loop);
+        return;
+    }
+    // §2.3.2 nest-aware variant: do not insert when it would evict a
+    // loop nested into the newcomer (inner loops are the more valuable
+    // residents).
+    if (policy == TableReplacement::NestAware) {
+        uint32_t victim = table.victimLoop();
+        if (victim != 0 && nesting.nestedInto(victim, ev.loop))
+            return;
+    }
+    table.insert(ev.loop);
+    table.touch(ev.loop);
+}
+
+void
+LetHitMeter::onExecEnd(const ExecEndEvent &ev)
+{
+    nesting.onExecEnd(ev.loop);
+    // Overflow drops lose the execution mid-flight; the paper's mechanism
+    // would never see it complete, so only real terminations count.
+    if (ev.reason == ExecEndReason::Overflow)
+        return;
+    if (Entry *e = table.find(ev.loop))
+        ++e->completedExecs;
+}
+
+void
+LetHitMeter::onSingleIterExec(const SingleIterExecEvent &ev)
+{
+    if (Entry *e = table.find(ev.loop))
+        ++e->completedExecs;
+}
+
+LitHitMeter::LitHitMeter(size_t num_entries, TableReplacement policy_)
+    : table(num_entries), policy(policy_)
+{
+}
+
+void
+LitHitMeter::onExecStart(const ExecStartEvent &ev)
+{
+    nesting.onExecStart(ev.loop);
+    if (!table.find(ev.loop)) {
+        if (policy == TableReplacement::NestAware) {
+            uint32_t victim = table.victimLoop();
+            if (victim != 0 && nesting.nestedInto(victim, ev.loop))
+                return;
+        }
+        table.insert(ev.loop);
+    }
+    // LIT LRU is keyed by iteration starts, not execution starts; the
+    // insertion itself counts as the loop's first use.
+    table.touch(ev.loop);
+}
+
+void
+LitHitMeter::onExecEnd(const ExecEndEvent &ev)
+{
+    nesting.onExecEnd(ev.loop);
+}
+
+void
+LitHitMeter::onIterStart(const IterEvent &ev)
+{
+    ++res.accesses;
+    if (Entry *e = table.find(ev.loop)) {
+        if (e->completedIters >= 2)
+            ++res.hits;
+        table.touch(ev.loop);
+    }
+    // Miss with no resident entry (evicted mid-execution): counted as a
+    // miss; §2.3 inserts only on execution start, so nothing is inserted.
+}
+
+void
+LitHitMeter::onIterEnd(const IterEvent &ev)
+{
+    if (Entry *e = table.find(ev.loop))
+        ++e->completedIters;
+}
+
+} // namespace loopspec

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The paper's loop-information tables (LET and LIT, §2.3, Figure 3) share
+ * one organisation: fully associative, identified by the loop target
+ * address T, LRU replacement, with a per-use payload. LoopTable models
+ * that organisation generically; the LRU key ("initiated a new
+ * execution/iteration least recently") is whatever event the owner calls
+ * touch() on.
+ */
+
+#ifndef LOOPSPEC_TABLES_LOOP_TABLE_HH
+#define LOOPSPEC_TABLES_LOOP_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+/**
+ * Fully associative, LRU-replaced table keyed by loop id. Linear search:
+ * hardware-realistic sizes are 2..16 entries.
+ */
+template <typename Payload>
+class LoopTable
+{
+  public:
+    explicit LoopTable(size_t num_entries) : capacity(num_entries)
+    {
+        LOOPSPEC_ASSERT(capacity >= 1, "LoopTable needs >= 1 entry");
+        slots.reserve(capacity);
+    }
+
+    /** Find the payload for @p loop; nullptr on miss. Does not touch. */
+    Payload *
+    find(uint32_t loop)
+    {
+        for (auto &s : slots) {
+            if (s.loop == loop)
+                return &s.data;
+        }
+        return nullptr;
+    }
+
+    const Payload *
+    find(uint32_t loop) const
+    {
+        for (const auto &s : slots) {
+            if (s.loop == loop)
+                return &s.data;
+        }
+        return nullptr;
+    }
+
+    /** Update the LRU stamp of @p loop (no-op on miss). */
+    void
+    touch(uint32_t loop)
+    {
+        for (auto &s : slots) {
+            if (s.loop == loop) {
+                s.lastUse = ++clock;
+                return;
+            }
+        }
+    }
+
+    /**
+     * Insert a fresh payload for @p loop, evicting the LRU entry when
+     * full. The caller must have checked find() first: double insertion
+     * panics. Returns the new payload; reports the evicted loop id via
+     * @p evicted_loop (set to 0 when nothing was evicted).
+     */
+    Payload &
+    insert(uint32_t loop, uint32_t *evicted_loop = nullptr)
+    {
+        LOOPSPEC_ASSERT(find(loop) == nullptr, "double insert");
+        if (evicted_loop)
+            *evicted_loop = 0;
+        if (slots.size() < capacity) {
+            slots.push_back({loop, ++clock, Payload{}});
+            return slots.back().data;
+        }
+        size_t victim = 0;
+        for (size_t i = 1; i < slots.size(); ++i) {
+            if (slots[i].lastUse < slots[victim].lastUse)
+                victim = i;
+        }
+        if (evicted_loop)
+            *evicted_loop = slots[victim].loop;
+        slots[victim] = {loop, ++clock, Payload{}};
+        return slots[victim].data;
+    }
+
+    /**
+     * The loop id that insert() would evict right now: 0 when the table
+     * still has free slots. Lets owners implement insertion-inhibiting
+     * policies (the paper's §2.3.2 nesting-aware variant).
+     */
+    uint32_t
+    victimLoop() const
+    {
+        if (slots.size() < capacity)
+            return 0;
+        size_t victim = 0;
+        for (size_t i = 1; i < slots.size(); ++i) {
+            if (slots[i].lastUse < slots[victim].lastUse)
+                victim = i;
+        }
+        return slots[victim].loop;
+    }
+
+    size_t size() const { return slots.size(); }
+    size_t numEntries() const { return capacity; }
+
+  private:
+    struct Slot
+    {
+        uint32_t loop;
+        uint64_t lastUse;
+        Payload data;
+    };
+
+    std::vector<Slot> slots;
+    size_t capacity;
+    uint64_t clock = 0;
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_TABLES_LOOP_TABLE_HH

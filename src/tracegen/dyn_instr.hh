@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dynamic (retired) instruction record streamed by the TraceEngine to its
+ * observers. This is the moral equivalent of the per-instruction callback
+ * an ATOM-instrumented SPEC95 binary gave the paper's authors.
+ */
+
+#ifndef LOOPSPEC_TRACEGEN_DYN_INSTR_HH
+#define LOOPSPEC_TRACEGEN_DYN_INSTR_HH
+
+#include <cstdint>
+
+#include "isa/opcode.hh"
+
+namespace loopspec
+{
+
+/**
+ * One retired instruction. Control-transfer fields follow the CLS's
+ * vocabulary: kind (branch/jump/call/ret), taken, and the resolved target
+ * address when taken. Operand values are included for the §4 statistics.
+ */
+struct DynInstr
+{
+    uint64_t seq = 0;    //!< retire index, 0-based
+    uint32_t pc = 0;     //!< instruction byte address
+    uint32_t target = 0; //!< resolved target when a taken transfer
+    Opcode op = Opcode::Nop;
+    CtrlKind kind = CtrlKind::None;
+    bool taken = false; //!< for branches; jumps/calls/rets always true
+
+    // Register operands (up to two sources, one destination).
+    uint8_t numSrc = 0;
+    uint8_t srcReg[2] = {0, 0};
+    int64_t srcVal[2] = {0, 0};
+    bool hasDst = false;
+    uint8_t dstReg = 0;
+    int64_t dstVal = 0;
+
+    // Memory operand (loads and stores).
+    bool isLoad = false;
+    bool isStore = false;
+    uint64_t memAddr = 0;
+    int64_t memVal = 0;
+
+    /** Backward control transfer (the CLS trigger condition). */
+    bool
+    backward() const
+    {
+        return taken && target <= pc;
+    }
+};
+
+/**
+ * Observer over a retired-instruction stream. Multiple observers can be
+ * attached to one engine; they see each instruction in attach order.
+ */
+class TraceObserver
+{
+  public:
+    virtual ~TraceObserver() = default;
+
+    /** Called for every retired instruction. */
+    virtual void onInstr(const DynInstr &instr) = 0;
+
+    /** Called once when the trace ends (Halt or fuel exhausted). */
+    virtual void onTraceEnd(uint64_t total_instrs) { (void)total_instrs; }
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_TRACEGEN_DYN_INSTR_HH

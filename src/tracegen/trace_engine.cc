@@ -1,0 +1,272 @@
+#include "tracegen/trace_engine.hh"
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+TraceEngine::TraceEngine(Program program, EngineConfig config)
+    : prog(std::move(program)), cfg(config), memory(prog.dataWords, 0),
+      pc(prog.entry)
+{
+    prog.validate();
+}
+
+void
+TraceEngine::addObserver(TraceObserver *observer)
+{
+    LOOPSPEC_ASSERT(observer != nullptr);
+    observers.push_back(observer);
+}
+
+int64_t
+TraceEngine::readMem(uint64_t addr) const
+{
+    LOOPSPEC_ASSERT(addr < memory.size());
+    return memory[addr];
+}
+
+int64_t
+TraceEngine::loadWord(uint64_t addr)
+{
+    if (addr >= memory.size()) {
+        if (cfg.strictMemory)
+            panic("%s: load from 0x%llx outside data segment (%zu words)",
+                  prog.name.c_str(), static_cast<unsigned long long>(addr),
+                  memory.size());
+        return 0;
+    }
+    return memory[addr];
+}
+
+void
+TraceEngine::storeWord(uint64_t addr, int64_t value)
+{
+    if (addr >= memory.size()) {
+        if (cfg.strictMemory)
+            panic("%s: store to 0x%llx outside data segment (%zu words)",
+                  prog.name.c_str(), static_cast<unsigned long long>(addr),
+                  memory.size());
+        return;
+    }
+    memory[addr] = value;
+}
+
+bool
+TraceEngine::step(DynInstr &out)
+{
+    if (halted) {
+        if (!endDelivered) {
+            endDelivered = true;
+            for (auto *obs : observers)
+                obs->onTraceEnd(seq);
+        }
+        return false;
+    }
+
+    const Instr &in = prog.fetch(pc);
+    DynInstr d;
+    d.seq = seq;
+    d.pc = pc;
+    d.op = in.op;
+    d.kind = ctrlKindOf(in.op);
+
+    auto src1 = [&]() {
+        d.srcReg[d.numSrc] = in.rs1;
+        d.srcVal[d.numSrc] = regs[in.rs1];
+        ++d.numSrc;
+        return regs[in.rs1];
+    };
+    auto src2 = [&]() {
+        d.srcReg[d.numSrc] = in.rs2;
+        d.srcVal[d.numSrc] = regs[in.rs2];
+        ++d.numSrc;
+        return regs[in.rs2];
+    };
+    auto setDst = [&](int64_t value) {
+        d.hasDst = true;
+        d.dstReg = in.rd;
+        if (in.rd != 0)
+            regs[in.rd] = value;
+        d.dstVal = regs[in.rd];
+    };
+
+    uint32_t next_pc = pc + instrBytes;
+
+    switch (in.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Halt:
+        halted = true;
+        break;
+
+      case Opcode::Add: setDst(src1() + src2()); break;
+      case Opcode::Sub: setDst(src1() - src2()); break;
+      case Opcode::Mul: setDst(src1() * src2()); break;
+      case Opcode::Div: {
+        int64_t a = src1(), b = src2();
+        setDst(b == 0 ? 0 : a / b);
+        break;
+      }
+      case Opcode::Rem: {
+        int64_t a = src1(), b = src2();
+        setDst(b == 0 ? 0 : a % b);
+        break;
+      }
+      case Opcode::And: setDst(src1() & src2()); break;
+      case Opcode::Or: setDst(src1() | src2()); break;
+      case Opcode::Xor: setDst(src1() ^ src2()); break;
+      case Opcode::Shl:
+        setDst(src1() << (static_cast<uint64_t>(src2()) & 63));
+        break;
+      case Opcode::Shr:
+        setDst(static_cast<int64_t>(static_cast<uint64_t>(src1()) >>
+                                    (static_cast<uint64_t>(src2()) & 63)));
+        break;
+
+      case Opcode::Slt: setDst(src1() < src2() ? 1 : 0); break;
+      case Opcode::Sle: setDst(src1() <= src2() ? 1 : 0); break;
+      case Opcode::Seq: setDst(src1() == src2() ? 1 : 0); break;
+      case Opcode::Sne: setDst(src1() != src2() ? 1 : 0); break;
+
+      case Opcode::Addi: setDst(src1() + in.imm); break;
+      case Opcode::Muli: setDst(src1() * in.imm); break;
+      case Opcode::Andi: setDst(src1() & in.imm); break;
+      case Opcode::Ori: setDst(src1() | in.imm); break;
+      case Opcode::Xori: setDst(src1() ^ in.imm); break;
+      case Opcode::Shli:
+        setDst(src1() << (static_cast<uint64_t>(in.imm) & 63));
+        break;
+      case Opcode::Shri:
+        setDst(static_cast<int64_t>(static_cast<uint64_t>(src1()) >>
+                                    (static_cast<uint64_t>(in.imm) & 63)));
+        break;
+
+      case Opcode::Li: setDst(in.imm); break;
+      case Opcode::Mov: setDst(src1()); break;
+
+      case Opcode::Ld: {
+        uint64_t addr = static_cast<uint64_t>(src1() + in.imm);
+        int64_t value = loadWord(addr);
+        d.isLoad = true;
+        d.memAddr = addr;
+        d.memVal = value;
+        setDst(value);
+        break;
+      }
+      case Opcode::St: {
+        uint64_t addr = static_cast<uint64_t>(src1() + in.imm);
+        int64_t value = src2();
+        d.isStore = true;
+        d.memAddr = addr;
+        d.memVal = value;
+        storeWord(addr, value);
+        break;
+      }
+
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Ble:
+      case Opcode::Bgt: {
+        int64_t a = src1(), b = src2();
+        bool cond = false;
+        switch (in.op) {
+          case Opcode::Beq: cond = a == b; break;
+          case Opcode::Bne: cond = a != b; break;
+          case Opcode::Blt: cond = a < b; break;
+          case Opcode::Bge: cond = a >= b; break;
+          case Opcode::Ble: cond = a <= b; break;
+          case Opcode::Bgt: cond = a > b; break;
+          default: break;
+        }
+        d.taken = cond;
+        d.target = in.target;
+        if (cond)
+            next_pc = in.target;
+        break;
+      }
+
+      case Opcode::Jmp:
+        d.taken = true;
+        d.target = in.target;
+        next_pc = in.target;
+        break;
+
+      case Opcode::JmpInd: {
+        uint32_t t = static_cast<uint32_t>(src1());
+        d.taken = true;
+        d.target = t;
+        next_pc = t;
+        break;
+      }
+
+      case Opcode::Call:
+        d.taken = true;
+        d.target = in.target;
+        if (raStack.size() >= cfg.maxCallDepth)
+            panic("%s: call depth limit exceeded at pc 0x%x",
+                  prog.name.c_str(), pc);
+        raStack.push_back(pc + instrBytes);
+        next_pc = in.target;
+        break;
+
+      case Opcode::CallInd: {
+        uint32_t t = static_cast<uint32_t>(src1());
+        d.taken = true;
+        d.target = t;
+        if (raStack.size() >= cfg.maxCallDepth)
+            panic("%s: call depth limit exceeded at pc 0x%x",
+                  prog.name.c_str(), pc);
+        raStack.push_back(pc + instrBytes);
+        next_pc = t;
+        break;
+      }
+
+      case Opcode::Ret:
+        if (raStack.empty())
+            panic("%s: ret with empty RA stack at pc 0x%x",
+                  prog.name.c_str(), pc);
+        d.taken = true;
+        d.target = raStack.back();
+        raStack.pop_back();
+        next_pc = d.target;
+        break;
+
+      default:
+        panic("bad opcode %d at pc 0x%x", static_cast<int>(in.op), pc);
+    }
+
+    pc = next_pc;
+    ++seq;
+    if (cfg.maxInstrs && seq >= cfg.maxInstrs)
+        halted = true;
+
+    for (auto *obs : observers)
+        obs->onInstr(d);
+    out = d;
+
+    if (halted && !endDelivered) {
+        endDelivered = true;
+        for (auto *obs : observers)
+            obs->onTraceEnd(seq);
+    }
+    return true;
+}
+
+uint64_t
+TraceEngine::run()
+{
+    DynInstr d;
+    while (step(d)) {
+    }
+    if (!endDelivered) {
+        endDelivered = true;
+        for (auto *obs : observers)
+            obs->onTraceEnd(seq);
+    }
+    return seq;
+}
+
+} // namespace loopspec

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Functional mini-RISC simulator: executes a Program and streams DynInstr
+ * records to observers. In-order, one instruction at a time — the same
+ * observation model as the paper's ATOM instrumentation.
+ */
+
+#ifndef LOOPSPEC_TRACEGEN_TRACE_ENGINE_HH
+#define LOOPSPEC_TRACEGEN_TRACE_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "program/program.hh"
+#include "tracegen/dyn_instr.hh"
+
+namespace loopspec
+{
+
+/** TraceEngine configuration. */
+struct EngineConfig
+{
+    /** Stop after this many retired instructions (0 = unlimited). */
+    uint64_t maxInstrs = 0;
+
+    /** Panic on data accesses outside the data segment when true. */
+    bool strictMemory = true;
+
+    /** Maximum call depth before panicking (runaway recursion guard). */
+    uint32_t maxCallDepth = 1u << 20;
+};
+
+/**
+ * Executes a validated Program. Architectural state: 32 x int64 registers
+ * (r0 wired to zero), a flat word-addressed data segment sized by the
+ * program, and an engine-managed return-address stack (see DESIGN.md §2 on
+ * why the RA stack is not architectural).
+ */
+class TraceEngine
+{
+  public:
+    /** The program is copied: the engine owns its code image, so callers
+     *  may pass temporaries safely. */
+    TraceEngine(Program program, EngineConfig config = {});
+
+    /** Attach an observer; not owned. Must happen before run(). */
+    void addObserver(TraceObserver *observer);
+
+    /**
+     * Run until Halt or the fuel limit; returns retired instruction
+     * count. Calls onTraceEnd on all observers exactly once.
+     */
+    uint64_t run();
+
+    /**
+     * Execute one instruction, filling @p out. Returns false (and leaves
+     * @p out untouched) once the program has halted. Used by tests; run()
+     * is the fast path.
+     */
+    bool step(DynInstr &out);
+
+    /** True once Halt retired or fuel ran out. */
+    bool finished() const { return halted; }
+
+    uint64_t retired() const { return seq; }
+
+    /** Architectural register read (for tests/examples). */
+    int64_t readReg(Reg r) const { return regs[r.idx]; }
+
+    /** Data memory read (for tests/examples). */
+    int64_t readMem(uint64_t addr) const;
+
+    /** Current call depth (RA stack size). */
+    size_t callDepth() const { return raStack.size(); }
+
+  private:
+    int64_t loadWord(uint64_t addr);
+    void storeWord(uint64_t addr, int64_t value);
+
+    const Program prog;
+    EngineConfig cfg;
+    std::vector<TraceObserver *> observers;
+
+    int64_t regs[numRegs] = {};
+    std::vector<int64_t> memory;
+    std::vector<uint32_t> raStack;
+    uint32_t pc;
+    uint64_t seq = 0;
+    bool halted = false;
+    bool endDelivered = false;
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_TRACEGEN_TRACE_ENGINE_HH

@@ -1,0 +1,116 @@
+#include "util/cli.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+CliArgs::CliArgs(int argc, char **argv,
+                 const std::vector<std::string> &known)
+{
+    auto isKnown = [&](const std::string &name) {
+        return std::find(known.begin(), known.end(), name) != known.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::string name;
+        std::string value;
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            name = body.substr(0, eq);
+            value = body.substr(eq + 1);
+        } else {
+            name = body;
+            // Look ahead: "--name value" unless the next token is a flag.
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        if (!isKnown(name))
+            fatal("unknown flag --%s", name.c_str());
+        values[name] = value;
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return values.count(name) != 0;
+}
+
+std::string
+CliArgs::getString(const std::string &name, const std::string &def) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? def : it->second;
+}
+
+int64_t
+CliArgs::getInt(const std::string &name, int64_t def) const
+{
+    auto it = values.find(name);
+    if (it == values.end())
+        return def;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+uint64_t
+CliArgs::getUint(const std::string &name, uint64_t def) const
+{
+    auto it = values.find(name);
+    if (it == values.end())
+        return def;
+    return std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double
+CliArgs::getDouble(const std::string &name, double def) const
+{
+    auto it = values.find(name);
+    if (it == values.end())
+        return def;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+CliArgs::getBool(const std::string &name, bool def) const
+{
+    auto it = values.find(name);
+    if (it == values.end())
+        return def;
+    const std::string &v = it->second;
+    return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : csv) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+} // namespace loopspec

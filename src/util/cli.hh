@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal command-line flag parser shared by benches and examples.
+ * Supports --name=value, --name value, and boolean --name forms.
+ */
+
+#ifndef LOOPSPEC_UTIL_CLI_HH
+#define LOOPSPEC_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace loopspec
+{
+
+/**
+ * Parsed command-line options. Unknown flags are fatal() so typos in
+ * experiment scripts fail loudly instead of silently running defaults.
+ */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv. @p known lists the accepted flag names (without "--");
+     * anything else (other than positionals) aborts.
+     */
+    CliArgs(int argc, char **argv, const std::vector<std::string> &known);
+
+    bool has(const std::string &name) const;
+
+    std::string getString(const std::string &name,
+                          const std::string &def) const;
+    int64_t getInt(const std::string &name, int64_t def) const;
+    uint64_t getUint(const std::string &name, uint64_t def) const;
+    double getDouble(const std::string &name, double def) const;
+    bool getBool(const std::string &name, bool def) const;
+
+    const std::vector<std::string> &positionals() const { return positional; }
+
+  private:
+    std::map<std::string, std::string> values;
+    std::vector<std::string> positional;
+};
+
+/** Split a comma-separated list into items (empty items dropped). */
+std::vector<std::string> splitList(const std::string &csv);
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_UTIL_CLI_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fixed-capacity inline vector. The CLS is a hardware stack with a small
+ * number of entries; modelling it over a heap-backed std::vector would hide
+ * capacity behaviour (overflow policy) that the paper cares about.
+ */
+
+#ifndef LOOPSPEC_UTIL_FIXED_VECTOR_HH
+#define LOOPSPEC_UTIL_FIXED_VECTOR_HH
+
+#include <array>
+#include <cstddef>
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+/**
+ * Vector with inline storage for up to N elements and no allocation.
+ * push_back on a full vector panics: callers are expected to implement
+ * their own overflow policy (the CLS drops its deepest entry, §2.2).
+ */
+template <typename T, size_t N>
+class FixedVector
+{
+  public:
+    using iterator = typename std::array<T, N>::iterator;
+    using const_iterator = typename std::array<T, N>::const_iterator;
+
+    size_t size() const { return count; }
+    static constexpr size_t capacity() { return N; }
+    bool empty() const { return count == 0; }
+    bool full() const { return count == N; }
+
+    T &
+    operator[](size_t i)
+    {
+        LOOPSPEC_ASSERT(i < count);
+        return items[i];
+    }
+
+    const T &
+    operator[](size_t i) const
+    {
+        LOOPSPEC_ASSERT(i < count);
+        return items[i];
+    }
+
+    T &back() { return (*this)[count - 1]; }
+    const T &back() const { return (*this)[count - 1]; }
+
+    void
+    push_back(const T &value)
+    {
+        LOOPSPEC_ASSERT(count < N, "FixedVector overflow");
+        items[count++] = value;
+    }
+
+    void
+    pop_back()
+    {
+        LOOPSPEC_ASSERT(count > 0);
+        --count;
+    }
+
+    /** Remove the element at index i, shifting later elements down. */
+    void
+    erase_at(size_t i)
+    {
+        LOOPSPEC_ASSERT(i < count);
+        for (size_t j = i; j + 1 < count; ++j)
+            items[j] = items[j + 1];
+        --count;
+    }
+
+    /** Drop all elements from index i (inclusive) to the end. */
+    void
+    truncate(size_t new_size)
+    {
+        LOOPSPEC_ASSERT(new_size <= count);
+        count = new_size;
+    }
+
+    void clear() { count = 0; }
+
+    iterator begin() { return items.begin(); }
+    iterator end() { return items.begin() + count; }
+    const_iterator begin() const { return items.begin(); }
+    const_iterator end() const { return items.begin() + count; }
+
+  private:
+    std::array<T, N> items{};
+    size_t count = 0;
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_UTIL_FIXED_VECTOR_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Status and error reporting helpers, in the spirit of gem5's
+ * base/logging.hh: panic() for internal invariant violations, fatal() for
+ * user/configuration errors, warn()/inform() for status messages.
+ */
+
+#ifndef LOOPSPEC_UTIL_LOGGING_HH
+#define LOOPSPEC_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace loopspec
+{
+
+/**
+ * Abort with a message. Use when an internal invariant is violated, i.e.
+ * a bug in loopspec itself. Prints to stderr and calls std::abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit with a message. Use when the simulation cannot continue because of
+ * a user-level error (bad CLI flag, malformed program). Exits with code 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; execution continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert-like macro that survives NDEBUG builds; use for invariants whose
+ * failure must never be optimized away in release benchmarking binaries.
+ */
+#define LOOPSPEC_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::loopspec::panic("assertion failed: %s (%s:%d)" __VA_OPT__(" ") \
+                              __VA_ARGS__, #cond, __FILE__, __LINE__);      \
+        }                                                                   \
+    } while (0)
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_UTIL_LOGGING_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used
+ * everywhere randomness is needed, so that traces and experiments are
+ * exactly reproducible from a seed.
+ */
+
+#ifndef LOOPSPEC_UTIL_RNG_HH
+#define LOOPSPEC_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace loopspec
+{
+
+/**
+ * xoshiro256** generator. Small, fast, and good enough for workload
+ * synthesis; never use std::rand or unseeded std::mt19937 in this codebase
+ * (reproducibility is a hard requirement, see DESIGN.md §8).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 state expansion. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform in [0, bound) with rejection to avoid modulo bias. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Geometric-ish trip count helper: returns a value >= 1 with mean
+     * approximately @p mean (used to synthesise loop trip counts).
+     */
+    uint64_t tripCount(double mean);
+
+  private:
+    uint64_t state[4];
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_UTIL_RNG_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Saturating up/down counter, the standard confidence element of the
+ * paper's stride predictors ("a two-bit saturating counter is used",
+ * §3.1.2).
+ */
+
+#ifndef LOOPSPEC_UTIL_SAT_COUNTER_HH
+#define LOOPSPEC_UTIL_SAT_COUNTER_HH
+
+#include <cstdint>
+
+namespace loopspec
+{
+
+/**
+ * An N-bit saturating counter. Counts in [0, 2^N - 1]; "confident" means
+ * the counter is in the upper half of its range (MSB set), matching the
+ * usual two-bit predictor convention.
+ */
+template <unsigned Bits = 2>
+class SatCounter
+{
+    static_assert(Bits >= 1 && Bits <= 8, "counter width out of range");
+
+  public:
+    static constexpr uint8_t maxValue = (1u << Bits) - 1;
+
+    constexpr SatCounter() = default;
+    constexpr explicit SatCounter(uint8_t initial) : count(initial)
+    {
+        if (count > maxValue)
+            count = maxValue;
+    }
+
+    /** Increment, saturating at the top. */
+    void
+    up()
+    {
+        if (count < maxValue)
+            ++count;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    down()
+    {
+        if (count > 0)
+            --count;
+    }
+
+    /** Reset to zero (lost all confidence). */
+    void reset() { count = 0; }
+
+    /** MSB set: prediction considered reliable. */
+    bool confident() const { return count >= (1u << (Bits - 1)); }
+
+    /** Fully saturated. */
+    bool saturated() const { return count == maxValue; }
+
+    uint8_t value() const { return count; }
+
+  private:
+    uint8_t count = 0;
+};
+
+using TwoBitCounter = SatCounter<2>;
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_UTIL_SAT_COUNTER_HH

@@ -1,0 +1,119 @@
+#include "util/table_writer.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+TableWriter::TableWriter(std::vector<std::string> headers_)
+    : headers(std::move(headers_))
+{
+}
+
+void
+TableWriter::row()
+{
+    rows.emplace_back();
+}
+
+void
+TableWriter::cell(const std::string &value)
+{
+    LOOPSPEC_ASSERT(!rows.empty(), "cell() before row()");
+    LOOPSPEC_ASSERT(rows.back().size() < headers.size(),
+                    "row has more cells than headers");
+    rows.back().push_back(value);
+}
+
+void
+TableWriter::cell(uint64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+TableWriter::cell(int64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+TableWriter::cell(double value, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << value;
+    cell(ss.str());
+}
+
+namespace
+{
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+              c == '-' || c == '+' || c == 'e' || c == '%'))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers.size());
+    for (size_t i = 0; i < headers.size(); ++i)
+        widths[i] = headers[i].size();
+    for (const auto &r : rows)
+        for (size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+
+    auto emitRow = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < headers.size(); ++i) {
+            std::string v = i < r.size() ? r[i] : "";
+            os << "  ";
+            if (looksNumeric(v))
+                os << std::setw(static_cast<int>(widths[i])) << std::right
+                   << v;
+            else
+                os << std::setw(static_cast<int>(widths[i])) << std::left
+                   << v;
+        }
+        os << "\n";
+    };
+
+    emitRow(headers);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+    for (const auto &r : rows)
+        emitRow(r);
+}
+
+void
+TableWriter::printCsv(std::ostream &os) const
+{
+    auto emitRow = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i) {
+            if (i)
+                os << ",";
+            os << r[i];
+        }
+        os << "\n";
+    };
+    emitRow(headers);
+    for (const auto &r : rows)
+        emitRow(r);
+}
+
+} // namespace loopspec

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ASCII and CSV table emission used by the benchmark harnesses to print
+ * paper-style tables (Table 1, Table 2) and figure series (Figures 4-8).
+ */
+
+#ifndef LOOPSPEC_UTIL_TABLE_WRITER_HH
+#define LOOPSPEC_UTIL_TABLE_WRITER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace loopspec
+{
+
+/**
+ * Column-aligned text table. Cells are strings; numeric helpers format
+ * with a fixed precision. Right-aligns numeric-looking cells.
+ */
+class TableWriter
+{
+  public:
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /** Begin a new row. Subsequent cell() calls append to it. */
+    void row();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &value);
+
+    /** Append an integer cell. */
+    void cell(uint64_t value);
+    void cell(int64_t value);
+    void cell(int value) { cell(static_cast<int64_t>(value)); }
+
+    /** Append a floating-point cell with @p precision decimals. */
+    void cell(double value, int precision = 2);
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    size_t numRows() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_UTIL_TABLE_WRITER_HH

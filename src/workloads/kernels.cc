@@ -1,0 +1,404 @@
+#include "workloads/kernels.hh"
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+namespace kernels
+{
+
+using namespace regs;
+
+void
+emitPush(ProgramBuilder &b, Reg r)
+{
+    b.st(r, spReg, 0);
+    b.addi(spReg, spReg, 1);
+}
+
+void
+emitPop(ProgramBuilder &b, Reg r)
+{
+    b.addi(spReg, spReg, -1);
+    b.ld(r, spReg, 0);
+}
+
+void
+emitLcgStep(ProgramBuilder &b, Reg dst)
+{
+    b.muli(lcgReg, lcgReg, 6364136223846793005ll);
+    b.addi(lcgReg, lcgReg, 1442695040888963407ll);
+    b.shri(dst, lcgReg, 33); // non-negative 31-bit value
+}
+
+void
+emitArrayInit(ProgramBuilder &b, int64_t base, int64_t count,
+              int64_t mask, Reg idx, Reg tmp, Reg tmp2)
+{
+    // Near-linear contents (value = 5*i, wrapped into mask): real
+    // numeric arrays (grids, coordinates, index vectors) are smooth,
+    // which is what makes the paper's live-in *value* stride prediction
+    // work. Workloads that need noisy data (hash keys, random walks)
+    // draw from the LCG instead.
+    b.li(idx, 0);
+    b.li(tmp2, count);
+    b.countedLoop(idx, tmp2, [&](const LoopCtx &) {
+        b.muli(tmp, idx, 5);
+        b.andi(tmp, tmp, mask);
+        b.st(tmp, idx, base);
+    });
+}
+
+void
+emitBigBlock(ProgramBuilder &b, unsigned n, Reg acc1, Reg acc2)
+{
+    // Induction-like filler: acc1 advances by a constant per executed
+    // instruction group, and acc2 is written before it is read. Within
+    // any loop iteration executing a fixed number of filler blocks,
+    // acc1 is a stride-predictable live-in and acc2 is not live-in at
+    // all — matching the register behaviour of real loop bodies
+    // (§4's premise that live-in values follow strides).
+    for (unsigned i = 0; i < n; ++i) {
+        switch (i % 4) {
+          case 0: b.addi(acc1, acc1, 0x9e37); break;
+          case 1: b.mov(acc2, acc1); break;
+          case 2: b.add(acc2, acc2, acc1); break;
+          case 3: b.addi(acc2, acc2, 0x11); break;
+        }
+    }
+}
+
+Reg
+nestIdxReg(size_t level)
+{
+    static constexpr uint8_t map[maxNestDepth] = {1, 3, 5, 7, 13, 15, 17};
+    LOOPSPEC_ASSERT(level < maxNestDepth);
+    return Reg{map[level]};
+}
+
+Reg
+nestBndReg(size_t level)
+{
+    static constexpr uint8_t map[maxNestDepth] = {2, 4, 6, 8, 14, 16, 18};
+    LOOPSPEC_ASSERT(level < maxNestDepth);
+    return Reg{map[level]};
+}
+
+namespace
+{
+
+/** Shared body of the two nest emitters. */
+void
+emitNestLevelBody(ProgramBuilder &b, size_t level, unsigned body_alu,
+                  bool touch, int64_t array_base, int64_t array_words)
+{
+    emitBigBlock(b, body_alu, r20, r21);
+    if (touch) {
+        // Address: mix every live index, spread, mask into range.
+        b.mov(r22, nestIdxReg(level));
+        for (size_t outer = 0; outer < level; ++outer)
+            b.add(r22, r22, nestIdxReg(outer));
+        b.muli(r22, r22, 7);
+        b.andi(r22, r22, array_words - 1);
+        b.ld(r23, r22, array_base);
+        b.addi(r23, r23, 3); // smooth update: preserves value strides
+        b.st(r23, r22, array_base);
+    }
+}
+
+} // namespace
+
+void
+emitRegularNest(ProgramBuilder &b, const std::vector<NestLevel> &spec,
+                int64_t array_base, int64_t array_words)
+{
+    LOOPSPEC_ASSERT(!spec.empty() && spec.size() <= maxNestDepth,
+                    "nest depth out of range");
+    LOOPSPEC_ASSERT((array_words & (array_words - 1)) == 0,
+                    "array_words must be a power of two");
+
+    auto emit_level = [&](auto &&self, size_t level) -> void {
+        Reg idx = nestIdxReg(level);
+        Reg bnd = nestBndReg(level);
+        b.li(idx, 0);
+        b.li(bnd, spec[level].trip);
+        b.countedLoop(idx, bnd, [&](const LoopCtx &) {
+            emitNestLevelBody(b, level, spec[level].bodyAlu,
+                              spec[level].touchArray, array_base,
+                              array_words);
+            if (level + 1 < spec.size())
+                self(self, level + 1);
+        });
+    };
+    emit_level(emit_level, 0);
+}
+
+void
+emitVarNest(ProgramBuilder &b, const std::vector<VarNestLevel> &spec,
+            int64_t array_base, int64_t array_words)
+{
+    LOOPSPEC_ASSERT(!spec.empty() && spec.size() <= maxNestDepth,
+                    "nest depth out of range");
+    LOOPSPEC_ASSERT((array_words & (array_words - 1)) == 0,
+                    "array_words must be a power of two");
+
+    auto emit_level = [&](auto &&self, size_t level) -> void {
+        Reg idx = nestIdxReg(level);
+        Reg bnd = nestBndReg(level);
+        if (spec[level].mask == 0) {
+            b.li(bnd, spec[level].lo);
+        } else {
+            emitLcgStep(b, bnd);
+            b.andi(bnd, bnd, spec[level].mask);
+            b.addi(bnd, bnd, spec[level].lo);
+        }
+        b.li(idx, 0);
+        b.countedLoop(idx, bnd, [&](const LoopCtx &) {
+            emitNestLevelBody(b, level, spec[level].bodyAlu,
+                              spec[level].touchArray, array_base,
+                              array_words);
+            if (level + 1 < spec.size())
+                self(self, level + 1);
+        });
+    };
+    emit_level(emit_level, 0);
+}
+
+void
+emitStencil(ProgramBuilder &b, int64_t dst, int64_t src, int64_t n,
+            unsigned extraAlu)
+{
+    LOOPSPEC_ASSERT(n >= 3, "stencil grid too small");
+    b.li(r5, n);
+    b.li(r1, 1);
+    b.li(r2, n - 1);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.li(r3, 1);
+        b.li(r4, n - 1);
+        b.countedLoop(r3, r4, [&](const LoopCtx &) {
+            b.mul(r20, r1, r5);
+            b.add(r20, r20, r3); // centre index i*n+j
+            b.ld(r21, r20, src - n);
+            b.ld(r22, r20, src + n);
+            b.add(r21, r21, r22);
+            b.ld(r22, r20, src - 1);
+            b.add(r21, r21, r22);
+            b.ld(r22, r20, src + 1);
+            b.add(r21, r21, r22);
+            b.andi(r21, r21, 0xfffff); // bound magnitude; unlike a
+                                       // truncating shift this keeps
+                                       // values linear between wraps
+            b.ld(r22, r0, 8); // loop-invariant parameter (relaxation
+                              // factor): a stride-0 live-in location
+            b.add(r21, r21, r22);
+            b.st(r21, r20, dst);
+            emitBigBlock(b, extraAlu, r24, r25);
+        });
+    });
+}
+
+void
+emitReduction(ProgramBuilder &b, int64_t base, int64_t count, Reg acc)
+{
+    b.li(r1, 0);
+    b.li(r2, count);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.ld(r20, r1, base);
+        b.add(acc, acc, r20);
+    });
+}
+
+void
+emitHashProbe(ProgramBuilder &b, int64_t table, int64_t slot_mask)
+{
+    emitLcgStep(b, r20);          // key (non-zero with prob ~1)
+    b.ori(r20, r20, 1);           // ensure non-zero (zero means empty)
+    b.andi(r21, r20, slot_mask);  // initial slot
+    b.li(r23, 0);                 // probe counter
+    b.li(r24, 16);                // probe limit
+    b.whileLoop(
+        [&](Label exit) {
+            b.ld(r22, r21, table);
+            b.beq(r22, r0, exit);  // empty slot: stop
+            b.beq(r22, r20, exit); // key already present: stop
+            b.bge(r23, r24, exit); // probe limit: give up
+        },
+        [&](const LoopCtx &) {
+            b.addi(r21, r21, 1);
+            b.andi(r21, r21, slot_mask);
+            b.addi(r23, r23, 1);
+        });
+    b.st(r20, r21, table); // insert/overwrite
+}
+
+void
+emitRingInit(ProgramBuilder &b, int64_t next_base, int64_t count,
+             int64_t ring_len)
+{
+    b.li(r22, ring_len);
+    b.li(r24, ring_len - 1);
+    b.li(r1, 0);
+    b.li(r2, count);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.rem(r21, r1, r22);
+        b.ifElse(
+            [&](Label else_l) { b.bne(r21, r24, else_l); },
+            [&]() { // last node of a chain: sentinel
+                b.li(r20, -1);
+                b.st(r20, r1, next_base);
+            },
+            [&]() {
+                b.addi(r20, r1, 1);
+                b.st(r20, r1, next_base);
+            });
+    });
+}
+
+void
+emitPointerChase(ProgramBuilder &b, int64_t next_base, Reg start,
+                 int64_t max_steps, unsigned body_alu)
+{
+    b.mov(r20, start);
+    b.li(r21, 0);
+    b.li(r22, max_steps);
+    b.whileLoop(
+        [&](Label exit) {
+            b.blt(r20, r0, exit);  // sentinel reached
+            b.bge(r21, r22, exit); // step limit
+        },
+        [&](const LoopCtx &) {
+            emitBigBlock(b, body_alu, r23, r24);
+            b.ld(r20, r20, next_base); // follow the link
+            b.addi(r21, r21, 1);
+        });
+}
+
+void
+emitDispatchLoop(ProgramBuilder &b,
+                 const std::vector<DispatchHandler> &handlers,
+                 int64_t table, int64_t code_base, int64_t code_len,
+                 int64_t steps)
+{
+    LOOPSPEC_ASSERT(!handlers.empty(), "need at least one handler");
+    const int64_t num_handlers = static_cast<int64_t>(handlers.size());
+
+    // Fill the bytecode with pseudo-random opcodes.
+    b.li(r22, num_handlers);
+    b.li(r1, 0);
+    b.li(r2, code_len);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        emitLcgStep(b, r20);
+        b.rem(r20, r20, r22);
+        b.st(r20, r1, code_base);
+    });
+
+    // Build the jump table: table[h] = address of handler h.
+    std::vector<Label> handler_labels;
+    handler_labels.reserve(handlers.size());
+    for (size_t h = 0; h < handlers.size(); ++h)
+        handler_labels.push_back(b.newLabel());
+    for (size_t h = 0; h < handlers.size(); ++h) {
+        b.liLabel(r20, handler_labels[h]);
+        b.li(r21, static_cast<int64_t>(h));
+        b.st(r20, r21, table);
+    }
+
+    // The interpreter loop proper.
+    LOOPSPEC_ASSERT((code_len & (code_len - 1)) == 0,
+                    "code_len must be a power of two");
+    b.li(r1, 0);     // virtual pc
+    b.li(r2, 0);     // executed bytecode count
+    b.li(r3, steps); // budget
+    Label head = b.here();
+    Label exit_l = b.newLabel();
+    b.bge(r2, r3, exit_l); // exit test at the top (while-style)
+    b.ld(r20, r1, code_base);
+    b.ld(r21, r20, table);
+    b.addi(r1, r1, 1);
+    b.andi(r1, r1, code_len - 1);
+    b.addi(r2, r2, 1);
+    b.jmpInd(r21); // forward dispatch into a handler
+
+    for (size_t h = 0; h < handlers.size(); ++h) {
+        const DispatchHandler &hd = handlers[h];
+        b.bind(handler_labels[h]);
+        emitBigBlock(b, hd.bodyAlu, r23, r24);
+        if (hd.touchMemory) {
+            // Read-modify-write a per-opcode scratch cell just past the
+            // jump table.
+            b.ld(r25, r20, table + num_handlers);
+            b.add(r25, r25, r2);
+            b.st(r25, r20, table + num_handlers);
+        }
+        if (hd.innerLoop) {
+            b.li(r4, 0);
+            b.li(r5, hd.innerTrip);
+            b.countedLoop(r4, r5, [&](const LoopCtx &) {
+                emitBigBlock(b, hd.innerAlu, r26, r27);
+            });
+        }
+        b.jmp(head); // backward: one more closing jump of the loop
+    }
+    b.bind(exit_l);
+}
+
+void
+emitRecursiveTree(ProgramBuilder &b, const std::string &fn,
+                  const std::string &callee, int64_t loop_trip,
+                  unsigned body_alu)
+{
+    // The recursive call fires only from the loop's second body onward
+    // (r11 >= 1): by then the loop's first backward branch has pushed it
+    // onto the CLS, so the callee's loops stack *on top of* this one —
+    // the deep dynamic nesting of §2.2's recursion discussion. A call in
+    // the first body would precede detection and build no chain.
+    auto emit_arm = [&](unsigned extra) {
+        b.li(r11, 0);
+        b.li(r12, loop_trip);
+        b.countedLoop(r11, r12, [&](const LoopCtx &) {
+            emitBigBlock(b, body_alu + extra, r21, r22);
+            b.ifElse([&](Label e) { b.blt(r11, r14, e); }, [&]() {
+                emitPush(b, r10);
+                emitPush(b, r11);
+                emitPush(b, r12);
+                emitPush(b, r14);
+                b.addi(r10, r10, -1);
+                b.call(callee);
+                emitPop(b, r14);
+                emitPop(b, r12);
+                emitPop(b, r11);
+                emitPop(b, r10);
+            });
+        });
+    };
+
+    b.beginFunction(fn);
+    Label leaf = b.newLabel();
+    b.beq(r10, r0, leaf);
+    b.li(r14, 1);
+    emitLcgStep(b, r20);
+    b.andi(r20, r20, 1);
+    b.ifElse([&](Label else_l) { b.bne(r20, r0, else_l); },
+             [&]() { emit_arm(0); },  // arm A
+             [&]() { emit_arm(2); }); // arm B: a distinct static loop
+    b.ret();
+    b.bind(leaf);
+    emitBigBlock(b, 4, r21, r22);
+    b.ret();
+}
+
+void
+emitLoopFarm(ProgramBuilder &b, unsigned count, int64_t trip,
+             unsigned alu)
+{
+    for (unsigned k = 0; k < count; ++k) {
+        b.li(r1, 0);
+        b.li(r2, trip);
+        b.countedLoop(r1, r2, [&](const LoopCtx &) {
+            emitBigBlock(b, alu, r20, r21);
+        });
+    }
+}
+
+} // namespace kernels
+} // namespace loopspec

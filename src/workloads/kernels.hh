@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Reusable code-emission kernels the synthetic workloads are composed
+ * from: LCG data generation, array sweeps, stencils, reductions, hash
+ * probes, pointer chases, interpreter dispatch loops, recursive tree
+ * walks, register spill helpers, and straight-line filler blocks.
+ *
+ * Register conventions used by the kernels (workload authors must keep
+ * these free unless stated otherwise):
+ *   r29  spill-stack pointer (grows upward)
+ *   r31  global LCG state for data-dependent behaviour
+ */
+
+#ifndef LOOPSPEC_WORKLOADS_KERNELS_HH
+#define LOOPSPEC_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "program/builder.hh"
+
+namespace loopspec
+{
+namespace kernels
+{
+
+/** Spill-stack pointer register. */
+inline constexpr Reg spReg{29};
+/** Global LCG state register. */
+inline constexpr Reg lcgReg{31};
+
+/** Push @p r onto the spill stack (memory at *sp, sp grows up). */
+void emitPush(ProgramBuilder &b, Reg r);
+
+/** Pop the spill-stack top into @p r. */
+void emitPop(ProgramBuilder &b, Reg r);
+
+/**
+ * Advance the global LCG and leave a pseudo-random non-negative value in
+ * @p dst (clobbers nothing else).
+ */
+void emitLcgStep(ProgramBuilder &b, Reg dst);
+
+/**
+ * Emit a loop filling memory[base .. base+count) with LCG values masked
+ * to @p mask. Uses @p idx and @p tmp as scratch; creates one loop.
+ */
+void emitArrayInit(ProgramBuilder &b, int64_t base, int64_t count,
+                   int64_t mask, Reg idx, Reg tmp, Reg tmp2);
+
+/** Straight-line ALU filler of exactly @p n instructions, mixing the
+ *  accumulator registers @p acc1 / @p acc2. */
+void emitBigBlock(ProgramBuilder &b, unsigned n, Reg acc1, Reg acc2);
+
+/** Specification of one level of a regular rectangular loop nest. */
+struct NestLevel
+{
+    int64_t trip;        //!< compile-time trip count (>= 1)
+    unsigned bodyAlu;    //!< ALU filler instructions at this level
+    bool touchArray;     //!< emit a load+store on the level's array slice
+};
+
+/** Maximum supported loop-nest depth of the nest emitters. */
+constexpr size_t maxNestDepth = 7;
+
+/** Index/bound registers used by nest level @p level (0 = outermost). */
+Reg nestIdxReg(size_t level);
+Reg nestBndReg(size_t level);
+
+/**
+ * One level of a data-dependent nest: the trip count is drawn per
+ * execution as lo + (lcg & mask); mask == 0 gives a constant trip.
+ */
+struct VarNestLevel
+{
+    int64_t lo;          //!< minimum trip count (>= 1)
+    int64_t mask;        //!< trip randomness mask (0 = constant trip)
+    unsigned bodyAlu;
+    bool touchArray;
+};
+
+/**
+ * Emit a nest whose per-level trip counts are drawn at run time from the
+ * LCG (unpredictable trip counts: the applu/gcc flavour that defeats the
+ * STR stride predictor). Register use as emitRegularNest.
+ */
+void emitVarNest(ProgramBuilder &b, const std::vector<VarNestLevel> &spec,
+                 int64_t array_base, int64_t array_words);
+
+/**
+ * Emit a rectangular loop nest (innermost level last). Uses registers
+ * r1..r(2*depth) for indices/bounds and r20..r23 as scratch; arrays are
+ * addressed from @p array_base with row-major strides. The innermost
+ * level does a strided a[i]=f(a[i],b[i]) update when touchArray is set.
+ */
+void emitRegularNest(ProgramBuilder &b, const std::vector<NestLevel> &spec,
+                     int64_t array_base, int64_t array_words);
+
+/**
+ * Emit a 5-point stencil sweep over an n x n grid: two nested loops,
+ * inner body reads four neighbours and writes the centre.
+ * dst/src are word offsets of n*n arrays. Registers r1..r4, r20..r25.
+ */
+void emitStencil(ProgramBuilder &b, int64_t dst, int64_t src, int64_t n,
+                 unsigned extraAlu);
+
+/**
+ * Emit a reduction loop summing memory[base .. base+count) into @p acc.
+ * Registers r1, r2, r20.
+ */
+void emitReduction(ProgramBuilder &b, int64_t base, int64_t count,
+                   Reg acc);
+
+/**
+ * Emit a hash-table probe: computes an LCG-derived key, hashes it, then
+ * walks table slots with a data-dependent while loop until an empty slot
+ * or match is found (open addressing, linear probing); on miss inserts.
+ * The table must have been initialised (zeros = empty). Trip counts are
+ * short and data dependent. Registers r20..r26.
+ *
+ * @param table word offset of the table (power-of-two slots)
+ * @param slot_mask slots-1
+ */
+void emitHashProbe(ProgramBuilder &b, int64_t table, int64_t slot_mask);
+
+/**
+ * Emit a pointer-chase walk: follows next[] indices starting from a
+ * register until a sentinel (< 0) or @p max_steps. The rings must be laid
+ * out by emitRingInit. Registers r20..r24; @p start holds the start node.
+ */
+void emitPointerChase(ProgramBuilder &b, int64_t next_base, Reg start,
+                      int64_t max_steps, unsigned body_alu);
+
+/**
+ * Emit a loop building rings in next[]: node i -> i+1 except every
+ * ring_len-th node closes back to the ring head... actually chains of
+ * ring_len nodes ending in -1 sentinels. Registers r1, r2, r20..r22.
+ */
+void emitRingInit(ProgramBuilder &b, int64_t next_base, int64_t count,
+                  int64_t ring_len);
+
+/** One opcode handler of an interpreter dispatch loop. */
+struct DispatchHandler
+{
+    unsigned bodyAlu;     //!< ALU work in the handler
+    bool touchMemory;     //!< handler loads/stores a data cell
+    bool innerLoop;       //!< handler contains a short counted loop
+    int64_t innerTrip;    //!< trip count of that loop
+    unsigned innerAlu = 8; //!< ALU work per inner-loop iteration
+};
+
+/**
+ * Emit an interpreter main loop: fetch "bytecode" from code_base+pc,
+ * dispatch through an indirect jump table to one of the handlers, each
+ * handler jumps back to the loop head (several backward jumps to one
+ * target — exercising multi-closing-branch B updates). Execution runs
+ * for @p steps instructions of bytecode, wrapping around @p code_len.
+ * The bytecode and the jump table are built by emitted init loops.
+ * Registers r1 (vpc), r2 (steps), r20..r27.
+ *
+ * @param table word offset where the jump table is stored
+ * @param code_base word offset of the bytecode array
+ */
+void emitDispatchLoop(ProgramBuilder &b,
+                      const std::vector<DispatchHandler> &handlers,
+                      int64_t table, int64_t code_base, int64_t code_len,
+                      int64_t steps);
+
+/**
+ * Emit a recursive tree-walk function named @p fn that calls @p callee
+ * from inside its loops: walks a pseudo-random tree of depth r10, with a
+ * counted loop of trip @p loop_trip at each node containing the recursive
+ * call (the paper's loop-inside-recursion scenario, §2.2), choosing
+ * between two arms (two distinct static loops) by LCG parity. Call with
+ * r10 = depth. Passing @p callee == @p fn gives direct recursion; a cycle
+ * f0 -> f1 -> ... -> f0 gives mutual recursion whose distinct static
+ * loops stack up in the CLS (deep dynamic nesting, as in go).
+ */
+void emitRecursiveTree(ProgramBuilder &b, const std::string &fn,
+                       const std::string &callee, int64_t loop_trip,
+                       unsigned body_alu);
+
+/**
+ * Emit @p count distinct tiny counted loops (trip @p trip, @p alu body
+ * instructions each), run sequentially once. Pads a workload's *static*
+ * loop population to its Table-1 target with negligible dynamic weight.
+ * Uses r1/r2 and r20/r21.
+ */
+void emitLoopFarm(ProgramBuilder &b, unsigned count, int64_t trip,
+                  unsigned alu);
+
+} // namespace kernels
+} // namespace loopspec
+
+#endif // LOOPSPEC_WORKLOADS_KERNELS_HH

@@ -1,0 +1,62 @@
+#include "workloads/workload.hh"
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+const std::vector<WorkloadInfo> &
+workloadRegistry()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"applu", buildApplu,
+         "SSOR solver, small data-dependent trips", true},
+        {"apsi", buildApsi, "mesoscale weather, mostly-regular nests",
+         true},
+        {"compress", buildCompress, "LZW coding, inline hash probing",
+         false},
+        {"fpppp", buildFpppp, "electron integrals, huge basic blocks",
+         true},
+        {"gcc", buildGcc, "compiler passes, 1200+ static loops", false},
+        {"go", buildGo, "game-tree search, mutual recursion", false},
+        {"hydro2d", buildHydro2d, "Navier-Stokes sweeps on small grids",
+         true},
+        {"ijpeg", buildIjpeg, "JPEG block pipeline, deep regular nests",
+         false},
+        {"li", buildLi, "lisp interpreter, cons chases + recursion",
+         false},
+        {"m88ksim", buildM88ksim, "CPU simulator dispatch loop", false},
+        {"mgrid", buildMgrid, "multigrid V-cycles", true},
+        {"perl", buildPerl, "recursion-driven interpreter, flat loops",
+         false},
+        {"su2cor", buildSu2cor, "quark propagator sweeps", true},
+        {"swim", buildSwim, "shallow-water stencils, huge trip counts",
+         true},
+        {"tomcatv", buildTomcatv, "mesh generation stencils", true},
+        {"turb3d", buildTurb3d, "turbulence radix-4 FFTs", true},
+        {"vortex", buildVortex, "OO database transactions", false},
+        {"wave5", buildWave5, "particle-in-cell plasma", true},
+    };
+    return registry;
+}
+
+Program
+buildWorkload(const std::string &name, const WorkloadScale &scale)
+{
+    for (const auto &w : workloadRegistry()) {
+        if (w.name == name)
+            return w.build(scale);
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : workloadRegistry())
+        names.push_back(w.name);
+    return names;
+}
+
+} // namespace loopspec

@@ -1,0 +1,464 @@
+/**
+ * @file
+ * The ten SPECfp95-shaped synthetic workloads. Each builder states its
+ * Table-1 calibration targets (static loops / iterations-per-execution /
+ * instructions-per-iteration / avg and max nesting) and the structural
+ * choices that realise them; see DESIGN.md §2 for the methodology.
+ */
+
+#include "workloads/workload.hh"
+
+#include <functional>
+
+#include "workloads/kernels.hh"
+
+namespace loopspec
+{
+
+using namespace regs;
+using namespace kernels;
+
+namespace
+{
+
+constexpr int64_t spillBase = 1024;
+constexpr int64_t heapBase = 8192;
+
+/** Standard prologue: spill stack pointer and LCG seed. */
+void
+prologue(ProgramBuilder &b, int64_t seed)
+{
+    b.beginFunction("main");
+    b.li(spReg, spillBase);
+    b.li(lcgReg, seed);
+}
+
+/** Outer time-step driver on r9/r19 (registers the kernels keep free). */
+void
+timeSteps(ProgramBuilder &b, uint64_t steps,
+          const std::function<void()> &body)
+{
+    b.li(r9, 0);
+    b.li(r19, static_cast<int64_t>(steps));
+    b.countedLoop(r9, r19, [&](const LoopCtx &) { body(); });
+}
+
+/** 1D boundary-condition style copy loop of @p len words. */
+void
+rowCopy(ProgramBuilder &b, int64_t dst, int64_t src, int64_t len)
+{
+    b.li(r1, 0);
+    b.li(r2, len);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.ld(r20, r1, src);
+        b.st(r20, r1, dst);
+    });
+}
+
+} // namespace
+
+// swim: shallow-water stencils. Targets: 79 loops, ~189 iter/exec (the
+// suite's most iteration-rich program), ~279 instr/iter, nesting 3/3.
+// Realised as 3 big 5-point stencil sweeps per time step over an
+// (n x n) grid with n = 100, plus boundary loops and reductions.
+Program
+buildSwim(const WorkloadScale &scale)
+{
+    constexpr int64_t n = 64;
+    constexpr int64_t grid = n * n + 2 * n;
+    const int64_t a = heapBase + n;
+    const int64_t bb = a + grid;
+    const int64_t c = bb + grid;
+    ProgramBuilder b("swim", c + grid + n);
+
+    prologue(b, 0x5317);
+    emitArrayInit(b, a - n, 3 * grid, 0xffff, r1, r20, r2);
+
+    timeSteps(b, scale.reps(8), [&] {
+        emitStencil(b, bb, a, n, 105); // calc1
+        emitStencil(b, c, bb, n, 105); // calc2
+        emitStencil(b, a, c, n, 105);  // calc3
+        rowCopy(b, a, a + n * (n - 1), n);          // periodic BC north
+        rowCopy(b, a + n * (n - 1), a + n, n);      // periodic BC south
+        rowCopy(b, bb, bb + n * (n - 1), n);
+        rowCopy(b, c, c + n * (n - 1), n);
+        b.li(r28, 0);
+        emitReduction(b, a, n, r28);  // convergence check row
+        emitReduction(b, bb, n, r28);
+    });
+
+    emitLoopFarm(b, 64, 3, 2); // pad static loops to the Table-1 count
+    b.halt();
+    return b.build();
+}
+
+// tomcatv: mesh generation. Targets: 91 loops, ~57 iter/exec, ~225
+// instr/iter, nesting 3/4. Grid n = 59; one sweep variant carries an
+// extra inner loop for the depth-4 sections.
+Program
+buildTomcatv(const WorkloadScale &scale)
+{
+    constexpr int64_t n = 59;
+    constexpr int64_t grid = n * n + 2 * n;
+    const int64_t a = heapBase + n;
+    const int64_t bb = a + grid;
+    ProgramBuilder b("tomcatv", bb + grid + n);
+
+    prologue(b, 0x70c4);
+    emitArrayInit(b, a - n, 2 * grid, 0xffff, r1, r20, r2);
+
+    timeSteps(b, scale.reps(6), [&] {
+        emitStencil(b, bb, a, n, 58); // residual sweep
+        emitStencil(b, a, bb, n, 58); // update sweep
+        // Relaxation: the third sweep runs twice under a sub-step loop
+        // (its row/column loops sit at depths 3/4 — tomcatv's max).
+        b.li(r13, 0);
+        b.li(r14, 2);
+        b.countedLoop(r13, r14, [&](const LoopCtx &) {
+            emitStencil(b, bb, a, n, 58);
+        });
+        b.li(r28, 0);
+        emitReduction(b, a, n, r28); // rx/ry max-residual rows
+        emitReduction(b, bb, n, r28);
+    });
+
+    emitLoopFarm(b, 78, 3, 2);
+    b.halt();
+    return b.build();
+}
+
+// mgrid: multigrid V-cycles. Targets: 142 loops, ~29 iter/exec, ~513
+// instr/iter, nesting ~4.9/6. Four grid levels of decreasing size, each
+// a 3-deep nest under the level/driver loops; the finest level carries a
+// depth-6 micro loop.
+Program
+buildMgrid(const WorkloadScale &scale)
+{
+    constexpr int64_t words = 1 << 15;
+    ProgramBuilder b("mgrid", heapBase + words);
+
+    prologue(b, 0x316d);
+    emitArrayInit(b, heapBase, words, 0xffff, r1, r20, r2);
+
+    struct Level
+    {
+        int64_t trip;
+        unsigned alu;
+        bool micro;
+    };
+    static constexpr Level levels[] = {
+        {18, 160, true}, {12, 165, false}, {8, 165, false},
+        {5, 165, false}};
+
+    timeSteps(b, scale.reps(4), [&] {
+        for (const Level &lv : levels) {
+            // resid/psinv: 3-deep rectangular nest per level.
+            b.li(r3, 0);
+            b.li(r4, lv.trip); // level loop proxy at depth 2
+            b.countedLoop(r3, r4, [&](const LoopCtx &) {
+                b.li(r5, 0);
+                b.li(r6, lv.trip);
+                b.countedLoop(r5, r6, [&](const LoopCtx &) {
+                    b.li(r7, 0);
+                    b.li(r8, lv.trip);
+                    b.countedLoop(r7, r8, [&](const LoopCtx &) {
+                        emitBigBlock(b, lv.alu, r20, r21);
+                        b.mul(r22, r5, r6);
+                        b.add(r22, r22, r7);
+                        b.andi(r22, r22, words - 1);
+                        b.ld(r23, r22, heapBase);
+                        b.add(r23, r23, r7);
+                        b.st(r23, r22, heapBase);
+                        if (lv.micro) {
+                            // Rare boundary fix-up, two levels deep
+                            // (depths 5-6) — guarded to fire once per
+                            // inner execution, after the inner loop is
+                            // detected, so its tiny executions do not
+                            // swamp iterations-per-execution.
+                            b.li(r24, 4);
+                            b.ifElse(
+                                [&](Label e) { b.bne(r7, r24, e); },
+                                [&]() {
+                                    b.li(r13, 0);
+                                    b.li(r14, 3);
+                                    b.countedLoop(r13, r14,
+                                                  [&](const LoopCtx &) {
+                                        b.li(r15, 0);
+                                        b.li(r16, 2);
+                                        b.countedLoop(
+                                            r15, r16,
+                                            [&](const LoopCtx &) {
+                                            emitBigBlock(b, 4, r25,
+                                                         r26);
+                                        });
+                                    });
+                                });
+                        }
+                    });
+                });
+            });
+        }
+    });
+
+    emitLoopFarm(b, 127, 3, 2);
+    b.halt();
+    return b.build();
+}
+
+// hydro2d: many small Navier-Stokes sweeps. Targets: 291 loops, ~29
+// iter/exec (n = 31 grids), ~128 instr/iter, nesting 3.5/4.
+Program
+buildHydro2d(const WorkloadScale &scale)
+{
+    constexpr int64_t n = 31;
+    constexpr int64_t grid = n * n + 2 * n;
+    const int64_t a = heapBase + n;
+    const int64_t bb = a + grid;
+    ProgramBuilder b("hydro2d", bb + grid + n);
+
+    prologue(b, 0x42d0);
+    emitArrayInit(b, a - n, 2 * grid, 0xffff, r1, r20, r2);
+
+    timeSteps(b, scale.reps(14), [&] {
+        for (int sweep = 0; sweep < 3; ++sweep) {
+            emitStencil(b, bb, a, n, 28);
+            emitStencil(b, a, bb, n, 28);
+        }
+        // One sweep sits one level deeper (advection sub-steps).
+        b.li(r13, 0);
+        b.li(r14, 2);
+        b.countedLoop(r13, r14, [&](const LoopCtx &) {
+            emitStencil(b, bb, a, n, 28);
+        });
+    });
+
+    emitLoopFarm(b, 270, 3, 2);
+    b.halt();
+    return b.build();
+}
+
+// su2cor: quark propagator sweeps. Targets: 213 loops, ~51 iter/exec,
+// ~257 instr/iter, nesting 3.5/5.
+Program
+buildSu2cor(const WorkloadScale &scale)
+{
+    constexpr int64_t n = 53;
+    constexpr int64_t grid = n * n + 2 * n;
+    const int64_t a = heapBase + n;
+    const int64_t bb = a + grid;
+    ProgramBuilder b("su2cor", bb + grid + n);
+
+    prologue(b, 0x52c0);
+    emitArrayInit(b, a - n, 2 * grid, 0xffff, r1, r20, r2);
+
+    timeSteps(b, scale.reps(5), [&] {
+        emitStencil(b, bb, a, n, 70);
+        emitStencil(b, a, bb, n, 70);
+        // Monte-Carlo update: two more sweeps under a 2-trip spin loop
+        // (depth up to 5: driver, spin, update, rows, cols).
+        b.li(r13, 0);
+        b.li(r14, 2);
+        b.countedLoop(r13, r14, [&](const LoopCtx &) {
+            emitStencil(b, bb, a, n, 70);
+        });
+    });
+
+    emitLoopFarm(b, 200, 3, 2);
+    b.halt();
+    return b.build();
+}
+
+// wave5: particle-in-cell. Targets: 195 loops, ~56 iter/exec, ~164
+// instr/iter, nesting 3.1/5. Field stencils plus 1D particle-push loops.
+Program
+buildWave5(const WorkloadScale &scale)
+{
+    constexpr int64_t n = 58;
+    constexpr int64_t grid = n * n + 2 * n;
+    const int64_t a = heapBase + n;
+    const int64_t bb = a + grid;
+    const int64_t particles = bb + grid;
+    constexpr int64_t num_particles = 1 << 11;
+    ProgramBuilder b("wave5", particles + num_particles + n);
+
+    prologue(b, 0x3a5e);
+    emitArrayInit(b, a - n, 2 * grid, 0xffff, r1, r20, r2);
+    emitArrayInit(b, particles, num_particles, num_particles - 1, r1, r20,
+                  r2);
+
+    timeSteps(b, scale.reps(5), [&] {
+        emitStencil(b, bb, a, n, 40); // field solve
+        emitStencil(b, a, bb, n, 40);
+        // Particle push: 1D gather/scatter over the particle list.
+        b.li(r1, 0);
+        b.li(r2, num_particles);
+        b.countedLoop(r1, r2, [&](const LoopCtx &) {
+            b.ld(r20, r1, particles); // cell index
+            b.andi(r20, r20, grid - 1);
+            b.ld(r21, r20, a);
+            b.add(r21, r21, r1);
+            b.st(r21, r1, particles);
+            emitBigBlock(b, 24, r22, r23);
+        });
+        // Field transpose section one level deeper (max depth 5).
+        b.li(r13, 0);
+        b.li(r14, 2);
+        b.countedLoop(r13, r14, [&](const LoopCtx &) {
+            emitStencil(b, bb, a, n, 40);
+        });
+    });
+
+    emitLoopFarm(b, 180, 3, 2);
+    b.halt();
+    return b.build();
+}
+
+// applu: SSOR solver with small, data-dependent trip counts — the
+// workload whose unpredictable trips defeat the STR predictor (Table 2
+// hit ratio ~54%). Targets: 189 loops, ~3.5 iter/exec, ~261 instr/iter,
+// nesting ~5.2/7.
+Program
+buildApplu(const WorkloadScale &scale)
+{
+    constexpr int64_t words = 1 << 14;
+    ProgramBuilder b("applu", heapBase + words);
+
+    prologue(b, 0xab1d);
+    emitArrayInit(b, heapBase, words, 0xffff, r1, r20, r2);
+
+    timeSteps(b, scale.reps(22), [&] {
+        // jacld/jacu: 5-deep nest, trips uniform in [2,5].
+        emitVarNest(b,
+                    {{2, 3, 30, false},
+                     {2, 3, 35, false},
+                     {2, 3, 40, false},
+                     {2, 3, 45, true},
+                     {2, 3, 50, true}},
+                    heapBase, words);
+        // blts/buts: 6-deep, the deepest sections (depth 7 with driver).
+        emitVarNest(b,
+                    {{2, 3, 25, false},
+                     {2, 3, 30, false},
+                     {2, 3, 35, false},
+                     {2, 3, 40, false},
+                     {2, 3, 45, true},
+                     {2, 3, 50, true}},
+                    heapBase, words);
+        // rhs: shallower but wider trips.
+        emitVarNest(b,
+                    {{2, 7, 40, false}, {2, 7, 50, true}},
+                    heapBase, words);
+    });
+
+    emitLoopFarm(b, 170, 3, 2);
+    b.halt();
+    return b.build();
+}
+
+// apsi: mesoscale weather. Targets: 207 loops, ~10.8 iter/exec, ~229
+// instr/iter, nesting 3.1/5; mostly constant trips (hit ratio ~90%) with
+// a minority of data-dependent sections.
+Program
+buildApsi(const WorkloadScale &scale)
+{
+    constexpr int64_t words = 1 << 14;
+    ProgramBuilder b("apsi", heapBase + words);
+
+    prologue(b, 0xa51a);
+    emitArrayInit(b, heapBase, words, 0xffff, r1, r20, r2);
+
+    timeSteps(b, scale.reps(24), [&] {
+        emitRegularNest(b,
+                        {{12, 60, false}, {10, 70, true}, {10, 70, true}},
+                        heapBase, words);
+        emitRegularNest(b, {{10, 60, false}, {10, 70, true}, {8, 70, true}},
+                        heapBase, words);
+        // Turbulence closure: variable trips (8..15).
+        emitVarNest(b, {{8, 7, 70, true}, {8, 7, 70, true}}, heapBase,
+                    words);
+        // Chemistry micro-nest: small trips, depth 5 with the driver.
+        emitVarNest(b,
+                    {{2, 3, 30, false}, {2, 3, 35, true},
+                     {2, 3, 40, true}, {2, 3, 45, true}},
+                    heapBase, words);
+    });
+
+    emitLoopFarm(b, 190, 3, 2);
+    b.halt();
+    return b.build();
+}
+
+// turb3d: turbulence FFTs. Targets: 152 loops, ~4.1 iter/exec (radix-4
+// butterflies, perfectly regular: hit ratio ~99%), ~239 instr/iter,
+// nesting ~4/6.
+Program
+buildTurb3d(const WorkloadScale &scale)
+{
+    constexpr int64_t words = 1 << 14;
+    ProgramBuilder b("turb3d", heapBase + words);
+
+    prologue(b, 0x7b3d);
+    emitArrayInit(b, heapBase, words, 0xffff, r1, r20, r2);
+
+    timeSteps(b, scale.reps(30), [&] {
+        // Four radix-4 FFT stages (constant trip-4 nests, depth 5).
+        for (int stage = 0; stage < 4; ++stage) {
+            emitRegularNest(b,
+                            {{4, 50, false},
+                             {4, 55, false},
+                             {4, 60, true},
+                             {4, 60, true}},
+                            heapBase, words);
+        }
+        // Transpose: 16x16 blocked copy, one under a stage loop (depth 6).
+        emitRegularNest(b, {{16, 55, true}, {16, 60, true}}, heapBase,
+                        words);
+        b.li(r13, 0);
+        b.li(r14, 2);
+        b.countedLoop(r13, r14, [&](const LoopCtx &) {
+            emitRegularNest(b,
+                            {{4, 40, false}, {4, 45, true},
+                             {4, 50, true}, {4, 50, true}},
+                            heapBase, words);
+        });
+    });
+
+    emitLoopFarm(b, 140, 3, 2);
+    b.halt();
+    return b.build();
+}
+
+// fpppp: electron integrals — enormous straight-line bodies, tiny trip
+// counts. Targets: 83 loops, ~3 iter/exec, ~3200 instr/iter (the suite
+// outlier), nesting ~6.7/9.
+Program
+buildFpppp(const WorkloadScale &scale)
+{
+    constexpr int64_t words = 1 << 13;
+    ProgramBuilder b("fpppp", heapBase + words);
+
+    prologue(b, 0xf999);
+    emitArrayInit(b, heapBase, words, 0xffff, r1, r20, r2);
+
+    timeSteps(b, scale.reps(4), [&] {
+        // Shell-pair nest: trips 2..3, giant bodies at every level
+        // (depth 8 with the driver).
+        emitVarNest(b,
+                    {{3, 0, 500, false},
+                     {3, 0, 600, false},
+                     {3, 0, 700, true},
+                     {2, 0, 800, true},
+                     {3, 0, 850, true},
+                     {2, 1, 900, true},
+                     {2, 0, 950, true}},
+                    heapBase, words);
+        // Flat integral evaluation between the nests.
+        emitBigBlock(b, 1500, r26, r27);
+    });
+
+    emitLoopFarm(b, 70, 3, 2);
+    b.halt();
+    return b.build();
+}
+
+} // namespace loopspec

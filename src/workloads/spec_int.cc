@@ -1,0 +1,547 @@
+/**
+ * @file
+ * The eight SPECint95-shaped synthetic workloads: irregular control flow,
+ * data-dependent trip counts, recursion (the §2.2 CLS recursion quirk),
+ * interpreter dispatch loops and hash probing. Calibration targets per
+ * builder; see DESIGN.md §2.
+ */
+
+#include "workloads/workload.hh"
+
+#include <functional>
+#include <iterator>
+
+#include "util/logging.hh"
+#include "workloads/kernels.hh"
+
+namespace loopspec
+{
+
+using namespace regs;
+using namespace kernels;
+
+namespace
+{
+
+constexpr int64_t spillBase = 1024;
+constexpr int64_t heapBase = 8192;
+
+void
+prologue(ProgramBuilder &b, int64_t seed)
+{
+    b.beginFunction("main");
+    b.li(spReg, spillBase);
+    b.li(lcgReg, seed);
+}
+
+void
+driverLoop(ProgramBuilder &b, uint64_t reps,
+           const std::function<void()> &body)
+{
+    b.li(r9, 0);
+    b.li(r19, static_cast<int64_t>(reps));
+    b.countedLoop(r9, r19, [&](const LoopCtx &) { body(); });
+}
+
+/** Emit "if ((r9 & mask) == 0) { body }" using r13 as scratch. */
+void
+everyNth(ProgramBuilder &b, int64_t mask,
+         const std::function<void()> &body)
+{
+    b.andi(r13, r9, mask);
+    b.ifElse([&](Label else_l) { b.bne(r13, r0, else_l); },
+             [&]() { body(); });
+}
+
+} // namespace
+
+// compress: LZW coding. Targets: 45 loops, ~6 iter/exec, ~85 instr/iter,
+// nesting 2.5/4; Table 2: hit ratio ~100% (everything that iterates is
+// trip-predictable), TPC ~3.2, tiny spec-to-verify distance. The hot
+// loop processes one input byte per iteration with an inline (loop-free)
+// two-probe hash lookup; short constant-trip output loops fire
+// periodically; a secondary-probe loop exists but usually runs 0..2
+// data-dependent iterations.
+Program
+buildCompress(const WorkloadScale &scale)
+{
+    constexpr int64_t table = heapBase;        // 4096-slot hash table
+    constexpr int64_t slots = 4096;
+    constexpr int64_t outbuf = table + slots;  // 64-word output buffer
+    ProgramBuilder b("compress", outbuf + 1024);
+
+    prologue(b, 0xc033);
+
+    driverLoop(b, scale.reps(48000), [&] {
+        emitLcgStep(b, r20);            // next input "byte" + context
+        b.ori(r20, r20, 1);
+        b.andi(r21, r20, slots - 1);    // primary probe, inline (no loop)
+        b.ld(r22, r21, table);
+        b.ifElse([&](Label else_l) { b.bne(r22, r0, else_l); },
+                 [&]() { b.st(r20, r21, table); }, // free: insert
+                 [&]() {
+                     // Occupied: one secondary displacement probe chain
+                     // (short, data dependent).
+                     b.xori(r21, r21, 0x55);
+                     b.li(r23, 0);
+                     b.li(r24, 3);
+                     b.whileLoop(
+                         [&](Label exit) {
+                             b.ld(r22, r21, table);
+                             b.beq(r22, r0, exit);
+                             b.beq(r22, r20, exit);
+                             b.bge(r23, r24, exit);
+                         },
+                         [&](const LoopCtx &) {
+                             b.addi(r21, r21, 7);
+                             b.andi(r21, r21, slots - 1);
+                             b.addi(r23, r23, 1);
+                         });
+                     b.st(r20, r21, table);
+                 });
+        emitBigBlock(b, 100, r27, r28);
+        // Code emission: flush the bit buffer every 64 bytes (constant
+        // trip 8 with a meaty body: the STR predictor nails it).
+        everyNth(b, 63, [&] {
+            b.li(r1, 0);
+            b.li(r2, 8);
+            b.countedLoop(r1, r2, [&](const LoopCtx &) {
+                b.ld(r20, r1, outbuf);
+                b.addi(r20, r20, 3);
+                b.st(r20, r1, outbuf);
+                emitBigBlock(b, 16, r25, r26);
+            });
+        });
+        // Dictionary rebuild: a rare 3-deep section (max nesting 4).
+        everyNth(b, 4095, [&] {
+            b.li(r15, 0);
+            b.li(r16, 2);
+            b.countedLoop(r15, r16, [&](const LoopCtx &) {
+                b.li(r17, 0);
+                b.li(r18, 2);
+                b.countedLoop(r17, r18, [&](const LoopCtx &) {
+                    b.li(r1, 0);
+                    b.li(r2, 4);
+                    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+                        emitBigBlock(b, 6, r25, r26);
+                    });
+                });
+            });
+        });
+        // Table aging: every 256 bytes clear a rotating 256-slot window
+        // (8 stores per iteration keeps the iteration count small while
+        // holding the load factor — and thus probe-loop frequency —
+        // low).
+        everyNth(b, 127, [&] {
+            b.andi(r14, r9, 3840); // window base, stays in-table
+            b.li(r1, 0);
+            b.li(r2, 32);
+            b.countedLoop(r1, r2, [&](const LoopCtx &) {
+                b.shli(r20, r1, 3);
+                b.add(r20, r20, r14);
+                for (int k = 0; k < 8; ++k)
+                    b.st(r0, r20, table + k);
+            });
+        });
+    });
+
+    emitLoopFarm(b, 40, 3, 2);
+    b.halt();
+    return b.build();
+}
+
+// gcc: compiler passes over irregular IR. Targets: 1229 static loops
+// (the suite's largest loop population — LET/LIT pressure), ~5.3
+// iter/exec with data-dependent trips (hit ratio ~76%), ~80 instr/iter,
+// nesting 3.4/7.
+Program
+buildGcc(const WorkloadScale &scale)
+{
+    constexpr int64_t words = 1 << 14;
+    ProgramBuilder b("gcc", heapBase + words);
+
+    // Pass bodies: emitted as separate functions, called per driver
+    // iteration. Parameters vary per pass so each contributes distinct
+    // loop shapes.
+    struct Pass
+    {
+        unsigned flat_loops; //!< depth-1 loops over "insns"
+        unsigned depth;      //!< one nested section of this depth
+        unsigned alu;
+    };
+    static constexpr Pass passes[] = {
+        {6, 2, 11}, {5, 3, 13}, {7, 2, 9}, {4, 2, 12}, {6, 2, 15},
+        {5, 3, 10}, {8, 2, 8}, {4, 5, 11}, {6, 3, 13}, {5, 2, 14},
+        {7, 2, 10}, {4, 4, 9}, {6, 2, 12}, {5, 2, 11}, {6, 3, 10},
+        {5, 2, 13},
+    };
+
+    // main must be the first function (program entry).
+    prologue(b, 0x6cc0);
+    driverLoop(b, scale.reps(22), [&] {
+        for (size_t p = 0; p < std::size(passes); ++p)
+            b.call(strprintf("pass%zu", p));
+    });
+    emitLoopFarm(b, 1090, 2, 2);
+    b.halt();
+
+    for (size_t p = 0; p < std::size(passes); ++p) {
+        b.beginFunction(strprintf("pass%zu", p));
+        const Pass &ps = passes[p];
+        for (unsigned l = 0; l < ps.flat_loops; ++l) {
+            if (l % 3 < 2) { // constant-trip scan (predictable)
+                emitVarNest(b, {{5 + (l % 3), 0, ps.alu, true}},
+                            heapBase, words);
+            } else { // data-dependent scan
+                emitVarNest(b, {{4, 1, ps.alu, false}}, heapBase,
+                            words);
+            }
+        }
+        std::vector<VarNestLevel> nest;
+        for (unsigned d = 0; d < ps.depth; ++d)
+            nest.push_back({3, 1, ps.alu, d + 1 == ps.depth});
+        emitVarNest(b, nest, heapBase, words);
+        b.ret();
+    }
+
+    return b.build();
+}
+
+// go: game-tree search. Targets: 709 loops, ~3.8 iter/exec, ~157
+// instr/iter, nesting up to 11 — realised with a 5-function mutual
+// recursion cycle whose per-activation loops pile up distinct CLS
+// entries (the §2.2 recursion scenario), plus board-scan loops at the
+// leaves. Loop-poor instruction stream: TPC stays near 1 (Table 2).
+Program
+buildGo(const WorkloadScale &scale)
+{
+    constexpr int64_t words = 1 << 13;
+    ProgramBuilder b("go", heapBase + words);
+
+    prologue(b, 0x609a);
+    driverLoop(b, scale.reps(260), [&] {
+        b.li(r10, 7); // search depth
+        b.call("search0");
+        // Board scans between searches: constant-trip liberty scans
+        // plus a couple of data-dependent pattern matchers.
+        emitRegularNest(b, {{12, 24, true}}, heapBase, words);
+        emitRegularNest(b, {{6, 30, true}}, heapBase, words);
+        emitVarNest(b, {{10, 3, 24, true}}, heapBase, words);
+        emitVarNest(b, {{4, 3, 30, true}}, heapBase, words);
+    });
+    emitLoopFarm(b, 690, 2, 2);
+    b.halt();
+
+    static constexpr int64_t trips[5] = {3, 4, 3, 4, 2};
+    for (int f = 0; f < 5; ++f) {
+        emitRecursiveTree(b, strprintf("search%d", f),
+                          strprintf("search%d", (f + 1) % 5), trips[f],
+                          10);
+    }
+    return b.build();
+}
+
+// li: lisp interpreter. Targets: 94 loops, ~3.5 iter/exec, ~108
+// instr/iter, nesting to 10 (eval recursion), hit ratio ~69% (cons-list
+// walks of data-dependent length), TPC ~1.75.
+Program
+buildLi(const WorkloadScale &scale)
+{
+    constexpr int64_t next = heapBase; // cons "cdr" array
+    constexpr int64_t cells = 1 << 12;
+    constexpr int64_t props = next + cells; // property/value scratch
+    ProgramBuilder b("li", props + cells + 1024);
+
+    prologue(b, 0x11bb);
+    emitRingInit(b, next, cells, 6); // chains of 6 cells
+    // The top level is a recursive REPL (one activation per input
+    // expression), not a loop: like perl, the sequential backbone is
+    // recursion, which caps the ideal machine's thread-level
+    // parallelism at the per-expression level (Figure 5 places li and
+    // perl far below the loop-driven codes).
+    b.li(r10, static_cast<int64_t>(scale.reps(1900)));
+    b.call("repl");
+    emitLoopFarm(b, 70, 2, 2);
+    b.halt();
+
+    b.beginFunction("repl");
+    Label repl_done = b.newLabel();
+    b.beq(r10, r0, repl_done);
+    // Walk a few lists from pseudo-random starting cells.
+    for (int w = 0; w < 3; ++w) {
+        emitLcgStep(b, r28);
+        b.andi(r28, r28, cells - 1);
+        // Aligned to a chain head: the walk length is always ring_len
+        // (predictable, like hot property lists).
+        b.li(r20, 6);
+        b.div(r28, r28, r20);
+        b.mul(r28, r28, r20);
+        emitPointerChase(b, next, r28, 16, 8);
+    }
+    // eval/apply recursion with per-node loops.
+    emitPush(b, r10);
+    b.li(r10, 7);
+    b.call("eval0");
+    emitPop(b, r10);
+    // Property-list scan (short, variable) over its own scratch area
+    // (the cons chains must stay intact for the walks).
+    emitVarNest(b, {{2, 1, 14, true}}, props, cells);
+    b.addi(r10, r10, -1);
+    b.call("repl");
+    b.bind(repl_done);
+    b.ret();
+
+    static constexpr int64_t trips[4] = {2, 3, 2, 3};
+    for (int f = 0; f < 4; ++f) {
+        emitRecursiveTree(b, strprintf("eval%d", f),
+                          strprintf("eval%d", (f + 1) % 4), trips[f], 10);
+    }
+    return b.build();
+}
+
+// m88ksim: CPU simulator. Targets: 127 loops, ~9.4 iter/exec, ~40
+// instr/iter (the suite's smallest iterations), nesting 2.0/5, hit ratio
+// ~97% (constant-trip handler loops), TPC ~2.8. One big
+// fetch-decode-execute dispatch loop with twelve handlers; every
+// handler's closing jump raises the loop's B field.
+Program
+buildM88ksim(const WorkloadScale &scale)
+{
+    constexpr int64_t table = heapBase;
+    constexpr int64_t code = table + 64;
+    constexpr int64_t code_len = 1 << 12;
+    ProgramBuilder b("m88ksim", code + code_len + 1024);
+
+    prologue(b, 0x88c5);
+
+    std::vector<DispatchHandler> handlers = {
+        {26, false, false, 0}, {32, true, false, 0},
+        {38, false, false, 0}, {30, true, false, 0},
+        {36, false, false, 0}, {24, true, false, 0},
+        {40, false, false, 0}, {32, false, false, 0},
+        {28, true, false, 0}, {37, false, false, 0},
+        {31, false, true, 3, 10}, {26, false, true, 3, 10},
+        {34, false, true, 8, 14}, // ld/st multiple
+    };
+    emitDispatchLoop(b, handlers, table, code, code_len,
+                     static_cast<int64_t>(scale.reps(88000)));
+
+    // Periodic device/timer scans (constant trips, shallow).
+    driverLoop(b, scale.reps(600), [&] {
+        b.li(r1, 0);
+        b.li(r2, 16);
+        b.countedLoop(r1, r2, [&](const LoopCtx &) {
+            b.ld(r20, r1, table);
+            b.addi(r20, r20, 1);
+            b.st(r20, r1, table);
+        });
+        // Trap path: a rare 3-deep nest (max nesting 5 with the farm
+        // wrapper below).
+        everyNth(b, 63, [&] {
+            emitRegularNest(b, {{4, 10, false}, {4, 12, true},
+                                {4, 14, true}},
+                            heapBase, 1 << 12);
+        });
+    });
+
+    emitLoopFarm(b, 114, 3, 2);
+    b.halt();
+    return b.build();
+}
+
+// perl: interpreter driven by *recursion*, not loops — most loop
+// executions happen at CLS depth 1 (Table 1: avg nesting 1.35, the
+// suite's flattest). Tiny, unpredictable trip counts (1..4) defeat STR:
+// hit ratio ~60%, TPC ~1.2, spec-to-verify only ~35 instructions.
+Program
+buildPerl(const WorkloadScale &scale)
+{
+    constexpr int64_t words = 1 << 13;
+    ProgramBuilder b("perl", heapBase + words);
+
+    prologue(b, 0x9e21);
+    b.li(r10, static_cast<int64_t>(scale.reps(5200))); // statement count
+    b.call("interp");
+    emitLoopFarm(b, 132, 2, 2);
+    b.halt();
+
+    // interp: execute one statement's ops, then recurse for the next
+    // statement. The recursion (not a loop) carries the program, so the
+    // op loops run with an empty CLS.
+    b.beginFunction("interp");
+    Label done = b.newLabel();
+    b.beq(r10, r0, done);
+    for (int op = 0; op < 4; ++op) {
+        emitBigBlock(b, 20, r20, r21);
+        // String/array op loop: trip 1..4 (often invisible single-iter).
+        if (op % 2) {
+            emitVarNest(b, {{2, 0, 14, false}}, heapBase, words);
+        } else if (op == 0) {
+            emitVarNest(b, {{3, 0, 14, true}}, heapBase, words);
+        } else {
+            emitVarNest(b, {{1, 1, 14, true}}, heapBase, words);
+        }
+    }
+    // Every 8th statement: regex match, a rare deeper section (the
+    // suite's max nesting of 5).
+    b.andi(r13, r10, 31);
+    b.ifElse([&](Label else_l) { b.bne(r13, r0, else_l); },
+             [&]() {
+                 emitVarNest(b,
+                             {{2, 1, 10, false},
+                              {2, 1, 10, false},
+                              {1, 3, 10, false},
+                              {1, 3, 12, true},
+                              {2, 0, 12, true}},
+                             heapBase, words);
+             });
+    b.addi(r10, r10, -1);
+    b.call("interp");
+    b.bind(done);
+    b.ret();
+
+    return b.build();
+}
+
+// vortex: OO database transactions. Targets: 220 loops, ~12 iter/exec,
+// ~215 instr/iter, nesting 3.1/6, hit ratio ~90%, TPC ~3.0. Object
+// handlers reached through an indirect-call table; record-copy loops
+// have constant per-handler trips.
+Program
+buildVortex(const WorkloadScale &scale)
+{
+    constexpr int64_t ftable = heapBase;      // function-pointer table
+    constexpr int64_t htable = ftable + 16;   // hash index, 1024 slots
+    constexpr int64_t records = htable + 1024;
+    constexpr int64_t words = 1 << 12;
+    ProgramBuilder b("vortex", records + words + 1024);
+
+    static constexpr int64_t copy_trips[5] = {12, 16, 20, 8, 24};
+
+    prologue(b, 0x40e7);
+    // Build the object-handler dispatch table.
+    for (int h = 0; h < 5; ++h) {
+        b.liFunc(r20, strprintf("obj%d", h));
+        b.li(r21, h);
+        b.st(r20, r21, ftable);
+    }
+    driverLoop(b, scale.reps(1300), [&] {
+        // Pick an object type, dispatch through memory (CallInd).
+        emitLcgStep(b, r28);
+        b.li(r20, 5);
+        b.rem(r28, r28, r20);
+        b.ld(r28, r28, ftable);
+        b.callInd(r28);
+        // Index maintenance probe.
+        emitHashProbe(b, htable, 1023);
+        emitBigBlock(b, 40, r27, r28);
+    });
+    emitLoopFarm(b, 190, 3, 2);
+    b.halt();
+
+    for (int h = 0; h < 5; ++h) {
+        b.beginFunction(strprintf("obj%d", h));
+        // Two record-copy loops per handler, directly under the driver
+        // (depth 2); handler 3 adds a deeper validation nest (to 4).
+        for (int part = 0; part < 2; ++part) {
+            b.li(r1, 0);
+            b.li(r2, copy_trips[h] / (part + 1));
+            b.countedLoop(r1, r2, [&](const LoopCtx &) {
+                b.addi(r20, r1, h * 37);
+                b.andi(r20, r20, words - 1);
+                b.ld(r21, r20, records);
+                b.addi(r21, r21, 1);
+                b.st(r21, r20, records);
+                emitBigBlock(b, 80, r22, r23);
+            });
+        }
+        if (h == 3) {
+            emitRegularNest(b, {{4, 8, false}, {4, 10, false},
+                                {4, 10, true}},
+                            records, words);
+        }
+        b.ret();
+    }
+    return b.build();
+}
+
+// ijpeg: image compression. Targets: 198 loops, ~21 iter/exec, ~336
+// instr/iter, nesting 6.4/9, hit ratio ~97% (constant 8x8/64 trips),
+// TPC ~2.4. Block pipeline: rows x cols x components x (DCT 8x8 pairs,
+// quant-64, colour-convert).
+Program
+buildIjpeg(const WorkloadScale &scale)
+{
+    constexpr int64_t words = 1 << 14;
+    ProgramBuilder b("ijpeg", heapBase + words);
+
+    prologue(b, 0x19e6);
+    emitArrayInit(b, heapBase, words, 0xffff, r1, r20, r2);
+
+    driverLoop(b, scale.reps(8), [&] {
+        // MCU rows(2) x cols(3) x components(4).
+        b.li(r3, 0);
+        b.li(r4, 3);
+        b.countedLoop(r3, r4, [&](const LoopCtx &) {
+            b.li(r5, 0);
+            b.li(r6, 3);
+            b.countedLoop(r5, r6, [&](const LoopCtx &) {
+                b.li(r7, 0);
+                b.li(r8, 3);
+                b.countedLoop(r7, r8, [&](const LoopCtx &) {
+                    // Two 8x8 DCT double loops (depths 5 and 6).
+                    for (int pass = 0; pass < 2; ++pass) {
+                        b.li(r13, 0);
+                        b.li(r14, 8);
+                        b.countedLoop(r13, r14, [&](const LoopCtx &) {
+                            b.li(r15, 0);
+                            b.li(r16, 8);
+                            b.countedLoop(r15, r16,
+                                          [&](const LoopCtx &) {
+                                b.mul(r20, r13, r14);
+                                b.add(r20, r20, r15);
+                                b.andi(r20, r20, words - 1);
+                                b.ld(r21, r20, heapBase);
+                                b.add(r21, r21, r15);
+                                b.st(r21, r20, heapBase);
+                                emitBigBlock(b, 90, r22, r23);
+                            });
+                        });
+                    }
+                    // Quantisation + zigzag: three trip-64 loops.
+                    for (int q = 0; q < 3; ++q) {
+                        b.li(r13, 0);
+                        b.li(r14, 64);
+                        b.countedLoop(r13, r14, [&](const LoopCtx &) {
+                            b.andi(r20, r13, words - 1);
+                            b.ld(r21, r20, heapBase);
+                            b.addi(r21, r21, 3);
+                            b.st(r21, r20, heapBase);
+                            emitBigBlock(b, 45, r22, r23);
+                        });
+                    }
+                    // Huffman emit: short variable trips, occasionally
+                    // two levels deeper (max nesting 8).
+                    emitVarNest(b, {{1, 3, 14, true}, {1, 1, 10, true}},
+                                heapBase, words);
+                });
+            });
+        });
+        // Colour conversion: one long row loop per driver iteration.
+        b.li(r1, 0);
+        b.li(r2, 512);
+        b.countedLoop(r1, r2, [&](const LoopCtx &) {
+            b.andi(r20, r1, words - 1);
+            b.ld(r21, r20, heapBase);
+            b.muli(r21, r21, 3);
+            b.st(r21, r20, heapBase);
+            emitBigBlock(b, 40, r22, r23);
+        });
+    });
+
+    emitLoopFarm(b, 185, 3, 2);
+    b.halt();
+    return b.build();
+}
+
+} // namespace loopspec

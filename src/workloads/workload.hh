@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The synthetic SPEC95-shaped workload suite. Each of the paper's 18
+ * benchmarks is modelled by a generated mini-RISC program whose loop
+ * structure (static loop count, trip-count distribution and regularity,
+ * iteration size, nesting depth, recursion, path variability) is
+ * calibrated to Table 1 and the per-program behaviour in Table 2 and
+ * Figures 5-8. See DESIGN.md §2 for the substitution rationale.
+ */
+
+#ifndef LOOPSPEC_WORKLOADS_WORKLOAD_HH
+#define LOOPSPEC_WORKLOADS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace loopspec
+{
+
+/**
+ * Scale control: multiplies the outer "time-step" trip counts so the
+ * dynamic instruction count can be dialled from smoke-test to full-run
+ * sizes without changing the loop *shape* statistics.
+ */
+struct WorkloadScale
+{
+    double factor = 1.0;
+
+    /** Scale an outer repetition count (at least 1). */
+    uint64_t
+    reps(uint64_t base) const
+    {
+        double v = static_cast<double>(base) * factor;
+        return v < 1.0 ? 1 : static_cast<uint64_t>(v);
+    }
+};
+
+/** One registered workload. */
+struct WorkloadInfo
+{
+    std::string name;
+    Program (*build)(const WorkloadScale &scale);
+    const char *description;
+    bool floatingPoint; //!< SPECfp-shaped (regular) vs SPECint-shaped
+};
+
+/** All 18 workloads, in the paper's Table 1 order. */
+const std::vector<WorkloadInfo> &workloadRegistry();
+
+/** Build one workload by name; fatal() if unknown. */
+Program buildWorkload(const std::string &name, const WorkloadScale &scale);
+
+/** Names of all workloads, Table 1 order. */
+std::vector<std::string> workloadNames();
+
+// Individual builders (exposed for tests and examples).
+Program buildApplu(const WorkloadScale &scale);
+Program buildApsi(const WorkloadScale &scale);
+Program buildCompress(const WorkloadScale &scale);
+Program buildFpppp(const WorkloadScale &scale);
+Program buildGcc(const WorkloadScale &scale);
+Program buildGo(const WorkloadScale &scale);
+Program buildHydro2d(const WorkloadScale &scale);
+Program buildIjpeg(const WorkloadScale &scale);
+Program buildLi(const WorkloadScale &scale);
+Program buildM88ksim(const WorkloadScale &scale);
+Program buildMgrid(const WorkloadScale &scale);
+Program buildPerl(const WorkloadScale &scale);
+Program buildSu2cor(const WorkloadScale &scale);
+Program buildSwim(const WorkloadScale &scale);
+Program buildTomcatv(const WorkloadScale &scale);
+Program buildTurb3d(const WorkloadScale &scale);
+Program buildVortex(const WorkloadScale &scale);
+Program buildWave5(const WorkloadScale &scale);
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_WORKLOADS_WORKLOAD_HH

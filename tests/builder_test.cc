@@ -1,0 +1,214 @@
+/** @file Unit tests for the ProgramBuilder: labels, patching, structure,
+ *  validation. */
+
+#include <gtest/gtest.h>
+
+#include "program/builder.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+using namespace regs;
+
+TEST(Builder, EmptyLoopBodyAddresses)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);           // 0x1000
+    b.li(r2, 3);           // 0x1004
+    Label head = b.here(); // 0x1008
+    b.addi(r1, r1, 1);     // 0x1008
+    b.blt(r1, r2, head);   // 0x100c
+    b.halt();              // 0x1010
+    Program p = b.build();
+    ASSERT_EQ(p.size(), 5u);
+    EXPECT_EQ(p.entry, codeBase);
+    EXPECT_EQ(p.code[3].op, Opcode::Blt);
+    EXPECT_EQ(p.code[3].target, 0x1008u); // backward target patched
+}
+
+TEST(Builder, ForwardLabelPatched)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    Label skip = b.newLabel();
+    b.jmp(skip);
+    b.nop();
+    b.nop();
+    b.bind(skip);
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.code[0].target, addrOfIndex(3));
+}
+
+TEST(Builder, CountedLoopShape)
+{
+    // countedLoop emits do-while form: body, increment, backward blt.
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, 5);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) { b.nop(); });
+    b.halt();
+    Program p = b.build();
+    // li li nop addi blt halt
+    ASSERT_EQ(p.size(), 6u);
+    EXPECT_EQ(p.code[4].op, Opcode::Blt);
+    EXPECT_EQ(p.code[4].target, addrOfIndex(2));
+    EXPECT_LT(p.code[4].target, addrOfIndex(4)); // backward
+}
+
+TEST(Builder, WhileLoopShape)
+{
+    // whileLoop: head with exit branch(es), body, backward jmp.
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, 3);
+    b.whileLoop([&](Label exit) { b.bge(r1, r2, exit); },
+                [&](const LoopCtx &) { b.addi(r1, r1, 1); });
+    b.halt();
+    Program p = b.build();
+    // li li bge addi jmp halt
+    ASSERT_EQ(p.size(), 6u);
+    EXPECT_EQ(p.code[2].op, Opcode::Bge);
+    EXPECT_EQ(p.code[2].target, addrOfIndex(5)); // exits past the jmp
+    EXPECT_EQ(p.code[4].op, Opcode::Jmp);
+    EXPECT_EQ(p.code[4].target, addrOfIndex(2)); // back to the test
+}
+
+TEST(Builder, IfElseBothArms)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 1);
+    b.ifElse([&](Label else_l) { b.beq(r1, r0, else_l); },
+             [&]() { b.li(r2, 10); }, [&]() { b.li(r2, 20); });
+    b.halt();
+    Program p = b.build();
+    // li beq li jmp li halt
+    ASSERT_EQ(p.size(), 6u);
+    EXPECT_EQ(p.code[1].target, addrOfIndex(4)); // beq -> else arm
+    EXPECT_EQ(p.code[3].target, addrOfIndex(5)); // jmp -> past else
+}
+
+TEST(Builder, IfWithoutElse)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 1);
+    b.ifElse([&](Label else_l) { b.beq(r1, r0, else_l); },
+             [&]() { b.li(r2, 10); });
+    b.halt();
+    Program p = b.build();
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.code[1].target, addrOfIndex(3)); // past the then arm
+}
+
+TEST(Builder, FunctionsAndCalls)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.call("leaf");
+    b.halt();
+    b.beginFunction("leaf");
+    b.nop();
+    b.ret();
+    Program p = b.build();
+    EXPECT_EQ(p.funcEntry("leaf"), addrOfIndex(2));
+    EXPECT_EQ(p.code[0].target, addrOfIndex(2));
+    EXPECT_EQ(p.entry, addrOfIndex(0));
+}
+
+TEST(Builder, LiLabelAndLiFuncPatchImmediates)
+{
+    ProgramBuilder b("t", 16);
+    b.beginFunction("main");
+    Label l = b.newLabel();
+    b.liLabel(r3, l);
+    b.liFunc(r4, "main");
+    b.bind(l);
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.code[0].imm, static_cast<int64_t>(addrOfIndex(2)));
+    EXPECT_EQ(p.code[1].imm, static_cast<int64_t>(addrOfIndex(0)));
+}
+
+TEST(Builder, EntryFunctionSelectable)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("aux");
+    b.nop();
+    b.ret();
+    b.beginFunction("start");
+    b.halt();
+    Program p = b.build("start");
+    EXPECT_EQ(p.entry, addrOfIndex(2));
+}
+
+TEST(Builder, ValidateRejectsFallThroughEnd)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.nop();
+    EXPECT_DEATH(
+        {
+            Program p = b.build();
+            (void)p;
+        },
+        "fall off");
+}
+
+TEST(Builder, ValidateRejectsUndefinedCall)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.call("nothere");
+    b.halt();
+    EXPECT_DEATH({ (void)b.build(); }, "undefined function");
+}
+
+TEST(Builder, NestedStructuresCompose)
+{
+    ProgramBuilder b("t", 64);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, 3);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.li(r3, 0);
+        b.li(r4, 2);
+        b.countedLoop(r3, r4, [&](const LoopCtx &) {
+            b.ifElse([&](Label e) { b.beq(r3, r0, e); },
+                     [&]() { b.addi(r5, r5, 1); });
+        });
+    });
+    b.halt();
+    Program p = b.build();
+    p.validate(); // must not fatal
+    EXPECT_GT(p.size(), 10u);
+}
+
+TEST(Builder, BreakViaLoopCtxExit)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, 100);
+    b.li(r3, 5);
+    b.countedLoop(r1, r2, [&](const LoopCtx &ctx) {
+        b.bge(r1, r3, ctx.exit); // break when r1 >= 5
+        b.nop();
+    });
+    b.halt();
+    Program p = b.build();
+    // The break branch must target past the closing blt.
+    EXPECT_EQ(p.code[3].op, Opcode::Bge);
+    const Instr &closing = p.code[p.size() - 2];
+    EXPECT_EQ(closing.op, Opcode::Blt);
+    EXPECT_GT(p.code[3].target, closing.target);
+}
+
+} // namespace
+} // namespace loopspec

@@ -1,0 +1,109 @@
+/** @file Unit tests for the CurrentLoopStack structure itself. */
+
+#include <gtest/gtest.h>
+
+#include "loop/cls.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+ClsEntry
+entry(uint32_t t, uint32_t b, uint64_t id)
+{
+    ClsEntry e;
+    e.loop = t;
+    e.branchAddr = b;
+    e.execId = id;
+    e.iterIndex = 2;
+    return e;
+}
+
+TEST(Cls, PushPopOrder)
+{
+    CurrentLoopStack cls(4);
+    EXPECT_TRUE(cls.empty());
+    cls.push(entry(0x1000, 0x1100, 1));
+    cls.push(entry(0x1020, 0x10e0, 2));
+    EXPECT_EQ(cls.size(), 2u);
+    EXPECT_EQ(cls.top().execId, 2u);
+    ClsEntry popped = cls.pop();
+    EXPECT_EQ(popped.execId, 2u);
+    EXPECT_EQ(cls.top().execId, 1u);
+}
+
+TEST(Cls, FindSearchesTopDown)
+{
+    CurrentLoopStack cls(8);
+    cls.push(entry(0x1000, 0x1100, 1));
+    cls.push(entry(0x1020, 0x10e0, 2));
+    cls.push(entry(0x1040, 0x10c0, 3));
+    EXPECT_EQ(cls.find(0x1040), 2);
+    EXPECT_EQ(cls.find(0x1000), 0);
+    EXPECT_EQ(cls.find(0x9999), -1);
+}
+
+TEST(Cls, DropDeepestRemovesBottom)
+{
+    CurrentLoopStack cls(3);
+    cls.push(entry(0x1000, 0x1100, 1));
+    cls.push(entry(0x1020, 0x10e0, 2));
+    cls.push(entry(0x1040, 0x10c0, 3));
+    EXPECT_TRUE(cls.full());
+    ClsEntry lost = cls.dropDeepest();
+    EXPECT_EQ(lost.execId, 1u);
+    EXPECT_EQ(cls.size(), 2u);
+    EXPECT_EQ(cls.at(0).execId, 2u); // entries shifted down
+    EXPECT_EQ(cls.top().execId, 3u);
+}
+
+TEST(Cls, RemoveAtMiddle)
+{
+    CurrentLoopStack cls(4);
+    cls.push(entry(0x1000, 0x1100, 1));
+    cls.push(entry(0x1020, 0x10e0, 2));
+    cls.push(entry(0x1040, 0x10c0, 3));
+    ClsEntry removed = cls.removeAt(1);
+    EXPECT_EQ(removed.execId, 2u);
+    EXPECT_EQ(cls.size(), 2u);
+    EXPECT_EQ(cls.at(0).execId, 1u);
+    EXPECT_EQ(cls.at(1).execId, 3u);
+}
+
+TEST(Cls, BodyContainsIsInclusive)
+{
+    ClsEntry e = entry(0x1000, 0x1100, 1);
+    EXPECT_TRUE(e.bodyContains(0x1000));
+    EXPECT_TRUE(e.bodyContains(0x1100));
+    EXPECT_TRUE(e.bodyContains(0x1050));
+    EXPECT_FALSE(e.bodyContains(0x0ffc));
+    EXPECT_FALSE(e.bodyContains(0x1104));
+}
+
+TEST(Cls, CapacityClampsToMinimumOne)
+{
+    CurrentLoopStack cls(0);
+    EXPECT_EQ(cls.capacity(), 1u);
+    cls.push(entry(0x1000, 0x1100, 1));
+    EXPECT_TRUE(cls.full());
+}
+
+TEST(Cls, PushFullPanics)
+{
+    CurrentLoopStack cls(1);
+    cls.push(entry(0x1000, 0x1100, 1));
+    EXPECT_DEATH(cls.push(entry(0x1020, 0x10e0, 2)), "full");
+}
+
+TEST(Cls, ClearEmpties)
+{
+    CurrentLoopStack cls(4);
+    cls.push(entry(0x1000, 0x1100, 1));
+    cls.clear();
+    EXPECT_TRUE(cls.empty());
+    EXPECT_EQ(cls.find(0x1000), -1);
+}
+
+} // namespace
+} // namespace loopspec

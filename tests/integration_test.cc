@@ -1,0 +1,151 @@
+/** @file End-to-end integration: the full experiment pipeline (workload
+ *  -> trace -> detector -> tables/speculation/dataspec) on real
+ *  workloads, plus cross-module consistency checks. */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "speculation/spec_sim.hh"
+#include "tests/test_util.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+RunOptions
+smallRun()
+{
+    RunOptions opts;
+    opts.scale.factor = 0.2;
+    return opts;
+}
+
+TEST(Integration, FullPipelineOnCompress)
+{
+    CollectFlags flags;
+    flags.loopStats = true;
+    flags.hitRatios = true;
+    flags.ideal = true;
+    flags.recording = true;
+    flags.dataSpec = true;
+    WorkloadArtifacts a = runWorkload("compress", smallRun(), flags);
+
+    EXPECT_GT(a.totalInstrs, 100000u);
+    EXPECT_EQ(a.loopStats.totalInstrs, a.totalInstrs);
+    EXPECT_EQ(a.recording.totalInstrs, a.totalInstrs);
+    EXPECT_EQ(a.letResults.size(), 4u);
+    EXPECT_EQ(a.litResults.size(), 4u);
+    EXPECT_GT(a.idealTpc, 1.0);
+    EXPECT_GT(a.dataSpec.itersEvaluated, 0u);
+
+    // Simulate the recording at the paper's headline configuration.
+    SpecConfig cfg{4, SpecPolicy::StrI, 3};
+    SpecStats s = ThreadSpecSimulator(a.recording, cfg).run();
+    EXPECT_GT(s.tpc(), 1.5);
+    EXPECT_LE(s.tpc(), 4.0);
+}
+
+TEST(Integration, HitRatiosImproveWithTableSize)
+{
+    CollectFlags flags;
+    flags.hitRatios = true;
+    for (const char *name : {"swim", "gcc", "m88ksim"}) {
+        WorkloadArtifacts a = runWorkload(name, smallRun(), flags);
+        for (size_t i = 1; i < a.letResults.size(); ++i) {
+            EXPECT_GE(a.letResults[i].second.ratio() + 1e-9,
+                      a.letResults[i - 1].second.ratio())
+                << name << " LET size "
+                << a.letResults[i].first;
+            EXPECT_GE(a.litResults[i].second.ratio() + 1e-9,
+                      a.litResults[i - 1].second.ratio())
+                << name << " LIT size "
+                << a.litResults[i].first;
+        }
+    }
+}
+
+TEST(Integration, RealisticTpcBoundedByIdeal)
+{
+    CollectFlags flags;
+    flags.ideal = true;
+    flags.recording = true;
+    for (const char *name : {"tomcatv", "li", "m88ksim"}) {
+        WorkloadArtifacts a = runWorkload(name, smallRun(), flags);
+        SpecConfig cfg{16, SpecPolicy::Idle, 3};
+        SpecStats s = ThreadSpecSimulator(a.recording, cfg).run();
+        EXPECT_LE(s.tpc(), a.idealTpc * 1.001)
+            << name << ": realistic TPC must not beat infinite TUs";
+    }
+}
+
+TEST(Integration, PolicyOrderingOnRegularCode)
+{
+    // On a trip-regular FP workload, STR >= IDLE-with-phantom-waste is
+    // not guaranteed pointwise, but both must comfortably beat 1.0 and
+    // STR must not trail IDLE by much.
+    CollectFlags flags;
+    flags.recording = true;
+    RunOptions opts;
+    opts.scale.factor = 0.5; // keep the outer driver detectable
+    WorkloadArtifacts a = runWorkload("hydro2d", opts, flags);
+    double idle =
+        ThreadSpecSimulator(a.recording, {4, SpecPolicy::Idle, 3})
+            .run()
+            .tpc();
+    double str =
+        ThreadSpecSimulator(a.recording, {4, SpecPolicy::Str, 3})
+            .run()
+            .tpc();
+    EXPECT_GT(idle, 1.5);
+    EXPECT_GT(str, 1.5);
+    EXPECT_GT(str, idle * 0.9);
+}
+
+TEST(Integration, TpcScalesWithContexts)
+{
+    CollectFlags flags;
+    flags.recording = true;
+    WorkloadArtifacts a = runWorkload("swim", smallRun(), flags);
+    double t2 =
+        ThreadSpecSimulator(a.recording, {2, SpecPolicy::Str, 3})
+            .run()
+            .tpc();
+    double t16 =
+        ThreadSpecSimulator(a.recording, {16, SpecPolicy::Str, 3})
+            .run()
+            .tpc();
+    EXPECT_GT(t2, 1.3);
+    EXPECT_GT(t16, t2);
+}
+
+TEST(Integration, RunnerSelectsBenchmarks)
+{
+    RunOptions opts = smallRun();
+    opts.benchmarks = {"perl", "swim"};
+    auto selected = opts.selected();
+    ASSERT_EQ(selected.size(), 2u);
+    EXPECT_EQ(selected[0], "perl");
+    // Default selection covers the full registry.
+    RunOptions all = smallRun();
+    EXPECT_EQ(all.selected().size(), 18u);
+}
+
+TEST(Integration, MaxInstrsTruncatesCleanly)
+{
+    RunOptions opts = smallRun();
+    opts.maxInstrs = 40000;
+    CollectFlags flags;
+    flags.loopStats = true;
+    flags.recording = true;
+    WorkloadArtifacts a = runWorkload("go", opts, flags);
+    EXPECT_EQ(a.totalInstrs, 40000u);
+    // Truncated recordings still drive the simulator safely.
+    SpecStats s =
+        ThreadSpecSimulator(a.recording, {4, SpecPolicy::Str, 3}).run();
+    EXPECT_EQ(s.totalInstrs, 40000u);
+    EXPECT_LE(s.cycles, 40000u);
+}
+
+} // namespace
+} // namespace loopspec

@@ -1,0 +1,97 @@
+/** @file Unit tests for src/isa: classification, addressing, disasm. */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "isa/instr.hh"
+#include "isa/opcode.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+TEST(Opcode, ControlKindClassification)
+{
+    EXPECT_EQ(ctrlKindOf(Opcode::Add), CtrlKind::None);
+    EXPECT_EQ(ctrlKindOf(Opcode::Ld), CtrlKind::None);
+    EXPECT_EQ(ctrlKindOf(Opcode::Beq), CtrlKind::Branch);
+    EXPECT_EQ(ctrlKindOf(Opcode::Bgt), CtrlKind::Branch);
+    EXPECT_EQ(ctrlKindOf(Opcode::Jmp), CtrlKind::Jump);
+    EXPECT_EQ(ctrlKindOf(Opcode::JmpInd), CtrlKind::Jump);
+    EXPECT_EQ(ctrlKindOf(Opcode::Call), CtrlKind::Call);
+    EXPECT_EQ(ctrlKindOf(Opcode::CallInd), CtrlKind::Call);
+    EXPECT_EQ(ctrlKindOf(Opcode::Ret), CtrlKind::Ret);
+}
+
+TEST(Opcode, BranchPredicate)
+{
+    EXPECT_TRUE(isBranch(Opcode::Blt));
+    EXPECT_FALSE(isBranch(Opcode::Jmp));
+    EXPECT_FALSE(isBranch(Opcode::Mov));
+}
+
+TEST(Opcode, ControlPredicate)
+{
+    EXPECT_TRUE(isControl(Opcode::Ret));
+    EXPECT_TRUE(isControl(Opcode::CallInd));
+    EXPECT_FALSE(isControl(Opcode::Halt));
+    EXPECT_FALSE(isControl(Opcode::St));
+}
+
+TEST(Opcode, EveryOpcodeHasMnemonic)
+{
+    for (int op = 0; op < static_cast<int>(Opcode::NumOpcodes); ++op) {
+        const char *m = mnemonic(static_cast<Opcode>(op));
+        ASSERT_NE(m, nullptr);
+        EXPECT_GT(std::string(m).size(), 0u);
+    }
+}
+
+TEST(Instr, AddressIndexRoundTrip)
+{
+    for (uint64_t i : {0ull, 1ull, 17ull, 100000ull}) {
+        uint32_t addr = addrOfIndex(i);
+        EXPECT_EQ(indexOfAddr(addr), i);
+        EXPECT_GE(addr, codeBase);
+        EXPECT_EQ((addr - codeBase) % instrBytes, 0u);
+    }
+}
+
+TEST(Disasm, RendersRepresentativeForms)
+{
+    Instr add{Opcode::Add, 3, 3, 1, 0, 0};
+    EXPECT_EQ(disassemble(add), "add r3, r3, r1");
+
+    Instr li{Opcode::Li, 5, 0, 0, -7, 0};
+    EXPECT_EQ(disassemble(li), "li r5, -7");
+
+    Instr ld{Opcode::Ld, 2, 4, 0, 16, 0};
+    EXPECT_EQ(disassemble(ld), "ld r2, 16(r4)");
+
+    Instr st{Opcode::St, 0, 4, 2, 8, 0};
+    EXPECT_EQ(disassemble(st), "st r2, 8(r4)");
+
+    Instr blt{Opcode::Blt, 0, 1, 2, 0, 0x1008};
+    EXPECT_EQ(disassemble(blt), "blt r1, r2, 0x1008");
+
+    Instr jmp{Opcode::Jmp, 0, 0, 0, 0, 0x1010};
+    EXPECT_EQ(disassemble(jmp), "jmp 0x1010");
+
+    Instr ret{Opcode::Ret, 0, 0, 0, 0, 0};
+    EXPECT_EQ(disassemble(ret), "ret");
+
+    EXPECT_EQ(disassembleAt(0x1004, ret), "1004: ret");
+}
+
+TEST(Regs, NamedConstantsMatchIndices)
+{
+    using namespace regs;
+    EXPECT_EQ(r0.idx, 0);
+    EXPECT_EQ(r15.idx, 15);
+    EXPECT_EQ(r31.idx, 31);
+    EXPECT_TRUE(r7 == Reg{7});
+}
+
+} // namespace
+} // namespace loopspec

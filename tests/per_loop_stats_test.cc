@@ -1,0 +1,164 @@
+/** @file Tests for the per-loop profiling listener. */
+
+#include <gtest/gtest.h>
+
+#include "loop/per_loop_stats.hh"
+#include "tests/test_util.hh"
+#include "workloads/workload.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+using namespace regs;
+
+PerLoopStats
+profileFor(const Program &prog)
+{
+    TraceEngine engine(prog);
+    LoopDetector det({16});
+    PerLoopStats stats;
+    det.addListener(&stats);
+    engine.addObserver(&det);
+    engine.run();
+    return stats;
+}
+
+TEST(PerLoopStats, SingleLoopRecord)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, 12);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) { b.nop(); });
+    b.halt();
+    PerLoopStats stats = profileFor(b.build());
+    ASSERT_EQ(stats.records().size(), 1u);
+    const LoopRecord &r = stats.records().begin()->second;
+    EXPECT_EQ(r.execs, 1u);
+    EXPECT_EQ(r.iters, 12u);
+    EXPECT_TRUE(r.constantTrip());
+    EXPECT_EQ(r.minTrip, 12u);
+    EXPECT_EQ(r.endsByClose, 1u);
+    EXPECT_EQ(r.maxDepth, 1u);
+    // Span: detection happens at the end of iteration 1, so the span
+    // covers iterations 2..12 = 11 * 3 instructions.
+    EXPECT_EQ(r.instrSpan, 11u * 3u);
+}
+
+TEST(PerLoopStats, NestedSpansCascade)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, 5);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.li(r3, 0);
+        b.li(r4, 8);
+        b.countedLoop(r3, r4, [&](const LoopCtx &) { b.nop(); });
+    });
+    b.halt();
+    PerLoopStats stats = profileFor(b.build());
+    ASSERT_EQ(stats.records().size(), 2u);
+    auto ranked = stats.bySpan();
+    // The outer loop's span (contains inner executions) dominates.
+    EXPECT_GT(ranked[0].instrSpan, ranked[1].instrSpan);
+    EXPECT_EQ(ranked[0].execs, 1u);  // outer
+    EXPECT_EQ(ranked[1].execs, 5u);  // inner, once per outer body
+    EXPECT_EQ(ranked[1].iters, 40u);
+    EXPECT_EQ(ranked[1].maxDepth, 2u);
+}
+
+TEST(PerLoopStats, VariableTripsTracked)
+{
+    // Inner trip = 2 + (outer & 3): trips 2..5 across executions.
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, 8);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.andi(r4, r1, 3);
+        b.addi(r4, r4, 2);
+        b.li(r3, 0);
+        b.countedLoop(r3, r4, [&](const LoopCtx &) { b.nop(); });
+    });
+    b.halt();
+    PerLoopStats stats = profileFor(b.build());
+    const LoopRecord *inner = nullptr;
+    for (const auto &[loop, rec] : stats.records()) {
+        (void)loop;
+        if (rec.execs == 8)
+            inner = &rec;
+    }
+    ASSERT_NE(inner, nullptr);
+    EXPECT_FALSE(inner->constantTrip());
+    EXPECT_EQ(inner->minTrip, 2u);
+    EXPECT_EQ(inner->maxTrip, 5u);
+}
+
+TEST(PerLoopStats, SingleIterationExecutionsSeparated)
+{
+    // Inner trip 1 on every outer iteration.
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, 6);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.li(r3, 0);
+        b.li(r4, 1);
+        b.countedLoop(r3, r4, [&](const LoopCtx &) { b.nop(); });
+    });
+    b.halt();
+    PerLoopStats stats = profileFor(b.build());
+    const LoopRecord *inner = nullptr;
+    for (const auto &[loop, rec] : stats.records()) {
+        (void)loop;
+        if (rec.singleIterExecs > 0)
+            inner = &rec;
+    }
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->singleIterExecs, 6u);
+    EXPECT_EQ(inner->execs, 0u);
+    EXPECT_EQ(inner->iters, 6u);
+    EXPECT_DOUBLE_EQ(inner->itersPerExec(), 1.0);
+}
+
+TEST(PerLoopStats, ExitReasonsClassified)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, 50);
+    b.li(r3, 7);
+    b.countedLoop(r1, r2, [&](const LoopCtx &ctx) {
+        b.bge(r1, r3, ctx.exit); // break at 7
+        b.nop();
+    });
+    b.halt();
+    PerLoopStats stats = profileFor(b.build());
+    const LoopRecord &r = stats.records().begin()->second;
+    EXPECT_EQ(r.endsByExit, 1u);
+    EXPECT_EQ(r.endsByClose, 0u);
+}
+
+TEST(PerLoopStats, SpanSumsBoundedByTrace)
+{
+    // Even with nesting multi-counting, any single loop's span cannot
+    // exceed the trace length.
+    Program p = buildWorkload("compress", {0.1});
+    TraceEngine engine(p);
+    LoopDetector det({16});
+    PerLoopStats stats;
+    det.addListener(&stats);
+    engine.addObserver(&det);
+    engine.run();
+    for (const auto &[loop, rec] : stats.records()) {
+        (void)loop;
+        EXPECT_LE(rec.instrSpan, stats.totalInstrs());
+    }
+    EXPECT_GT(stats.records().size(), 10u);
+}
+
+} // namespace
+} // namespace loopspec

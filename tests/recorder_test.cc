@@ -1,0 +1,174 @@
+/** @file Unit tests for the LoopEventRecorder and recording round-trip. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "speculation/event_record.hh"
+#include "tests/test_util.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+using namespace regs;
+
+LoopEventRecording
+record(const Program &prog)
+{
+    TraceEngine engine(prog);
+    LoopDetector det({16});
+    LoopEventRecorder rec;
+    det.addListener(&rec);
+    engine.addObserver(&det);
+    engine.run();
+    return rec.take();
+}
+
+Program
+simpleLoop(int64_t trips, int body_nops)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, trips);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        for (int i = 0; i < body_nops; ++i)
+            b.nop();
+    });
+    b.halt();
+    return b.build();
+}
+
+TEST(Recorder, SimpleLoopSegments)
+{
+    LoopEventRecording rec = record(simpleLoop(5, 2));
+    ASSERT_EQ(rec.execs.size(), 1u);
+    const ExecRecord &x = rec.execs[0];
+    EXPECT_EQ(x.iterCount, 5u);
+    EXPECT_EQ(x.endReason, ExecEndReason::Close);
+    ASSERT_EQ(x.iterBoundaries.size(), 4u); // iterations 2..5
+    // Iteration length: 2 nops + addi + blt = 4 instructions.
+    for (uint32_t j = 2; j <= 5; ++j) {
+        auto [s, e] = x.iterSegment(j);
+        EXPECT_EQ(e - s, 4u) << "iteration " << j;
+    }
+    // Segments tile the execution contiguously.
+    for (uint32_t j = 2; j < 5; ++j)
+        EXPECT_EQ(x.iterSegment(j).second, x.iterSegment(j + 1).first);
+    EXPECT_EQ(x.iterSegment(5).second, x.endBoundary);
+}
+
+TEST(Recorder, EventsAreOrderedByBoundary)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, 4);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.li(r3, 0);
+        b.li(r4, 3);
+        b.countedLoop(r3, r4, [&](const LoopCtx &) { b.nop(); });
+    });
+    b.halt();
+    LoopEventRecording rec = record(b.build());
+    for (size_t i = 1; i < rec.events.size(); ++i)
+        EXPECT_LE(rec.events[i - 1].boundary, rec.events[i].boundary);
+    EXPECT_EQ(rec.execs.size(), 5u); // outer + 4 inner
+}
+
+TEST(Recorder, ParentLinksFollowNesting)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, 3);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.li(r3, 0);
+        b.li(r4, 3);
+        b.countedLoop(r3, r4, [&](const LoopCtx &) { b.nop(); });
+    });
+    b.halt();
+    LoopEventRecording rec = record(b.build());
+    // Find the outer exec (depth 1, later detection) and check that
+    // inner execs detected after it carry it as parent.
+    uint64_t outer_id = 0;
+    uint32_t outer_loop = 0;
+    for (const auto &x : rec.execs) {
+        if (x.iterCount == 3 && x.depth == 1 && x.parentExecId == 0 &&
+            x.endReason == ExecEndReason::Close && outer_id == 0 &&
+            x.execId != 1) {
+            outer_id = x.execId;
+            outer_loop = x.loop;
+        }
+    }
+    ASSERT_NE(outer_id, 0u);
+    bool found_child = false;
+    for (const auto &x : rec.execs) {
+        if (x.loop != outer_loop && x.parentExecId == outer_id) {
+            found_child = true;
+            EXPECT_EQ(x.depth, 2u);
+        }
+    }
+    EXPECT_TRUE(found_child);
+}
+
+TEST(Recorder, TruncatedTraceClampsBoundaries)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    Label head = b.here();
+    b.addi(r1, r1, 1);
+    b.jmp(head);
+    Program p = b.build();
+    EngineConfig cfg;
+    cfg.maxInstrs = 50;
+    TraceEngine engine(p, cfg);
+    LoopDetector det({16});
+    LoopEventRecorder rec;
+    det.addListener(&rec);
+    engine.addObserver(&det);
+    engine.run();
+    LoopEventRecording r = rec.take();
+    EXPECT_EQ(r.totalInstrs, 50u);
+    for (const auto &e : r.events)
+        EXPECT_LE(e.boundary, 50u);
+    ASSERT_EQ(r.execs.size(), 1u);
+    EXPECT_EQ(r.execs[0].endReason, ExecEndReason::TraceEnd);
+}
+
+TEST(Recorder, SaveLoadRoundTrip)
+{
+    LoopEventRecording rec = record(simpleLoop(7, 3));
+    std::stringstream ss;
+    rec.save(ss);
+    LoopEventRecording back = LoopEventRecording::load(ss);
+    EXPECT_EQ(back.totalInstrs, rec.totalInstrs);
+    ASSERT_EQ(back.execs.size(), rec.execs.size());
+    ASSERT_EQ(back.events.size(), rec.events.size());
+    for (size_t i = 0; i < rec.execs.size(); ++i) {
+        EXPECT_EQ(back.execs[i].execId, rec.execs[i].execId);
+        EXPECT_EQ(back.execs[i].loop, rec.execs[i].loop);
+        EXPECT_EQ(back.execs[i].iterCount, rec.execs[i].iterCount);
+        EXPECT_EQ(back.execs[i].endBoundary, rec.execs[i].endBoundary);
+        EXPECT_EQ(back.execs[i].iterBoundaries,
+                  rec.execs[i].iterBoundaries);
+    }
+    for (size_t i = 0; i < rec.events.size(); ++i) {
+        EXPECT_EQ(back.events[i].boundary, rec.events[i].boundary);
+        EXPECT_EQ(back.events[i].execIdx, rec.events[i].execIdx);
+        EXPECT_EQ(static_cast<int>(back.events[i].kind),
+                  static_cast<int>(rec.events[i].kind));
+    }
+}
+
+TEST(Recorder, LoadRejectsGarbage)
+{
+    std::stringstream ss;
+    ss << "this is not a recording at all, not even close to one";
+    EXPECT_DEATH(LoopEventRecording::load(ss), "magic");
+}
+
+} // namespace
+} // namespace loopspec

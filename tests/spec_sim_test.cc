@@ -1,0 +1,347 @@
+/** @file Tests for the multithreaded TU simulator: closed-form scenarios,
+ *  policy behaviours, conservation invariants. */
+
+#include <gtest/gtest.h>
+
+#include "speculation/spec_sim.hh"
+#include "tests/test_util.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+using namespace regs;
+
+LoopEventRecording
+record(const Program &prog)
+{
+    TraceEngine engine(prog);
+    LoopDetector det({16});
+    LoopEventRecorder rec;
+    det.addListener(&rec);
+    engine.addObserver(&det);
+    engine.run();
+    return rec.take();
+}
+
+SpecStats
+simulate(const LoopEventRecording &rec, unsigned tus, SpecPolicy policy,
+         unsigned nest = 3)
+{
+    SpecConfig cfg;
+    cfg.numTUs = tus;
+    cfg.policy = policy;
+    cfg.nestLimit = nest;
+    return ThreadSpecSimulator(rec, cfg).run();
+}
+
+/** Flat counted loop: trips iterations of (nops+2) instructions. */
+Program
+flatLoop(int64_t trips, int nops)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, trips);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        for (int i = 0; i < nops; ++i)
+            b.nop();
+    });
+    b.halt();
+    return b.build();
+}
+
+/** Outer loop re-executing a constant-trip inner loop. */
+Program
+repeatedInner(int64_t outer, int64_t inner, int nops)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, outer);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.li(r3, 0);
+        b.li(r4, inner);
+        b.countedLoop(r3, r4, [&](const LoopCtx &) {
+            for (int i = 0; i < nops; ++i)
+                b.nop();
+        });
+    });
+    b.halt();
+    return b.build();
+}
+
+TEST(SpecSim, OneTuIsSequential)
+{
+    LoopEventRecording rec = record(flatLoop(50, 4));
+    SpecStats s = simulate(rec, 1, SpecPolicy::Idle);
+    EXPECT_EQ(s.cycles, s.totalInstrs);
+    EXPECT_EQ(s.specEvents, 0u);
+    EXPECT_DOUBLE_EQ(s.tpc(), 1.0);
+}
+
+TEST(SpecSim, FlatLoopTpcByTuCount)
+{
+    LoopEventRecording rec = record(flatLoop(400, 4));
+    double t2 = simulate(rec, 2, SpecPolicy::Idle).tpc();
+    double t4 = simulate(rec, 4, SpecPolicy::Idle).tpc();
+    double t8 = simulate(rec, 8, SpecPolicy::Idle).tpc();
+    // Burst-refill steady state: ~2 on 2 TUs, ~3 on 4, ~7 on 8.
+    EXPECT_NEAR(t2, 2.0, 0.15);
+    EXPECT_NEAR(t4, 3.0, 0.2);
+    EXPECT_NEAR(t8, 7.0, 0.5);
+    EXPECT_LT(t2, t4);
+    EXPECT_LT(t4, t8);
+}
+
+TEST(SpecSim, PhantomAccountingExact)
+{
+    // Trip-5 loop, one execution, 8 TUs, IDLE: the detection-time burst
+    // speculates iterations 3..9; 3,4,5 are real, 6..9 are phantoms
+    // squashed at the execution's end.
+    LoopEventRecording rec = record(flatLoop(5, 4));
+    SpecStats s = simulate(rec, 8, SpecPolicy::Idle);
+    EXPECT_EQ(s.threadsSpeculated, 7u);
+    EXPECT_EQ(s.threadsVerified, 3u);
+    EXPECT_EQ(s.threadsSquashed, 4u);
+    EXPECT_NEAR(s.hitRatio(), 3.0 / 7.0, 1e-9);
+}
+
+TEST(SpecSim, StrLearnsConstantTrips)
+{
+    // After the inner loop's first execution, STR knows its trip count
+    // and stops creating phantoms; IDLE keeps wasting TUs.
+    LoopEventRecording rec = record(repeatedInner(40, 6, 3));
+    SpecStats idle = simulate(rec, 8, SpecPolicy::Idle);
+    SpecStats str = simulate(rec, 8, SpecPolicy::Str);
+    EXPECT_GT(str.hitRatio(), idle.hitRatio());
+    EXPECT_GT(str.hitRatio(), 0.8);
+}
+
+TEST(SpecSim, StrMatchesIdleWhenNothingKnown)
+{
+    // A single execution gives STR no history: it must behave exactly
+    // like IDLE.
+    LoopEventRecording rec = record(flatLoop(100, 5));
+    SpecStats idle = simulate(rec, 4, SpecPolicy::Idle);
+    SpecStats str = simulate(rec, 4, SpecPolicy::Str);
+    EXPECT_EQ(idle.cycles, str.cycles);
+    EXPECT_EQ(idle.threadsSpeculated, str.threadsSpeculated);
+}
+
+TEST(SpecSim, VerificationDistanceIsIterationLength)
+{
+    // On 2 TUs every verified thread was speculated exactly one
+    // iteration ahead.
+    constexpr uint64_t iter_len = 6; // 4 nops + addi + blt
+    LoopEventRecording rec = record(flatLoop(100, 4));
+    SpecStats s = simulate(rec, 2, SpecPolicy::Idle);
+    EXPECT_NEAR(s.avgInstrToVerif(), static_cast<double>(iter_len), 0.5);
+}
+
+TEST(SpecSim, NestRuleSquashesOnlyUnderStrI)
+{
+    LoopEventRecording rec = record(repeatedInner(30, 8, 2));
+    EXPECT_EQ(simulate(rec, 4, SpecPolicy::Idle).squashedByNestRule, 0u);
+    EXPECT_EQ(simulate(rec, 4, SpecPolicy::Str).squashedByNestRule, 0u);
+}
+
+TEST(SpecSim, TighterNestLimitSquashesMore)
+{
+    // 4-level nest: STR(1) tolerates fewer live non-speculated inner
+    // loops than STR(3).
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    std::function<void(int)> nest = [&](int level) {
+        Reg idx{static_cast<uint8_t>(1 + 2 * level)};
+        Reg bnd{static_cast<uint8_t>(2 + 2 * level)};
+        b.li(idx, 0);
+        b.li(bnd, 4);
+        b.countedLoop(idx, bnd, [&](const LoopCtx &) {
+            if (level < 3)
+                nest(level + 1);
+            else
+                b.nop();
+        });
+    };
+    nest(0);
+    b.halt();
+    LoopEventRecording rec = record(b.build());
+    SpecStats s1 = simulate(rec, 4, SpecPolicy::StrI, 1);
+    SpecStats s3 = simulate(rec, 4, SpecPolicy::StrI, 3);
+    EXPECT_GE(s1.squashedByNestRule, s3.squashedByNestRule);
+}
+
+TEST(SpecSim, ConservationInvariants)
+{
+    LoopEventRecording rec = record(repeatedInner(25, 7, 3));
+    for (unsigned tus : {2u, 4u, 8u, 16u}) {
+        for (SpecPolicy pol :
+             {SpecPolicy::Idle, SpecPolicy::Str, SpecPolicy::StrI}) {
+            SpecStats s = simulate(rec, tus, pol);
+            EXPECT_EQ(s.threadsSpeculated,
+                      s.threadsVerified + s.threadsSquashed);
+            EXPECT_LE(s.cycles, s.totalInstrs);
+            EXPECT_GE(s.tpc(), 1.0);
+            EXPECT_LE(s.tpc(), static_cast<double>(tus) + 1e-9);
+            EXPECT_EQ(s.totalInstrs, rec.totalInstrs);
+        }
+    }
+}
+
+TEST(SpecSim, MoreTusNeverSlower)
+{
+    LoopEventRecording rec = record(repeatedInner(20, 10, 4));
+    uint64_t prev = UINT64_MAX;
+    for (unsigned tus : {1u, 2u, 4u, 8u}) {
+        uint64_t cycles = simulate(rec, tus, SpecPolicy::Str).cycles;
+        EXPECT_LE(cycles, prev) << tus << " TUs";
+        prev = cycles;
+    }
+}
+
+TEST(SpecSim, EmptyRecordingIsSequential)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    for (int i = 0; i < 50; ++i)
+        b.nop();
+    b.halt();
+    LoopEventRecording rec = record(b.build());
+    SpecStats s = simulate(rec, 8, SpecPolicy::Idle);
+    EXPECT_EQ(s.cycles, s.totalInstrs);
+    EXPECT_EQ(s.specEvents, 0u);
+}
+
+TEST(SpecSimData, NoneModeIgnoresAnnotations)
+{
+    LoopEventRecording rec = record(flatLoop(100, 4));
+    for (auto &x : rec.execs)
+        x.iterDataOk.assign(x.iterCount, false); // everything "wrong"
+    SpecConfig none{4, SpecPolicy::Idle, 3, DataMode::None};
+    SpecConfig prof{4, SpecPolicy::Idle, 3, DataMode::Profiled};
+    SpecStats sn = ThreadSpecSimulator(rec, none).run();
+    SpecStats sp = ThreadSpecSimulator(rec, prof).run();
+    EXPECT_EQ(sn.dataMisses, 0u);
+    EXPECT_GT(sp.dataMisses, 0u);
+    EXPECT_LT(sn.cycles, sp.cycles);
+}
+
+TEST(SpecSimData, AllCorrectMatchesControlOnly)
+{
+    LoopEventRecording rec = record(flatLoop(100, 4));
+    for (auto &x : rec.execs)
+        x.iterDataOk.assign(x.iterCount, true);
+    SpecConfig none{4, SpecPolicy::Idle, 3, DataMode::None};
+    SpecConfig prof{4, SpecPolicy::Idle, 3, DataMode::Profiled};
+    SpecStats sn = ThreadSpecSimulator(rec, none).run();
+    SpecStats sp = ThreadSpecSimulator(rec, prof).run();
+    EXPECT_EQ(sp.dataMisses, 0u);
+    EXPECT_EQ(sn.cycles, sp.cycles);
+    EXPECT_EQ(sn.threadsVerified, sp.threadsVerified);
+}
+
+TEST(SpecSimData, AllWrongDegradesToSequential)
+{
+    // Every thread's work is discarded at verification: the front
+    // executes everything itself.
+    LoopEventRecording rec = record(flatLoop(200, 4));
+    for (auto &x : rec.execs)
+        x.iterDataOk.assign(x.iterCount, false);
+    SpecConfig prof{8, SpecPolicy::Idle, 3, DataMode::Profiled};
+    SpecStats s = ThreadSpecSimulator(rec, prof).run();
+    EXPECT_EQ(s.threadsVerified, 0u);
+    EXPECT_NEAR(s.tpc(), 1.0, 0.01);
+    EXPECT_EQ(s.threadsSpeculated,
+              s.threadsVerified + s.threadsSquashed);
+}
+
+TEST(SpecSimData, UnannotatedIsConservativelyWrong)
+{
+    LoopEventRecording rec = record(flatLoop(100, 4));
+    // Leave iterDataOk empty.
+    SpecConfig prof{4, SpecPolicy::Idle, 3, DataMode::Profiled};
+    SpecStats s = ThreadSpecSimulator(rec, prof).run();
+    EXPECT_EQ(s.threadsVerified, 0u);
+    EXPECT_GT(s.dataMisses, 0u);
+}
+
+TEST(SpecSimData, PartialCorrectnessIsProportional)
+{
+    // Alternate correct/wrong iterations: roughly half the threads
+    // commit; TPC sits strictly between sequential and control-only.
+    LoopEventRecording rec = record(flatLoop(300, 4));
+    for (auto &x : rec.execs) {
+        x.iterDataOk.resize(x.iterCount);
+        for (uint32_t j = 0; j < x.iterCount; ++j)
+            x.iterDataOk[j] = (j % 2) == 0;
+    }
+    SpecConfig none{4, SpecPolicy::Idle, 3, DataMode::None};
+    SpecConfig prof{4, SpecPolicy::Idle, 3, DataMode::Profiled};
+    double control = ThreadSpecSimulator(rec, none).run().tpc();
+    SpecStats s = ThreadSpecSimulator(rec, prof).run();
+    EXPECT_GT(s.tpc(), 1.1);
+    EXPECT_LT(s.tpc(), control);
+    EXPECT_GT(s.dataMisses, 0u);
+    EXPECT_GT(s.threadsVerified, 0u);
+}
+
+/** Property sweep across policies and TU counts on a mixed program. */
+struct SweepParam
+{
+    unsigned tus;
+    int policy; // 0 idle, 1 str, 2 str1, 3 str3
+};
+
+class SpecSimSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(SpecSimSweep, InvariantsHoldOnMixedProgram)
+{
+    // Mixed program: nests, calls, data-dependent exits.
+    ProgramBuilder b("t", 4096);
+    b.beginFunction("main");
+    b.li(r29, 64); // spill sp (unused; leaf has no spills)
+    b.li(r1, 0);
+    b.li(r2, 25);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.li(r3, 0);
+        b.li(r4, 5);
+        b.countedLoop(r3, r4, [&](const LoopCtx &ctx) {
+            b.andi(r5, r1, 3);
+            b.beq(r5, r3, ctx.exit); // data-dependent break
+            b.call("leaf");
+        });
+    });
+    b.halt();
+    b.beginFunction("leaf");
+    b.li(r6, 0);
+    b.li(r7, 3);
+    b.countedLoop(r6, r7, [&](const LoopCtx &) { b.nop(); });
+    b.ret();
+    LoopEventRecording rec = record(b.build());
+
+    const SweepParam &p = GetParam();
+    SpecPolicy pol = p.policy == 0   ? SpecPolicy::Idle
+                     : p.policy == 1 ? SpecPolicy::Str
+                                     : SpecPolicy::StrI;
+    unsigned nest = p.policy == 2 ? 1 : 3;
+    SpecStats s = simulate(rec, p.tus, pol, nest);
+    EXPECT_EQ(s.threadsSpeculated, s.threadsVerified + s.threadsSquashed);
+    EXPECT_GE(s.tpc(), 1.0 - 1e-9);
+    EXPECT_LE(s.tpc(), static_cast<double>(p.tus) + 1e-9);
+    EXPECT_LE(s.cycles, s.totalInstrs);
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SpecSimSweep,
+    ::testing::Values(SweepParam{2, 0}, SweepParam{2, 1}, SweepParam{2, 3},
+                      SweepParam{4, 0}, SweepParam{4, 1}, SweepParam{4, 2},
+                      SweepParam{4, 3}, SweepParam{8, 1}, SweepParam{8, 3},
+                      SweepParam{16, 1}, SweepParam{16, 0},
+                      SweepParam{16, 3}));
+
+} // namespace
+} // namespace loopspec

@@ -1,0 +1,364 @@
+/** @file Unit tests for LoopTable, the LET/LIT hit meters and the
+ *  trip-count predictor. */
+
+#include <gtest/gtest.h>
+
+#include "tables/hit_ratio.hh"
+#include "tables/iter_predictor.hh"
+#include "tables/loop_table.hh"
+#include "tests/test_util.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+using namespace regs;
+
+struct Payload
+{
+    int value = 0;
+};
+
+TEST(LoopTable, InsertAndFind)
+{
+    LoopTable<Payload> t(4);
+    EXPECT_EQ(t.find(0x1000), nullptr);
+    t.insert(0x1000).value = 7;
+    ASSERT_NE(t.find(0x1000), nullptr);
+    EXPECT_EQ(t.find(0x1000)->value, 7);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(LoopTable, LruEvictionOrder)
+{
+    LoopTable<Payload> t(2);
+    t.insert(0x10);
+    t.insert(0x20);
+    t.touch(0x10); // 0x20 is now LRU
+    uint32_t evicted = 0;
+    t.insert(0x30, &evicted);
+    EXPECT_EQ(evicted, 0x20u);
+    EXPECT_NE(t.find(0x10), nullptr);
+    EXPECT_EQ(t.find(0x20), nullptr);
+    EXPECT_NE(t.find(0x30), nullptr);
+}
+
+TEST(LoopTable, TouchRefreshesRecency)
+{
+    LoopTable<Payload> t(3);
+    t.insert(1);
+    t.insert(2);
+    t.insert(3);
+    t.touch(1);
+    t.touch(2);
+    uint32_t evicted = 0;
+    t.insert(4, &evicted);
+    EXPECT_EQ(evicted, 3u);
+}
+
+TEST(LoopTable, InsertionCountsAsUse)
+{
+    LoopTable<Payload> t(2);
+    t.insert(1);
+    t.insert(2);
+    uint32_t evicted = 0;
+    t.insert(3, &evicted); // 1 is oldest
+    EXPECT_EQ(evicted, 1u);
+}
+
+TEST(LoopTable, DoubleInsertPanics)
+{
+    LoopTable<Payload> t(2);
+    t.insert(1);
+    EXPECT_DEATH(t.insert(1), "double insert");
+}
+
+// --- hit meters over real detector event streams -----------------------
+
+/** Nest with many inner executions to warm the tables. */
+Program
+meterProgram(int64_t outer, int64_t inner)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, outer);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.li(r3, 0);
+        b.li(r4, inner);
+        b.countedLoop(r3, r4, [&](const LoopCtx &) { b.nop(); });
+    });
+    b.halt();
+    return b.build();
+}
+
+template <typename Meter>
+HitRatioResult
+runMeter(const Program &prog, size_t entries)
+{
+    TraceEngine engine(prog);
+    LoopDetector det({16});
+    Meter meter(entries);
+    det.addListener(&meter);
+    engine.addObserver(&det);
+    engine.run();
+    return meter.result();
+}
+
+TEST(HitMeters, LetWarmsAfterTwoExecutions)
+{
+    // Inner loop executes 10 times: accesses 10, hits from the 3rd
+    // execution on (two completed since insertion), plus the outer loop
+    // miss -> 11 accesses, 8 hits.
+    HitRatioResult r = runMeter<LetHitMeter>(meterProgram(10, 5), 16);
+    EXPECT_EQ(r.accesses, 11u);
+    EXPECT_EQ(r.hits, 8u);
+}
+
+TEST(HitMeters, LitWarmsAfterTwoIterations)
+{
+    // Inner loop, 5 iterations per execution: detected iteration starts
+    // per execution = 4 (indices 2..5). First execution: miss at i2 and
+    // i3, hits at i4, i5; later executions: all hit (counts persist).
+    // Outer loop: iteration starts = 9, first two miss.
+    HitRatioResult r = runMeter<LitHitMeter>(meterProgram(10, 5), 16);
+    EXPECT_EQ(r.accesses, 10u * 4u + 9u);
+    EXPECT_EQ(r.hits, (2u + 9u * 4u) + 7u);
+}
+
+TEST(HitMeters, LitSurvivesWithTwoEntriesOnNest)
+{
+    // The innermost loop re-iterates constantly: even a 2-entry LIT
+    // keeps it resident (the paper's LIT-degrades-gracefully claim).
+    HitRatioResult small = runMeter<LitHitMeter>(meterProgram(40, 20), 2);
+    EXPECT_GT(small.ratio(), 0.9);
+}
+
+TEST(HitMeters, LetThrashesWithManyLoops)
+{
+    // Eight sibling loops per outer iteration on a 2-entry LET: every
+    // execution start misses once warm-up passes.
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, 30);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        for (int k = 0; k < 8; ++k) {
+            b.li(r3, 0);
+            b.li(r4, 4);
+            b.countedLoop(r3, r4, [&](const LoopCtx &) { b.nop(); });
+        }
+    });
+    b.halt();
+    Program p = b.build();
+    HitRatioResult small = runMeter<LetHitMeter>(p, 2);
+    HitRatioResult big = runMeter<LetHitMeter>(p, 16);
+    EXPECT_LT(small.ratio(), 0.05);
+    EXPECT_GT(big.ratio(), 0.9);
+}
+
+// --- §2.3.2 nest-aware replacement ---------------------------------------
+
+TEST(NestAware, VictimPeekMatchesEviction)
+{
+    LoopTable<Payload> t(2);
+    EXPECT_EQ(t.victimLoop(), 0u); // space left
+    t.insert(1);
+    EXPECT_EQ(t.victimLoop(), 0u);
+    t.insert(2);
+    t.touch(1);
+    EXPECT_EQ(t.victimLoop(), 2u);
+    uint32_t evicted = 0;
+    t.insert(3, &evicted);
+    EXPECT_EQ(evicted, 2u);
+}
+
+TEST(NestAware, TrackerRecordsHistoricalNesting)
+{
+    LoopNestingTracker n;
+    n.onExecStart(10);
+    n.onExecStart(20); // 20 nested in 10
+    n.onExecEnd(20);
+    n.onExecEnd(10);
+    EXPECT_TRUE(n.nestedInto(20, 10));
+    EXPECT_FALSE(n.nestedInto(10, 20));
+    EXPECT_FALSE(n.nestedInto(30, 10));
+    // History persists after the executions end.
+    n.onExecStart(30);
+    n.onExecEnd(30);
+    EXPECT_TRUE(n.nestedInto(20, 10));
+}
+
+TEST(NestAware, OuterInsertionInhibitedWhenEvictingItsInner)
+{
+    // Nest: outer O containing inners A, B on a 2-entry LET. Under LRU
+    // the outer's execution start evicts one of the (more valuable)
+    // inner loops; nest-aware inhibits that insertion, so the residents
+    // keep accumulating completions and hit more.
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, 30);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.li(r3, 0);
+        b.li(r4, 4);
+        b.countedLoop(r3, r4, [&](const LoopCtx &) { b.nop(); });
+        b.li(r5, 0);
+        b.li(r6, 4);
+        b.countedLoop(r5, r6, [&](const LoopCtx &) { b.nop(); });
+    });
+    b.halt();
+    Program p = b.build();
+
+    auto ratio = [&](TableReplacement pol) {
+        TraceEngine engine(p);
+        LoopDetector det({16});
+        LetHitMeter meter(2, pol);
+        det.addListener(&meter);
+        engine.addObserver(&det);
+        engine.run();
+        return meter.result().ratio();
+    };
+    double lru = ratio(TableReplacement::Lru);
+    double nest = ratio(TableReplacement::NestAware);
+    EXPECT_GE(nest, lru);
+}
+
+TEST(NestAware, IdenticalToLruWhenNestingFits)
+{
+    // Paper: "when the nesting level of loops is not higher than the
+    // number of entries of the LIT and LET, the behavior of this policy
+    // is identical to LRU."
+    Program p = meterProgram(20, 6); // 2-deep nest, 8-entry tables
+    for (bool lit : {false, true}) {
+        TraceEngine e1(p), e2(p);
+        LoopDetector d1({16}), d2({16});
+        LetHitMeter let1(8, TableReplacement::Lru);
+        LetHitMeter let2(8, TableReplacement::NestAware);
+        LitHitMeter lit1(8, TableReplacement::Lru);
+        LitHitMeter lit2(8, TableReplacement::NestAware);
+        if (lit) {
+            d1.addListener(&lit1);
+            d2.addListener(&lit2);
+        } else {
+            d1.addListener(&let1);
+            d2.addListener(&let2);
+        }
+        e1.addObserver(&d1);
+        e2.addObserver(&d2);
+        e1.run();
+        e2.run();
+        if (lit) {
+            EXPECT_EQ(lit1.result().hits, lit2.result().hits);
+            EXPECT_EQ(lit1.result().accesses, lit2.result().accesses);
+        } else {
+            EXPECT_EQ(let1.result().hits, let2.result().hits);
+            EXPECT_EQ(let1.result().accesses, let2.result().accesses);
+        }
+    }
+}
+
+// --- trip-count predictor ----------------------------------------------
+
+TEST(IterPredictor, UnknownBeforeAnyExecution)
+{
+    IterCountPredictor p;
+    EXPECT_EQ(p.predict(0x1000).kind, TripPredictionKind::Unknown);
+}
+
+TEST(IterPredictor, LastCountAfterOneExecution)
+{
+    IterCountPredictor p;
+    p.recordExecution(0x1000, 12);
+    TripPrediction t = p.predict(0x1000);
+    EXPECT_EQ(t.kind, TripPredictionKind::LastCount);
+    EXPECT_EQ(t.count, 12);
+}
+
+TEST(IterPredictor, StrideNeedsConfidence)
+{
+    IterCountPredictor p;
+    p.recordExecution(1, 10);
+    p.recordExecution(1, 12); // stride 2, not yet confident
+    EXPECT_EQ(p.predict(1).kind, TripPredictionKind::LastCount);
+    p.recordExecution(1, 14); // stride 2 repeats -> confidence rises
+    p.recordExecution(1, 16);
+    TripPrediction t = p.predict(1);
+    EXPECT_EQ(t.kind, TripPredictionKind::Stride);
+    EXPECT_EQ(t.count, 18);
+}
+
+TEST(IterPredictor, ConstantCountIsAStrideOfZero)
+{
+    IterCountPredictor p;
+    for (int i = 0; i < 4; ++i)
+        p.recordExecution(1, 8);
+    TripPrediction t = p.predict(1);
+    EXPECT_EQ(t.kind, TripPredictionKind::Stride);
+    EXPECT_EQ(t.count, 8);
+}
+
+TEST(IterPredictor, NoisyCountsLoseConfidence)
+{
+    IterCountPredictor p;
+    p.recordExecution(1, 5);
+    p.recordExecution(1, 9);
+    p.recordExecution(1, 2);
+    p.recordExecution(1, 17);
+    EXPECT_EQ(p.predict(1).kind, TripPredictionKind::LastCount);
+    EXPECT_EQ(p.predict(1).count, 17);
+}
+
+TEST(IterPredictor, PredictionClampedToOne)
+{
+    IterCountPredictor p;
+    p.recordExecution(1, 8);
+    p.recordExecution(1, 4); // stride -4
+    p.recordExecution(1, 2); // hmm: stride -2, confidence low
+    p.recordExecution(1, 1);
+    // Whatever the state, predictions never go below 1 iteration.
+    EXPECT_GE(p.predict(1).count, 1);
+}
+
+TEST(IterPredictor, BoundedLetEvictsHistory)
+{
+    IterCountPredictor p(2);
+    p.recordExecution(1, 10);
+    p.recordExecution(2, 20);
+    p.recordExecution(3, 30); // evicts loop 1 (LRU)
+    EXPECT_EQ(p.predict(1).kind, TripPredictionKind::Unknown);
+    EXPECT_EQ(p.predict(2).count, 20);
+    EXPECT_EQ(p.predict(3).count, 30);
+    EXPECT_EQ(p.trackedLoops(), 2u);
+}
+
+TEST(IterPredictor, BoundedMatchesUnboundedWhenItFits)
+{
+    IterCountPredictor small(8), big(0);
+    for (int round = 0; round < 5; ++round) {
+        for (uint32_t loop = 1; loop <= 4; ++loop) {
+            small.recordExecution(loop, 6 + loop);
+            big.recordExecution(loop, 6 + loop);
+        }
+    }
+    for (uint32_t loop = 1; loop <= 4; ++loop) {
+        TripPrediction a = small.predict(loop);
+        TripPrediction b = big.predict(loop);
+        EXPECT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind));
+        EXPECT_EQ(a.count, b.count);
+    }
+}
+
+TEST(IterPredictor, LoopsAreIndependent)
+{
+    IterCountPredictor p;
+    p.recordExecution(1, 100);
+    p.recordExecution(2, 3);
+    EXPECT_EQ(p.predict(1).count, 100);
+    EXPECT_EQ(p.predict(2).count, 3);
+    EXPECT_EQ(p.trackedLoops(), 2u);
+}
+
+} // namespace
+} // namespace loopspec

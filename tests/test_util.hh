@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Shared test helpers: an event-capturing LoopListener with a compact
+ * textual rendering (for golden-sequence assertions), and one-call
+ * program tracing.
+ */
+
+#ifndef LOOPSPEC_TESTS_TEST_UTIL_HH
+#define LOOPSPEC_TESTS_TEST_UTIL_HH
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "loop/loop_detector.hh"
+#include "program/builder.hh"
+#include "tracegen/trace_engine.hh"
+#include "util/logging.hh"
+
+namespace loopspec
+{
+namespace test
+{
+
+/** Captures the full loop-event stream. */
+class CaptureListener : public LoopListener
+{
+  public:
+    struct Item
+    {
+        enum Kind
+        {
+            ExecStart,
+            IterStart,
+            IterEnd,
+            ExecEnd,
+            SingleIter
+        } kind;
+        uint32_t loop = 0;
+        uint64_t execId = 0;
+        uint32_t iter = 0; //!< iterIndex or iterCount for ExecEnd
+        uint32_t depth = 0;
+        ExecEndReason reason = ExecEndReason::Close;
+        uint64_t pos = 0;
+    };
+
+    std::vector<Item> items;
+    uint64_t totalInstrs = 0;
+    bool traceDone = false;
+
+    void
+    onExecStart(const ExecStartEvent &ev) override
+    {
+        items.push_back({Item::ExecStart, ev.loop, ev.execId, 0,
+                         ev.depth, ExecEndReason::Close, ev.pos});
+    }
+
+    void
+    onIterStart(const IterEvent &ev) override
+    {
+        items.push_back({Item::IterStart, ev.loop, ev.execId,
+                         ev.iterIndex, ev.depth, ExecEndReason::Close,
+                         ev.pos});
+    }
+
+    void
+    onIterEnd(const IterEvent &ev) override
+    {
+        items.push_back({Item::IterEnd, ev.loop, ev.execId, ev.iterIndex,
+                         ev.depth, ExecEndReason::Close, ev.pos});
+    }
+
+    void
+    onExecEnd(const ExecEndEvent &ev) override
+    {
+        items.push_back({Item::ExecEnd, ev.loop, ev.execId, ev.iterCount,
+                         0, ev.reason, ev.pos});
+    }
+
+    void
+    onSingleIterExec(const SingleIterExecEvent &ev) override
+    {
+        items.push_back({Item::SingleIter, ev.loop, 0, 1, ev.depth,
+                         ExecEndReason::Close, ev.pos});
+    }
+
+    void
+    onTraceDone(uint64_t total) override
+    {
+        traceDone = true;
+        totalInstrs = total;
+    }
+
+    /**
+     * Compact rendering, one token per event, loops labelled by their
+     * order of first appearance (A, B, C, ...):
+     *   "A+ A:i2 A:e3(close) B1" etc., where
+     *   X+        execution of loop X starts
+     *   X:iN      iteration N of X starts
+     *   X:eN(r)   execution of X ends after N iterations, reason r
+     *   X1        single-iteration execution of X
+     * IterEnd events are omitted (implied by IterStart/ExecEnd).
+     */
+    std::string
+    summary() const
+    {
+        std::vector<uint32_t> order;
+        auto label = [&](uint32_t loop) -> std::string {
+            for (size_t i = 0; i < order.size(); ++i) {
+                if (order[i] == loop)
+                    return std::string(1, char('A' + i));
+            }
+            order.push_back(loop);
+            return std::string(1, char('A' + order.size() - 1));
+        };
+        std::ostringstream os;
+        bool first = true;
+        for (const auto &it : items) {
+            if (it.kind == Item::IterEnd)
+                continue;
+            if (!first)
+                os << " ";
+            first = false;
+            switch (it.kind) {
+              case Item::ExecStart:
+                os << label(it.loop) << "+";
+                break;
+              case Item::IterStart:
+                os << label(it.loop) << ":i" << it.iter;
+                break;
+              case Item::ExecEnd:
+                os << label(it.loop) << ":e" << it.iter << "("
+                   << execEndReasonName(it.reason) << ")";
+                break;
+              case Item::SingleIter:
+                os << label(it.loop) << "1";
+                break;
+              default:
+                break;
+            }
+        }
+        return os.str();
+    }
+
+    /** Count of items of a kind (optionally for one loop address). */
+    size_t
+    count(Item::Kind kind, uint32_t loop = 0) const
+    {
+        size_t n = 0;
+        for (const auto &it : items)
+            if (it.kind == kind && (loop == 0 || it.loop == loop))
+                ++n;
+        return n;
+    }
+};
+
+/** Trace a program through a detector, capturing events. */
+inline CaptureListener
+trace(const Program &prog, size_t cls_entries = 16,
+      uint64_t max_instrs = 0)
+{
+    CaptureListener cap;
+    EngineConfig ecfg;
+    ecfg.maxInstrs = max_instrs;
+    TraceEngine engine(prog, ecfg);
+    LoopDetector det({cls_entries});
+    det.addListener(&cap);
+    engine.addObserver(&det);
+    engine.run();
+    return cap;
+}
+
+} // namespace test
+} // namespace loopspec
+
+#endif // LOOPSPEC_TESTS_TEST_UTIL_HH

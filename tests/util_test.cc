@@ -1,0 +1,249 @@
+/** @file Unit tests for src/util: RNG, counters, vectors, tables, CLI. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/cli.hh"
+#include "util/fixed_vector.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/sat_counter.hh"
+#include "util/table_writer.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c.next();
+    }
+    Rng a2(42), c2(43);
+    bool differ = false;
+    for (int i = 0; i < 10; ++i)
+        differ |= (a2.next() != c2.next());
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit over 1000 draws
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng r(13);
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, TripCountMeanApproximates)
+{
+    Rng r(17);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        uint64_t t = r.tripCount(6.0);
+        EXPECT_GE(t, 1u);
+        sum += static_cast<double>(t);
+    }
+    EXPECT_NEAR(sum / n, 6.0, 0.35);
+}
+
+TEST(Rng, TripCountDegenerateMean)
+{
+    Rng r(19);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.tripCount(1.0), 1u);
+}
+
+TEST(SatCounter, TwoBitSemantics)
+{
+    TwoBitCounter c;
+    EXPECT_FALSE(c.confident());
+    c.up();
+    EXPECT_FALSE(c.confident()); // 1 of [0,3]: still weak
+    c.up();
+    EXPECT_TRUE(c.confident()); // 2: MSB set
+    c.up();
+    EXPECT_TRUE(c.saturated());
+    c.up();
+    EXPECT_EQ(c.value(), 3); // saturates
+    c.down();
+    c.down();
+    EXPECT_FALSE(c.confident());
+    c.down();
+    c.down();
+    EXPECT_EQ(c.value(), 0); // floors
+}
+
+TEST(SatCounter, ResetClearsConfidence)
+{
+    TwoBitCounter c(3);
+    EXPECT_TRUE(c.confident());
+    c.reset();
+    EXPECT_FALSE(c.confident());
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST(SatCounter, WidthOne)
+{
+    SatCounter<1> c;
+    EXPECT_FALSE(c.confident());
+    c.up();
+    EXPECT_TRUE(c.confident());
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(FixedVector, PushPopAndIndex)
+{
+    FixedVector<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    v.push_back(1);
+    v.push_back(2);
+    v.push_back(3);
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], 1);
+    EXPECT_EQ(v.back(), 3);
+    v.pop_back();
+    EXPECT_EQ(v.back(), 2);
+    EXPECT_FALSE(v.full());
+}
+
+TEST(FixedVector, EraseAtShiftsDown)
+{
+    FixedVector<int, 8> v;
+    for (int i = 0; i < 5; ++i)
+        v.push_back(i);
+    v.erase_at(1);
+    EXPECT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], 0);
+    EXPECT_EQ(v[1], 2);
+    EXPECT_EQ(v[3], 4);
+    v.erase_at(0); // bottom drop (the CLS overflow path)
+    EXPECT_EQ(v[0], 2);
+}
+
+TEST(FixedVector, TruncateAndClear)
+{
+    FixedVector<int, 8> v;
+    for (int i = 0; i < 6; ++i)
+        v.push_back(i);
+    v.truncate(2);
+    EXPECT_EQ(v.size(), 2u);
+    EXPECT_EQ(v.back(), 1);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(TableWriter, AlignsAndRenders)
+{
+    TableWriter t({"name", "value"});
+    t.row();
+    t.cell(std::string("alpha"));
+    t.cell(uint64_t{42});
+    t.row();
+    t.cell(std::string("b"));
+    t.cell(3.14159, 2);
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("3.14"), std::string::npos);
+}
+
+TEST(TableWriter, CsvHasNoPadding)
+{
+    TableWriter t({"a", "b"});
+    t.row();
+    t.cell(uint64_t{1});
+    t.cell(uint64_t{2});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Cli, ParsesForms)
+{
+    // Note: "--flag value" look-ahead means bare boolean flags must come
+    // last or use --flag=true; positionals precede flags here.
+    const char *argv[] = {"prog", "pos1", "--alpha=3", "--beta", "7",
+                          "--flag"};
+    CliArgs args(6, const_cast<char **>(argv),
+                 {"alpha", "beta", "flag"});
+    EXPECT_EQ(args.getInt("alpha", 0), 3);
+    EXPECT_EQ(args.getInt("beta", 0), 7);
+    EXPECT_TRUE(args.getBool("flag", false));
+    ASSERT_EQ(args.positionals().size(), 1u);
+    EXPECT_EQ(args.positionals()[0], "pos1");
+}
+
+TEST(Cli, DefaultsWhenAbsent)
+{
+    const char *argv[] = {"prog"};
+    CliArgs args(1, const_cast<char **>(argv), {"x"});
+    EXPECT_EQ(args.getInt("x", -5), -5);
+    EXPECT_EQ(args.getString("x", "d"), "d");
+    EXPECT_DOUBLE_EQ(args.getDouble("x", 2.5), 2.5);
+    EXPECT_FALSE(args.has("x"));
+}
+
+TEST(Cli, SplitList)
+{
+    auto v = splitList("a,b,,c");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[2], "c");
+    EXPECT_TRUE(splitList("").empty());
+}
+
+TEST(Logging, Strprintf)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 3, "z"), "x=3 y=z");
+    EXPECT_EQ(strprintf("%llu", 18446744073709551615ull),
+              "18446744073709551615");
+}
+
+} // namespace
+} // namespace loopspec
