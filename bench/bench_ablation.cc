@@ -1,11 +1,13 @@
 /**
  * @file
- * Ablation study for the design points DESIGN.md calls out:
+ * Ablation study for the design points docs/DESIGN.md calls out:
  *   (a) CLS depth — overflow losses and detection quality vs capacity
  *       (the paper asserts 16 entries suffice for SPEC95);
  *   (b) STR(i) nest limit — TPC and hit ratio as i sweeps 1..6 and
  *       beyond (STR == i -> infinity);
- *   (c) TU scaling beyond the paper's 16 contexts.
+ *   (c) TU scaling beyond the paper's 16 contexts;
+ *   (d) LRU vs the §2.3.2 nest-aware LET/LIT replacement (the paper
+ *       found the difference negligible).
  * Run on a subset by default (deep-nesting and squash-sensitive
  * programs); --benchmarks overrides.
  */

@@ -10,6 +10,7 @@
 
 #include "bench/paper_ref.hh"
 #include "harness/runner.hh"
+#include "util/logging.hh"
 #include "util/table_writer.hh"
 
 using namespace loopspec;
@@ -42,16 +43,16 @@ main(int argc, char **argv)
 
     auto paper_let = [](size_t sz) -> std::string {
         if (sz == 8)
-            return "72.44";
+            return strprintf("%.2f", paper::fig4LetAt8);
         if (sz == 16)
-            return "91.98";
+            return strprintf("%.2f", paper::fig4LetAt16);
         return "-";
     };
     auto paper_lit = [](size_t sz) -> std::string {
         if (sz == 2)
-            return "85.00";
+            return strprintf("%.2f", paper::fig4LitAt2);
         if (sz == 4)
-            return "90.50";
+            return strprintf("%.2f", paper::fig4LitAt4);
         return "-";
     };
 

@@ -4,7 +4,7 @@
  * registers and live-in memory locations, and their predictability with
  * last-value + stride predictors (Figure 8).
  *
- * Definitions (DESIGN.md §5.13-§5.14):
+ * Definitions (docs/DESIGN.md §5.13-§5.14):
  *  - the *path* of an iteration is the hash of the control transfers it
  *    retires (callee control flow included);
  *  - a *live-in register* is read before written within the iteration;

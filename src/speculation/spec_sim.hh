@@ -4,7 +4,7 @@
  * paper's §3.1 control-speculation scheme over a recorded loop-event
  * stream.
  *
- * Machine model (DESIGN.md §5.8-§5.11): N TUs retire one instruction per
+ * Machine model (docs/DESIGN.md §5.8-§5.11): N TUs retire one instruction per
  * cycle; one TU is non-speculative (the "front") and always runs; idle
  * TUs are allocated to future iterations of the loop whose iteration the
  * front just started; the allocation count follows the IDLE/STR/STR(i)

@@ -33,7 +33,7 @@ struct EngineConfig
 /**
  * Executes a validated Program. Architectural state: 32 x int64 registers
  * (r0 wired to zero), a flat word-addressed data segment sized by the
- * program, and an engine-managed return-address stack (see DESIGN.md §2 on
+ * program, and an engine-managed return-address stack (see docs/DESIGN.md §2 on
  * why the RA stack is not architectural).
  */
 class TraceEngine

@@ -16,7 +16,7 @@ namespace loopspec
 /**
  * xoshiro256** generator. Small, fast, and good enough for workload
  * synthesis; never use std::rand or unseeded std::mt19937 in this codebase
- * (reproducibility is a hard requirement, see DESIGN.md §8).
+ * (reproducibility is a hard requirement, see docs/DESIGN.md §8).
  */
 class Rng
 {

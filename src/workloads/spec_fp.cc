@@ -3,7 +3,7 @@
  * The ten SPECfp95-shaped synthetic workloads. Each builder states its
  * Table-1 calibration targets (static loops / iterations-per-execution /
  * instructions-per-iteration / avg and max nesting) and the structural
- * choices that realise them; see DESIGN.md §2 for the methodology.
+ * choices that realise them; see docs/DESIGN.md §2 for the methodology.
  */
 
 #include "workloads/workload.hh"

@@ -3,7 +3,7 @@
  * The eight SPECint95-shaped synthetic workloads: irregular control flow,
  * data-dependent trip counts, recursion (the §2.2 CLS recursion quirk),
  * interpreter dispatch loops and hash probing. Calibration targets per
- * builder; see DESIGN.md §2.
+ * builder; see docs/DESIGN.md §2.
  */
 
 #include "workloads/workload.hh"

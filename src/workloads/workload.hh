@@ -5,7 +5,7 @@
  * structure (static loop count, trip-count distribution and regularity,
  * iteration size, nesting depth, recursion, path variability) is
  * calibrated to Table 1 and the per-program behaviour in Table 2 and
- * Figures 5-8. See DESIGN.md §2 for the substitution rationale.
+ * Figures 5-8. See docs/DESIGN.md §2 for the substitution rationale.
  */
 
 #ifndef LOOPSPEC_WORKLOADS_WORKLOAD_HH

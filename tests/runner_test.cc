@@ -1,0 +1,101 @@
+/** @file Unit tests for src/harness: RunOptions and flag parsing. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "workloads/workload.hh"
+
+namespace loopspec
+{
+
+TEST(RunOptions, SelectedDefaultsToFullRegistry)
+{
+    RunOptions opts;
+    EXPECT_EQ(opts.selected(), workloadNames());
+}
+
+TEST(RunOptions, SelectedHonoursExplicitList)
+{
+    RunOptions opts;
+    opts.benchmarks = {"swim", "gcc"};
+    std::vector<std::string> expect = {"swim", "gcc"};
+    EXPECT_EQ(opts.selected(), expect);
+}
+
+TEST(RunOptions, SelectedPreservesOrderAndDuplicates)
+{
+    // selected() is a pass-through: experiments that deliberately rerun
+    // a workload (e.g. for variance) must not have it deduplicated.
+    RunOptions opts;
+    opts.benchmarks = {"li", "li", "applu"};
+    std::vector<std::string> expect = {"li", "li", "applu"};
+    EXPECT_EQ(opts.selected(), expect);
+}
+
+TEST(ParseRunOptions, DefaultsMatchDocumentation)
+{
+    const char *argv[] = {"prog"};
+    RunOptions opts = parseRunOptions(1, const_cast<char **>(argv), {});
+    EXPECT_DOUBLE_EQ(opts.scale.factor, 1.0);
+    EXPECT_TRUE(opts.benchmarks.empty());
+    EXPECT_EQ(opts.clsEntries, 16u);
+    EXPECT_EQ(opts.maxInstrs, 0u);
+    EXPECT_FALSE(opts.csv);
+}
+
+TEST(ParseRunOptions, ParsesAllStandardFlags)
+{
+    const char *argv[] = {"prog",       "--scale=0.5", "--benchmarks",
+                          "swim,li",    "--cls",       "8",
+                          "--max-instrs=1000", "--csv"};
+    RunOptions opts = parseRunOptions(8, const_cast<char **>(argv), {});
+    EXPECT_DOUBLE_EQ(opts.scale.factor, 0.5);
+    std::vector<std::string> expect = {"swim", "li"};
+    EXPECT_EQ(opts.benchmarks, expect);
+    EXPECT_EQ(opts.selected(), expect);
+    EXPECT_EQ(opts.clsEntries, 8u);
+    EXPECT_EQ(opts.maxInstrs, 1000u);
+    EXPECT_TRUE(opts.csv);
+}
+
+TEST(ParseRunOptions, EqualsAndSpaceFormsRoundTrip)
+{
+    const char *argv_eq[] = {"prog", "--scale=2.5", "--cls=4"};
+    const char *argv_sp[] = {"prog", "--scale", "2.5", "--cls", "4"};
+    RunOptions a = parseRunOptions(3, const_cast<char **>(argv_eq), {});
+    RunOptions b = parseRunOptions(5, const_cast<char **>(argv_sp), {});
+    EXPECT_DOUBLE_EQ(a.scale.factor, b.scale.factor);
+    EXPECT_EQ(a.clsEntries, b.clsEntries);
+}
+
+TEST(ParseRunOptions, ExtraFlagsReadableThroughArgsOut)
+{
+    const char *argv[] = {"prog", "--tus", "8", "--policy", "str3",
+                          "--cls", "4"};
+    CliArgs *args = nullptr;
+    RunOptions opts = parseRunOptions(7, const_cast<char **>(argv),
+                                      {"tus", "policy"}, &args);
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(opts.clsEntries, 4u);
+    EXPECT_EQ(args->getUint("tus", 0), 8u);
+    EXPECT_EQ(args->getString("policy", ""), "str3");
+}
+
+TEST(ParseRunOptionsDeathTest, UnknownFlagIsFatal)
+{
+    const char *argv[] = {"prog", "--no-such-flag=1"};
+    EXPECT_EXIT(parseRunOptions(2, const_cast<char **>(argv), {}),
+                testing::ExitedWithCode(1), "unknown flag");
+}
+
+TEST(ParseRunOptionsDeathTest, NonPositiveScaleIsFatal)
+{
+    const char *argv[] = {"prog", "--scale=0"};
+    EXPECT_EXIT(parseRunOptions(2, const_cast<char **>(argv), {}),
+                testing::ExitedWithCode(1), "--scale must be positive");
+}
+
+} // namespace loopspec
