@@ -13,6 +13,7 @@
 #include "speculation/event_record.hh"
 #include "speculation/spec_sim.hh"
 #include "tables/loop_table.hh"
+#include "tracegen/control_trace.hh"
 #include "tracegen/trace_engine.hh"
 #include "workloads/workload.hh"
 
@@ -62,7 +63,8 @@ BM_LoopTableLookup(benchmark::State &state)
 }
 BENCHMARK(BM_LoopTableLookup)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
-/** Raw trace-engine throughput (instructions/second) on compress. */
+/** Raw trace-engine throughput (instructions/second) on compress:
+ *  batched fast path vs the scalar step() reference. */
 void
 BM_EngineThroughput(benchmark::State &state)
 {
@@ -78,12 +80,32 @@ BM_EngineThroughput(benchmark::State &state)
 }
 BENCHMARK(BM_EngineThroughput)->Unit(benchmark::kMillisecond);
 
-/** Engine + detector + stats (the Table-1 pipeline) throughput. */
+void
+BM_EngineThroughputScalar(benchmark::State &state)
+{
+    WorkloadScale scale{0.05};
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        Program p = buildCompress(scale);
+        TraceEngine engine(p);
+        DynInstr d;
+        while (engine.step(d)) {
+        }
+        instrs += engine.retired();
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineThroughputScalar)->Unit(benchmark::kMillisecond);
+
+/** Engine + detector + stats (the Table-1 pipeline) throughput,
+ *  batched (run) vs scalar (step) delivery. */
 void
 BM_DetectorThroughput(benchmark::State &state)
 {
     WorkloadScale scale{0.05};
     uint64_t instrs = 0;
+    const bool scalar = state.range(0) != 0;
     for (auto _ : state) {
         Program p = buildCompress(scale);
         TraceEngine engine(p);
@@ -91,12 +113,47 @@ BM_DetectorThroughput(benchmark::State &state)
         LoopStats stats;
         det.addListener(&stats);
         engine.addObserver(&det);
-        instrs += engine.run();
+        if (scalar) {
+            DynInstr d;
+            while (engine.step(d)) {
+            }
+            instrs += engine.retired();
+        } else {
+            instrs += engine.run();
+        }
     }
     state.counters["instr/s"] = benchmark::Counter(
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_DetectorThroughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DetectorThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/** Detector re-run over a prerecorded control-event trace (the cost of
+ *  one derived configuration in a record/replay sweep). */
+void
+BM_ControlReplayThroughput(benchmark::State &state)
+{
+    WorkloadScale scale{0.05};
+    Program p = buildCompress(scale);
+    TraceEngine engine(p);
+    ControlTraceRecorder rec;
+    engine.addObserver(&rec);
+    engine.run();
+    ControlTrace trace = rec.take();
+
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        LoopDetector det({16});
+        LoopStats stats;
+        det.addListener(&stats);
+        instrs += replayControlTrace(trace, det);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ControlReplayThroughput)->Unit(benchmark::kMillisecond);
 
 /** Event-driven TU simulator throughput over a prebuilt recording. */
 void

@@ -9,6 +9,7 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "harness/runner.hh"
 #include "loop/loop_detector.hh"
@@ -21,7 +22,7 @@ using namespace loopspec;
 int
 main(int argc, char **argv)
 {
-    CliArgs *args = nullptr;
+    std::unique_ptr<CliArgs> args;
     RunOptions opts = parseRunOptions(argc, argv, {"top"}, &args);
     size_t top = args->getUint("top", 10);
 

@@ -9,6 +9,7 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "harness/runner.hh"
 #include "speculation/spec_sim.hh"
@@ -19,7 +20,7 @@ using namespace loopspec;
 int
 main(int argc, char **argv)
 {
-    CliArgs *args = nullptr;
+    std::unique_ptr<CliArgs> args;
     RunOptions opts =
         parseRunOptions(argc, argv, {"tus", "policy"}, &args);
 

@@ -122,6 +122,17 @@ DataSpecProfiler::onInstr(const DynInstr &d)
 }
 
 void
+DataSpecProfiler::onInstrSpan(const DynInstr *instrs, size_t count)
+{
+    // The frame stack is constant across a span; hoist the no-live-loop
+    // check (most of a trace retires outside any detected execution).
+    if (frames.empty())
+        return;
+    for (size_t i = 0; i < count; ++i)
+        onInstr(instrs[i]);
+}
+
+void
 DataSpecProfiler::onExecStart(const ExecStartEvent &ev)
 {
     frames.emplace_back();

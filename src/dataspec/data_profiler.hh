@@ -94,6 +94,7 @@ class DataSpecProfiler : public LoopListener
     explicit DataSpecProfiler(DataSpecConfig config = {});
 
     void onInstr(const DynInstr &instr) override;
+    void onInstrSpan(const DynInstr *instrs, size_t count) override;
     void onExecStart(const ExecStartEvent &ev) override;
     void onIterStart(const IterEvent &ev) override;
     void onIterEnd(const IterEvent &ev) override;

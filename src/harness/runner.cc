@@ -21,16 +21,14 @@ RunOptions::selected() const
 RunOptions
 parseRunOptions(int argc, char **argv,
                 const std::vector<std::string> &extra_flags,
-                CliArgs **args_out)
+                std::unique_ptr<CliArgs> *args_out)
 {
     std::vector<std::string> known = {"scale", "benchmarks", "cls",
-                                      "max-instrs", "csv"};
+                                      "max-instrs", "csv",
+                                      "check-replay"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
 
-    static std::unique_ptr<CliArgs> args;
-    args = std::make_unique<CliArgs>(argc, argv, known);
-    if (args_out)
-        *args_out = args.get();
+    auto args = std::make_unique<CliArgs>(argc, argv, known);
 
     RunOptions opts;
     opts.scale.factor = args->getDouble("scale", 1.0);
@@ -40,6 +38,9 @@ parseRunOptions(int argc, char **argv,
     opts.clsEntries = args->getUint("cls", 16);
     opts.maxInstrs = args->getUint("max-instrs", 0);
     opts.csv = args->getBool("csv", false);
+    opts.checkReplay = args->getBool("check-replay", false);
+    if (args_out)
+        *args_out = std::move(args);
     return opts;
 }
 
@@ -53,10 +54,11 @@ hitRatioTableSizes()
 namespace
 {
 
-/** One full trace pass with a given listener set. */
+/** One full trace pass with a given listener/observer set. */
 uint64_t
 tracePass(const Program &prog, uint64_t max_instrs, size_t cls_entries,
-          const std::vector<LoopListener *> &listeners)
+          const std::vector<LoopListener *> &listeners,
+          const std::vector<TraceObserver *> &extra_observers = {})
 {
     EngineConfig ecfg;
     ecfg.maxInstrs = max_instrs;
@@ -65,7 +67,24 @@ tracePass(const Program &prog, uint64_t max_instrs, size_t cls_entries,
     for (auto *l : listeners)
         detector.addListener(l);
     engine.addObserver(&detector);
+    for (auto *obs : extra_observers)
+        engine.addObserver(obs);
     return engine.run();
+}
+
+void
+checkMeterMatch(const char *what, const std::string &name, size_t entries,
+                const HitRatioResult &direct, const HitRatioResult &replay)
+{
+    if (direct.accesses != replay.accesses || direct.hits != replay.hits) {
+        fatal("%s: %s@%zu replay mismatch: direct %llu/%llu vs "
+              "replay %llu/%llu",
+              name.c_str(), what, entries,
+              static_cast<unsigned long long>(direct.hits),
+              static_cast<unsigned long long>(direct.accesses),
+              static_cast<unsigned long long>(replay.hits),
+              static_cast<unsigned long long>(replay.accesses));
+    }
 }
 
 } // namespace
@@ -85,61 +104,118 @@ runWorkload(const std::string &name, const RunOptions &opts,
 
     Program prog = buildWorkload(name, opts.scale);
 
+    // --- Single functional pass -------------------------------------
+    // Everything an experiment needs is gathered here; derived
+    // configurations below run off the recordings, never the engine.
+    const bool need_recorder = flags.recording || flags.hitRatios;
+    const bool need_ctrace = flags.ideal || flags.controlTrace;
+
     LoopStats stats;
-    std::vector<std::unique_ptr<LetHitMeter>> lets;
-    std::vector<std::unique_ptr<LitHitMeter>> lits;
     IdealTpcComputer ideal;
     LoopEventRecorder recorder;
+    ControlTraceRecorder ctraceRecorder;
     DataSpecConfig dcfg;
     dcfg.recordPerIteration = flags.dataCorrectness;
     DataSpecProfiler profiler(dcfg);
 
+    // Cross-check mode: meters also ride the live pass for comparison.
+    std::vector<std::unique_ptr<LetHitMeter>> liveLets;
+    std::vector<std::unique_ptr<LitHitMeter>> liveLits;
+
     std::vector<LoopListener *> listeners;
     if (flags.loopStats)
         listeners.push_back(&stats);
-    if (flags.hitRatios) {
+    if (flags.hitRatios && opts.checkReplay) {
         for (size_t sz : hitRatioTableSizes()) {
-            lets.push_back(std::make_unique<LetHitMeter>(sz));
-            lits.push_back(std::make_unique<LitHitMeter>(sz));
-            listeners.push_back(lets.back().get());
-            listeners.push_back(lits.back().get());
+            liveLets.push_back(std::make_unique<LetHitMeter>(sz));
+            liveLits.push_back(std::make_unique<LitHitMeter>(sz));
+            listeners.push_back(liveLets.back().get());
+            listeners.push_back(liveLits.back().get());
         }
     }
     if (flags.ideal)
         listeners.push_back(&ideal);
-    if (flags.recording)
+    if (need_recorder)
         listeners.push_back(&recorder);
     if (flags.dataSpec)
         listeners.push_back(&profiler);
 
-    out.totalInstrs =
-        tracePass(prog, opts.maxInstrs, opts.clsEntries, listeners);
+    std::vector<TraceObserver *> extra;
+    if (need_ctrace)
+        extra.push_back(&ctraceRecorder);
 
+    out.totalInstrs =
+        tracePass(prog, opts.maxInstrs, opts.clsEntries, listeners, extra);
+
+    LoopEventRecording recording;
+    if (need_recorder)
+        recording = recorder.take();
+    ControlTrace ctrace;
+    if (need_ctrace)
+        ctrace = ctraceRecorder.take();
+
+    // --- Replay-derived artifacts -----------------------------------
     if (flags.loopStats)
         out.loopStats = stats.report();
     if (flags.hitRatios) {
+        // Figure-4 table-size sweep: the meters consume loop events
+        // only, so all eight run off the recorded stream.
+        std::vector<std::unique_ptr<LetHitMeter>> lets;
+        std::vector<std::unique_ptr<LitHitMeter>> lits;
+        std::vector<LoopListener *> meters;
+        for (size_t sz : hitRatioTableSizes()) {
+            lets.push_back(std::make_unique<LetHitMeter>(sz));
+            lits.push_back(std::make_unique<LitHitMeter>(sz));
+            meters.push_back(lets.back().get());
+            meters.push_back(lits.back().get());
+        }
+        replayLoopEvents(recording, meters);
         for (size_t i = 0; i < lets.size(); ++i) {
             out.letResults.emplace_back(lets[i]->numEntries(),
                                         lets[i]->result());
             out.litResults.emplace_back(lits[i]->numEntries(),
                                         lits[i]->result());
         }
+        if (opts.checkReplay) {
+            for (size_t i = 0; i < lets.size(); ++i) {
+                checkMeterMatch("LET", name, lets[i]->numEntries(),
+                                liveLets[i]->result(), lets[i]->result());
+                checkMeterMatch("LIT", name, lits[i]->numEntries(),
+                                liveLits[i]->result(), lits[i]->result());
+            }
+        }
     }
     if (flags.ideal) {
         out.idealTpc = ideal.tpc();
         // Figure 5 pairs the full run with a truncated prefix to show
-        // the behaviour is stable; rerun on the first half.
+        // the behaviour is stable; replay the recorded control stream
+        // over the first half instead of re-executing the workload.
         IdealTpcComputer prefix;
-        Program prog2 = buildWorkload(name, opts.scale);
-        tracePass(prog2, out.totalInstrs / 2, opts.clsEntries, {&prefix});
+        LoopDetector prefixDet({opts.clsEntries});
+        prefixDet.addListener(&prefix);
+        replayControlTrace(ctrace, prefixDet, out.totalInstrs / 2);
         out.idealTpcPrefix = prefix.tpc();
+        if (opts.checkReplay) {
+            IdealTpcComputer direct;
+            Program prog2 = buildWorkload(name, opts.scale);
+            tracePass(prog2, out.totalInstrs / 2, opts.clsEntries,
+                      {&direct});
+            if (direct.tpc() != prefix.tpc() ||
+                direct.idealCycles() != prefix.idealCycles()) {
+                fatal("%s: prefix replay mismatch: direct TPC %.17g vs "
+                      "replay %.17g",
+                      name.c_str(), direct.tpc(), prefix.tpc());
+            }
+        }
     }
     if (flags.recording)
-        out.recording = recorder.take();
+        out.recording = std::move(recording);
     if (flags.dataSpec)
         out.dataSpec = profiler.report();
     if (flags.dataCorrectness)
         mergeDataCorrectness(out.recording, profiler);
+    if (flags.controlTrace)
+        out.controlTrace = std::move(ctrace);
 
     return out;
 }

@@ -1,15 +1,19 @@
 /**
  * @file
- * Shared experiment driver: builds a workload, executes its trace once
- * through the loop detector with the listeners an experiment needs, and
- * returns the collected artifacts. Every bench binary (one per paper
- * table/figure) is a thin layer over this.
+ * Shared experiment driver: builds a workload, executes the functional
+ * simulator ONCE through the loop detector with the listeners an
+ * experiment needs, and derives every dependent configuration by replay —
+ * the LET/LIT table-size sweep replays the recorded loop-event stream,
+ * the Figure-5 prefix rerun replays the recorded control-event trace.
+ * Every bench binary (one per paper table/figure) is a thin layer over
+ * this.
  */
 
 #ifndef LOOPSPEC_HARNESS_RUNNER_HH
 #define LOOPSPEC_HARNESS_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +21,7 @@
 #include "loop/loop_stats.hh"
 #include "speculation/event_record.hh"
 #include "tables/hit_ratio.hh"
+#include "tracegen/control_trace.hh"
 #include "util/cli.hh"
 #include "workloads/workload.hh"
 
@@ -31,17 +36,21 @@ struct RunOptions
     size_t clsEntries = 16;
     uint64_t maxInstrs = 0; //!< trace truncation (0 = run to Halt)
     bool csv = false;
+    /** Cross-check every replay-derived artifact against a direct
+     *  execution of the same configuration; fatal() on any mismatch. */
+    bool checkReplay = false;
 
     /** Benchmarks to run (selection or full registry order). */
     std::vector<std::string> selected() const;
 };
 
 /** Parse the standard flags: --scale --benchmarks --cls --max-instrs
- *  --csv. Extra flags may be listed in @p extra_flags and read from the
- *  returned CliArgs. */
+ *  --csv --check-replay. Extra flags may be listed in @p extra_flags and
+ *  read from the CliArgs handed back through @p args_out (ownership goes
+ *  to the caller; pass nullptr when only the standard flags matter). */
 RunOptions parseRunOptions(int argc, char **argv,
                            const std::vector<std::string> &extra_flags,
-                           CliArgs **args_out = nullptr);
+                           std::unique_ptr<CliArgs> *args_out = nullptr);
 
 /** What a trace pass should collect. */
 struct CollectFlags
@@ -54,6 +63,9 @@ struct CollectFlags
     /** Annotate the recording with per-iteration live-in correctness
      *  (implies recording + dataSpec); enables DataMode::Profiled. */
     bool dataCorrectness = false;
+    /** Keep the control-event trace in the artifacts so the caller can
+     *  replay further derived configurations (e.g. CLS-size sweeps). */
+    bool controlTrace = false;
 };
 
 /** Everything a pass can produce. */
@@ -68,6 +80,7 @@ struct WorkloadArtifacts
     double idealTpcPrefix = 0.0; //!< first half of the trace
     LoopEventRecording recording;
     DataSpecReport dataSpec;
+    ControlTrace controlTrace; //!< populated when flags.controlTrace
 };
 
 /** Build + trace one workload, collecting per @p flags. */

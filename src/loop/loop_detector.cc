@@ -33,6 +33,8 @@ LoopDetector::addListener(LoopListener *listener)
 {
     LOOPSPEC_ASSERT(listener != nullptr);
     listeners.push_back(listener);
+    if (listener->consumesInstrs())
+        instrListeners.push_back(listener);
 }
 
 void
@@ -190,21 +192,21 @@ LoopDetector::handleReturn(const DynInstr &d)
 }
 
 void
-LoopDetector::onInstr(const DynInstr &d)
+LoopDetector::maybePeriodicFlush(uint64_t pos)
 {
-    // Listeners see the instruction before any events it triggers, so a
-    // closing branch is attributed to the iteration it terminates.
-    for (auto *l : listeners)
-        l->onInstr(d);
-
     if (cfg.flushInterval && ++sinceFlush >= cfg.flushInterval) {
         sinceFlush = 0;
         while (!stack.empty()) {
-            endExecutionAt(stack.size() - 1, d.seq,
-                           ExecEndReason::Flush);
+            endExecutionAt(stack.size() - 1, pos, ExecEndReason::Flush);
             stack.pop();
         }
     }
+}
+
+void
+LoopDetector::dispatch(const DynInstr &d)
+{
+    maybePeriodicFlush(d.seq);
 
     switch (d.kind) {
       case CtrlKind::None:
@@ -227,6 +229,97 @@ LoopDetector::onInstr(const DynInstr &d)
       default:
         panic("bad CtrlKind");
     }
+}
+
+void
+LoopDetector::onInstr(const DynInstr &d)
+{
+    // Listeners see the instruction before any events it triggers, so a
+    // closing branch is attributed to the iteration it terminates.
+    for (auto *l : instrListeners)
+        l->onInstr(d);
+    dispatch(d);
+}
+
+void
+LoopDetector::flushSpan(const DynInstr *instrs, size_t count)
+{
+    if (!count)
+        return;
+    for (auto *l : instrListeners)
+        l->onInstrSpan(instrs, count);
+}
+
+size_t
+LoopDetector::handleCtrlAt(const DynInstr *instrs, size_t i,
+                           size_t span_start)
+{
+    const DynInstr &d = instrs[i];
+    bool work;
+    switch (d.kind) {
+      case CtrlKind::None:
+      case CtrlKind::Call:
+        // Calls never terminate loop executions (§2.1).
+        return span_start;
+      case CtrlKind::Branch:
+        work = d.taken || d.target <= d.pc;
+        break;
+      case CtrlKind::Jump:
+      case CtrlKind::Ret:
+        work = true;
+        break;
+      default:
+        panic("bad CtrlKind");
+    }
+    if (!work)
+        return span_start;
+    // Listeners must see d before any event it triggers: flush the span
+    // up to and including d, then update the CLS.
+    flushSpan(instrs + span_start, i - span_start + 1);
+    dispatch(d);
+    return i + 1;
+}
+
+void
+LoopDetector::onInstrBatch(const DynInstr *instrs, size_t count)
+{
+    if (cfg.flushInterval) {
+        // The periodic flush can fire on any instruction, so every one is
+        // a potential event boundary; take the scalar path (the safety
+        // valve is off in every measured configuration).
+        for (size_t i = 0; i < count; ++i)
+            onInstr(instrs[i]);
+        return;
+    }
+
+    // Split the batch into spans of event-free instructions. Only taken
+    // branches/jumps, not-taken backward branches and returns can change
+    // the CLS; everything else extends the current span.
+    size_t span_start = 0;
+    for (size_t i = 0; i < count; ++i) {
+        if (instrs[i].kind == CtrlKind::None)
+            continue;
+        span_start = handleCtrlAt(instrs, i, span_start);
+    }
+    flushSpan(instrs + span_start, count - span_start);
+}
+
+void
+LoopDetector::onInstrBatchCtrl(const DynInstr *instrs, size_t count,
+                               const uint32_t *ctrl, size_t num_ctrl)
+{
+    if (cfg.flushInterval) {
+        for (size_t i = 0; i < count; ++i)
+            onInstr(instrs[i]);
+        return;
+    }
+
+    // The producer indexed the control transfers: hop between them
+    // directly instead of scanning every record.
+    size_t span_start = 0;
+    for (size_t k = 0; k < num_ctrl; ++k)
+        span_start = handleCtrlAt(instrs, ctrl[k], span_start);
+    flushSpan(instrs + span_start, count - span_start);
 }
 
 void

@@ -63,8 +63,15 @@ class LoopDetector : public TraceObserver
     /** Attach a listener; not owned; order of attach = order of calls. */
     void addListener(LoopListener *listener);
 
-    // TraceObserver interface.
+    // TraceObserver interface. The batch path forwards instructions to
+    // listeners as spans (LoopListener::onInstrSpan) that never straddle
+    // a loop event, so listeners observe the exact per-instruction order
+    // of the scalar path at a fraction of the virtual-dispatch cost.
     void onInstr(const DynInstr &instr) override;
+    void onInstrBatch(const DynInstr *instrs, size_t count) override;
+    void onInstrBatchCtrl(const DynInstr *instrs, size_t count,
+                          const uint32_t *ctrl,
+                          size_t num_ctrl) override;
     void onTraceEnd(uint64_t total_instrs) override;
 
     /** Expose the CLS for tests and inspection tools. */
@@ -92,9 +99,30 @@ class LoopDetector : public TraceObserver
     void handleNotTakenBackward(const DynInstr &d);
     void handleReturn(const DynInstr &d);
 
+    /** CLS update for one instruction (shared by both observer paths);
+     *  the caller has already forwarded @p d to the listeners. */
+    void dispatch(const DynInstr &d);
+
+    /** Flush the periodic-CLS-flush safety valve at position @p pos. */
+    void maybePeriodicFlush(uint64_t pos);
+
+    /** Forward a finished span to every listener. */
+    void flushSpan(const DynInstr *instrs, size_t count);
+
+    /**
+     * Batch helper: process the (control) instruction at @p i. Flushes
+     * the pending span [span_start, i] and updates the CLS when the
+     * instruction can change it; returns the new span start.
+     */
+    size_t handleCtrlAt(const DynInstr *instrs, size_t i,
+                        size_t span_start);
+
     CurrentLoopStack stack;
     DetectorConfig cfg;
     std::vector<LoopListener *> listeners;
+    /** Subset of listeners with consumesInstrs(): the only ones that
+     *  receive onInstr/onInstrSpan. */
+    std::vector<LoopListener *> instrListeners;
     uint64_t nextExecId = 1;
     uint64_t sinceFlush = 0;
     bool flushed = false;

@@ -86,13 +86,38 @@ struct SingleIterExecEvent
  * for every retired instruction *before* any loop events that instruction
  * triggers, so instruction counts attribute closing branches to the
  * iteration they terminate.
+ *
+ * When the detector itself is fed in batches it forwards instructions as
+ * *spans* (onInstrSpan): maximal runs guaranteed not to straddle a loop
+ * event, flushed immediately before the event that ends them. The default
+ * span implementation forwards to onInstr, preserving the per-instruction
+ * contract; listeners whose per-instruction work is an aggregate (e.g.
+ * counters) override it to pay one virtual call per span.
  */
 class LoopListener
 {
   public:
     virtual ~LoopListener() = default;
 
+    /**
+     * Does this listener consume per-instruction data? Event-only
+     * listeners (the LET/LIT meters, the event recorder) return false
+     * and are skipped by the detector's instruction forwarding on both
+     * paths — a listener that returns false must not override onInstr or
+     * onInstrSpan, as neither will be delivered.
+     */
+    virtual bool consumesInstrs() const { return true; }
+
     virtual void onInstr(const DynInstr &instr) { (void)instr; }
+
+    /** A run of consecutive instructions with no loop event between
+     *  them; any event triggered by the last one follows the call. */
+    virtual void
+    onInstrSpan(const DynInstr *instrs, size_t count)
+    {
+        for (size_t i = 0; i < count; ++i)
+            onInstr(instrs[i]);
+    }
     virtual void onExecStart(const ExecStartEvent &ev) { (void)ev; }
     virtual void onIterStart(const IterEvent &ev) { (void)ev; }
     virtual void onIterEnd(const IterEvent &ev) { (void)ev; }

@@ -19,6 +19,19 @@ LoopStats::onInstr(const DynInstr &instr)
 }
 
 void
+LoopStats::onInstrSpan(const DynInstr *instrs, size_t count)
+{
+    // No loop event falls inside a span, so the frame stack is constant
+    // across it and the per-instruction counts collapse to sums.
+    (void)instrs;
+    totalInstrs += count;
+    if (!frames.empty()) {
+        frames.back().instrs += count;
+        coveredInstrs += count;
+    }
+}
+
+void
 LoopStats::onExecStart(const ExecStartEvent &ev)
 {
     loopIds.insert(ev.loop);

@@ -54,6 +54,7 @@ class LoopStats : public LoopListener
     LoopStats() = default;
 
     void onInstr(const DynInstr &instr) override;
+    void onInstrSpan(const DynInstr *instrs, size_t count) override;
     void onExecStart(const ExecStartEvent &ev) override;
     void onIterStart(const IterEvent &ev) override;
     void onExecEnd(const ExecEndEvent &ev) override;

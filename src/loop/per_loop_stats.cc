@@ -17,6 +17,16 @@ PerLoopStats::onInstr(const DynInstr &instr)
 }
 
 void
+PerLoopStats::onInstrSpan(const DynInstr *instrs_p, size_t count)
+{
+    // Spans never straddle loop events: the frame stack is constant.
+    (void)instrs_p;
+    instrs += count;
+    if (!frames.empty())
+        frames.back().instrs += count;
+}
+
+void
 PerLoopStats::onExecStart(const ExecStartEvent &ev)
 {
     frames.push_back({ev.execId, ev.loop, 0});

@@ -64,6 +64,7 @@ class PerLoopStats : public LoopListener
 {
   public:
     void onInstr(const DynInstr &instr) override;
+    void onInstrSpan(const DynInstr *instrs, size_t count) override;
     void onExecStart(const ExecStartEvent &ev) override;
     void onExecEnd(const ExecEndEvent &ev) override;
     void onSingleIterExec(const SingleIterExecEvent &ev) override;

@@ -34,52 +34,110 @@ ExecRecord::iterSegment(uint32_t j) const
 void
 LoopEventRecorder::onExecStart(const ExecStartEvent &ev)
 {
-    uint32_t idx = static_cast<uint32_t>(rec.execs.size());
-    execIndex.emplace(ev.execId, idx);
     ExecRecord r;
     r.execId = ev.execId;
     r.loop = ev.loop;
+    r.branchAddr = ev.branchAddr;
     r.depth = ev.depth;
     r.parentExecId = ev.parentExecId;
     rec.execs.push_back(std::move(r));
-    // The matching IterStart (iteration 2) arrives immediately after and
-    // appends both the boundary and the SimEvent.
+    rec.loopEvents.push_back({ev.pos, ev.execId, ev.loop, 0, ev.depth,
+                              LoopEventKind::ExecStart,
+                              ExecEndReason::Close});
 }
 
 void
 LoopEventRecorder::onIterStart(const IterEvent &ev)
 {
-    auto it = execIndex.find(ev.execId);
-    LOOPSPEC_ASSERT(it != execIndex.end(), "IterStart for unknown exec");
-    ExecRecord &r = rec.execs[it->second];
-    uint64_t boundary = ev.pos + 1;
-    r.iterBoundaries.push_back(boundary);
-    rec.events.push_back(
-        {boundary, it->second, ev.iterIndex, SimEventKind::IterStart});
+    rec.loopEvents.push_back({ev.pos, ev.execId, ev.loop, ev.iterIndex,
+                              ev.depth, LoopEventKind::IterStart,
+                              ExecEndReason::Close});
+}
+
+void
+LoopEventRecorder::onIterEnd(const IterEvent &ev)
+{
+    rec.loopEvents.push_back({ev.pos, ev.execId, ev.loop, ev.iterIndex,
+                              ev.depth, LoopEventKind::IterEnd,
+                              ExecEndReason::Close});
 }
 
 void
 LoopEventRecorder::onExecEnd(const ExecEndEvent &ev)
 {
-    auto it = execIndex.find(ev.execId);
-    LOOPSPEC_ASSERT(it != execIndex.end(), "ExecEnd for unknown exec");
-    ExecRecord &r = rec.execs[it->second];
-    r.endBoundary = ev.pos + 1;
-    r.iterCount = ev.iterCount;
-    r.endReason = ev.reason;
-    rec.events.push_back(
-        {r.endBoundary, it->second, ev.iterCount, SimEventKind::ExecEnd});
-    execIndex.erase(it);
+    rec.loopEvents.push_back({ev.pos, ev.execId, ev.loop, ev.iterCount,
+                              0, LoopEventKind::ExecEnd, ev.reason});
+}
+
+void
+LoopEventRecorder::onSingleIterExec(const SingleIterExecEvent &ev)
+{
+    rec.loopEvents.push_back({ev.pos, 0, ev.loop, ev.branchAddr,
+                              ev.depth, LoopEventKind::SingleIter,
+                              ExecEndReason::Close});
 }
 
 void
 LoopEventRecorder::onTraceDone(uint64_t total_instrs)
 {
     LOOPSPEC_ASSERT(!done, "onTraceDone twice");
-    LOOPSPEC_ASSERT(execIndex.empty(),
-                    "executions still open at trace end (missing flush?)");
     done = true;
     rec.totalInstrs = total_instrs;
+
+    // Derive the simulator's SimEvent stream and the per-execution
+    // boundaries from the recorded events (bulk pass, off the per-event
+    // hot path). Exec ids are allocated densely by the detector, so a
+    // flat vector indexes the live executions.
+    rec.events.reserve(rec.loopEvents.size() / 2);
+    std::vector<uint32_t> exec_index; //!< execId -> idx, UINT32_MAX=none
+    size_t live_execs = 0;
+    uint32_t next_exec = 0;
+    auto find_exec = [&](uint64_t exec_id) -> uint32_t {
+        return exec_id < exec_index.size() ? exec_index[exec_id]
+                                           : UINT32_MAX;
+    };
+    for (const LoopEventRec &e : rec.loopEvents) {
+        switch (e.kind) {
+          case LoopEventKind::ExecStart: {
+            if (e.execId >= exec_index.size())
+                exec_index.resize(e.execId + 256, UINT32_MAX);
+            exec_index[e.execId] = next_exec++;
+            ++live_execs;
+            break;
+          }
+          case LoopEventKind::IterStart: {
+            uint32_t idx = find_exec(e.execId);
+            LOOPSPEC_ASSERT(idx != UINT32_MAX,
+                            "IterStart for unknown exec");
+            uint64_t boundary = e.pos + 1;
+            rec.execs[idx].iterBoundaries.push_back(boundary);
+            rec.events.push_back(
+                {boundary, idx, e.aux, SimEventKind::IterStart});
+            break;
+          }
+          case LoopEventKind::ExecEnd: {
+            uint32_t idx = find_exec(e.execId);
+            LOOPSPEC_ASSERT(idx != UINT32_MAX, "ExecEnd for unknown exec");
+            ExecRecord &r = rec.execs[idx];
+            r.endBoundary = e.pos + 1;
+            r.iterCount = e.aux;
+            r.endReason = e.reason;
+            rec.events.push_back(
+                {r.endBoundary, idx, e.aux, SimEventKind::ExecEnd});
+            exec_index[e.execId] = UINT32_MAX;
+            --live_execs;
+            break;
+          }
+          case LoopEventKind::IterEnd:
+          case LoopEventKind::SingleIter:
+            break;
+          default:
+            panic("bad LoopEventKind");
+        }
+    }
+    LOOPSPEC_ASSERT(live_execs == 0,
+                    "executions still open at trace end (missing flush?)");
+
     // The detector's flush reports positions one past the last retired
     // instruction; clamp all boundaries into [0, totalInstrs].
     for (auto &e : rec.events) {
@@ -103,10 +161,65 @@ LoopEventRecorder::take()
     return std::move(rec);
 }
 
+void
+replayLoopEvents(const LoopEventRecording &recording,
+                 const std::vector<LoopListener *> &listeners)
+{
+    // ExecStart events pair 1:1, in order, with recording.execs — that
+    // record supplies the fields the compact event stream omits.
+    size_t next_exec = 0;
+    for (const LoopEventRec &e : recording.loopEvents) {
+        switch (e.kind) {
+          case LoopEventKind::ExecStart: {
+            LOOPSPEC_ASSERT(next_exec < recording.execs.size(),
+                            "more ExecStart events than ExecRecords");
+            const ExecRecord &r = recording.execs[next_exec++];
+            ExecStartEvent ev{e.pos, e.execId, e.loop, r.branchAddr,
+                              e.depth, r.parentExecId};
+            for (auto *l : listeners)
+                l->onExecStart(ev);
+            break;
+          }
+          case LoopEventKind::IterStart: {
+            IterEvent ev{e.pos, e.execId, e.loop, e.aux, e.depth};
+            for (auto *l : listeners)
+                l->onIterStart(ev);
+            break;
+          }
+          case LoopEventKind::IterEnd: {
+            IterEvent ev{e.pos, e.execId, e.loop, e.aux, e.depth};
+            for (auto *l : listeners)
+                l->onIterEnd(ev);
+            break;
+          }
+          case LoopEventKind::ExecEnd: {
+            ExecEndEvent ev{e.pos, e.execId, e.loop, e.aux, e.reason};
+            for (auto *l : listeners)
+                l->onExecEnd(ev);
+            break;
+          }
+          case LoopEventKind::SingleIter: {
+            SingleIterExecEvent ev{e.pos, e.loop, e.aux, e.depth};
+            for (auto *l : listeners)
+                l->onSingleIterExec(ev);
+            break;
+          }
+          default:
+            panic("bad LoopEventKind");
+        }
+    }
+    for (auto *l : listeners)
+        l->onTraceDone(recording.totalInstrs);
+}
+
 namespace
 {
 
-constexpr uint64_t recordingMagic = 0x4c53524543303176ull; // "LSREC01v"
+// "LSREC02v". The format stores both the loopEvents stream and the
+// SimEvents/boundaries derived from it: redundant on disk, but load()
+// stays a straight deserialisation and recordings are ready to use
+// without re-running the onTraceDone derivation.
+constexpr uint64_t recordingMagic = 0x4c53524543303276ull;
 
 template <typename T>
 void
@@ -137,6 +250,7 @@ LoopEventRecording::save(std::ostream &os) const
     for (const auto &x : execs) {
         writePod(os, x.execId);
         writePod(os, x.loop);
+        writePod(os, x.branchAddr);
         writePod(os, x.depth);
         writePod(os, x.parentExecId);
         writePod(os, x.endBoundary);
@@ -156,6 +270,16 @@ LoopEventRecording::save(std::ostream &os) const
         writePod(os, e.iterIndex);
         writePod(os, static_cast<uint8_t>(e.kind));
     }
+    writePod(os, static_cast<uint64_t>(loopEvents.size()));
+    for (const auto &e : loopEvents) {
+        writePod(os, e.pos);
+        writePod(os, e.execId);
+        writePod(os, e.loop);
+        writePod(os, e.aux);
+        writePod(os, e.depth);
+        writePod(os, static_cast<uint8_t>(e.kind));
+        writePod(os, static_cast<uint8_t>(e.reason));
+    }
 }
 
 LoopEventRecording
@@ -170,6 +294,7 @@ LoopEventRecording::load(std::istream &is)
     for (auto &x : rec.execs) {
         x.execId = readPod<uint64_t>(is);
         x.loop = readPod<uint32_t>(is);
+        x.branchAddr = readPod<uint32_t>(is);
         x.depth = readPod<uint32_t>(is);
         x.parentExecId = readPod<uint64_t>(is);
         x.endBoundary = readPod<uint64_t>(is);
@@ -191,6 +316,17 @@ LoopEventRecording::load(std::istream &is)
         e.execIdx = readPod<uint32_t>(is);
         e.iterIndex = readPod<uint32_t>(is);
         e.kind = static_cast<SimEventKind>(readPod<uint8_t>(is));
+    }
+    uint64_t num_loop_events = readPod<uint64_t>(is);
+    rec.loopEvents.resize(num_loop_events);
+    for (auto &e : rec.loopEvents) {
+        e.pos = readPod<uint64_t>(is);
+        e.execId = readPod<uint64_t>(is);
+        e.loop = readPod<uint32_t>(is);
+        e.aux = readPod<uint32_t>(is);
+        e.depth = readPod<uint32_t>(is);
+        e.kind = static_cast<LoopEventKind>(readPod<uint8_t>(is));
+        e.reason = static_cast<ExecEndReason>(readPod<uint8_t>(is));
     }
     return rec;
 }

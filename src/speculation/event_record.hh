@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <unordered_map>
 #include <vector>
 
 #include "loop/loop_event.hh"
@@ -29,6 +28,7 @@ struct ExecRecord
 {
     uint64_t execId = 0;
     uint32_t loop = 0;
+    uint32_t branchAddr = 0; //!< detecting transfer's address (initial B)
     uint32_t depth = 0;
     uint64_t parentExecId = 0;
     uint64_t endBoundary = 0;
@@ -69,12 +69,48 @@ struct SimEvent
     SimEventKind kind;
 };
 
+/** Kinds of the replayable loop-event stream (all five detector
+ *  callbacks, in emission order). */
+enum class LoopEventKind : uint8_t
+{
+    ExecStart,
+    IterStart,
+    IterEnd,
+    ExecEnd,
+    SingleIter,
+};
+
+/**
+ * One recorded loop event (32 bytes — the recorder appends one per
+ * event on the hot path). Together with the ExecRecords, the stream
+ * reconstructs the original ExecStartEvent / IterEvent / ExecEndEvent /
+ * SingleIterExecEvent sequence exactly: ExecStart events pair 1:1, in
+ * order, with LoopEventRecording::execs, which carry the branchAddr and
+ * parentExecId. Field use by kind:
+ *   ExecStart:  pos execId loop depth (rest from the ExecRecord)
+ *   IterStart/IterEnd: pos execId loop aux(=iterIndex) depth
+ *   ExecEnd:    pos execId loop aux(=iterCount) reason
+ *   SingleIter: pos loop aux(=branchAddr) depth
+ */
+struct LoopEventRec
+{
+    uint64_t pos = 0;
+    uint64_t execId = 0;
+    uint32_t loop = 0;
+    uint32_t aux = 0;
+    uint32_t depth = 0;
+    LoopEventKind kind = LoopEventKind::ExecStart;
+    ExecEndReason reason = ExecEndReason::Close;
+};
+
 /** The full recording of one trace. */
 struct LoopEventRecording
 {
     uint64_t totalInstrs = 0;
     std::vector<ExecRecord> execs;
     std::vector<SimEvent> events;
+    /** Replayable event stream (see replayLoopEvents). */
+    std::vector<LoopEventRec> loopEvents;
 
     /** Serialise to a stream (simple binary format, versioned). */
     void save(std::ostream &os) const;
@@ -82,6 +118,16 @@ struct LoopEventRecording
     /** Load a recording saved by save(); fatal() on format errors. */
     static LoopEventRecording load(std::istream &is);
 };
+
+/**
+ * Replay the recorded loop-event stream into @p listeners in emission
+ * order, finishing with onTraceDone. Per-instruction callbacks are not
+ * replayed: this derives every artifact that consumes loop events only
+ * (the LET/LIT hit meters of Figure 4, nest-aware replacement ablations)
+ * from one functional pass, bit-identically to a live pass.
+ */
+void replayLoopEvents(const LoopEventRecording &recording,
+                      const std::vector<LoopListener *> &listeners);
 
 class DataSpecProfiler; // forward: see dataspec/data_profiler.hh
 
@@ -97,13 +143,22 @@ void mergeDataCorrectness(LoopEventRecording &recording,
 /**
  * LoopListener building a LoopEventRecording. Attach to a LoopDetector,
  * run the trace, then take() the result.
+ *
+ * Hot-path cost is one 32-byte append per loop event (plus one
+ * ExecRecord per detected execution); the simulator's SimEvent stream
+ * and the per-execution iteration boundaries are derived from the event
+ * stream in onTraceDone.
  */
 class LoopEventRecorder : public LoopListener
 {
   public:
+    /** Event-driven only: instruction data carries no information. */
+    bool consumesInstrs() const override { return false; }
     void onExecStart(const ExecStartEvent &ev) override;
     void onIterStart(const IterEvent &ev) override;
+    void onIterEnd(const IterEvent &ev) override;
     void onExecEnd(const ExecEndEvent &ev) override;
+    void onSingleIterExec(const SingleIterExecEvent &ev) override;
     void onTraceDone(uint64_t total_instrs) override;
 
     /** Move the finished recording out (valid after onTraceDone). */
@@ -111,7 +166,6 @@ class LoopEventRecorder : public LoopListener
 
   private:
     LoopEventRecording rec;
-    std::unordered_map<uint64_t, uint32_t> execIndex; //!< execId -> idx
     bool done = false;
 };
 

@@ -19,6 +19,18 @@ IdealTpcComputer::onInstr(const DynInstr &instr)
 }
 
 void
+IdealTpcComputer::onInstrSpan(const DynInstr *instrs_p, size_t count)
+{
+    // Spans never straddle loop events: the frame stack is constant.
+    (void)instrs_p;
+    instrs += count;
+    if (frames.empty())
+        rootCost += count;
+    else
+        frames.back().curCost += count;
+}
+
+void
 IdealTpcComputer::onExecStart(const ExecStartEvent &ev)
 {
     frames.push_back({ev.execId, 0, 0});

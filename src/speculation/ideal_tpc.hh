@@ -36,6 +36,7 @@ class IdealTpcComputer : public LoopListener
 {
   public:
     void onInstr(const DynInstr &instr) override;
+    void onInstrSpan(const DynInstr *instrs, size_t count) override;
     void onExecStart(const ExecStartEvent &ev) override;
     void onIterEnd(const IterEvent &ev) override;
     void onExecEnd(const ExecEndEvent &ev) override;

@@ -103,6 +103,8 @@ class LetHitMeter : public LoopListener
     explicit LetHitMeter(size_t num_entries,
                          TableReplacement policy = TableReplacement::Lru);
 
+    /** Event-driven only: instruction data carries no information. */
+    bool consumesInstrs() const override { return false; }
     void onExecStart(const ExecStartEvent &ev) override;
     void onExecEnd(const ExecEndEvent &ev) override;
     void onSingleIterExec(const SingleIterExecEvent &ev) override;
@@ -137,6 +139,8 @@ class LitHitMeter : public LoopListener
     explicit LitHitMeter(size_t num_entries,
                          TableReplacement policy = TableReplacement::Lru);
 
+    /** Event-driven only: instruction data carries no information. */
+    bool consumesInstrs() const override { return false; }
     void onExecStart(const ExecStartEvent &ev) override;
     void onIterStart(const IterEvent &ev) override;
     void onIterEnd(const IterEvent &ev) override;

@@ -82,11 +82,7 @@ class LoopTable
             slots.push_back({loop, ++clock, Payload{}});
             return slots.back().data;
         }
-        size_t victim = 0;
-        for (size_t i = 1; i < slots.size(); ++i) {
-            if (slots[i].lastUse < slots[victim].lastUse)
-                victim = i;
-        }
+        size_t victim = victimIndex();
         if (evicted_loop)
             *evicted_loop = slots[victim].loop;
         slots[victim] = {loop, ++clock, Payload{}};
@@ -103,12 +99,7 @@ class LoopTable
     {
         if (slots.size() < capacity)
             return 0;
-        size_t victim = 0;
-        for (size_t i = 1; i < slots.size(); ++i) {
-            if (slots[i].lastUse < slots[victim].lastUse)
-                victim = i;
-        }
-        return slots[victim].loop;
+        return slots[victimIndex()].loop;
     }
 
     size_t size() const { return slots.size(); }
@@ -121,6 +112,18 @@ class LoopTable
         uint64_t lastUse;
         Payload data;
     };
+
+    /** Index of the LRU slot; requires a non-empty table. */
+    size_t
+    victimIndex() const
+    {
+        size_t victim = 0;
+        for (size_t i = 1; i < slots.size(); ++i) {
+            if (slots[i].lastUse < slots[victim].lastUse)
+                victim = i;
+        }
+        return victim;
+    }
 
     std::vector<Slot> slots;
     size_t capacity;

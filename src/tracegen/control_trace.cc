@@ -1,0 +1,170 @@
+#include "tracegen/control_trace.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+namespace
+{
+
+constexpr uint64_t controlTraceMagic = 0x4c53435452303176ull; // "LSCTR01v"
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!is)
+        fatal("control trace stream truncated");
+    return value;
+}
+
+} // namespace
+
+void
+ControlTrace::save(std::ostream &os) const
+{
+    writePod(os, controlTraceMagic);
+    writePod(os, totalInstrs);
+    writePod(os, static_cast<uint64_t>(transfers.size()));
+    for (const auto &t : transfers) {
+        writePod(os, t.seq);
+        writePod(os, t.pc);
+        writePod(os, t.target);
+        writePod(os, static_cast<uint8_t>(t.kind));
+        writePod(os, static_cast<uint8_t>(t.taken));
+    }
+}
+
+ControlTrace
+ControlTrace::load(std::istream &is)
+{
+    if (readPod<uint64_t>(is) != controlTraceMagic)
+        fatal("not a loopspec control trace (bad magic)");
+    ControlTrace trace;
+    trace.totalInstrs = readPod<uint64_t>(is);
+    uint64_t n = readPod<uint64_t>(is);
+    trace.transfers.resize(n);
+    for (auto &t : trace.transfers) {
+        t.seq = readPod<uint64_t>(is);
+        t.pc = readPod<uint32_t>(is);
+        t.target = readPod<uint32_t>(is);
+        t.kind = static_cast<CtrlKind>(readPod<uint8_t>(is));
+        t.taken = readPod<uint8_t>(is) != 0;
+    }
+    return trace;
+}
+
+void
+ControlTraceRecorder::onInstr(const DynInstr &d)
+{
+    if (d.kind == CtrlKind::None)
+        return;
+    trace.transfers.push_back({d.seq, d.pc, d.target, d.kind, d.taken});
+}
+
+void
+ControlTraceRecorder::onInstrBatch(const DynInstr *instrs, size_t count)
+{
+    for (size_t i = 0; i < count; ++i) {
+        const DynInstr &d = instrs[i];
+        if (d.kind == CtrlKind::None)
+            continue;
+        trace.transfers.push_back(
+            {d.seq, d.pc, d.target, d.kind, d.taken});
+    }
+}
+
+void
+ControlTraceRecorder::onInstrBatchCtrl(const DynInstr *instrs,
+                                       size_t count, const uint32_t *ctrl,
+                                       size_t num_ctrl)
+{
+    (void)count;
+    for (size_t k = 0; k < num_ctrl; ++k) {
+        const DynInstr &d = instrs[ctrl[k]];
+        trace.transfers.push_back(
+            {d.seq, d.pc, d.target, d.kind, d.taken});
+    }
+}
+
+void
+ControlTraceRecorder::onTraceEnd(uint64_t total_instrs)
+{
+    LOOPSPEC_ASSERT(!done, "onTraceEnd twice");
+    done = true;
+    trace.totalInstrs = total_instrs;
+}
+
+ControlTrace
+ControlTraceRecorder::take()
+{
+    LOOPSPEC_ASSERT(done, "take() before onTraceEnd");
+    done = false;
+    ControlTrace out = std::move(trace);
+    trace = ControlTrace{};
+    return out;
+}
+
+uint64_t
+replayControlTrace(const ControlTrace &trace, TraceObserver &observer,
+                   uint64_t max_instrs, size_t batch_instrs)
+{
+    LOOPSPEC_ASSERT(batch_instrs >= 1, "batch_instrs must be >= 1");
+    uint64_t end = trace.totalInstrs;
+    if (max_instrs && max_instrs < end)
+        end = max_instrs;
+
+    // The buffer starts as all-default gap records; per batch only seq
+    // and the control positions are patched, and the control positions
+    // are restored to gap defaults after delivery.
+    std::vector<DynInstr> buf(batch_instrs);
+    std::vector<uint32_t> ctrl;
+    ctrl.reserve(batch_instrs);
+    uint64_t seq = 0;
+    size_t next = 0; // index of the next recorded transfer
+    while (seq < end) {
+        ctrl.clear();
+        size_t n = 0;
+        while (n < buf.size() && seq < end) {
+            DynInstr &d = buf[n];
+            d.seq = seq;
+            if (next < trace.transfers.size() &&
+                trace.transfers[next].seq == seq) {
+                const CtrlTransfer &t = trace.transfers[next++];
+                d.pc = t.pc;
+                d.target = t.target;
+                d.kind = t.kind;
+                d.taken = t.taken;
+                ctrl.push_back(static_cast<uint32_t>(n));
+            }
+            ++n;
+            ++seq;
+        }
+        observer.onInstrBatchCtrl(buf.data(), n, ctrl.data(),
+                                  ctrl.size());
+        for (uint32_t i : ctrl) {
+            DynInstr &d = buf[i];
+            d.pc = 0;
+            d.target = 0;
+            d.kind = CtrlKind::None;
+            d.taken = false;
+        }
+    }
+    observer.onTraceEnd(end);
+    return end;
+}
+
+} // namespace loopspec

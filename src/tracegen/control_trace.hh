@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Compact replayable control-event trace. The CLS update algorithm (paper
+ * §2.2) reads nothing but the control transfers of the retired stream —
+ * PC, target, kind, taken — plus the retire index for positions. Recording
+ * exactly those events once per (workload, scale) lets every *derived*
+ * configuration (a different CLS size, a truncated prefix) re-run the
+ * LoopDetector by replay, without re-executing the functional simulator.
+ *
+ * Replay synthesises the non-control gap instructions between recorded
+ * events (correct seq, CtrlKind::None) so observers see a stream with the
+ * same length, positions and control behaviour as the original run;
+ * listeners that only count instructions or consume loop events (LoopStats,
+ * IdealTpcComputer, the LET/LIT meters) produce bit-identical artifacts.
+ * Listeners that read operand values (DataSpecProfiler) must stay on the
+ * functional pass.
+ */
+
+#ifndef LOOPSPEC_TRACEGEN_CONTROL_TRACE_HH
+#define LOOPSPEC_TRACEGEN_CONTROL_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "tracegen/dyn_instr.hh"
+
+namespace loopspec
+{
+
+/** One retired control transfer. */
+struct CtrlTransfer
+{
+    uint64_t seq;    //!< retire index
+    uint32_t pc;
+    uint32_t target; //!< resolved target (valid when taken; also for
+                     //!< not-taken branches, whose direction matters)
+    CtrlKind kind;   //!< Branch / Jump / Call / Ret (never None)
+    bool taken;
+};
+
+/** The control-transfer stream of one trace. */
+struct ControlTrace
+{
+    uint64_t totalInstrs = 0;
+    std::vector<CtrlTransfer> transfers;
+
+    /** Serialise to a stream (simple binary format, versioned). */
+    void save(std::ostream &os) const;
+
+    /** Load a trace saved by save(); fatal() on format errors. */
+    static ControlTrace load(std::istream &is);
+};
+
+/**
+ * TraceObserver recording the control transfers of a run. Attach to a
+ * TraceEngine alongside the detector, run the trace, then take() the
+ * result.
+ */
+class ControlTraceRecorder : public TraceObserver
+{
+  public:
+    void onInstr(const DynInstr &instr) override;
+    void onInstrBatch(const DynInstr *instrs, size_t count) override;
+    void onInstrBatchCtrl(const DynInstr *instrs, size_t count,
+                          const uint32_t *ctrl,
+                          size_t num_ctrl) override;
+    void onTraceEnd(uint64_t total_instrs) override;
+
+    /** Move the finished trace out (valid after onTraceEnd). */
+    ControlTrace take();
+
+  private:
+    ControlTrace trace;
+    bool done = false;
+};
+
+/**
+ * Replay a recorded trace into @p observer (typically a LoopDetector with
+ * a fresh listener set), delivering synthesized batches. @p max_instrs
+ * truncates the replay (0 = full length), mirroring EngineConfig::
+ * maxInstrs: observers see exactly the first max_instrs instructions and
+ * an onTraceEnd at that position. Returns the instruction count replayed.
+ */
+uint64_t replayControlTrace(const ControlTrace &trace,
+                            TraceObserver &observer,
+                            uint64_t max_instrs = 0,
+                            size_t batch_instrs = 4096);
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_TRACEGEN_CONTROL_TRACE_HH

@@ -8,6 +8,7 @@
 #ifndef LOOPSPEC_TRACEGEN_DYN_INSTR_HH
 #define LOOPSPEC_TRACEGEN_DYN_INSTR_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "isa/opcode.hh"
@@ -19,29 +20,33 @@ namespace loopspec
  * One retired instruction. Control-transfer fields follow the CLS's
  * vocabulary: kind (branch/jump/call/ret), taken, and the resolved target
  * address when taken. Operand values are included for the §4 statistics.
+ *
+ * Field order is width-descending so the record packs into 72 bytes —
+ * the engine's fast path copies one per retired instruction, so padding
+ * is bandwidth.
  */
 struct DynInstr
 {
-    uint64_t seq = 0;    //!< retire index, 0-based
+    uint64_t seq = 0;           //!< retire index, 0-based
+    int64_t srcVal[2] = {0, 0}; //!< source register values
+    int64_t dstVal = 0;         //!< destination value after writeback
+    uint64_t memAddr = 0;       //!< memory operand (loads and stores)
+    int64_t memVal = 0;
     uint32_t pc = 0;     //!< instruction byte address
     uint32_t target = 0; //!< resolved target when a taken transfer
     Opcode op = Opcode::Nop;
     CtrlKind kind = CtrlKind::None;
     bool taken = false; //!< for branches; jumps/calls/rets always true
 
-    // Register operands (up to two sources, one destination).
+    // Register operand shape (up to two sources, one destination).
     uint8_t numSrc = 0;
     uint8_t srcReg[2] = {0, 0};
-    int64_t srcVal[2] = {0, 0};
     bool hasDst = false;
     uint8_t dstReg = 0;
-    int64_t dstVal = 0;
 
-    // Memory operand (loads and stores).
+    // Memory operand kind.
     bool isLoad = false;
     bool isStore = false;
-    uint64_t memAddr = 0;
-    int64_t memVal = 0;
 
     /** Backward control transfer (the CLS trigger condition). */
     bool
@@ -54,6 +59,12 @@ struct DynInstr
 /**
  * Observer over a retired-instruction stream. Multiple observers can be
  * attached to one engine; they see each instruction in attach order.
+ *
+ * The engine's run() delivers instructions in batches (onInstrBatch);
+ * step() delivers them one at a time (onInstr). The default batch
+ * implementation forwards to onInstr, so an observer sees the identical
+ * record sequence on either path and only overrides onInstrBatch when it
+ * wants to amortise the virtual dispatch.
  */
 class TraceObserver
 {
@@ -62,6 +73,31 @@ class TraceObserver
 
     /** Called for every retired instruction. */
     virtual void onInstr(const DynInstr &instr) = 0;
+
+    /** Called with a run of consecutively retired instructions, in
+     *  retire order. Batch boundaries carry no meaning. */
+    virtual void
+    onInstrBatch(const DynInstr *instrs, size_t count)
+    {
+        for (size_t i = 0; i < count; ++i)
+            onInstr(instrs[i]);
+    }
+
+    /**
+     * Batch delivery with a precomputed control index: @p ctrl lists the
+     * positions i (ascending) where instrs[i].kind != CtrlKind::None.
+     * The producer knows where the transfers are (the engine classified
+     * them at predecode; replay recorded them), so control-driven
+     * observers skip the scan. Default forwards to onInstrBatch.
+     */
+    virtual void
+    onInstrBatchCtrl(const DynInstr *instrs, size_t count,
+                     const uint32_t *ctrl, size_t num_ctrl)
+    {
+        (void)ctrl;
+        (void)num_ctrl;
+        onInstrBatch(instrs, count);
+    }
 
     /** Called once when the trace ends (Halt or fuel exhausted). */
     virtual void onTraceEnd(uint64_t total_instrs) { (void)total_instrs; }

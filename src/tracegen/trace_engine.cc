@@ -1,15 +1,240 @@
 #include "tracegen/trace_engine.hh"
 
+#include <cstring>
+
 #include "util/logging.hh"
 
 namespace loopspec
 {
+
+namespace
+{
+
+/** ALU/compare function subcodes shared by the reg-reg and reg-imm
+ *  handler tags. */
+enum AluFn : uint8_t
+{
+    FnAdd,
+    FnSub,
+    FnMul,
+    FnDiv,
+    FnRem,
+    FnAnd,
+    FnOr,
+    FnXor,
+    FnShl,
+    FnShr,
+    FnSlt,
+    FnSle,
+    FnSeq,
+    FnSne,
+};
+
+int64_t
+aluCompute(uint8_t fn, int64_t a, int64_t b)
+{
+    switch (fn) {
+      case FnAdd: return a + b;
+      case FnSub: return a - b;
+      case FnMul: return a * b;
+      case FnDiv: return b == 0 ? 0 : a / b;
+      case FnRem: return b == 0 ? 0 : a % b;
+      case FnAnd: return a & b;
+      case FnOr: return a | b;
+      case FnXor: return a ^ b;
+      case FnShl: return a << (static_cast<uint64_t>(b) & 63);
+      case FnShr:
+        return static_cast<int64_t>(static_cast<uint64_t>(a) >>
+                                    (static_cast<uint64_t>(b) & 63));
+      case FnSlt: return a < b ? 1 : 0;
+      case FnSle: return a <= b ? 1 : 0;
+      case FnSeq: return a == b ? 1 : 0;
+      case FnSne: return a != b ? 1 : 0;
+      default: panic("bad AluFn %d", fn);
+    }
+}
+
+bool
+branchTaken(uint8_t cond, int64_t a, int64_t b)
+{
+    switch (cond) {
+      case 0: return a == b; // Beq
+      case 1: return a != b; // Bne
+      case 2: return a < b;  // Blt
+      case 3: return a >= b; // Bge
+      case 4: return a <= b; // Ble
+      case 5: return a > b;  // Bgt
+      default: panic("bad branch condition %d", cond);
+    }
+}
+
+} // namespace
+
+/**
+ * Dynamic control targets (JmpInd/CallInd/Ret) are the only PCs the
+ * validator cannot check statically; everything else (validated direct
+ * targets, fall-through) stays in range by construction, so the hot
+ * loops only verify these.
+ */
+void
+TraceEngine::checkDynTarget(uint32_t target, uint32_t from_pc) const
+{
+    if (target < codeBase || (target - codeBase) % instrBytes != 0 ||
+        indexOfAddr(target) >= pre.size())
+        panic("%s: dynamic control transfer from pc 0x%x to bad address "
+              "0x%x",
+              prog.name.c_str(), from_pc, target);
+}
 
 TraceEngine::TraceEngine(Program program, EngineConfig config)
     : prog(std::move(program)), cfg(config), memory(prog.dataWords, 0),
       pc(prog.entry)
 {
     prog.validate();
+    LOOPSPEC_ASSERT(cfg.batchInstrs >= 1, "batchInstrs must be >= 1");
+    predecode();
+}
+
+void
+TraceEngine::predecode()
+{
+    pre.reserve(prog.code.size());
+    recTemplate.reserve(prog.code.size());
+    for (const Instr &in : prog.code) {
+        PredecodedOp p;
+        p.op = in.op;
+        p.kind = ctrlKindOf(in.op);
+        p.rd = in.rd;
+        p.rs1 = in.rs1;
+        p.rs2 = in.rs2;
+        p.imm = in.imm;
+        p.target = in.target;
+        p.subop = 0;
+        switch (in.op) {
+          case Opcode::Nop: p.tag = ExecTag::Nop; break;
+          case Opcode::Halt: p.tag = ExecTag::Halt; break;
+
+          case Opcode::Add: p.tag = ExecTag::Alu; p.subop = FnAdd; break;
+          case Opcode::Sub: p.tag = ExecTag::Alu; p.subop = FnSub; break;
+          case Opcode::Mul: p.tag = ExecTag::Alu; p.subop = FnMul; break;
+          case Opcode::Div: p.tag = ExecTag::Alu; p.subop = FnDiv; break;
+          case Opcode::Rem: p.tag = ExecTag::Alu; p.subop = FnRem; break;
+          case Opcode::And: p.tag = ExecTag::Alu; p.subop = FnAnd; break;
+          case Opcode::Or: p.tag = ExecTag::Alu; p.subop = FnOr; break;
+          case Opcode::Xor: p.tag = ExecTag::Alu; p.subop = FnXor; break;
+          case Opcode::Shl: p.tag = ExecTag::Alu; p.subop = FnShl; break;
+          case Opcode::Shr: p.tag = ExecTag::Alu; p.subop = FnShr; break;
+          case Opcode::Slt: p.tag = ExecTag::Alu; p.subop = FnSlt; break;
+          case Opcode::Sle: p.tag = ExecTag::Alu; p.subop = FnSle; break;
+          case Opcode::Seq: p.tag = ExecTag::Alu; p.subop = FnSeq; break;
+          case Opcode::Sne: p.tag = ExecTag::Alu; p.subop = FnSne; break;
+
+          case Opcode::Addi:
+            p.tag = ExecTag::AluImm; p.subop = FnAdd; break;
+          case Opcode::Muli:
+            p.tag = ExecTag::AluImm; p.subop = FnMul; break;
+          case Opcode::Andi:
+            p.tag = ExecTag::AluImm; p.subop = FnAnd; break;
+          case Opcode::Ori:
+            p.tag = ExecTag::AluImm; p.subop = FnOr; break;
+          case Opcode::Xori:
+            p.tag = ExecTag::AluImm; p.subop = FnXor; break;
+          case Opcode::Shli:
+            p.tag = ExecTag::AluImm; p.subop = FnShl; break;
+          case Opcode::Shri:
+            p.tag = ExecTag::AluImm; p.subop = FnShr; break;
+
+          case Opcode::Li: p.tag = ExecTag::Li; break;
+          case Opcode::Mov: p.tag = ExecTag::Mov; break;
+          case Opcode::Ld: p.tag = ExecTag::Ld; break;
+          case Opcode::St: p.tag = ExecTag::St; break;
+
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge:
+          case Opcode::Ble:
+          case Opcode::Bgt:
+            p.tag = ExecTag::Branch;
+            p.subop = static_cast<uint8_t>(
+                static_cast<int>(in.op) - static_cast<int>(Opcode::Beq));
+            break;
+
+          case Opcode::Jmp: p.tag = ExecTag::Jmp; break;
+          case Opcode::JmpInd: p.tag = ExecTag::JmpInd; break;
+          case Opcode::Call: p.tag = ExecTag::Call; break;
+          case Opcode::CallInd: p.tag = ExecTag::CallInd; break;
+          case Opcode::Ret: p.tag = ExecTag::Ret; break;
+
+          default:
+            panic("bad opcode %d in predecode", static_cast<int>(in.op));
+        }
+        pre.push_back(p);
+
+        // Record prototype: everything statically known, so the hot loop
+        // copies and patches instead of zeroing and scattering.
+        DynInstr t;
+        t.pc = addrOfIndex(recTemplate.size());
+        t.op = in.op;
+        t.kind = p.kind;
+        auto src = [&](uint8_t reg) {
+            t.srcReg[t.numSrc] = reg;
+            ++t.numSrc;
+        };
+        auto dst = [&] {
+            t.hasDst = true;
+            t.dstReg = in.rd;
+        };
+        switch (p.tag) {
+          case ExecTag::Nop:
+          case ExecTag::Halt:
+            break;
+          case ExecTag::Alu:
+            src(in.rs1);
+            src(in.rs2);
+            dst();
+            break;
+          case ExecTag::AluImm:
+          case ExecTag::Mov:
+            src(in.rs1);
+            dst();
+            break;
+          case ExecTag::Li:
+            dst();
+            break;
+          case ExecTag::Ld:
+            src(in.rs1);
+            dst();
+            t.isLoad = true;
+            break;
+          case ExecTag::St:
+            src(in.rs1);
+            src(in.rs2);
+            t.isStore = true;
+            break;
+          case ExecTag::Branch:
+            src(in.rs1);
+            src(in.rs2);
+            t.target = in.target; // taken stays false; patched when taken
+            break;
+          case ExecTag::Jmp:
+          case ExecTag::Call:
+            t.taken = true;
+            t.target = in.target;
+            break;
+          case ExecTag::JmpInd:
+          case ExecTag::CallInd:
+            src(in.rs1);
+            t.taken = true; // target patched at execution
+            break;
+          case ExecTag::Ret:
+            t.taken = true; // target patched at execution
+            break;
+          default:
+            break;
+        }
+        recTemplate.push_back(t);
+    }
 }
 
 void
@@ -52,15 +277,21 @@ TraceEngine::storeWord(uint64_t addr, int64_t value)
     memory[addr] = value;
 }
 
+void
+TraceEngine::deliverEnd()
+{
+    if (endDelivered)
+        return;
+    endDelivered = true;
+    for (auto *obs : observers)
+        obs->onTraceEnd(seq);
+}
+
 bool
 TraceEngine::step(DynInstr &out)
 {
     if (halted) {
-        if (!endDelivered) {
-            endDelivered = true;
-            for (auto *obs : observers)
-                obs->onTraceEnd(seq);
-        }
+        deliverEnd();
         return false;
     }
 
@@ -90,6 +321,12 @@ TraceEngine::step(DynInstr &out)
             regs[in.rd] = value;
         d.dstVal = regs[in.rd];
     };
+    // Records list rs1 before rs2: sequence the reads explicitly.
+    auto binOp = [&](auto fn) {
+        int64_t a = src1();
+        int64_t b = src2();
+        setDst(fn(a, b));
+    };
 
     uint32_t next_pc = pc + instrBytes;
 
@@ -100,34 +337,54 @@ TraceEngine::step(DynInstr &out)
         halted = true;
         break;
 
-      case Opcode::Add: setDst(src1() + src2()); break;
-      case Opcode::Sub: setDst(src1() - src2()); break;
-      case Opcode::Mul: setDst(src1() * src2()); break;
-      case Opcode::Div: {
-        int64_t a = src1(), b = src2();
-        setDst(b == 0 ? 0 : a / b);
+      case Opcode::Add:
+        binOp([](int64_t a, int64_t b) { return a + b; });
         break;
-      }
-      case Opcode::Rem: {
-        int64_t a = src1(), b = src2();
-        setDst(b == 0 ? 0 : a % b);
+      case Opcode::Sub:
+        binOp([](int64_t a, int64_t b) { return a - b; });
         break;
-      }
-      case Opcode::And: setDst(src1() & src2()); break;
-      case Opcode::Or: setDst(src1() | src2()); break;
-      case Opcode::Xor: setDst(src1() ^ src2()); break;
+      case Opcode::Mul:
+        binOp([](int64_t a, int64_t b) { return a * b; });
+        break;
+      case Opcode::Div:
+        binOp([](int64_t a, int64_t b) { return b == 0 ? 0 : a / b; });
+        break;
+      case Opcode::Rem:
+        binOp([](int64_t a, int64_t b) { return b == 0 ? 0 : a % b; });
+        break;
+      case Opcode::And:
+        binOp([](int64_t a, int64_t b) { return a & b; });
+        break;
+      case Opcode::Or:
+        binOp([](int64_t a, int64_t b) { return a | b; });
+        break;
+      case Opcode::Xor:
+        binOp([](int64_t a, int64_t b) { return a ^ b; });
+        break;
       case Opcode::Shl:
-        setDst(src1() << (static_cast<uint64_t>(src2()) & 63));
+        binOp([](int64_t a, int64_t b) {
+            return a << (static_cast<uint64_t>(b) & 63);
+        });
         break;
       case Opcode::Shr:
-        setDst(static_cast<int64_t>(static_cast<uint64_t>(src1()) >>
-                                    (static_cast<uint64_t>(src2()) & 63)));
+        binOp([](int64_t a, int64_t b) {
+            return static_cast<int64_t>(static_cast<uint64_t>(a) >>
+                                        (static_cast<uint64_t>(b) & 63));
+        });
         break;
 
-      case Opcode::Slt: setDst(src1() < src2() ? 1 : 0); break;
-      case Opcode::Sle: setDst(src1() <= src2() ? 1 : 0); break;
-      case Opcode::Seq: setDst(src1() == src2() ? 1 : 0); break;
-      case Opcode::Sne: setDst(src1() != src2() ? 1 : 0); break;
+      case Opcode::Slt:
+        binOp([](int64_t a, int64_t b) { return a < b ? 1 : 0; });
+        break;
+      case Opcode::Sle:
+        binOp([](int64_t a, int64_t b) { return a <= b ? 1 : 0; });
+        break;
+      case Opcode::Seq:
+        binOp([](int64_t a, int64_t b) { return a == b ? 1 : 0; });
+        break;
+      case Opcode::Sne:
+        binOp([](int64_t a, int64_t b) { return a != b ? 1 : 0; });
+        break;
 
       case Opcode::Addi: setDst(src1() + in.imm); break;
       case Opcode::Muli: setDst(src1() * in.imm); break;
@@ -247,25 +504,378 @@ TraceEngine::step(DynInstr &out)
         obs->onInstr(d);
     out = d;
 
-    if (halted && !endDelivered) {
-        endDelivered = true;
-        for (auto *obs : observers)
-            obs->onTraceEnd(seq);
-    }
+    if (halted)
+        deliverEnd();
     return true;
+}
+
+size_t
+TraceEngine::fillBatch(DynInstr *buf, size_t cap, uint32_t *ctrl,
+                       size_t &num_ctrl)
+{
+    // Hoist the architectural state into locals for the whole batch:
+    // going through `this` per retired instruction defeats register
+    // allocation (every store to memory[] is an aliasing barrier for
+    // the members). Written back before returning; panic aborts, so
+    // stale members on that path do not matter.
+    uint32_t lpc = pc;
+    uint64_t lseq = seq;
+    int64_t lregs[numRegs];
+    std::memcpy(lregs, regs, sizeof(lregs));
+    const PredecodedOp *ops = pre.data();
+    const DynInstr *tmpl = recTemplate.data();
+    int64_t *mem = memory.data();
+    const uint64_t mem_words = memory.size();
+    const uint64_t max_instrs = cfg.maxInstrs;
+    const bool strict = cfg.strictMemory;
+    bool lhalted = false;
+
+    // Fuel folds into the batch bound so the hot loop tests one limit.
+    size_t limit = cap;
+    if (max_instrs && max_instrs - lseq < limit)
+        limit = static_cast<size_t>(max_instrs - lseq);
+
+    size_t n = 0;
+    size_t nc = 0;
+    while (n < limit) {
+        const uint32_t cur_pc = lpc;
+        const uint64_t idx = (cur_pc - codeBase) / instrBytes;
+        const PredecodedOp &p = ops[idx];
+
+        // Copy the record prototype (static fields prefilled at
+        // predecode), then patch the dynamic fields. Bit-identical to
+        // step()'s records.
+        DynInstr &d = buf[n];
+        d = tmpl[idx];
+        d.seq = lseq;
+
+        uint32_t next_pc = cur_pc + instrBytes;
+
+        switch (p.tag) {
+          case ExecTag::Nop:
+            break;
+          case ExecTag::Halt:
+            lhalted = true;
+            break;
+
+          case ExecTag::Alu: {
+            int64_t a = lregs[p.rs1];
+            int64_t b = lregs[p.rs2];
+            d.srcVal[0] = a;
+            d.srcVal[1] = b;
+            int64_t v = aluCompute(p.subop, a, b);
+            if (p.rd != 0)
+                lregs[p.rd] = v;
+            d.dstVal = lregs[p.rd];
+            break;
+          }
+          case ExecTag::AluImm: {
+            int64_t a = lregs[p.rs1];
+            d.srcVal[0] = a;
+            int64_t v = aluCompute(p.subop, a, p.imm);
+            if (p.rd != 0)
+                lregs[p.rd] = v;
+            d.dstVal = lregs[p.rd];
+            break;
+          }
+
+          case ExecTag::Li:
+            if (p.rd != 0)
+                lregs[p.rd] = p.imm;
+            d.dstVal = lregs[p.rd];
+            break;
+          case ExecTag::Mov: {
+            int64_t a = lregs[p.rs1];
+            d.srcVal[0] = a;
+            if (p.rd != 0)
+                lregs[p.rd] = a;
+            d.dstVal = lregs[p.rd];
+            break;
+          }
+
+          case ExecTag::Ld: {
+            int64_t a = lregs[p.rs1];
+            d.srcVal[0] = a;
+            uint64_t addr = static_cast<uint64_t>(a + p.imm);
+            int64_t value;
+            if (addr >= mem_words) {
+                if (strict)
+                    panic("%s: load from 0x%llx outside data segment "
+                          "(%zu words)",
+                          prog.name.c_str(),
+                          static_cast<unsigned long long>(addr),
+                          memory.size());
+                value = 0;
+            } else {
+                value = mem[addr];
+            }
+            d.memAddr = addr;
+            d.memVal = value;
+            if (p.rd != 0)
+                lregs[p.rd] = value;
+            d.dstVal = lregs[p.rd];
+            break;
+          }
+          case ExecTag::St: {
+            int64_t a = lregs[p.rs1];
+            int64_t value = lregs[p.rs2];
+            d.srcVal[0] = a;
+            d.srcVal[1] = value;
+            uint64_t addr = static_cast<uint64_t>(a + p.imm);
+            d.memAddr = addr;
+            d.memVal = value;
+            if (addr >= mem_words) {
+                if (strict)
+                    panic("%s: store to 0x%llx outside data segment "
+                          "(%zu words)",
+                          prog.name.c_str(),
+                          static_cast<unsigned long long>(addr),
+                          memory.size());
+            } else {
+                mem[addr] = value;
+            }
+            break;
+          }
+
+          case ExecTag::Branch: {
+            int64_t a = lregs[p.rs1];
+            int64_t b = lregs[p.rs2];
+            d.srcVal[0] = a;
+            d.srcVal[1] = b;
+            bool cond = branchTaken(p.subop, a, b);
+            d.taken = cond;
+            if (cond)
+                next_pc = p.target;
+            break;
+          }
+
+          case ExecTag::Jmp:
+            next_pc = p.target;
+            break;
+
+          case ExecTag::JmpInd: {
+            int64_t a = lregs[p.rs1];
+            d.srcVal[0] = a;
+            uint32_t t = static_cast<uint32_t>(a);
+            checkDynTarget(t, cur_pc);
+            d.target = t;
+            next_pc = t;
+            break;
+          }
+
+          case ExecTag::Call:
+            if (raStack.size() >= cfg.maxCallDepth)
+                panic("%s: call depth limit exceeded at pc 0x%x",
+                      prog.name.c_str(), cur_pc);
+            raStack.push_back(cur_pc + instrBytes);
+            next_pc = p.target;
+            break;
+
+          case ExecTag::CallInd: {
+            int64_t a = lregs[p.rs1];
+            d.srcVal[0] = a;
+            uint32_t t = static_cast<uint32_t>(a);
+            checkDynTarget(t, cur_pc);
+            d.target = t;
+            if (raStack.size() >= cfg.maxCallDepth)
+                panic("%s: call depth limit exceeded at pc 0x%x",
+                      prog.name.c_str(), cur_pc);
+            raStack.push_back(cur_pc + instrBytes);
+            next_pc = t;
+            break;
+          }
+
+          case ExecTag::Ret: {
+            if (raStack.empty())
+                panic("%s: ret with empty RA stack at pc 0x%x",
+                      prog.name.c_str(), cur_pc);
+            uint32_t t = raStack.back();
+            raStack.pop_back();
+            checkDynTarget(t, cur_pc);
+            d.target = t;
+            next_pc = t;
+            break;
+          }
+
+          default:
+            panic("bad ExecTag at pc 0x%x", cur_pc);
+        }
+
+        if (p.kind != CtrlKind::None)
+            ctrl[nc++] = static_cast<uint32_t>(n);
+        lpc = next_pc;
+        ++lseq;
+        ++n;
+        if (lhalted)
+            break;
+    }
+
+    if (!lhalted && max_instrs && lseq >= max_instrs)
+        lhalted = true;
+
+    pc = lpc;
+    seq = lseq;
+    std::memcpy(regs, lregs, sizeof(lregs));
+    if (lhalted)
+        halted = true;
+    num_ctrl = nc;
+    return n;
+}
+
+void
+TraceEngine::runUnobserved()
+{
+    // Same state hoisting as fillBatch, minus the records.
+    uint32_t lpc = pc;
+    uint64_t lseq = seq;
+    int64_t lregs[numRegs];
+    std::memcpy(lregs, regs, sizeof(lregs));
+    const PredecodedOp *ops = pre.data();
+    int64_t *mem = memory.data();
+    const uint64_t mem_words = memory.size();
+    const uint64_t max_instrs = cfg.maxInstrs;
+    const bool strict = cfg.strictMemory;
+    bool lhalted = halted;
+
+    while (!lhalted) {
+        const uint32_t cur_pc = lpc;
+        const uint64_t idx = (cur_pc - codeBase) / instrBytes;
+        const PredecodedOp &p = ops[idx];
+
+        uint32_t next_pc = cur_pc + instrBytes;
+        switch (p.tag) {
+          case ExecTag::Nop:
+            break;
+          case ExecTag::Halt:
+            lhalted = true;
+            break;
+          case ExecTag::Alu: {
+            int64_t v = aluCompute(p.subop, lregs[p.rs1], lregs[p.rs2]);
+            if (p.rd != 0)
+                lregs[p.rd] = v;
+            break;
+          }
+          case ExecTag::AluImm: {
+            int64_t v = aluCompute(p.subop, lregs[p.rs1], p.imm);
+            if (p.rd != 0)
+                lregs[p.rd] = v;
+            break;
+          }
+          case ExecTag::Li:
+            if (p.rd != 0)
+                lregs[p.rd] = p.imm;
+            break;
+          case ExecTag::Mov:
+            if (p.rd != 0)
+                lregs[p.rd] = lregs[p.rs1];
+            break;
+          case ExecTag::Ld: {
+            uint64_t addr = static_cast<uint64_t>(lregs[p.rs1] + p.imm);
+            int64_t v;
+            if (addr >= mem_words) {
+                if (strict)
+                    panic("%s: load from 0x%llx outside data segment "
+                          "(%zu words)",
+                          prog.name.c_str(),
+                          static_cast<unsigned long long>(addr),
+                          memory.size());
+                v = 0;
+            } else {
+                v = mem[addr];
+            }
+            if (p.rd != 0)
+                lregs[p.rd] = v;
+            break;
+          }
+          case ExecTag::St: {
+            uint64_t addr = static_cast<uint64_t>(lregs[p.rs1] + p.imm);
+            if (addr >= mem_words) {
+                if (strict)
+                    panic("%s: store to 0x%llx outside data segment "
+                          "(%zu words)",
+                          prog.name.c_str(),
+                          static_cast<unsigned long long>(addr),
+                          memory.size());
+            } else {
+                mem[addr] = lregs[p.rs2];
+            }
+            break;
+          }
+          case ExecTag::Branch:
+            if (branchTaken(p.subop, lregs[p.rs1], lregs[p.rs2]))
+                next_pc = p.target;
+            break;
+          case ExecTag::Jmp:
+            next_pc = p.target;
+            break;
+          case ExecTag::JmpInd:
+            next_pc = static_cast<uint32_t>(lregs[p.rs1]);
+            checkDynTarget(next_pc, cur_pc);
+            break;
+          case ExecTag::Call:
+            if (raStack.size() >= cfg.maxCallDepth)
+                panic("%s: call depth limit exceeded at pc 0x%x",
+                      prog.name.c_str(), cur_pc);
+            raStack.push_back(cur_pc + instrBytes);
+            next_pc = p.target;
+            break;
+          case ExecTag::CallInd:
+            if (raStack.size() >= cfg.maxCallDepth)
+                panic("%s: call depth limit exceeded at pc 0x%x",
+                      prog.name.c_str(), cur_pc);
+            raStack.push_back(cur_pc + instrBytes);
+            next_pc = static_cast<uint32_t>(lregs[p.rs1]);
+            checkDynTarget(next_pc, cur_pc);
+            break;
+          case ExecTag::Ret:
+            if (raStack.empty())
+                panic("%s: ret with empty RA stack at pc 0x%x",
+                      prog.name.c_str(), cur_pc);
+            next_pc = raStack.back();
+            raStack.pop_back();
+            checkDynTarget(next_pc, cur_pc);
+            break;
+          default:
+            panic("bad ExecTag at pc 0x%x", cur_pc);
+        }
+
+        lpc = next_pc;
+        ++lseq;
+        if (max_instrs && lseq >= max_instrs)
+            lhalted = true;
+    }
+
+    pc = lpc;
+    seq = lseq;
+    std::memcpy(regs, lregs, sizeof(lregs));
+    halted = lhalted;
 }
 
 uint64_t
 TraceEngine::run()
 {
-    DynInstr d;
-    while (step(d)) {
+    if (halted) {
+        deliverEnd();
+        return seq;
     }
-    if (!endDelivered) {
-        endDelivered = true;
+
+    if (observers.empty()) {
+        // Nobody reads the records: execute without materialising them.
+        runUnobserved();
+        deliverEnd();
+        return seq;
+    }
+
+    std::vector<DynInstr> buf(cfg.batchInstrs);
+    std::vector<uint32_t> ctrl(cfg.batchInstrs);
+    while (!halted) {
+        size_t num_ctrl = 0;
+        size_t n = fillBatch(buf.data(), buf.size(), ctrl.data(),
+                             num_ctrl);
         for (auto *obs : observers)
-            obs->onTraceEnd(seq);
+            obs->onInstrBatchCtrl(buf.data(), n, ctrl.data(), num_ctrl);
     }
+    deliverEnd();
     return seq;
 }
 

@@ -3,6 +3,21 @@
  * Functional mini-RISC simulator: executes a Program and streams DynInstr
  * records to observers. In-order, one instruction at a time — the same
  * observation model as the paper's ATOM instrumentation.
+ *
+ * Two execution paths share the architectural state:
+ *
+ *  - step() is the scalar reference interpreter: fetch + a per-opcode
+ *    switch, one onInstr observer call per retired instruction. It is the
+ *    obviously-correct oracle the equivalence tests compare against.
+ *  - run() is the fast path: every static instruction is decoded once at
+ *    construction into a PredecodedOp (operand indices, control kind,
+ *    handler tag), the hot loop executes from that flat array, and
+ *    retired records are delivered to observers in ~4K-instruction
+ *    batches (TraceObserver::onInstrBatch) — one virtual call per batch
+ *    instead of per instruction.
+ *
+ * Both paths produce bit-identical DynInstr streams and may be mixed on
+ * one engine.
  */
 
 #ifndef LOOPSPEC_TRACEGEN_TRACE_ENGINE_HH
@@ -28,6 +43,9 @@ struct EngineConfig
 
     /** Maximum call depth before panicking (runaway recursion guard). */
     uint32_t maxCallDepth = 1u << 20;
+
+    /** Records per observer batch on the run() fast path. */
+    size_t batchInstrs = 4096;
 };
 
 /**
@@ -48,14 +66,15 @@ class TraceEngine
 
     /**
      * Run until Halt or the fuel limit; returns retired instruction
-     * count. Calls onTraceEnd on all observers exactly once.
+     * count. Calls onTraceEnd on all observers exactly once. Fast path:
+     * predecoded execution, batched observer delivery.
      */
     uint64_t run();
 
     /**
      * Execute one instruction, filling @p out. Returns false (and leaves
-     * @p out untouched) once the program has halted. Used by tests; run()
-     * is the fast path.
+     * @p out untouched) once the program has halted. Scalar reference
+     * path: per-instruction observer delivery.
      */
     bool step(DynInstr &out);
 
@@ -74,12 +93,85 @@ class TraceEngine
     size_t callDepth() const { return raStack.size(); }
 
   private:
+    /** Handler selector of a predecoded micro-op. ALU and branch
+     *  variants collapse into one handler with a function/condition
+     *  subcode, so the hot dispatch is a dozen dense cases. */
+    enum class ExecTag : uint8_t
+    {
+        Nop,
+        Halt,
+        Alu,    //!< reg-reg ALU/compare; subop = AluFn
+        AluImm, //!< reg-imm ALU; subop = AluFn
+        Li,
+        Mov,
+        Ld,
+        St,
+        Branch, //!< conditional branch; subop = condition
+        Jmp,
+        JmpInd,
+        Call,
+        CallInd,
+        Ret,
+    };
+
+    /** One statically decoded instruction: everything run() needs. */
+    struct PredecodedOp
+    {
+        ExecTag tag;
+        uint8_t subop; //!< AluFn or branch condition index
+        Opcode op;     //!< original opcode (copied into records)
+        CtrlKind kind; //!< precomputed ctrlKindOf(op)
+        uint8_t rd, rs1, rs2;
+        int64_t imm;
+        uint32_t target;
+    };
+
+    /** Decode the whole code image into `pre` + `recTemplate`
+     *  (constructor helper). */
+    void predecode();
+
+    /**
+     * Execute up to @p cap instructions from the predecoded array,
+     * appending records to @p buf and the positions of control
+     * transfers to @p ctrl (capacity >= cap); returns the count
+     * produced and sets @p num_ctrl. Stops at Halt or the fuel limit
+     * (setting halted). Architectural state is hoisted into locals for
+     * the whole batch — member traffic per retired instruction is what
+     * made the scalar path slow.
+     */
+    size_t fillBatch(DynInstr *buf, size_t cap, uint32_t *ctrl,
+                     size_t &num_ctrl);
+
+    /**
+     * Run-to-halt specialization for the no-observer case: nobody reads
+     * the records, so none are materialised. Architectural effects are
+     * identical to the record-producing path.
+     */
+    void runUnobserved();
+
+    /** Panic unless @p target is an aligned, in-range code address
+     *  (dynamic JmpInd/CallInd/Ret targets; static ones are validated
+     *  at program build). */
+    void checkDynTarget(uint32_t target, uint32_t from_pc) const;
+
     int64_t loadWord(uint64_t addr);
     void storeWord(uint64_t addr, int64_t value);
+
+    /** Deliver onTraceEnd exactly once. */
+    void deliverEnd();
 
     const Program prog;
     EngineConfig cfg;
     std::vector<TraceObserver *> observers;
+    std::vector<PredecodedOp> pre; //!< one per static instruction
+    /**
+     * Per-static-instruction DynInstr prototype with every statically
+     * known field prefilled (pc, opcode, kind, operand indices, direct
+     * targets, load/store flags). The hot loop copies the prototype and
+     * patches only the dynamic fields (seq, values, resolved control),
+     * replacing a zero-init plus a scatter of field stores.
+     */
+    std::vector<DynInstr> recTemplate;
 
     int64_t regs[numRegs] = {};
     std::vector<int64_t> memory;

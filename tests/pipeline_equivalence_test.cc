@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Equivalence tests for the three trace-pipeline execution paths:
+ * run() (predecoded + batched) vs step() (scalar reference) must produce
+ * bit-identical DynInstr sequences, and the record/replay paths
+ * (control-event trace, loop-event stream) must reproduce the Table-1
+ * and Figure-4 artifacts of direct execution exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "loop/loop_detector.hh"
+#include "loop/loop_stats.hh"
+#include "program/builder.hh"
+#include "speculation/event_record.hh"
+#include "speculation/ideal_tpc.hh"
+#include "tables/hit_ratio.hh"
+#include "tracegen/control_trace.hh"
+#include "tracegen/trace_engine.hh"
+#include "workloads/workload.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+using namespace regs;
+
+constexpr double kScale = 0.02;
+const char *const kWorkloads[] = {"compress", "li"};
+
+/** Collects every DynInstr via either delivery path. */
+class Collector : public TraceObserver
+{
+  public:
+    std::vector<DynInstr> all;
+    void onInstr(const DynInstr &d) override { all.push_back(d); }
+};
+
+void
+expectSameInstr(const DynInstr &a, const DynInstr &b, size_t i)
+{
+    EXPECT_EQ(a.seq, b.seq) << "instr " << i;
+    EXPECT_EQ(a.pc, b.pc) << "instr " << i;
+    EXPECT_EQ(a.target, b.target) << "instr " << i;
+    EXPECT_EQ(a.op, b.op) << "instr " << i;
+    EXPECT_EQ(a.kind, b.kind) << "instr " << i;
+    EXPECT_EQ(a.taken, b.taken) << "instr " << i;
+    EXPECT_EQ(a.numSrc, b.numSrc) << "instr " << i;
+    EXPECT_EQ(a.srcReg[0], b.srcReg[0]) << "instr " << i;
+    EXPECT_EQ(a.srcReg[1], b.srcReg[1]) << "instr " << i;
+    EXPECT_EQ(a.srcVal[0], b.srcVal[0]) << "instr " << i;
+    EXPECT_EQ(a.srcVal[1], b.srcVal[1]) << "instr " << i;
+    EXPECT_EQ(a.hasDst, b.hasDst) << "instr " << i;
+    EXPECT_EQ(a.dstReg, b.dstReg) << "instr " << i;
+    EXPECT_EQ(a.dstVal, b.dstVal) << "instr " << i;
+    EXPECT_EQ(a.isLoad, b.isLoad) << "instr " << i;
+    EXPECT_EQ(a.isStore, b.isStore) << "instr " << i;
+    EXPECT_EQ(a.memAddr, b.memAddr) << "instr " << i;
+    EXPECT_EQ(a.memVal, b.memVal) << "instr " << i;
+}
+
+void
+expectSameStream(const Program &prog, uint64_t max_instrs = 0)
+{
+    EngineConfig cfg;
+    cfg.maxInstrs = max_instrs;
+
+    Collector scalar;
+    TraceEngine se(prog, cfg);
+    se.addObserver(&scalar);
+    DynInstr d;
+    while (se.step(d)) {
+    }
+
+    Collector batched;
+    TraceEngine be(prog, cfg);
+    be.addObserver(&batched);
+    be.run();
+
+    ASSERT_EQ(scalar.all.size(), batched.all.size());
+    for (size_t i = 0; i < scalar.all.size(); ++i) {
+        expectSameInstr(scalar.all[i], batched.all[i], i);
+        if (::testing::Test::HasFailure())
+            break; // one mismatch is enough detail
+    }
+}
+
+TEST(RunVsStep, AllOpcodeShapesProduceIdenticalRecords)
+{
+    // Exercises every operand/record shape: ALU reg and imm forms,
+    // loads/stores, taken/not-taken branches, direct and indirect
+    // jumps/calls, returns, recursion.
+    ProgramBuilder b("t", 256);
+    b.beginFunction("main");
+    b.li(r1, 7);
+    b.li(r2, 3);
+    b.add(r3, r1, r2);
+    b.sub(r4, r1, r2);
+    b.mul(r5, r1, r2);
+    b.div(r6, r1, r2);
+    b.rem(r7, r1, r2);
+    b.and_(r8, r1, r2);
+    b.or_(r9, r1, r2);
+    b.xor_(r10, r1, r2);
+    b.shl(r11, r1, r2);
+    b.shr(r12, r1, r2);
+    b.slt(r13, r1, r2);
+    b.sle(r14, r1, r2);
+    b.seq(r15, r1, r2);
+    b.sne(r16, r1, r2);
+    b.addi(r17, r1, -2);
+    b.muli(r18, r1, 5);
+    b.andi(r19, r1, 6);
+    b.ori(r20, r1, 8);
+    b.xori(r21, r1, 15);
+    b.shli(r22, r1, 2);
+    b.shri(r23, r1, 1);
+    b.mov(r24, r1);
+    b.st(r5, r2, 4);
+    b.ld(r25, r2, 4);
+    Label skip = b.newLabel();
+    b.blt(r2, r1, skip); // taken
+    b.li(r26, 111);
+    b.bind(skip);
+    b.bgt(r2, r1, skip); // not taken
+    b.call("leaf");
+    b.liFunc(r27, "leaf");
+    b.callInd(r27);
+    Label over = b.newLabel();
+    b.liLabel(r28, over);
+    b.jmpInd(r28);
+    b.li(r29, 222); // skipped
+    b.bind(over);
+    // A loop so backward control flow appears too.
+    b.li(r1, 0);
+    b.li(r2, 5);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) { b.nop(); });
+    b.halt();
+    b.beginFunction("leaf");
+    b.addi(r30, r30, 1);
+    b.ret();
+    expectSameStream(b.build());
+}
+
+TEST(RunVsStep, WorkloadStreamsAreIdentical)
+{
+    for (const char *name : kWorkloads) {
+        SCOPED_TRACE(name);
+        expectSameStream(buildWorkload(name, {kScale}));
+    }
+}
+
+TEST(RunVsStep, FuelTruncationMatches)
+{
+    Program p = buildWorkload("compress", {kScale});
+    expectSameStream(p, 777);
+}
+
+TEST(RunVsStep, MixedSteppingAndRunning)
+{
+    // step() a prefix, run() the rest: the combined stream must equal a
+    // pure-scalar trace (shared architectural state across both paths).
+    Program p = buildWorkload("li", {kScale});
+
+    Collector scalar;
+    TraceEngine se(p);
+    se.addObserver(&scalar);
+    DynInstr d;
+    while (se.step(d)) {
+    }
+
+    Collector mixed;
+    TraceEngine me(p);
+    me.addObserver(&mixed);
+    for (int i = 0; i < 1000 && me.step(d); ++i) {
+    }
+    me.run();
+
+    ASSERT_EQ(scalar.all.size(), mixed.all.size());
+    for (size_t i = 0; i < scalar.all.size(); ++i) {
+        expectSameInstr(scalar.all[i], mixed.all[i], i);
+        if (::testing::Test::HasFailure())
+            break;
+    }
+}
+
+/** Full pipeline artifacts for one configuration. */
+struct Artifacts
+{
+    LoopStatsReport stats;
+    std::vector<std::pair<uint64_t, uint64_t>> meters; //!< accesses, hits
+    double idealTpc = 0.0;
+};
+
+Artifacts
+collect(const Program &prog, size_t cls, uint64_t max_instrs, bool scalar)
+{
+    EngineConfig cfg;
+    cfg.maxInstrs = max_instrs;
+    TraceEngine engine(prog, cfg);
+    LoopDetector det({cls});
+    LoopStats stats;
+    IdealTpcComputer ideal;
+    std::vector<std::unique_ptr<LetHitMeter>> lets;
+    std::vector<std::unique_ptr<LitHitMeter>> lits;
+    det.addListener(&stats);
+    det.addListener(&ideal);
+    for (size_t sz : hitRatioTableSizes()) {
+        lets.push_back(std::make_unique<LetHitMeter>(sz));
+        lits.push_back(std::make_unique<LitHitMeter>(sz));
+        det.addListener(lets.back().get());
+        det.addListener(lits.back().get());
+    }
+    engine.addObserver(&det);
+    if (scalar) {
+        DynInstr d;
+        while (engine.step(d)) {
+        }
+    } else {
+        engine.run();
+    }
+    Artifacts out;
+    out.stats = stats.report();
+    out.idealTpc = ideal.tpc();
+    for (size_t i = 0; i < lets.size(); ++i) {
+        out.meters.emplace_back(lets[i]->result().accesses,
+                                lets[i]->result().hits);
+        out.meters.emplace_back(lits[i]->result().accesses,
+                                lits[i]->result().hits);
+    }
+    return out;
+}
+
+void
+expectSameArtifacts(const Artifacts &a, const Artifacts &b)
+{
+    EXPECT_EQ(a.stats.totalInstrs, b.stats.totalInstrs);
+    EXPECT_EQ(a.stats.staticLoops, b.stats.staticLoops);
+    EXPECT_EQ(a.stats.totalExecs, b.stats.totalExecs);
+    EXPECT_EQ(a.stats.totalIters, b.stats.totalIters);
+    EXPECT_EQ(a.stats.singleIterExecs, b.stats.singleIterExecs);
+    EXPECT_EQ(a.stats.overflowDrops, b.stats.overflowDrops);
+    EXPECT_EQ(a.stats.maxNesting, b.stats.maxNesting);
+    // Doubles compare exactly: both sides run the identical FP
+    // operations in the identical order.
+    EXPECT_EQ(a.stats.itersPerExec, b.stats.itersPerExec);
+    EXPECT_EQ(a.stats.instrsPerIter, b.stats.instrsPerIter);
+    EXPECT_EQ(a.stats.avgNesting, b.stats.avgNesting);
+    EXPECT_EQ(a.stats.loopCoverage, b.stats.loopCoverage);
+    EXPECT_EQ(a.idealTpc, b.idealTpc);
+    EXPECT_EQ(a.meters, b.meters);
+}
+
+TEST(BatchVsScalar, PipelineArtifactsIdentical)
+{
+    for (const char *name : kWorkloads) {
+        SCOPED_TRACE(name);
+        Program p = buildWorkload(name, {kScale});
+        expectSameArtifacts(collect(p, 16, 0, true),
+                            collect(p, 16, 0, false));
+    }
+}
+
+/** Record a control trace + loop-event recording in one batched pass. */
+std::pair<ControlTrace, LoopEventRecording>
+recordOnce(const Program &prog, size_t cls, uint64_t max_instrs = 0)
+{
+    EngineConfig cfg;
+    cfg.maxInstrs = max_instrs;
+    TraceEngine engine(prog, cfg);
+    LoopDetector det({cls});
+    LoopEventRecorder rec;
+    det.addListener(&rec);
+    ControlTraceRecorder ctr;
+    engine.addObserver(&det);
+    engine.addObserver(&ctr);
+    engine.run();
+    return {ctr.take(), rec.take()};
+}
+
+TEST(ControlReplay, Table1ArtifactsMatchDirectAtEveryClsSize)
+{
+    for (const char *name : kWorkloads) {
+        SCOPED_TRACE(name);
+        Program p = buildWorkload(name, {kScale});
+        auto [trace, rec] = recordOnce(p, 16);
+        for (size_t cls : {4u, 8u, 12u, 16u}) {
+            SCOPED_TRACE(cls);
+            Artifacts direct = collect(p, cls, 0, true);
+            LoopDetector det({cls});
+            LoopStats stats;
+            IdealTpcComputer ideal;
+            det.addListener(&stats);
+            det.addListener(&ideal);
+            uint64_t n = replayControlTrace(trace, det);
+            EXPECT_EQ(n, direct.stats.totalInstrs);
+            Artifacts replayed;
+            replayed.stats = stats.report();
+            replayed.idealTpc = ideal.tpc();
+            replayed.meters = direct.meters; // not replayed here
+            expectSameArtifacts(replayed, direct);
+        }
+    }
+}
+
+TEST(ControlReplay, PrefixTruncationMatchesDirectTruncatedRun)
+{
+    Program p = buildWorkload("compress", {kScale});
+    auto [trace, rec] = recordOnce(p, 16);
+    uint64_t half = trace.totalInstrs / 2;
+
+    Artifacts direct = collect(p, 16, half, true);
+    LoopDetector det({16});
+    LoopStats stats;
+    IdealTpcComputer ideal;
+    det.addListener(&stats);
+    det.addListener(&ideal);
+    uint64_t n = replayControlTrace(trace, det, half);
+    EXPECT_EQ(n, half);
+    EXPECT_EQ(stats.report().totalInstrs, direct.stats.totalInstrs);
+    EXPECT_EQ(stats.report().totalExecs, direct.stats.totalExecs);
+    EXPECT_EQ(stats.report().totalIters, direct.stats.totalIters);
+    EXPECT_EQ(ideal.tpc(), direct.idealTpc);
+}
+
+TEST(ControlReplay, SaveLoadRoundTrip)
+{
+    Program p = buildWorkload("li", {kScale});
+    auto [trace, rec] = recordOnce(p, 16);
+    std::stringstream ss;
+    trace.save(ss);
+    ControlTrace back = ControlTrace::load(ss);
+    EXPECT_EQ(back.totalInstrs, trace.totalInstrs);
+    ASSERT_EQ(back.transfers.size(), trace.transfers.size());
+    for (size_t i = 0; i < trace.transfers.size(); ++i) {
+        EXPECT_EQ(back.transfers[i].seq, trace.transfers[i].seq);
+        EXPECT_EQ(back.transfers[i].pc, trace.transfers[i].pc);
+        EXPECT_EQ(back.transfers[i].target, trace.transfers[i].target);
+        EXPECT_EQ(back.transfers[i].kind, trace.transfers[i].kind);
+        EXPECT_EQ(back.transfers[i].taken, trace.transfers[i].taken);
+    }
+}
+
+TEST(LoopEventReplay, MeterResultsMatchLiveMeters)
+{
+    for (const char *name : kWorkloads) {
+        SCOPED_TRACE(name);
+        Program p = buildWorkload(name, {kScale});
+        Artifacts direct = collect(p, 16, 0, true);
+        auto [trace, rec] = recordOnce(p, 16);
+
+        std::vector<std::unique_ptr<LetHitMeter>> lets;
+        std::vector<std::unique_ptr<LitHitMeter>> lits;
+        std::vector<LoopListener *> meters;
+        for (size_t sz : hitRatioTableSizes()) {
+            lets.push_back(std::make_unique<LetHitMeter>(sz));
+            lits.push_back(std::make_unique<LitHitMeter>(sz));
+            meters.push_back(lets.back().get());
+            meters.push_back(lits.back().get());
+        }
+        replayLoopEvents(rec, meters);
+        std::vector<std::pair<uint64_t, uint64_t>> replayed;
+        for (size_t i = 0; i < lets.size(); ++i) {
+            replayed.emplace_back(lets[i]->result().accesses,
+                                  lets[i]->result().hits);
+            replayed.emplace_back(lits[i]->result().accesses,
+                                  lits[i]->result().hits);
+        }
+        EXPECT_EQ(replayed, direct.meters);
+    }
+}
+
+TEST(LoopEventReplay, NestAwareMetersMatchLiveRun)
+{
+    // The ablation-D configuration: replacement-policy variants replayed
+    // from the recording must equal a live pass.
+    Program p = buildWorkload("compress", {kScale});
+    auto [trace, rec] = recordOnce(p, 16);
+
+    TraceEngine engine(p);
+    LoopDetector det({16});
+    LetHitMeter liveLet(4, TableReplacement::NestAware);
+    LitHitMeter liveLit(4, TableReplacement::NestAware);
+    det.addListener(&liveLet);
+    det.addListener(&liveLit);
+    engine.addObserver(&det);
+    engine.run();
+
+    LetHitMeter repLet(4, TableReplacement::NestAware);
+    LitHitMeter repLit(4, TableReplacement::NestAware);
+    replayLoopEvents(rec, {&repLet, &repLit});
+    EXPECT_EQ(repLet.result().accesses, liveLet.result().accesses);
+    EXPECT_EQ(repLet.result().hits, liveLet.result().hits);
+    EXPECT_EQ(repLit.result().accesses, liveLit.result().accesses);
+    EXPECT_EQ(repLit.result().hits, liveLit.result().hits);
+}
+
+TEST(LoopEventReplay, RecordingRoundTripPreservesLoopEvents)
+{
+    Program p = buildWorkload("compress", {kScale});
+    auto [trace, rec] = recordOnce(p, 16);
+    ASSERT_FALSE(rec.loopEvents.empty());
+    std::stringstream ss;
+    rec.save(ss);
+    LoopEventRecording back = LoopEventRecording::load(ss);
+    ASSERT_EQ(back.loopEvents.size(), rec.loopEvents.size());
+    for (size_t i = 0; i < rec.loopEvents.size(); ++i) {
+        EXPECT_EQ(back.loopEvents[i].pos, rec.loopEvents[i].pos);
+        EXPECT_EQ(back.loopEvents[i].execId, rec.loopEvents[i].execId);
+        EXPECT_EQ(back.loopEvents[i].loop, rec.loopEvents[i].loop);
+        EXPECT_EQ(back.loopEvents[i].aux, rec.loopEvents[i].aux);
+        EXPECT_EQ(back.loopEvents[i].depth, rec.loopEvents[i].depth);
+        EXPECT_EQ(static_cast<int>(back.loopEvents[i].kind),
+                  static_cast<int>(rec.loopEvents[i].kind));
+    }
+    ASSERT_EQ(back.execs.size(), rec.execs.size());
+    for (size_t i = 0; i < rec.execs.size(); ++i) {
+        EXPECT_EQ(back.execs[i].branchAddr, rec.execs[i].branchAddr);
+        EXPECT_EQ(back.execs[i].parentExecId, rec.execs[i].parentExecId);
+    }
+}
+
+TEST(RunWorkloadReplay, CrossCheckModePassesOnTwoWorkloads)
+{
+    // runWorkload's --check-replay mode fatals on any divergence between
+    // replay-derived artifacts and direct execution; surviving it IS the
+    // equivalence assertion, covering the Figure-4 meter sweep and the
+    // Figure-5 prefix rerun end to end.
+    RunOptions opts;
+    opts.scale.factor = kScale;
+    opts.checkReplay = true;
+    CollectFlags flags;
+    flags.loopStats = true;
+    flags.hitRatios = true;
+    flags.ideal = true;
+    for (const char *name : kWorkloads) {
+        SCOPED_TRACE(name);
+        WorkloadArtifacts a = runWorkload(name, opts, flags);
+        EXPECT_GT(a.totalInstrs, 0u);
+        EXPECT_GT(a.idealTpc, 0.0);
+        EXPECT_GT(a.idealTpcPrefix, 0.0);
+        EXPECT_EQ(a.letResults.size(), hitRatioTableSizes().size());
+    }
+}
+
+} // namespace
+} // namespace loopspec

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -75,13 +76,40 @@ TEST(ParseRunOptions, ExtraFlagsReadableThroughArgsOut)
 {
     const char *argv[] = {"prog", "--tus", "8", "--policy", "str3",
                           "--cls", "4"};
-    CliArgs *args = nullptr;
+    std::unique_ptr<CliArgs> args;
     RunOptions opts = parseRunOptions(7, const_cast<char **>(argv),
                                       {"tus", "policy"}, &args);
     ASSERT_NE(args, nullptr);
     EXPECT_EQ(opts.clsEntries, 4u);
     EXPECT_EQ(args->getUint("tus", 0), 8u);
     EXPECT_EQ(args->getString("policy", ""), "str3");
+}
+
+TEST(ParseRunOptions, RepeatedParsesAreIndependent)
+{
+    // parseRunOptions used to stash the CliArgs in a function-local
+    // static, so a second parse invalidated the first caller's pointer;
+    // ownership now transfers to each caller independently.
+    const char *argv_a[] = {"prog", "--tus=8"};
+    const char *argv_b[] = {"prog", "--tus=2"};
+    std::unique_ptr<CliArgs> a, b;
+    parseRunOptions(2, const_cast<char **>(argv_a), {"tus"}, &a);
+    parseRunOptions(2, const_cast<char **>(argv_b), {"tus"}, &b);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(a->getUint("tus", 0), 8u);
+    EXPECT_EQ(b->getUint("tus", 0), 2u);
+}
+
+TEST(ParseRunOptions, CheckReplayFlag)
+{
+    const char *argv[] = {"prog", "--check-replay"};
+    RunOptions opts = parseRunOptions(2, const_cast<char **>(argv), {});
+    EXPECT_TRUE(opts.checkReplay);
+    const char *argv_off[] = {"prog"};
+    EXPECT_FALSE(
+        parseRunOptions(1, const_cast<char **>(argv_off), {}).checkReplay);
 }
 
 TEST(ParseRunOptionsDeathTest, UnknownFlagIsFatal)
