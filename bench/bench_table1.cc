@@ -27,23 +27,44 @@ main(int argc, char **argv)
     CollectFlags flags;
     flags.loopStats = true;
 
-    for (const auto &name : opts.selected()) {
-        WorkloadArtifacts a = runWorkload(name, opts, flags);
-        const auto &r = a.loopStats;
-        const auto &p = paper::table1.at(name);
+    // All workloads trace concurrently; artifacts come back in suite
+    // order, so the printed table is identical to the sequential loop.
+    std::vector<std::string> names = opts.selected();
+    std::vector<WorkloadArtifacts> artifacts =
+        runWorkloads(names, opts, flags);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const auto &r = artifacts[i].loopStats;
+        // Workloads outside the paper's suite (synth.*) have no
+        // reference row; their paper columns print "-".
+        auto it = paper::table1.find(name);
+        const paper::Table1Row *p =
+            it == paper::table1.end() ? nullptr : &it->second;
+        auto paperCount = [&](auto member) {
+            if (p)
+                t.cell(static_cast<uint64_t>(p->*member));
+            else
+                t.cell("-");
+        };
+        auto paperStat = [&](double paper::Table1Row::*member) {
+            if (p)
+                t.cell(p->*member, 2);
+            else
+                t.cell("-");
+        };
         t.row();
         t.cell(name);
         t.cell(static_cast<double>(r.totalInstrs) / 1e6, 2);
         t.cell(r.staticLoops);
-        t.cell(p.loops);
+        paperCount(&paper::Table1Row::loops);
         t.cell(r.itersPerExec, 2);
-        t.cell(p.itersPerExec, 2);
+        paperStat(&paper::Table1Row::itersPerExec);
         t.cell(r.instrsPerIter, 2);
-        t.cell(p.instrsPerIter, 2);
+        paperStat(&paper::Table1Row::instrsPerIter);
         t.cell(r.avgNesting, 2);
-        t.cell(p.avgNest, 2);
+        paperStat(&paper::Table1Row::avgNest);
         t.cell(static_cast<uint64_t>(r.maxNesting));
-        t.cell(static_cast<uint64_t>(p.maxNest));
+        paperCount(&paper::Table1Row::maxNest);
     }
 
     std::cout << "Table 1: loop statistics (measured vs paper)\n";

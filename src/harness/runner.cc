@@ -6,6 +6,7 @@
 #include "speculation/ideal_tpc.hh"
 #include "tracegen/trace_engine.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace loopspec
 {
@@ -218,6 +219,17 @@ runWorkload(const std::string &name, const RunOptions &opts,
         out.controlTrace = std::move(ctrace);
 
     return out;
+}
+
+std::vector<WorkloadArtifacts>
+runWorkloads(const std::vector<std::string> &names, const RunOptions &opts,
+             const CollectFlags &flags, unsigned num_threads)
+{
+    std::vector<WorkloadArtifacts> results(names.size());
+    parallelFor(num_threads, names.size(), [&](uint64_t i) {
+        results[i] = runWorkload(names[i], opts, flags);
+    });
+    return results;
 }
 
 } // namespace loopspec

@@ -88,6 +88,17 @@ WorkloadArtifacts runWorkload(const std::string &name,
                               const RunOptions &opts,
                               const CollectFlags &flags);
 
+/**
+ * Run several workloads concurrently on a std::thread pool
+ * (@p num_threads 0 = one per hardware thread) and return the artifacts
+ * in input order. Every runWorkload call owns its engine/detector state,
+ * so the merged result is identical to the sequential loop regardless of
+ * scheduling — callers may swap this in for a for-loop freely.
+ */
+std::vector<WorkloadArtifacts>
+runWorkloads(const std::vector<std::string> &names, const RunOptions &opts,
+             const CollectFlags &flags, unsigned num_threads = 0);
+
 /** The table sizes Figure 4 sweeps. */
 const std::vector<size_t> &hitRatioTableSizes();
 

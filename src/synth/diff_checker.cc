@@ -1,0 +1,755 @@
+#include "synth/diff_checker.hh"
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "loop/loop_detector.hh"
+#include "loop/loop_stats.hh"
+#include "speculation/event_record.hh"
+#include "tables/hit_ratio.hh"
+#include "tracegen/control_trace.hh"
+#include "tracegen/trace_engine.hh"
+#include "util/logging.hh"
+
+namespace loopspec
+{
+namespace synth
+{
+
+bool
+LoggedEvent::operator==(const LoggedEvent &o) const
+{
+    return kind == o.kind && pos == o.pos && execId == o.execId &&
+           parent == o.parent && loop == o.loop && a == o.a &&
+           depth == o.depth && branchAddr == o.branchAddr &&
+           reason == o.reason;
+}
+
+std::string
+describeEvent(const LoggedEvent &ev)
+{
+    const char *kind = "?";
+    switch (ev.kind) {
+      case LoggedEvent::Kind::ExecStart: kind = "ExecStart"; break;
+      case LoggedEvent::Kind::IterStart: kind = "IterStart"; break;
+      case LoggedEvent::Kind::IterEnd: kind = "IterEnd"; break;
+      case LoggedEvent::Kind::ExecEnd: kind = "ExecEnd"; break;
+      case LoggedEvent::Kind::SingleIter: kind = "SingleIter"; break;
+    }
+    return strprintf("%s{pos=%llu exec=%llu loop=0x%x a=%u depth=%u "
+                     "b=0x%x parent=%llu reason=%s}",
+                     kind, static_cast<unsigned long long>(ev.pos),
+                     static_cast<unsigned long long>(ev.execId), ev.loop,
+                     ev.a, ev.depth, ev.branchAddr,
+                     static_cast<unsigned long long>(ev.parent),
+                     execEndReasonName(ev.reason));
+}
+
+void
+EventLog::onExecStart(const ExecStartEvent &ev)
+{
+    events.push_back({LoggedEvent::Kind::ExecStart, ev.pos, ev.execId,
+                      ev.parentExecId, ev.loop, 0, ev.depth,
+                      ev.branchAddr, ExecEndReason::Close});
+}
+
+void
+EventLog::onIterStart(const IterEvent &ev)
+{
+    events.push_back({LoggedEvent::Kind::IterStart, ev.pos, ev.execId, 0,
+                      ev.loop, ev.iterIndex, ev.depth, 0,
+                      ExecEndReason::Close});
+}
+
+void
+EventLog::onIterEnd(const IterEvent &ev)
+{
+    events.push_back({LoggedEvent::Kind::IterEnd, ev.pos, ev.execId, 0,
+                      ev.loop, ev.iterIndex, ev.depth, 0,
+                      ExecEndReason::Close});
+}
+
+void
+EventLog::onExecEnd(const ExecEndEvent &ev)
+{
+    events.push_back({LoggedEvent::Kind::ExecEnd, ev.pos, ev.execId, 0,
+                      ev.loop, ev.iterCount, 0, 0, ev.reason});
+}
+
+void
+EventLog::onSingleIterExec(const SingleIterExecEvent &ev)
+{
+    events.push_back({LoggedEvent::Kind::SingleIter, ev.pos, 0, 0,
+                      ev.loop, 0, ev.depth, ev.branchAddr,
+                      ExecEndReason::Close});
+}
+
+void
+EventLog::onTraceDone(uint64_t total_instrs)
+{
+    totalInstrs = total_instrs;
+    done = true;
+}
+
+namespace
+{
+
+/** Collects the full DynInstr stream from either delivery path. */
+class StreamCollector : public TraceObserver
+{
+  public:
+    std::vector<DynInstr> all;
+    uint64_t totalInstrs = 0;
+
+    void onInstr(const DynInstr &d) override { all.push_back(d); }
+
+    void
+    onInstrBatch(const DynInstr *instrs, size_t count) override
+    {
+        all.insert(all.end(), instrs, instrs + count);
+    }
+
+    void
+    onTraceEnd(uint64_t total) override
+    {
+        totalInstrs = total;
+    }
+};
+
+/** Field-by-field record comparison; empty string when equal. */
+std::string
+compareInstr(const DynInstr &a, const DynInstr &b, size_t i)
+{
+#define LOOPSPEC_DIFF_FIELD(f)                                            \
+    if (!(a.f == b.f))                                                    \
+        return strprintf("instr %zu: field '%s' differs", i, #f)
+    LOOPSPEC_DIFF_FIELD(seq);
+    LOOPSPEC_DIFF_FIELD(pc);
+    LOOPSPEC_DIFF_FIELD(target);
+    LOOPSPEC_DIFF_FIELD(op);
+    LOOPSPEC_DIFF_FIELD(kind);
+    LOOPSPEC_DIFF_FIELD(taken);
+    LOOPSPEC_DIFF_FIELD(numSrc);
+    LOOPSPEC_DIFF_FIELD(srcReg[0]);
+    LOOPSPEC_DIFF_FIELD(srcReg[1]);
+    LOOPSPEC_DIFF_FIELD(srcVal[0]);
+    LOOPSPEC_DIFF_FIELD(srcVal[1]);
+    LOOPSPEC_DIFF_FIELD(hasDst);
+    LOOPSPEC_DIFF_FIELD(dstReg);
+    LOOPSPEC_DIFF_FIELD(dstVal);
+    LOOPSPEC_DIFF_FIELD(isLoad);
+    LOOPSPEC_DIFF_FIELD(isStore);
+    LOOPSPEC_DIFF_FIELD(memAddr);
+    LOOPSPEC_DIFF_FIELD(memVal);
+#undef LOOPSPEC_DIFF_FIELD
+    return {};
+}
+
+/** Compare two event logs; empty string when identical. */
+std::string
+compareLogs(const char *what, const EventLog &ref, const EventLog &got)
+{
+    if (!got.done)
+        return strprintf("%s: no trace-done delivered", what);
+    if (ref.totalInstrs != got.totalInstrs) {
+        return strprintf("%s: totalInstrs %llu vs reference %llu", what,
+                         static_cast<unsigned long long>(got.totalInstrs),
+                         static_cast<unsigned long long>(ref.totalInstrs));
+    }
+    size_t n = std::min(ref.events.size(), got.events.size());
+    for (size_t i = 0; i < n; ++i) {
+        if (ref.events[i] != got.events[i]) {
+            return strprintf("%s: event %zu is %s, reference %s", what, i,
+                             describeEvent(got.events[i]).c_str(),
+                             describeEvent(ref.events[i]).c_str());
+        }
+    }
+    if (ref.events.size() != got.events.size()) {
+        return strprintf("%s: %zu events, reference %zu", what,
+                         got.events.size(), ref.events.size());
+    }
+    return {};
+}
+
+std::string
+compareStats(const char *what, const LoopStatsReport &a,
+             const LoopStatsReport &b)
+{
+#define LOOPSPEC_DIFF_STAT(f)                                             \
+    if (!(a.f == b.f))                                                    \
+        return strprintf("%s: LoopStats field '%s' differs", what, #f)
+    LOOPSPEC_DIFF_STAT(totalInstrs);
+    LOOPSPEC_DIFF_STAT(staticLoops);
+    LOOPSPEC_DIFF_STAT(totalExecs);
+    LOOPSPEC_DIFF_STAT(totalIters);
+    LOOPSPEC_DIFF_STAT(singleIterExecs);
+    LOOPSPEC_DIFF_STAT(overflowDrops);
+    LOOPSPEC_DIFF_STAT(maxNesting);
+    LOOPSPEC_DIFF_STAT(itersPerExec);
+    LOOPSPEC_DIFF_STAT(instrsPerIter);
+    LOOPSPEC_DIFF_STAT(avgNesting);
+    LOOPSPEC_DIFF_STAT(loopCoverage);
+#undef LOOPSPEC_DIFF_STAT
+    return {};
+}
+
+/**
+ * Independent LRU replacement model (std::list, MRU at front) used to
+ * cross-check LoopTable's timestamp-scan victim selection inside the
+ * LET/LIT meters.
+ */
+class RefLru
+{
+  public:
+    explicit RefLru(size_t capacity) : cap(capacity) {}
+
+    /** Payload of @p loop, or nullptr. */
+    uint64_t *
+    find(uint32_t loop)
+    {
+        for (auto &it : items) {
+            if (it.first == loop)
+                return &it.second;
+        }
+        return nullptr;
+    }
+
+    /** Move @p loop to MRU (no-op when absent). */
+    void
+    use(uint32_t loop)
+    {
+        for (auto it = items.begin(); it != items.end(); ++it) {
+            if (it->first == loop) {
+                items.splice(items.begin(), items, it);
+                return;
+            }
+        }
+    }
+
+    /** Insert at MRU, evicting the LRU tail when full. */
+    void
+    insert(uint32_t loop)
+    {
+        if (items.size() >= cap)
+            items.pop_back();
+        items.emplace_front(loop, 0);
+    }
+
+  private:
+    std::list<std::pair<uint32_t, uint64_t>> items;
+    size_t cap;
+};
+
+/** Reference LET model fed from a captured event log. */
+HitRatioResult
+refLetResult(const std::vector<LoggedEvent> &events, size_t entries)
+{
+    RefLru lru(entries);
+    HitRatioResult res;
+    for (const auto &ev : events) {
+        switch (ev.kind) {
+          case LoggedEvent::Kind::ExecStart:
+            ++res.accesses;
+            if (uint64_t *e = lru.find(ev.loop)) {
+                if (*e >= 2)
+                    ++res.hits;
+                lru.use(ev.loop);
+            } else {
+                lru.insert(ev.loop);
+            }
+            break;
+          case LoggedEvent::Kind::ExecEnd:
+            if (ev.reason != ExecEndReason::Overflow) {
+                if (uint64_t *e = lru.find(ev.loop))
+                    ++*e;
+            }
+            break;
+          case LoggedEvent::Kind::SingleIter:
+            if (uint64_t *e = lru.find(ev.loop))
+                ++*e;
+            break;
+          default:
+            break;
+        }
+    }
+    return res;
+}
+
+/** Reference LIT model fed from a captured event log. */
+HitRatioResult
+refLitResult(const std::vector<LoggedEvent> &events, size_t entries)
+{
+    RefLru lru(entries);
+    HitRatioResult res;
+    for (const auto &ev : events) {
+        switch (ev.kind) {
+          case LoggedEvent::Kind::ExecStart:
+            if (!lru.find(ev.loop))
+                lru.insert(ev.loop);
+            else
+                lru.use(ev.loop);
+            break;
+          case LoggedEvent::Kind::IterStart:
+            ++res.accesses;
+            if (uint64_t *e = lru.find(ev.loop)) {
+                if (*e >= 2)
+                    ++res.hits;
+                lru.use(ev.loop);
+            }
+            break;
+          case LoggedEvent::Kind::IterEnd:
+            if (uint64_t *e = lru.find(ev.loop))
+                ++*e;
+            break;
+          default:
+            break;
+        }
+    }
+    return res;
+}
+
+/** The meter battery attached to reference and replay passes. */
+struct MeterBank
+{
+    std::vector<std::unique_ptr<LetHitMeter>> lets;
+    std::vector<std::unique_ptr<LitHitMeter>> lits;
+
+    explicit MeterBank(const std::vector<size_t> &sizes)
+    {
+        for (size_t sz : sizes) {
+            lets.push_back(std::make_unique<LetHitMeter>(sz));
+            lits.push_back(std::make_unique<LitHitMeter>(sz));
+        }
+    }
+
+    void
+    attach(LoopDetector &det)
+    {
+        for (auto &m : lets)
+            det.addListener(m.get());
+        for (auto &m : lits)
+            det.addListener(m.get());
+    }
+
+    std::vector<LoopListener *>
+    listeners()
+    {
+        std::vector<LoopListener *> out;
+        for (auto &m : lets)
+            out.push_back(m.get());
+        for (auto &m : lits)
+            out.push_back(m.get());
+        return out;
+    }
+
+    std::string
+    compare(const char *what, const MeterBank &ref) const
+    {
+        for (size_t i = 0; i < lets.size(); ++i) {
+            const auto &a = ref.lets[i]->result();
+            const auto &b = lets[i]->result();
+            if (a.accesses != b.accesses || a.hits != b.hits) {
+                return strprintf("%s: LET@%zu %llu/%llu vs reference "
+                                 "%llu/%llu",
+                                 what, lets[i]->numEntries(),
+                                 static_cast<unsigned long long>(b.hits),
+                                 static_cast<unsigned long long>(
+                                     b.accesses),
+                                 static_cast<unsigned long long>(a.hits),
+                                 static_cast<unsigned long long>(
+                                     a.accesses));
+            }
+            const auto &c = ref.lits[i]->result();
+            const auto &d = lits[i]->result();
+            if (c.accesses != d.accesses || c.hits != d.hits) {
+                return strprintf("%s: LIT@%zu %llu/%llu vs reference "
+                                 "%llu/%llu",
+                                 what, lits[i]->numEntries(),
+                                 static_cast<unsigned long long>(d.hits),
+                                 static_cast<unsigned long long>(
+                                     d.accesses),
+                                 static_cast<unsigned long long>(c.hits),
+                                 static_cast<unsigned long long>(
+                                     c.accesses));
+            }
+        }
+        return {};
+    }
+};
+
+/**
+ * Detector invariants over the reference event log and the instruction
+ * stream (docs/TESTING.md lists these; flushInterval must be 0).
+ */
+std::string
+checkInvariants(const EventLog &log, const std::vector<DynInstr> &stream,
+                size_t cls_entries)
+{
+    uint64_t exec_starts = 0, exec_ends = 0, iter_starts = 0,
+             single_iters = 0, iter_count_sum = 0;
+    uint64_t last_pos = 0;
+
+    struct ExecState
+    {
+        bool started = false;
+        bool ended = false;
+        uint32_t lastIter = 1;
+    };
+    std::map<uint64_t, ExecState> execs;
+
+    for (size_t i = 0; i < log.events.size(); ++i) {
+        const LoggedEvent &ev = log.events[i];
+        if (ev.pos < last_pos) {
+            return strprintf("invariant: event %zu position goes "
+                             "backwards (%s)",
+                             i, describeEvent(ev).c_str());
+        }
+        last_pos = ev.pos;
+        if (ev.pos > log.totalInstrs) {
+            return strprintf("invariant: event %zu past trace end (%s)",
+                             i, describeEvent(ev).c_str());
+        }
+
+        switch (ev.kind) {
+          case LoggedEvent::Kind::ExecStart: {
+            ++exec_starts;
+            ExecState &x = execs[ev.execId];
+            if (x.started) {
+                return strprintf("invariant: exec %llu started twice",
+                                 static_cast<unsigned long long>(
+                                     ev.execId));
+            }
+            x.started = true;
+            if (ev.depth < 1 || ev.depth > cls_entries) {
+                return strprintf("invariant: ExecStart depth %u outside "
+                                 "[1,%zu]",
+                                 ev.depth, cls_entries);
+            }
+            break;
+          }
+          case LoggedEvent::Kind::IterStart: {
+            ++iter_starts;
+            ExecState &x = execs[ev.execId];
+            if (!x.started || x.ended) {
+                return strprintf("invariant: IterStart outside exec "
+                                 "lifetime (%s)",
+                                 describeEvent(ev).c_str());
+            }
+            if (ev.a != x.lastIter + 1) {
+                return strprintf("invariant: exec %llu iteration index "
+                                 "jumps %u -> %u",
+                                 static_cast<unsigned long long>(
+                                     ev.execId),
+                                 x.lastIter, ev.a);
+            }
+            x.lastIter = ev.a;
+            break;
+          }
+          case LoggedEvent::Kind::IterEnd: {
+            ExecState &x = execs[ev.execId];
+            if (!x.started || x.ended) {
+                return strprintf("invariant: IterEnd outside exec "
+                                 "lifetime (%s)",
+                                 describeEvent(ev).c_str());
+            }
+            break;
+          }
+          case LoggedEvent::Kind::ExecEnd: {
+            ++exec_ends;
+            iter_count_sum += ev.a;
+            ExecState &x = execs[ev.execId];
+            if (!x.started || x.ended) {
+                return strprintf("invariant: ExecEnd outside exec "
+                                 "lifetime (%s)",
+                                 describeEvent(ev).c_str());
+            }
+            x.ended = true;
+            if (ev.a != x.lastIter) {
+                return strprintf("invariant: exec %llu ends with "
+                                 "iterCount %u but last iteration was %u",
+                                 static_cast<unsigned long long>(
+                                     ev.execId),
+                                 ev.a, x.lastIter);
+            }
+            break;
+          }
+          case LoggedEvent::Kind::SingleIter:
+            ++single_iters;
+            if (ev.depth < 1 || ev.depth > cls_entries + 1) {
+                return strprintf("invariant: SingleIter depth %u outside "
+                                 "[1,%zu]",
+                                 ev.depth, cls_entries + 1);
+            }
+            break;
+        }
+    }
+
+    if (exec_starts != exec_ends) {
+        return strprintf("invariant: %llu ExecStarts vs %llu ExecEnds",
+                         static_cast<unsigned long long>(exec_starts),
+                         static_cast<unsigned long long>(exec_ends));
+    }
+    for (const auto &[id, x] : execs) {
+        if (x.started && !x.ended) {
+            return strprintf("invariant: exec %llu never ended",
+                             static_cast<unsigned long long>(id));
+        }
+    }
+
+    // Iteration accounting: iterCount includes the undetectable first
+    // iteration, so each execution contributes its IterStarts + 1.
+    if (iter_count_sum != iter_starts + exec_ends) {
+        return strprintf("invariant: iterCount sum %llu != IterStarts "
+                         "%llu + execs %llu",
+                         static_cast<unsigned long long>(iter_count_sum),
+                         static_cast<unsigned long long>(iter_starts),
+                         static_cast<unsigned long long>(exec_ends));
+    }
+
+    // Backedge accounting: every retired taken backward branch/jump
+    // either detects a new execution or closes an iteration, and each
+    // emits exactly one IterStart (never calls or returns).
+    uint64_t taken_backward = 0, not_taken_backward = 0;
+    for (const auto &d : stream) {
+        if (d.kind == CtrlKind::Branch && !d.taken) {
+            if (d.target <= d.pc)
+                ++not_taken_backward;
+            continue;
+        }
+        bool transfer =
+            (d.kind == CtrlKind::Branch && d.taken) ||
+            d.kind == CtrlKind::Jump;
+        if (transfer && d.target <= d.pc)
+            ++taken_backward;
+    }
+    if (iter_starts != taken_backward) {
+        return strprintf("invariant: %llu IterStarts but %llu retired "
+                         "taken backward transfers",
+                         static_cast<unsigned long long>(iter_starts),
+                         static_cast<unsigned long long>(taken_backward));
+    }
+    if (single_iters > not_taken_backward) {
+        return strprintf("invariant: %llu single-iteration execs exceed "
+                         "%llu not-taken backward branches",
+                         static_cast<unsigned long long>(single_iters),
+                         static_cast<unsigned long long>(
+                             not_taken_backward));
+    }
+    return {};
+}
+
+std::string
+compareRecordings(const LoopEventRecording &a, const LoopEventRecording &b)
+{
+    if (a.totalInstrs != b.totalInstrs)
+        return "re-recorded totalInstrs differs";
+    if (a.loopEvents.size() != b.loopEvents.size())
+        return "re-recorded loop-event count differs";
+    for (size_t i = 0; i < a.loopEvents.size(); ++i) {
+        const LoopEventRec &x = a.loopEvents[i];
+        const LoopEventRec &y = b.loopEvents[i];
+        if (x.pos != y.pos || x.execId != y.execId || x.loop != y.loop ||
+            x.aux != y.aux || x.depth != y.depth || x.kind != y.kind ||
+            x.reason != y.reason) {
+            return strprintf("re-recorded loop event %zu differs", i);
+        }
+    }
+    if (a.execs.size() != b.execs.size())
+        return "re-recorded exec count differs";
+    for (size_t i = 0; i < a.execs.size(); ++i) {
+        const ExecRecord &x = a.execs[i];
+        const ExecRecord &y = b.execs[i];
+        if (x.execId != y.execId || x.loop != y.loop ||
+            x.branchAddr != y.branchAddr || x.depth != y.depth ||
+            x.parentExecId != y.parentExecId ||
+            x.endBoundary != y.endBoundary ||
+            x.iterCount != y.iterCount || x.endReason != y.endReason ||
+            x.iterBoundaries != y.iterBoundaries) {
+            return strprintf("re-recorded exec record %zu differs", i);
+        }
+    }
+    if (a.events.size() != b.events.size())
+        return "re-recorded sim-event count differs";
+    for (size_t i = 0; i < a.events.size(); ++i) {
+        const SimEvent &x = a.events[i];
+        const SimEvent &y = b.events[i];
+        if (x.boundary != y.boundary || x.execIdx != y.execIdx ||
+            x.iterIndex != y.iterIndex || x.kind != y.kind)
+            return strprintf("re-recorded sim event %zu differs", i);
+    }
+    return {};
+}
+
+} // namespace
+
+DiffResult
+diffProgram(const Program &prog, const DiffConfig &cfg)
+{
+    EngineConfig ecfg;
+    ecfg.maxInstrs = cfg.maxInstrs;
+
+    // --- 1. DynInstr stream: step() (reference) vs run() -------------
+    StreamCollector scalar;
+    {
+        TraceEngine engine(prog, ecfg);
+        engine.addObserver(&scalar);
+        DynInstr d;
+        while (engine.step(d)) {
+        }
+    }
+
+    StreamCollector batched;
+    ControlTraceRecorder ctrace_rec;
+    {
+        TraceEngine engine(prog, ecfg);
+        engine.addObserver(&batched);
+        engine.addObserver(&ctrace_rec);
+        engine.run();
+    }
+    if (scalar.all.size() != batched.all.size()) {
+        return DiffResult::fail(strprintf(
+            "stream: scalar retires %zu instrs, batched %zu",
+            scalar.all.size(), batched.all.size()));
+    }
+    for (size_t i = 0; i < scalar.all.size(); ++i) {
+        std::string err = compareInstr(scalar.all[i], batched.all[i], i);
+        if (!err.empty())
+            return DiffResult::fail("stream: " + err);
+    }
+    ControlTrace ctrace = ctrace_rec.take();
+
+    // --- 2. Per-CLS-size detector pipeline comparisons ---------------
+    for (size_t cls : cfg.clsSizes) {
+        std::string tag = strprintf("cls=%zu", cls);
+
+        // (A) Reference: scalar-fed detector.
+        EventLog log_a;
+        LoopStats stats_a;
+        MeterBank meters_a(cfg.meterSizes);
+        LoopEventRecorder recorder_a;
+        {
+            LoopDetector det({cls});
+            det.addListener(&log_a);
+            det.addListener(&stats_a);
+            meters_a.attach(det);
+            det.addListener(&recorder_a);
+            for (const auto &d : scalar.all)
+                det.onInstr(d);
+            det.onTraceEnd(scalar.totalInstrs);
+        }
+        LoopEventRecording recording = recorder_a.take();
+
+        // (B) Engine-batched: a real run() with the detector attached.
+        EventLog log_b;
+        LoopStats stats_b;
+        {
+            TraceEngine engine(prog, ecfg);
+            LoopDetector det({cls});
+            det.addListener(&log_b);
+            det.addListener(&stats_b);
+            engine.addObserver(&det);
+            engine.run();
+        }
+        std::string err =
+            compareLogs((tag + " engine-batched").c_str(), log_a, log_b);
+        if (err.empty())
+            err = compareStats((tag + " engine-batched").c_str(),
+                               stats_a.report(), stats_b.report());
+        if (!err.empty())
+            return DiffResult::fail(err);
+
+        // (B1) Odd-sized manual batches stress span boundaries.
+        EventLog log_b1;
+        {
+            LoopDetector det({cls});
+            det.addListener(&log_b1);
+            const size_t chunk = 999;
+            for (size_t i = 0; i < scalar.all.size(); i += chunk) {
+                size_t n = std::min(chunk, scalar.all.size() - i);
+                det.onInstrBatch(scalar.all.data() + i, n);
+            }
+            det.onTraceEnd(scalar.totalInstrs);
+        }
+        err = compareLogs((tag + " manual-batched").c_str(), log_a,
+                          log_b1);
+        if (!err.empty())
+            return DiffResult::fail(err);
+
+        // (C) Control-trace replay (the injection point).
+        size_t replay_cls =
+            cfg.injectClsOffByOne && cls > 1 ? cls - 1 : cls;
+        EventLog log_c;
+        LoopStats stats_c;
+        {
+            LoopDetector det({replay_cls});
+            det.addListener(&log_c);
+            det.addListener(&stats_c);
+            replayControlTrace(ctrace, det);
+        }
+        err = compareLogs((tag + " ctrace-replay").c_str(), log_a, log_c);
+        if (err.empty())
+            err = compareStats((tag + " ctrace-replay").c_str(),
+                               stats_a.report(), stats_c.report());
+        if (!err.empty())
+            return DiffResult::fail(err);
+
+        // (D) Loop-event replay: events, meters and a re-recording.
+        EventLog log_d;
+        MeterBank meters_d(cfg.meterSizes);
+        LoopEventRecorder recorder_d;
+        {
+            std::vector<LoopListener *> ls = meters_d.listeners();
+            ls.push_back(&log_d);
+            ls.push_back(&recorder_d);
+            replayLoopEvents(recording, ls);
+        }
+        err = compareLogs((tag + " event-replay").c_str(), log_a, log_d);
+        if (err.empty())
+            err = meters_d.compare((tag + " event-replay").c_str(),
+                                   meters_a);
+        if (err.empty())
+            err = compareRecordings(recording, recorder_d.take());
+        if (!err.empty())
+            return DiffResult::fail(tag + ": " + err);
+
+        // (E) Detector invariants on the reference log.
+        err = checkInvariants(log_a, scalar.all, cls);
+        if (!err.empty())
+            return DiffResult::fail(tag + " " + err);
+
+        // (F) Meters vs independent LRU reference models.
+        for (size_t i = 0; i < cfg.meterSizes.size(); ++i) {
+            HitRatioResult ref = refLetResult(log_a.events,
+                                              cfg.meterSizes[i]);
+            const HitRatioResult &got = meters_a.lets[i]->result();
+            if (ref.accesses != got.accesses || ref.hits != got.hits) {
+                return DiffResult::fail(strprintf(
+                    "%s LET@%zu: meter %llu/%llu vs LRU model %llu/%llu",
+                    tag.c_str(), cfg.meterSizes[i],
+                    static_cast<unsigned long long>(got.hits),
+                    static_cast<unsigned long long>(got.accesses),
+                    static_cast<unsigned long long>(ref.hits),
+                    static_cast<unsigned long long>(ref.accesses)));
+            }
+            ref = refLitResult(log_a.events, cfg.meterSizes[i]);
+            const HitRatioResult &lgot = meters_a.lits[i]->result();
+            if (ref.accesses != lgot.accesses || ref.hits != lgot.hits) {
+                return DiffResult::fail(strprintf(
+                    "%s LIT@%zu: meter %llu/%llu vs LRU model %llu/%llu",
+                    tag.c_str(), cfg.meterSizes[i],
+                    static_cast<unsigned long long>(lgot.hits),
+                    static_cast<unsigned long long>(lgot.accesses),
+                    static_cast<unsigned long long>(ref.hits),
+                    static_cast<unsigned long long>(ref.accesses)));
+            }
+        }
+    }
+
+    return {};
+}
+
+} // namespace synth
+} // namespace loopspec

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Differential oracle over the three trace-pipeline execution paths.
+ *
+ * PR 2 left the repo with three independently implemented ways to turn a
+ * Program into loop events: the scalar step() interpreter (the reference),
+ * the predecoded batch run() path, and the record/replay layer
+ * (ControlTrace + LoopEventRecording). DiffChecker runs one program
+ * through all of them, at several CLS sizes, and reports the first
+ * divergence:
+ *
+ *  - DynInstr streams of step() and run() must be bit-identical;
+ *  - the LoopDetector must emit the identical event sequence whether fed
+ *    per-instruction, in batches, by the engine, or by control-trace
+ *    replay;
+ *  - replaying a LoopEventRecording must reproduce the events, the
+ *    Fig-4 meter artifacts, and a re-recorded recording exactly;
+ *  - Table-1 statistics must agree across every path;
+ *  - detector invariants must hold on the reference stream (conservation,
+ *    iteration-count/backedge accounting, event ordering, depth bounds);
+ *  - the LET/LIT meters must match independent list-based LRU reference
+ *    models (LRU victim validity).
+ *
+ * `injectClsOffByOne` deliberately runs the replay detector one CLS entry
+ * short — a synthetic detector bug the harness must catch; the fuzz tests
+ * use it to prove the oracle has teeth.
+ */
+
+#ifndef LOOPSPEC_SYNTH_DIFF_CHECKER_HH
+#define LOOPSPEC_SYNTH_DIFF_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loop/loop_event.hh"
+#include "program/program.hh"
+
+namespace loopspec
+{
+namespace synth
+{
+
+/** One captured loop event, every field comparable across pipelines. */
+struct LoggedEvent
+{
+    enum class Kind : uint8_t
+    {
+        ExecStart,
+        IterStart,
+        IterEnd,
+        ExecEnd,
+        SingleIter,
+    };
+
+    Kind kind = Kind::ExecStart;
+    uint64_t pos = 0;
+    uint64_t execId = 0;
+    uint64_t parent = 0;     //!< ExecStart only
+    uint32_t loop = 0;
+    uint32_t a = 0;          //!< iterIndex / iterCount
+    uint32_t depth = 0;
+    uint32_t branchAddr = 0; //!< ExecStart / SingleIter
+    ExecEndReason reason = ExecEndReason::Close;
+
+    bool operator==(const LoggedEvent &o) const;
+    bool operator!=(const LoggedEvent &o) const { return !(*this == o); }
+};
+
+/** Compact one-line rendering for failure messages. */
+std::string describeEvent(const LoggedEvent &ev);
+
+/** LoopListener capturing the full event stream for comparison. */
+class EventLog : public LoopListener
+{
+  public:
+    bool consumesInstrs() const override { return false; }
+    void onExecStart(const ExecStartEvent &ev) override;
+    void onIterStart(const IterEvent &ev) override;
+    void onIterEnd(const IterEvent &ev) override;
+    void onExecEnd(const ExecEndEvent &ev) override;
+    void onSingleIterExec(const SingleIterExecEvent &ev) override;
+    void onTraceDone(uint64_t total_instrs) override;
+
+    std::vector<LoggedEvent> events;
+    uint64_t totalInstrs = 0;
+    bool done = false;
+};
+
+/** DiffChecker configuration. */
+struct DiffConfig
+{
+    /** CLS sizes every comparison runs at. */
+    std::vector<size_t> clsSizes = {4, 8, 16};
+
+    /** LET/LIT meter sizes (the Fig-4 sweep). */
+    std::vector<size_t> meterSizes = {2, 4, 8, 16};
+
+    /** Fuel cap: a generator bug cannot hang the harness (equivalence
+     *  must hold under truncation too). */
+    uint64_t maxInstrs = 150000;
+
+    /** Run the control-replay detector with one CLS entry fewer — a
+     *  deliberate off-by-one the harness must detect (self-check). */
+    bool injectClsOffByOne = false;
+};
+
+/** Outcome of one differential check. */
+struct DiffResult
+{
+    bool ok = true;
+    std::string failure; //!< first divergence, human readable
+
+    static DiffResult
+    fail(std::string why)
+    {
+        return {false, std::move(why)};
+    }
+};
+
+/** Run @p prog through every pipeline and compare. */
+DiffResult diffProgram(const Program &prog, const DiffConfig &cfg = {});
+
+} // namespace synth
+} // namespace loopspec
+
+#endif // LOOPSPEC_SYNTH_DIFF_CHECKER_HH

@@ -1,0 +1,321 @@
+#include "synth/fuzz_campaign.hh"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace loopspec
+{
+namespace synth
+{
+
+namespace
+{
+
+/** Does the plan's emitted program still fail the checker? */
+bool
+planFails(const ProgramGenerator &gen, const ProgramPlan &plan,
+          const DiffConfig &diff, std::string *msg)
+{
+    Program prog = gen.emit(plan, "shrink");
+    DiffResult r = diffProgram(prog, diff);
+    if (!r.ok && msg)
+        *msg = r.failure;
+    return !r.ok;
+}
+
+/** Address of one node: which root block, then child indices. */
+struct NodePath
+{
+    int func = -1; //!< -1 = main, else funcs[func]
+    std::vector<size_t> idx;
+};
+
+std::vector<LoopNode> &
+rootBlock(ProgramPlan &plan, int func)
+{
+    return func < 0 ? plan.main
+                    : plan.funcs[static_cast<size_t>(func)];
+}
+
+/** Parent block of the node at @p path plus its index in that block. */
+std::vector<LoopNode> &
+parentBlock(ProgramPlan &plan, const NodePath &path, size_t &last)
+{
+    std::vector<LoopNode> *blk = &rootBlock(plan, path.func);
+    for (size_t i = 0; i + 1 < path.idx.size(); ++i)
+        blk = &(*blk)[path.idx[i]].children;
+    last = path.idx.back();
+    return *blk;
+}
+
+void
+collectPathsIn(const std::vector<LoopNode> &block, int func,
+               std::vector<size_t> &prefix, std::vector<NodePath> &out)
+{
+    for (size_t i = 0; i < block.size(); ++i) {
+        prefix.push_back(i);
+        out.push_back({func, prefix});
+        collectPathsIn(block[i].children, func, prefix, out);
+        prefix.pop_back();
+    }
+}
+
+/** Every node of the plan, pre-order. */
+std::vector<NodePath>
+collectPaths(const ProgramPlan &plan)
+{
+    std::vector<NodePath> out;
+    std::vector<size_t> prefix;
+    collectPathsIn(plan.main, -1, prefix, out);
+    for (size_t f = 0; f < plan.funcs.size(); ++f)
+        collectPathsIn(plan.funcs[f], static_cast<int>(f), prefix, out);
+    return out;
+}
+
+bool
+nodeIsMinimal(const LoopNode &n)
+{
+    return n.shape == LoopShape::Counted && n.trip <= 2 && n.pad == 0 &&
+           n.mask == 0 && n.callFunc < 0;
+}
+
+} // namespace
+
+ProgramPlan
+shrinkPlan(const ProgramGenerator &gen, const ProgramPlan &plan,
+           const DiffConfig &diff, std::string *failure_out)
+{
+    std::string msg;
+    if (!planFails(gen, plan, diff, &msg))
+        return plan; // nothing to shrink
+
+    ProgramPlan current = plan;
+    bool progress = true;
+    unsigned rounds = 0;
+    while (progress && ++rounds < 200) {
+        progress = false;
+
+        // 1. Bisect the top-level main sequence: drop aligned chunks,
+        //    largest first (classic ddmin over the structure vector).
+        for (size_t chunk = std::max<size_t>(current.main.size() / 2, 1);
+             chunk >= 1 && !current.main.empty(); chunk /= 2) {
+            for (size_t at = 0; at < current.main.size();) {
+                ProgramPlan cand = current;
+                size_t n = std::min(chunk, cand.main.size() - at);
+                cand.main.erase(cand.main.begin() +
+                                    static_cast<long>(at),
+                                cand.main.begin() +
+                                    static_cast<long>(at + n));
+                if (planFails(gen, cand, diff, &msg)) {
+                    current = std::move(cand);
+                    progress = true;
+                } else {
+                    at += chunk;
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+
+        // 2. Per node: try full removal, then hoisting its children into
+        //    its place, then simplifying it to a minimal counted loop.
+        //    Paths are revisited from scratch after every accepted edit.
+        bool edited = true;
+        while (edited) {
+            edited = false;
+            std::vector<NodePath> paths = collectPaths(current);
+            for (const auto &path : paths) {
+                size_t last = 0;
+                {
+                    ProgramPlan cand = current;
+                    std::vector<LoopNode> &blk =
+                        parentBlock(cand, path, last);
+                    blk.erase(blk.begin() + static_cast<long>(last));
+                    if (planFails(gen, cand, diff, &msg)) {
+                        current = std::move(cand);
+                        progress = edited = true;
+                        break;
+                    }
+                }
+                {
+                    ProgramPlan cand = current;
+                    std::vector<LoopNode> &blk =
+                        parentBlock(cand, path, last);
+                    if (!blk[last].children.empty()) {
+                        std::vector<LoopNode> kids =
+                            std::move(blk[last].children);
+                        blk.erase(blk.begin() + static_cast<long>(last));
+                        blk.insert(blk.begin() + static_cast<long>(last),
+                                   kids.begin(), kids.end());
+                        if (planFails(gen, cand, diff, &msg)) {
+                            current = std::move(cand);
+                            progress = edited = true;
+                            break;
+                        }
+                    }
+                }
+                {
+                    ProgramPlan cand = current;
+                    std::vector<LoopNode> &blk =
+                        parentBlock(cand, path, last);
+                    LoopNode &n = blk[last];
+                    if (!nodeIsMinimal(n)) {
+                        n.shape = LoopShape::Counted;
+                        n.trip = std::min<int64_t>(n.trip, 2);
+                        n.pad = 0;
+                        n.mask = 0;
+                        n.callFunc = -1;
+                        n.callIndirect = false;
+                        if (planFails(gen, cand, diff, &msg)) {
+                            current = std::move(cand);
+                            progress = edited = true;
+                            break;
+                        }
+                    }
+                }
+                {
+                    // Call-preserving simplify: a callee loop often
+                    // supplies the failing CLS depth, while an
+                    // irregular shape (early exit, data-dependent
+                    // trip) around the call only gates whether the
+                    // callee runs. Regularising the shape but keeping
+                    // the call frees the LCG-entangled siblings for
+                    // removal.
+                    ProgramPlan cand = current;
+                    std::vector<LoopNode> &blk =
+                        parentBlock(cand, path, last);
+                    LoopNode &n = blk[last];
+                    bool irregular_call =
+                        n.callFunc >= 0 &&
+                        (n.shape != LoopShape::Counted || n.pad != 0 ||
+                         n.mask != 0 || n.trip > 2);
+                    if (irregular_call) {
+                        n.shape = LoopShape::Counted;
+                        n.trip = std::min<int64_t>(n.trip, 2);
+                        n.pad = 0;
+                        n.mask = 0;
+                        if (planFails(gen, cand, diff, &msg)) {
+                            current = std::move(cand);
+                            progress = edited = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Empty helper functions (indices referenced from callFunc
+        //    stay stable; an empty function is just call+ret).
+        for (size_t f = 0; f < current.funcs.size(); ++f) {
+            if (current.funcs[f].empty())
+                continue;
+            ProgramPlan cand = current;
+            cand.funcs[f].clear();
+            if (planFails(gen, cand, diff, &msg)) {
+                current = std::move(cand);
+                progress = true;
+            }
+        }
+    }
+
+    // Record the shrunk plan's own divergence message.
+    if (failure_out) {
+        std::string final_msg;
+        planFails(gen, current, diff, &final_msg);
+        *failure_out = final_msg;
+    }
+    return current;
+}
+
+FuzzReport
+runFuzzCampaign(const FuzzOptions &opts)
+{
+    if (opts.seedHi < opts.seedLo)
+        fatal("fuzz: empty seed range [%llu, %llu]",
+              static_cast<unsigned long long>(opts.seedLo),
+              static_cast<unsigned long long>(opts.seedHi));
+    uint64_t n = opts.seedHi - opts.seedLo + 1;
+
+    ProgramGenerator gen(opts.gen);
+    std::vector<std::unique_ptr<FuzzFailure>> slots(n);
+
+    parallelFor(opts.jobs, n, [&](uint64_t i) {
+        uint64_t seed = opts.seedLo + i;
+        ProgramPlan plan = gen.plan(seed);
+        Program prog =
+            gen.emit(plan, "fuzz-" + std::to_string(seed));
+        DiffResult r = diffProgram(prog, opts.diff);
+        if (r.ok)
+            return;
+        auto failure = std::make_unique<FuzzFailure>();
+        failure->seed = seed;
+        failure->message = r.failure;
+        if (opts.shrink) {
+            failure->plan = shrinkPlan(gen, plan, opts.diff,
+                                       &failure->shrunkMessage);
+        } else {
+            failure->plan = std::move(plan);
+            failure->shrunkMessage = r.failure;
+        }
+        failure->loops = failure->plan.loopCount();
+        slots[i] = std::move(failure);
+    });
+
+    FuzzReport report;
+    report.seedsRun = n;
+    for (auto &slot : slots) {
+        if (slot)
+            report.failures.push_back(std::move(*slot));
+    }
+    return report;
+}
+
+void
+writeReproJson(std::ostream &os, const FuzzFailure &failure,
+               const DiffConfig &diff)
+{
+    auto escape = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            out.push_back(c);
+        }
+        return out;
+    };
+    os << "{\n  \"seed\": " << failure.seed << ",\n  \"failure\": \""
+       << escape(failure.shrunkMessage) << "\",\n  \"loops\": "
+       << failure.loops << ",\n  \"cls\": [";
+    for (size_t i = 0; i < diff.clsSizes.size(); ++i)
+        os << (i ? "," : "") << diff.clsSizes[i];
+    os << "],\n  \"plan\": ";
+    failure.plan.save(os);
+    os << "\n}\n";
+}
+
+ProgramPlan
+loadReproPlan(std::istream &is)
+{
+    std::stringstream buf;
+    buf << is.rdbuf();
+    std::string text = buf.str();
+    // A repro wraps the plan under "plan"; a bare plan document starts
+    // with its own keys. Find the plan object either way.
+    size_t at = text.find("\"plan\":");
+    if (at != std::string::npos) {
+        at = text.find('{', at);
+        if (at == std::string::npos)
+            fatal("repro JSON: no plan object after \"plan\":");
+        std::istringstream plan_is(text.substr(at));
+        return ProgramPlan::load(plan_is);
+    }
+    std::istringstream plan_is(text);
+    return ProgramPlan::load(plan_is);
+}
+
+} // namespace synth
+} // namespace loopspec

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Differential fuzz campaigns over generated programs: a seed range is
+ * sharded across a std::thread pool, every seed's program is checked by
+ * the DiffChecker, and failures are minimised by structural delta
+ * debugging on the generator's plan (the "structure vector") — never on
+ * emitted code, so every shrink candidate is again a valid, terminating
+ * program. Results merge deterministically (per-seed slots, ascending
+ * seed order) regardless of scheduling.
+ */
+
+#ifndef LOOPSPEC_SYNTH_FUZZ_CAMPAIGN_HH
+#define LOOPSPEC_SYNTH_FUZZ_CAMPAIGN_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "synth/diff_checker.hh"
+#include "synth/program_generator.hh"
+
+namespace loopspec
+{
+namespace synth
+{
+
+/** Campaign configuration. */
+struct FuzzOptions
+{
+    uint64_t seedLo = 0;
+    uint64_t seedHi = 99; //!< inclusive
+    GenConfig gen;
+    DiffConfig diff;
+    unsigned jobs = 0;  //!< worker threads; 0 = one per hardware thread
+    bool shrink = true; //!< minimise failures structurally
+};
+
+/** One failing seed, with its (possibly shrunk) repro plan. */
+struct FuzzFailure
+{
+    uint64_t seed = 0;
+    std::string message;       //!< divergence of the original program
+    std::string shrunkMessage; //!< divergence of the shrunk plan
+    ProgramPlan plan;          //!< shrunk plan (original when !shrink)
+    uint64_t loops = 0;        //!< plan.loopCount() of the repro
+};
+
+/** Merged campaign outcome. */
+struct FuzzReport
+{
+    uint64_t seedsRun = 0;
+    std::vector<FuzzFailure> failures; //!< ascending seed order
+};
+
+/** Run the campaign; deterministic for fixed options. */
+FuzzReport runFuzzCampaign(const FuzzOptions &opts);
+
+/**
+ * Structural delta debugging: repeatedly drop top-level chunks, hoist
+ * children over their parent, simplify shapes and empty helper
+ * functions while the DiffChecker still reports a failure. Returns the
+ * smallest still-failing plan found; @p failure_out (optional) receives
+ * its divergence message. @p plan must fail, or it is returned as is.
+ */
+ProgramPlan shrinkPlan(const ProgramGenerator &gen, const ProgramPlan &plan,
+                       const DiffConfig &diff,
+                       std::string *failure_out = nullptr);
+
+/**
+ * Repro dump: a JSON object wrapping the failing plan with the seed,
+ * divergence message, loop count and checked CLS sizes. The "plan" value
+ * is a ProgramPlan::save() document, so it can be re-run standalone.
+ */
+void writeReproJson(std::ostream &os, const FuzzFailure &failure,
+                    const DiffConfig &diff);
+
+/** Extract the plan from a writeReproJson() document (or accept a bare
+ *  ProgramPlan::save() document); fatal() on malformed input. */
+ProgramPlan loadReproPlan(std::istream &is);
+
+} // namespace synth
+} // namespace loopspec
+
+#endif // LOOPSPEC_SYNTH_FUZZ_CAMPAIGN_HH

@@ -1,0 +1,728 @@
+#include "synth/program_generator.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <ostream>
+
+#include "program/builder.hh"
+#include "util/logging.hh"
+#include "workloads/kernels.hh"
+
+namespace loopspec
+{
+namespace synth
+{
+
+namespace
+{
+
+// Register conventions of emitted programs. Main-block loops at nest
+// depth d use r(1+2d)/r(2+2d) as index/bound, so depth is capped at 8
+// (r1..r16); the outer-reps wrapper uses the depth-8 pair (r17/r18);
+// helper-function loops use r21..r24; r27/r28 are never-live-across-a-
+// loop scratch; r31 is the LCG state (kernels::lcgReg).
+constexpr unsigned mainDepthCap = 8;
+constexpr unsigned funcDepthBase = 10;
+constexpr unsigned funcDepthCap = 2;
+constexpr Reg scratchA{27};
+constexpr Reg scratchB{28};
+
+Reg
+idxRegAt(unsigned depth)
+{
+    if (depth >= funcDepthBase)
+        return Reg{static_cast<uint8_t>(21 + 2 * (depth - funcDepthBase))};
+    return Reg{static_cast<uint8_t>(1 + 2 * depth)};
+}
+
+Reg
+bndRegAt(unsigned depth)
+{
+    if (depth >= funcDepthBase)
+        return Reg{static_cast<uint8_t>(22 + 2 * (depth - funcDepthBase))};
+    return Reg{static_cast<uint8_t>(2 + 2 * depth)};
+}
+
+std::string
+funcName(int idx)
+{
+    return "f" + std::to_string(idx);
+}
+
+/** Effective trip count of one node for cost estimation. */
+uint64_t
+effTrips(const LoopNode &n)
+{
+    switch (n.shape) {
+      case LoopShape::SelfBranch:
+      case LoopShape::Trip1:
+        return 1;
+      case LoopShape::DataDep:
+        return static_cast<uint64_t>(n.trip) +
+               static_cast<uint64_t>(n.mask) / 2;
+      case LoopShape::Overlapped:
+        return 2 * static_cast<uint64_t>(n.trip);
+      default:
+        return static_cast<uint64_t>(n.trip);
+    }
+}
+
+/**
+ * Per-entry dynamic-instruction estimate of one node *excluding* its
+ * children: the planner charges each node's own cost exactly once, at
+ * that node's entry multiplicity (children are charged at theirs), so
+ * the sum over all nodes estimates the whole trace. @p func_costs holds
+ * the per-call cost of each already-planned helper function (one call
+ * per body iteration).
+ */
+uint64_t
+ownCost(const LoopNode &n, const std::vector<uint64_t> &func_costs)
+{
+    if (n.shape == LoopShape::SelfBranch)
+        return 2;
+    uint64_t body = n.pad + 6u;
+    if (n.callFunc >= 0 &&
+        static_cast<size_t>(n.callFunc) < func_costs.size())
+        body += func_costs[static_cast<size_t>(n.callFunc)];
+    return 4 + effTrips(n) * body;
+}
+
+/** Whole-subtree per-entry cost (used to price helper functions). */
+uint64_t
+subtreeCost(const LoopNode &n, const std::vector<uint64_t> &func_costs)
+{
+    uint64_t total = ownCost(n, func_costs);
+    for (const auto &c : n.children)
+        total += effTrips(n) * subtreeCost(c, func_costs);
+    return total;
+}
+
+} // namespace
+
+const char *
+loopShapeName(LoopShape shape)
+{
+    switch (shape) {
+      case LoopShape::Counted: return "counted";
+      case LoopShape::DataDep: return "datadep";
+      case LoopShape::EarlyExit: return "earlyexit";
+      case LoopShape::WhileContinue: return "whilecontinue";
+      case LoopShape::MultiBackedge: return "multibackedge";
+      case LoopShape::Overlapped: return "overlapped";
+      case LoopShape::SelfBranch: return "selfbranch";
+      case LoopShape::Trip1: return "trip1";
+      default: panic("bad LoopShape");
+    }
+}
+
+LoopShape
+loopShapeFromName(const std::string &name)
+{
+    for (unsigned s = 0; s < static_cast<unsigned>(LoopShape::NumShapes);
+         ++s) {
+        if (name == loopShapeName(static_cast<LoopShape>(s)))
+            return static_cast<LoopShape>(s);
+    }
+    fatal("unknown loop shape '%s'", name.c_str());
+}
+
+uint64_t
+LoopNode::loopCount() const
+{
+    uint64_t n = shape == LoopShape::Overlapped ? 2 : 1;
+    for (const auto &c : children)
+        n += c.loopCount();
+    return n;
+}
+
+uint64_t
+ProgramPlan::loopCount() const
+{
+    uint64_t n = 0;
+    for (const auto &node : main)
+        n += node.loopCount();
+    for (const auto &fn : funcs)
+        for (const auto &node : fn)
+            n += node.loopCount();
+    return n;
+}
+
+// --------------------------------------------------------------- planner
+
+struct ProgramGenerator::Planner
+{
+    const GenConfig &cfg;
+    Rng rng;
+    uint64_t budget;
+    /** Per-call dynamic cost of each helper function (priced after the
+     *  function bodies are drawn, before main). */
+    std::vector<uint64_t> funcCosts;
+
+    Planner(const GenConfig &config, uint64_t seed)
+        : cfg(config), rng(seed), budget(config.dynInstrBudget)
+    {
+    }
+
+    LoopShape
+    drawShape(unsigned depth, bool in_func)
+    {
+        double p = rng.uniform();
+        if ((p -= cfg.degenerateProb) < 0)
+            return rng.chance(0.5) ? LoopShape::SelfBranch
+                                   : LoopShape::Trip1;
+        if ((p -= cfg.dataDepProb) < 0)
+            return LoopShape::DataDep;
+        if ((p -= cfg.earlyExitProb) < 0)
+            return LoopShape::EarlyExit;
+        if ((p -= cfg.continueProb) < 0)
+            return LoopShape::WhileContinue;
+        if ((p -= cfg.multiBackedgeProb) < 0)
+            return LoopShape::MultiBackedge;
+        // Overlapped consumes two depth levels and stays a leaf.
+        if ((p -= cfg.overlapProb) < 0 && !in_func &&
+            depth + 1 < cfg.maxDepth) {
+            return LoopShape::Overlapped;
+        }
+        return LoopShape::Counted;
+    }
+
+    LoopNode
+    drawNode(unsigned depth, uint64_t entries, bool in_func,
+             unsigned num_funcs)
+    {
+        LoopNode n;
+        n.shape = drawShape(depth, in_func);
+        n.pad = static_cast<uint8_t>(rng.below(4));
+        switch (n.shape) {
+          case LoopShape::SelfBranch:
+            n.trip = 1;
+            return n;
+          case LoopShape::Trip1:
+            n.trip = 1;
+            break;
+          default:
+            n.trip = 2 + rng.range(0, cfg.maxTrip > 2 ? cfg.maxTrip - 2
+                                                      : 0);
+            break;
+        }
+        if (n.shape == LoopShape::DataDep)
+            n.mask = rng.chance(0.5) ? 3 : 7;
+
+        if (!in_func && num_funcs > 0 && rng.chance(cfg.callProb)) {
+            n.callFunc =
+                static_cast<int8_t>(rng.below(num_funcs));
+            n.callIndirect = rng.chance(0.3);
+        }
+
+        // A node too expensive even without children degenerates before
+        // any child is drawn (deep multiplicative nests bottom out here).
+        if (entries * ownCost(n, funcCosts) > budget) {
+            n.shape = LoopShape::Trip1;
+            n.trip = 1;
+            n.mask = 0;
+            n.callFunc = -1;
+            return n;
+        }
+
+        bool can_nest = n.shape != LoopShape::Overlapped &&
+                        n.shape != LoopShape::SelfBranch &&
+                        n.shape != LoopShape::Trip1;
+        // Function blocks run at absolute depths funcDepthBase..; their
+        // cap is relative to that base (funcDepthCap levels).
+        unsigned depth_cap =
+            in_func ? funcDepthBase + funcDepthCap
+                    : std::min(cfg.maxDepth, mainDepthCap);
+        if (can_nest && depth + 1 < depth_cap && rng.chance(cfg.nestProb)) {
+            uint64_t child_entries =
+                entries * static_cast<uint64_t>(n.trip);
+            n.children = drawBlock(depth + 1, child_entries, in_func,
+                                   num_funcs);
+        }
+        return n;
+    }
+
+    std::vector<LoopNode>
+    drawBlock(unsigned depth, uint64_t entries, bool in_func,
+              unsigned num_funcs, bool top = false)
+    {
+        std::vector<LoopNode> block;
+        // Nested blocks are small (1..maxLoopsPerBlock); the top-level
+        // sequence keeps appending until the dynamic budget is spent, so
+        // generated traces actually reach fuzz-worthy sizes.
+        unsigned count = 1 + static_cast<unsigned>(
+                                 rng.below(cfg.maxLoopsPerBlock));
+        unsigned cap = top ? 64 : count;
+        for (unsigned i = 0; i < cap; ++i) {
+            if (budget == 0)
+                break;
+            if (top && i >= count && budget < cfg.dynInstrBudget / 10)
+                break;
+            LoopNode n = drawNode(depth, entries, in_func, num_funcs);
+            uint64_t cost = entries * ownCost(n, funcCosts);
+            budget = cost >= budget ? 0 : budget - cost;
+            block.push_back(std::move(n));
+        }
+        return block;
+    }
+};
+
+ProgramGenerator::ProgramGenerator(GenConfig config) : cfg(config)
+{
+    LOOPSPEC_ASSERT(cfg.maxDepth >= 1 && cfg.maxDepth <= mainDepthCap,
+                    "maxDepth out of range");
+    LOOPSPEC_ASSERT(cfg.maxFunctions <= 4, "too many helper functions");
+    LOOPSPEC_ASSERT(cfg.maxTrip >= 2, "maxTrip too small");
+}
+
+ProgramPlan
+ProgramGenerator::plan(uint64_t seed) const
+{
+    Planner p(cfg, seed);
+    ProgramPlan out;
+    out.seed = seed;
+
+    unsigned num_funcs =
+        cfg.maxFunctions
+            ? static_cast<unsigned>(p.rng.below(cfg.maxFunctions + 1))
+            : 0;
+    // Functions are budgeted small: they can be called from deeply
+    // nested sites, so each gets a flat slice of the budget up front.
+    for (unsigned f = 0; f < num_funcs; ++f) {
+        uint64_t saved = p.budget;
+        p.budget = std::min<uint64_t>(saved, 400);
+        out.funcs.push_back(p.drawBlock(funcDepthBase, 1, true, 0));
+        p.budget = saved > 400 ? saved - 400 : 0;
+        // Price the finished function so main's call sites are charged
+        // what a call actually costs (call + body + ret).
+        uint64_t cost = 2;
+        for (const auto &n : out.funcs.back())
+            cost += subtreeCost(n, {});
+        p.funcCosts.push_back(cost);
+    }
+    out.main = p.drawBlock(0, 1, false, num_funcs, true);
+    return out;
+}
+
+// --------------------------------------------------------------- emitter
+
+struct ProgramGenerator::Emitter
+{
+    ProgramBuilder &b;
+    bool inFunction = false;
+
+    void
+    emitPad(unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i) {
+            if (i % 2)
+                b.addi(scratchA, scratchA, 1);
+            else
+                b.nop();
+        }
+    }
+
+    void
+    emitCall(const LoopNode &n)
+    {
+        if (n.callFunc < 0)
+            return;
+        if (n.callIndirect) {
+            b.liFunc(scratchA, funcName(n.callFunc));
+            b.callInd(scratchA);
+        } else {
+            b.call(funcName(n.callFunc));
+        }
+    }
+
+    void
+    emitBody(const LoopNode &n, unsigned depth)
+    {
+        emitPad(n.pad);
+        emitCall(n);
+        for (const auto &c : n.children)
+            emitNode(c, depth + 1);
+    }
+
+    void
+    emitNode(const LoopNode &n, unsigned depth)
+    {
+        Reg idx = idxRegAt(depth);
+        Reg bnd = bndRegAt(depth);
+        switch (n.shape) {
+          case LoopShape::SelfBranch: {
+            // A never-taken backward branch to itself: the tightest
+            // possible single-iteration execution (target == pc).
+            b.nop();
+            Label self = b.here();
+            b.bne(regs::r0, regs::r0, self);
+            return;
+          }
+          case LoopShape::Counted:
+          case LoopShape::Trip1:
+            b.li(idx, 0);
+            b.li(bnd, n.trip);
+            b.countedLoop(idx, bnd,
+                          [&](const LoopCtx &) { emitBody(n, depth); });
+            return;
+          case LoopShape::DataDep:
+            // Trip count drawn per entry: trip + (lcg & mask).
+            kernels::emitLcgStep(b, scratchB);
+            b.andi(scratchB, scratchB, n.mask ? n.mask : 3);
+            b.addi(bnd, scratchB, n.trip);
+            b.li(idx, 0);
+            b.countedLoop(idx, bnd,
+                          [&](const LoopCtx &) { emitBody(n, depth); });
+            return;
+          case LoopShape::EarlyExit:
+            b.li(idx, 0);
+            b.li(bnd, n.trip);
+            b.countedLoop(idx, bnd, [&](const LoopCtx &ctx) {
+                emitPad(n.pad);
+                kernels::emitLcgStep(b, scratchB);
+                b.andi(scratchB, scratchB, 7);
+                if (inFunction) {
+                    // Early *return* from inside the loop: exercises the
+                    // detector's return rule on a live entry.
+                    Label stay = b.newLabel();
+                    b.bne(scratchB, regs::r0, stay);
+                    b.ret();
+                    b.bind(stay);
+                } else {
+                    // Data-dependent break (~1/8 per iteration).
+                    b.beq(scratchB, regs::r0, ctx.exit);
+                }
+                emitCall(n);
+                for (const auto &c : n.children)
+                    emitNode(c, depth + 1);
+            });
+            return;
+          case LoopShape::WhileContinue: {
+            // While-form loop whose body can jump back to the head from
+            // two distinct addresses (continue + close): a multi-backedge
+            // loop with B raised to the highest backward transfer.
+            b.li(idx, 0);
+            b.li(bnd, n.trip);
+            Label exit = b.newLabel();
+            Label head = b.here();
+            b.bge(idx, bnd, exit);
+            b.addi(idx, idx, 1);
+            emitBody(n, depth);
+            b.andi(scratchA, idx, 1);
+            b.bne(scratchA, regs::r0, head); // continue (odd idx)
+            b.nop();
+            b.jmp(head); // close
+            b.bind(exit);
+            return;
+          }
+          case LoopShape::MultiBackedge: {
+            // Do-while closed by two different backward transfers.
+            b.li(idx, 0);
+            b.li(bnd, n.trip);
+            Label exit = b.newLabel();
+            Label head = b.here();
+            emitBody(n, depth);
+            b.addi(idx, idx, 1);
+            b.bge(idx, bnd, exit);
+            b.andi(scratchA, idx, 1);
+            b.bne(scratchA, regs::r0, head);
+            b.jmp(head);
+            b.bind(exit);
+            return;
+          }
+          case LoopShape::Overlapped: {
+            // Rotated loop pair T1 < T2 <= B1 < B2: the bodies overlap,
+            // so closing one from inside the other exercises the exit
+            // rule on middle CLS entries.
+            Reg idx2 = idxRegAt(depth + 1);
+            Reg bnd2 = bndRegAt(depth + 1);
+            b.li(idx, 0);
+            b.li(bnd, n.trip);
+            b.li(idx2, 0);
+            b.li(bnd2, n.trip + 1);
+            Label h1 = b.here();
+            b.addi(idx, idx, 1);
+            Label h2 = b.here();
+            b.addi(idx2, idx2, 1);
+            emitPad(n.pad);
+            b.blt(idx, bnd, h1);
+            b.blt(idx2, bnd2, h2);
+            return;
+          }
+          default:
+            panic("bad LoopShape");
+        }
+    }
+};
+
+Program
+ProgramGenerator::emit(const ProgramPlan &plan_in, const std::string &name,
+                       uint64_t outer_reps) const
+{
+    ProgramBuilder b(name, 64);
+    Emitter em{b};
+
+    b.beginFunction("main");
+    b.li(kernels::lcgReg, static_cast<int64_t>(plan_in.seed | 1));
+
+    auto emit_main = [&] {
+        for (const auto &n : plan_in.main)
+            em.emitNode(n, 0);
+    };
+    if (outer_reps > 1) {
+        Reg idx = idxRegAt(mainDepthCap);
+        Reg bnd = bndRegAt(mainDepthCap);
+        b.li(idx, 0);
+        b.li(bnd, static_cast<int64_t>(outer_reps));
+        b.countedLoop(idx, bnd, [&](const LoopCtx &) { emit_main(); });
+    } else {
+        emit_main();
+    }
+    b.halt();
+
+    for (size_t f = 0; f < plan_in.funcs.size(); ++f) {
+        b.beginFunction(funcName(static_cast<int>(f)));
+        em.inFunction = true;
+        for (const auto &n : plan_in.funcs[f])
+            em.emitNode(n, funcDepthBase);
+        em.inFunction = false;
+        b.ret();
+    }
+    return b.build();
+}
+
+Program
+ProgramGenerator::generate(uint64_t seed) const
+{
+    return emit(plan(seed), "synth-" + std::to_string(seed));
+}
+
+// ---------------------------------------------------------- JSON (repro)
+
+namespace
+{
+
+void
+saveNode(std::ostream &os, const LoopNode &n)
+{
+    os << "{\"shape\":\"" << loopShapeName(n.shape) << "\""
+       << ",\"trip\":" << n.trip << ",\"mask\":" << n.mask
+       << ",\"pad\":" << static_cast<unsigned>(n.pad)
+       << ",\"call\":" << static_cast<int>(n.callFunc)
+       << ",\"indirect\":" << (n.callIndirect ? "true" : "false")
+       << ",\"children\":[";
+    for (size_t i = 0; i < n.children.size(); ++i) {
+        if (i)
+            os << ",";
+        saveNode(os, n.children[i]);
+    }
+    os << "]}";
+}
+
+/** Tiny recursive-descent parser for exactly the JSON save() writes
+ *  (objects, arrays, strings, integers, booleans). */
+struct JsonParser
+{
+    std::istream &is;
+
+    int
+    peek()
+    {
+        int c;
+        while ((c = is.peek()) != EOF && std::isspace(c))
+            is.get();
+        return c;
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fatal("plan JSON: expected '%c'", c);
+        is.get();
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string s;
+        int c;
+        while ((c = is.get()) != '"') {
+            if (c == EOF)
+                fatal("plan JSON: unterminated string");
+            s.push_back(static_cast<char>(c));
+        }
+        return s;
+    }
+
+    /** Unsigned magnitude with overflow checking (seeds span the full
+     *  uint64 range; v*10+d must not wrap or trip ubsan). */
+    uint64_t
+    parseUint()
+    {
+        peek();
+        if (!std::isdigit(is.peek()))
+            fatal("plan JSON: expected number");
+        uint64_t v = 0;
+        while (std::isdigit(is.peek())) {
+            uint64_t d = static_cast<uint64_t>(is.get() - '0');
+            if (v > (UINT64_MAX - d) / 10)
+                fatal("plan JSON: number out of range");
+            v = v * 10 + d;
+        }
+        return v;
+    }
+
+    int64_t
+    parseInt()
+    {
+        peek();
+        bool negative = false;
+        if (is.peek() == '-') {
+            is.get();
+            negative = true;
+        }
+        uint64_t mag = parseUint();
+        uint64_t limit = negative
+                             ? static_cast<uint64_t>(INT64_MAX) + 1
+                             : static_cast<uint64_t>(INT64_MAX);
+        if (mag > limit)
+            fatal("plan JSON: number out of range");
+        return negative ? -static_cast<int64_t>(mag - 1) - 1
+                        : static_cast<int64_t>(mag);
+    }
+
+    bool
+    parseBool()
+    {
+        peek(); // skip whitespace
+        std::string word;
+        int c;
+        while ((c = is.peek()) != EOF && std::isalpha(c))
+            word.push_back(static_cast<char>(is.get()));
+        if (word == "true")
+            return true;
+        if (word == "false")
+            return false;
+        fatal("plan JSON: expected boolean, got '%s'", word.c_str());
+    }
+
+    LoopNode
+    parseNode()
+    {
+        LoopNode n;
+        expect('{');
+        bool first = true;
+        while (peek() != '}') {
+            if (!first)
+                expect(',');
+            first = false;
+            std::string key = parseString();
+            expect(':');
+            if (key == "shape")
+                n.shape = loopShapeFromName(parseString());
+            else if (key == "trip")
+                n.trip = parseInt();
+            else if (key == "mask")
+                n.mask = parseInt();
+            else if (key == "pad")
+                n.pad = static_cast<uint8_t>(parseInt());
+            else if (key == "call")
+                n.callFunc = static_cast<int8_t>(parseInt());
+            else if (key == "indirect")
+                n.callIndirect = parseBool();
+            else if (key == "children")
+                n.children = parseNodeArray();
+            else
+                fatal("plan JSON: unknown key '%s'", key.c_str());
+        }
+        expect('}');
+        // Leaf-only shapes: the emitter never generates children under
+        // them, so a hand-edited plan nesting there would silently
+        // describe a different program than emit() produces.
+        if (!n.children.empty() &&
+            (n.shape == LoopShape::Overlapped ||
+             n.shape == LoopShape::SelfBranch)) {
+            fatal("plan JSON: shape '%s' cannot have children",
+                  loopShapeName(n.shape));
+        }
+        return n;
+    }
+
+    std::vector<LoopNode>
+    parseNodeArray()
+    {
+        std::vector<LoopNode> nodes;
+        expect('[');
+        while (peek() != ']') {
+            if (!nodes.empty())
+                expect(',');
+            nodes.push_back(parseNode());
+        }
+        expect(']');
+        return nodes;
+    }
+};
+
+} // namespace
+
+void
+ProgramPlan::save(std::ostream &os) const
+{
+    os << "{\"seed\":" << seed << ",\"main\":[";
+    for (size_t i = 0; i < main.size(); ++i) {
+        if (i)
+            os << ",";
+        saveNode(os, main[i]);
+    }
+    os << "],\"funcs\":[";
+    for (size_t f = 0; f < funcs.size(); ++f) {
+        if (f)
+            os << ",";
+        os << "[";
+        for (size_t i = 0; i < funcs[f].size(); ++i) {
+            if (i)
+                os << ",";
+            saveNode(os, funcs[f][i]);
+        }
+        os << "]";
+    }
+    os << "]}";
+}
+
+ProgramPlan
+ProgramPlan::load(std::istream &is)
+{
+    ProgramPlan plan;
+    JsonParser p{is};
+    p.expect('{');
+    bool first = true;
+    while (p.peek() != '}') {
+        if (!first)
+            p.expect(',');
+        first = false;
+        std::string key = p.parseString();
+        p.expect(':');
+        if (key == "seed") {
+            plan.seed = p.parseUint();
+        } else if (key == "main") {
+            plan.main = p.parseNodeArray();
+        } else if (key == "funcs") {
+            p.expect('[');
+            while (p.peek() != ']') {
+                if (!plan.funcs.empty())
+                    p.expect(',');
+                plan.funcs.push_back(p.parseNodeArray());
+            }
+            p.expect(']');
+        } else {
+            fatal("plan JSON: unknown key '%s'", key.c_str());
+        }
+    }
+    p.expect('}');
+    return plan;
+}
+
+} // namespace synth
+} // namespace loopspec

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Seeded synthetic-program generator for the differential fuzz harness.
+ *
+ * Generation is split into two deterministic stages so failures can be
+ * minimised structurally:
+ *
+ *   seed --plan()--> ProgramPlan --emit()--> Program
+ *
+ * The ProgramPlan is the "structure vector": a tree of loop descriptors
+ * (shape, trip count, body padding, nesting, helper-function calls) plus
+ * the helper-function bodies. The shrinker edits the plan — never the
+ * emitted code — and re-emits, so every shrink step is again a valid,
+ * terminating program.
+ *
+ * Every shape is terminating by construction: all loops count a strictly
+ * increasing index toward a bound fixed at loop entry; breaks only leave
+ * early; continues sit after the increment. Data-dependent trip counts
+ * come from the same LCG substrate the workloads use (kernels.hh, r31).
+ */
+
+#ifndef LOOPSPEC_SYNTH_PROGRAM_GENERATOR_HH
+#define LOOPSPEC_SYNTH_PROGRAM_GENERATOR_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "program/program.hh"
+#include "util/rng.hh"
+
+namespace loopspec
+{
+namespace synth
+{
+
+/** Loop shapes the generator can emit (all terminating). */
+enum class LoopShape : uint8_t
+{
+    Counted,       //!< constant-trip do-while (the CLS's bread and butter)
+    DataDep,       //!< trip = lo + (lcg & mask), drawn per entry
+    EarlyExit,     //!< counted, with a data-dependent break
+    WhileContinue, //!< while-form; a backward continue adds a 2nd backedge
+    MultiBackedge, //!< do-while closed by two distinct backward transfers
+    Overlapped,    //!< rotated loop pair: T1 < T2 <= B1 < B2
+    SelfBranch,    //!< not-taken backward branch to itself (single-iter)
+    Trip1,         //!< 1-iteration counted loop (not-taken close)
+    NumShapes,
+};
+
+/** Printable shape name (stable; used in the repro JSON). */
+const char *loopShapeName(LoopShape shape);
+
+/** Parse a name produced by loopShapeName(); fatal() on junk. */
+LoopShape loopShapeFromName(const std::string &name);
+
+/**
+ * One loop of the plan. `trip` is the (base) trip count; DataDep draws
+ * trip + (lcg & mask) at run time. `pad` straight-line filler
+ * instructions are emitted at the top of the body. `callFunc` >= 0 calls
+ * that helper function from the body (callIndirect selects CallInd via a
+ * liFunc'd register). Children nest inside the body, after the padding.
+ */
+struct LoopNode
+{
+    LoopShape shape = LoopShape::Counted;
+    int64_t trip = 2;
+    int64_t mask = 0;
+    uint8_t pad = 0;
+    int8_t callFunc = -1;
+    bool callIndirect = false;
+    std::vector<LoopNode> children;
+
+    /** Loops this node contributes (Overlapped emits two). */
+    uint64_t loopCount() const;
+};
+
+/**
+ * The structure vector of one generated program. Helper functions are
+ * flat (depth <= 2) loop sequences; function k may only call functions
+ * with a larger index, so call chains are acyclic and terminate.
+ */
+struct ProgramPlan
+{
+    uint64_t seed = 0;
+    std::vector<LoopNode> main;
+    std::vector<std::vector<LoopNode>> funcs;
+
+    /** Total loops in the plan (shrink-target metric). */
+    uint64_t loopCount() const;
+
+    /** Serialise as JSON (the repro format). */
+    void save(std::ostream &os) const;
+
+    /** Parse a plan saved by save(); fatal() on malformed input. */
+    static ProgramPlan load(std::istream &is);
+};
+
+/** Structure knobs of the generator. */
+struct GenConfig
+{
+    /** Maximum loop-nest depth in main (register budget caps it at 8). */
+    unsigned maxDepth = 6;
+
+    /** Maximum loops per block at one nesting level. */
+    unsigned maxLoopsPerBlock = 3;
+
+    /** Helper functions to generate (0..4). */
+    unsigned maxFunctions = 2;
+
+    /** Base trip counts are drawn from [1, maxTrip]. */
+    int64_t maxTrip = 5;
+
+    /**
+     * Rough dynamic-size budget (instructions). The planner tracks the
+     * product of ancestor trip counts and stops nesting/appending when
+     * the estimate exceeds this, keeping generated traces small enough
+     * to diff exhaustively.
+     */
+    uint64_t dynInstrBudget = 60000;
+
+    // Per-loop probabilities of the irregular shapes (the remainder is
+    // plain Counted). Degenerate = SelfBranch or Trip1.
+    double dataDepProb = 0.15;
+    double earlyExitProb = 0.12;
+    double continueProb = 0.10;
+    double multiBackedgeProb = 0.10;
+    double overlapProb = 0.08;
+    double degenerateProb = 0.10;
+
+    /** Probability a loop body calls a helper function (when any exist). */
+    double callProb = 0.15;
+
+    /** Probability a non-degenerate loop nests children. */
+    double nestProb = 0.45;
+};
+
+/**
+ * The generator. One instance is reusable across seeds; all state is
+ * per-call. plan() and emit() are deterministic functions of their
+ * arguments.
+ */
+class ProgramGenerator
+{
+  public:
+    explicit ProgramGenerator(GenConfig config = {});
+
+    /** Draw the structure vector for @p seed. */
+    ProgramPlan plan(uint64_t seed) const;
+
+    /**
+     * Emit a plan into a validated Program. @p outer_reps > 1 wraps the
+     * whole main sequence in a counted outer loop (used by the synth.*
+     * workloads to scale dynamic size without changing the shape mix).
+     */
+    Program emit(const ProgramPlan &plan_in, const std::string &name,
+                 uint64_t outer_reps = 1) const;
+
+    /** plan() + emit() in one call. */
+    Program generate(uint64_t seed) const;
+
+    const GenConfig &config() const { return cfg; }
+
+  private:
+    struct Planner;
+    struct Emitter;
+
+    GenConfig cfg;
+};
+
+} // namespace synth
+} // namespace loopspec
+
+#endif // LOOPSPEC_SYNTH_PROGRAM_GENERATOR_HH

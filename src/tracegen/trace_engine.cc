@@ -1,5 +1,6 @@
 #include "tracegen/trace_engine.hh"
 
+#include <cstdint>
 #include <cstring>
 
 #include "util/logging.hh"
@@ -9,6 +10,61 @@ namespace loopspec
 
 namespace
 {
+
+// Architectural integer semantics: two's-complement wraparound on
+// add/sub/mul/shl and division edge cases defined (x/0 = x%0 = 0,
+// INT64_MIN/-1 = INT64_MIN, x%-1 = 0). Workloads compute with LCG
+// constants that overflow int64 by design, so the simulator must be
+// UB-clean whatever the program computes; both execution paths share
+// these helpers, keeping their streams bit-identical.
+
+inline int64_t
+wrapAdd(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                static_cast<uint64_t>(b));
+}
+
+inline int64_t
+wrapSub(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                static_cast<uint64_t>(b));
+}
+
+inline int64_t
+wrapMul(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                static_cast<uint64_t>(b));
+}
+
+inline int64_t
+wrapShl(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a)
+                                << (static_cast<uint64_t>(b) & 63));
+}
+
+inline int64_t
+wrapDiv(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return 0; // synthetic substrate convention
+    if (b == -1 && a == INT64_MIN)
+        return a; // the one overflowing quotient
+    return a / b;
+}
+
+inline int64_t
+wrapRem(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return 0; // synthetic substrate convention
+    if (b == -1)
+        return 0; // avoids the INT64_MIN % -1 trap
+    return a % b;
+}
 
 /** ALU/compare function subcodes shared by the reg-reg and reg-imm
  *  handler tags. */
@@ -34,15 +90,15 @@ int64_t
 aluCompute(uint8_t fn, int64_t a, int64_t b)
 {
     switch (fn) {
-      case FnAdd: return a + b;
-      case FnSub: return a - b;
-      case FnMul: return a * b;
-      case FnDiv: return b == 0 ? 0 : a / b;
-      case FnRem: return b == 0 ? 0 : a % b;
+      case FnAdd: return wrapAdd(a, b);
+      case FnSub: return wrapSub(a, b);
+      case FnMul: return wrapMul(a, b);
+      case FnDiv: return wrapDiv(a, b);
+      case FnRem: return wrapRem(a, b);
       case FnAnd: return a & b;
       case FnOr: return a | b;
       case FnXor: return a ^ b;
-      case FnShl: return a << (static_cast<uint64_t>(b) & 63);
+      case FnShl: return wrapShl(a, b);
       case FnShr:
         return static_cast<int64_t>(static_cast<uint64_t>(a) >>
                                     (static_cast<uint64_t>(b) & 63));
@@ -338,19 +394,19 @@ TraceEngine::step(DynInstr &out)
         break;
 
       case Opcode::Add:
-        binOp([](int64_t a, int64_t b) { return a + b; });
+        binOp(wrapAdd);
         break;
       case Opcode::Sub:
-        binOp([](int64_t a, int64_t b) { return a - b; });
+        binOp(wrapSub);
         break;
       case Opcode::Mul:
-        binOp([](int64_t a, int64_t b) { return a * b; });
+        binOp(wrapMul);
         break;
       case Opcode::Div:
-        binOp([](int64_t a, int64_t b) { return b == 0 ? 0 : a / b; });
+        binOp(wrapDiv);
         break;
       case Opcode::Rem:
-        binOp([](int64_t a, int64_t b) { return b == 0 ? 0 : a % b; });
+        binOp(wrapRem);
         break;
       case Opcode::And:
         binOp([](int64_t a, int64_t b) { return a & b; });
@@ -362,9 +418,7 @@ TraceEngine::step(DynInstr &out)
         binOp([](int64_t a, int64_t b) { return a ^ b; });
         break;
       case Opcode::Shl:
-        binOp([](int64_t a, int64_t b) {
-            return a << (static_cast<uint64_t>(b) & 63);
-        });
+        binOp(wrapShl);
         break;
       case Opcode::Shr:
         binOp([](int64_t a, int64_t b) {
@@ -386,13 +440,13 @@ TraceEngine::step(DynInstr &out)
         binOp([](int64_t a, int64_t b) { return a != b ? 1 : 0; });
         break;
 
-      case Opcode::Addi: setDst(src1() + in.imm); break;
-      case Opcode::Muli: setDst(src1() * in.imm); break;
+      case Opcode::Addi: setDst(wrapAdd(src1(), in.imm)); break;
+      case Opcode::Muli: setDst(wrapMul(src1(), in.imm)); break;
       case Opcode::Andi: setDst(src1() & in.imm); break;
       case Opcode::Ori: setDst(src1() | in.imm); break;
       case Opcode::Xori: setDst(src1() ^ in.imm); break;
       case Opcode::Shli:
-        setDst(src1() << (static_cast<uint64_t>(in.imm) & 63));
+        setDst(wrapShl(src1(), in.imm));
         break;
       case Opcode::Shri:
         setDst(static_cast<int64_t>(static_cast<uint64_t>(src1()) >>

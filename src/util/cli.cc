@@ -40,6 +40,11 @@ CliArgs::CliArgs(int argc, char **argv,
         }
         if (!isKnown(name))
             fatal("unknown flag --%s", name.c_str());
+        if (values.count(name)) {
+            // A repeated flag is almost always a script editing mistake;
+            // silently letting the last one win hides it.
+            fatal("duplicate flag --%s", name.c_str());
+        }
         values[name] = value;
     }
 }
@@ -57,13 +62,30 @@ CliArgs::getString(const std::string &name, const std::string &def) const
     return it == values.end() ? def : it->second;
 }
 
+namespace
+{
+
+/** The whole value must parse: trailing junk ("0.5x", "1..5") and empty
+ *  values are user errors, not zeros. */
+void
+checkFullParse(const char *name, const std::string &value, const char *end)
+{
+    if (value.empty() || *end != '\0')
+        fatal("malformed value '%s' for --%s", value.c_str(), name);
+}
+
+} // namespace
+
 int64_t
 CliArgs::getInt(const std::string &name, int64_t def) const
 {
     auto it = values.find(name);
     if (it == values.end())
         return def;
-    return std::strtoll(it->second.c_str(), nullptr, 0);
+    char *end = nullptr;
+    int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    checkFullParse(name.c_str(), it->second, end);
+    return v;
 }
 
 uint64_t
@@ -72,7 +94,10 @@ CliArgs::getUint(const std::string &name, uint64_t def) const
     auto it = values.find(name);
     if (it == values.end())
         return def;
-    return std::strtoull(it->second.c_str(), nullptr, 0);
+    char *end = nullptr;
+    uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    checkFullParse(name.c_str(), it->second, end);
+    return v;
 }
 
 double
@@ -81,7 +106,10 @@ CliArgs::getDouble(const std::string &name, double def) const
     auto it = values.find(name);
     if (it == values.end())
         return def;
-    return std::strtod(it->second.c_str(), nullptr);
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    checkFullParse(name.c_str(), it->second, end);
+    return v;
 }
 
 bool

@@ -16,8 +16,9 @@ namespace loopspec
 {
 
 /**
- * Parsed command-line options. Unknown flags are fatal() so typos in
- * experiment scripts fail loudly instead of silently running defaults.
+ * Parsed command-line options. Unknown flags, duplicate flags and
+ * malformed numeric values are fatal() so typos in experiment scripts
+ * fail loudly instead of silently running defaults.
  */
 class CliArgs
 {

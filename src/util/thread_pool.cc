@@ -1,0 +1,105 @@
+#include "util/thread_pool.hh"
+
+#include <atomic>
+
+namespace loopspec
+{
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 1;
+    }
+    workers.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        allIdle.wait(lock, [this] { return tasks.empty() && busy == 0; });
+        stopping = true;
+    }
+    taskReady.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        tasks.push(std::move(task));
+    }
+    taskReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    allIdle.wait(lock, [this] { return tasks.empty() && busy == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            taskReady.wait(lock,
+                           [this] { return stopping || !tasks.empty(); });
+            if (stopping && tasks.empty())
+                return;
+            task = std::move(tasks.front());
+            tasks.pop();
+            ++busy;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            --busy;
+        }
+        allIdle.notify_all();
+    }
+}
+
+void
+parallelFor(unsigned num_threads, uint64_t n,
+            const std::function<void(uint64_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 1;
+    }
+    if (num_threads == 1 || n == 1) {
+        for (uint64_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<uint64_t> cursor{0};
+    ThreadPool pool(num_threads);
+    for (unsigned t = 0; t < pool.numThreads(); ++t) {
+        pool.submit([&] {
+            for (;;) {
+                uint64_t i = cursor.fetch_add(1);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    pool.wait();
+}
+
+} // namespace loopspec

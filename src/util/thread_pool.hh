@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal fixed-size std::thread pool for sharding independent work items
+ * (fuzz campaigns, per-workload trace sweeps) across cores. Results are
+ * written into caller-owned per-index slots, so the merged output is
+ * deterministic regardless of scheduling order — a hard requirement for
+ * everything in this codebase (docs/DESIGN.md §8).
+ */
+
+#ifndef LOOPSPEC_UTIL_THREAD_POOL_HH
+#define LOOPSPEC_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace loopspec
+{
+
+/**
+ * Fixed-size worker pool. Tasks are arbitrary closures; wait() blocks
+ * until every submitted task has finished. Exceptions must not escape a
+ * task (workers would terminate the process); work items report failures
+ * through their result slots instead.
+ */
+class ThreadPool
+{
+  public:
+    /** @param num_threads 0 = one per hardware thread (at least 1). */
+    explicit ThreadPool(unsigned num_threads = 0);
+
+    /** Drains the queue (waits for all tasks) before joining. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and all workers are idle. */
+    void wait();
+
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::queue<std::function<void()>> tasks;
+    std::mutex mtx;
+    std::condition_variable taskReady; //!< workers: work or shutdown
+    std::condition_variable allIdle;   //!< wait(): queue drained
+    unsigned busy = 0;
+    bool stopping = false;
+};
+
+/**
+ * Run fn(i) for i in [0, n) across @p num_threads workers (0 = hardware
+ * concurrency). Work is handed out dynamically (an atomic cursor), so
+ * uneven item costs still balance; determinism comes from fn writing only
+ * to index-i state. Blocks until every index has been processed. With
+ * num_threads == 1 the loop runs inline on the caller's thread.
+ */
+void parallelFor(unsigned num_threads, uint64_t n,
+                 const std::function<void(uint64_t)> &fn);
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_UTIL_THREAD_POOL_HH

@@ -47,6 +47,10 @@ buildWorkload(const std::string &name, const WorkloadScale &scale)
         if (w.name == name)
             return w.build(scale);
     }
+    for (const auto &w : syntheticWorkloadRegistry()) {
+        if (w.name == name)
+            return w.build(scale);
+    }
     fatal("unknown workload '%s'", name.c_str());
 }
 

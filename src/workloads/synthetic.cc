@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Generated (synth.*) workload families: fixed-seed instances of the
+ * fuzz harness's ProgramGenerator registered as named workloads, so the
+ * bench binaries can sweep the irregular loop shapes the curated SPEC95
+ * models barely cover (--benchmarks synth.nest,synth.irregular,...).
+ * They are intentionally NOT part of the Table-1 registry: the default
+ * bench suite stays the paper's 18 programs.
+ */
+
+#include "synth/program_generator.hh"
+#include "workloads/workload.hh"
+
+namespace loopspec
+{
+
+namespace
+{
+
+using synth::GenConfig;
+using synth::ProgramGenerator;
+
+/** Shared emission: plan once, scale via the outer-reps wrapper. */
+Program
+buildFamily(const GenConfig &gcfg, uint64_t seed, const char *name,
+            const WorkloadScale &scale)
+{
+    ProgramGenerator gen(gcfg);
+    return gen.emit(gen.plan(seed), name, scale.reps(8));
+}
+
+} // namespace
+
+Program
+buildSynthNest(const WorkloadScale &scale)
+{
+    // Deep, mostly-regular nests: CLS overflow pressure at small sizes.
+    GenConfig g;
+    g.maxDepth = 8;
+    g.nestProb = 0.8;
+    g.dataDepProb = 0.05;
+    g.earlyExitProb = 0.05;
+    g.continueProb = 0.0;
+    g.multiBackedgeProb = 0.0;
+    g.overlapProb = 0.0;
+    g.degenerateProb = 0.05;
+    g.callProb = 0.0;
+    g.maxFunctions = 0;
+    return buildFamily(g, 1101, "synth.nest", scale);
+}
+
+Program
+buildSynthIrregular(const WorkloadScale &scale)
+{
+    // Break/continue/multi-backedge/overlap heavy control flow.
+    GenConfig g;
+    g.maxDepth = 5;
+    g.dataDepProb = 0.2;
+    g.earlyExitProb = 0.25;
+    g.continueProb = 0.2;
+    g.multiBackedgeProb = 0.15;
+    g.overlapProb = 0.12;
+    g.degenerateProb = 0.05;
+    g.callProb = 0.0;
+    g.maxFunctions = 0;
+    return buildFamily(g, 2202, "synth.irregular", scale);
+}
+
+Program
+buildSynthCalls(const WorkloadScale &scale)
+{
+    // Call-dense: loops around direct/indirect calls, loops in callees,
+    // early returns from inside callee loops.
+    GenConfig g;
+    g.maxDepth = 4;
+    g.maxFunctions = 4;
+    g.callProb = 0.55;
+    g.earlyExitProb = 0.2;
+    g.degenerateProb = 0.05;
+    return buildFamily(g, 3303, "synth.calls", scale);
+}
+
+Program
+buildSynthDegenerate(const WorkloadScale &scale)
+{
+    // Trip-1 loops, self-branches and tiny trips: the detector's edge
+    // cases at statistical weight.
+    GenConfig g;
+    g.maxDepth = 6;
+    g.degenerateProb = 0.5;
+    g.maxTrip = 3;
+    g.nestProb = 0.5;
+    g.callProb = 0.0;
+    g.maxFunctions = 0;
+    return buildFamily(g, 4404, "synth.degenerate", scale);
+}
+
+const std::vector<WorkloadInfo> &
+syntheticWorkloadRegistry()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"synth.nest", buildSynthNest,
+         "generated deep regular nests (CLS overflow pressure)", false},
+        {"synth.irregular", buildSynthIrregular,
+         "generated breaks/continues/multi-backedge/overlapped loops",
+         false},
+        {"synth.calls", buildSynthCalls,
+         "generated call-dense loops with early returns", false},
+        {"synth.degenerate", buildSynthDegenerate,
+         "generated trip-1/self-branch degenerate loops", false},
+    };
+    return registry;
+}
+
+std::vector<std::string>
+syntheticWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : syntheticWorkloadRegistry())
+        names.push_back(w.name);
+    return names;
+}
+
+} // namespace loopspec

@@ -114,7 +114,7 @@ class DetectorProperty : public ::testing::TestWithParam<uint64_t>
 
 TEST_P(DetectorProperty, StructuredProgramsMatchGroundTruth)
 {
-    Generator gen(GetParam());
+    Generator gen(test::testSeed(GetParam()));
     GenResult g = gen.run();
     CaptureListener cap = trace(g.program, 16);
 
@@ -172,7 +172,7 @@ TEST(DetectorPropertyCls, SmallClsOnlyLosesDeepEntries)
     // With CLS=4 on random depth<=5 programs, any Overflow losses must
     // be accompanied by nesting deeper than 4; conservation still holds.
     for (uint64_t seed = 100; seed < 120; ++seed) {
-        Generator gen(seed);
+        Generator gen(test::testSeed(seed));
         GenResult g = gen.run();
         CaptureListener cap = trace(g.program, 4);
         EXPECT_EQ(cap.count(CaptureListener::Item::ExecStart),
@@ -183,7 +183,7 @@ TEST(DetectorPropertyCls, SmallClsOnlyLosesDeepEntries)
 
 TEST(DetectorPropertyDeterminism, SameSeedSameEvents)
 {
-    Generator a(7), bgen(7);
+    Generator a(test::testSeed(7)), bgen(test::testSeed(7));
     GenResult ga = a.run(), gb = bgen.run();
     CaptureListener ca = trace(ga.program), cb = trace(gb.program);
     EXPECT_EQ(ca.summary(), cb.summary());

@@ -32,20 +32,7 @@ idealFor(const Program &prog)
     return {n, ideal.idealCycles(), ideal.tpc()};
 }
 
-Program
-flatLoop(int64_t trips, int nops)
-{
-    ProgramBuilder b("t", 0);
-    b.beginFunction("main");
-    b.li(r1, 0);
-    b.li(r2, trips);
-    b.countedLoop(r1, r2, [&](const LoopCtx &) {
-        for (int i = 0; i < nops; ++i)
-            b.nop();
-    });
-    b.halt();
-    return b.build();
-}
+using test::flatLoop;
 
 TEST(IdealTpc, StraightLineHasNoParallelism)
 {

@@ -25,20 +25,11 @@ statsFor(const Program &prog, size_t cls = 16)
     return stats.report();
 }
 
+/** Shared two-level-nest builder (tests/test_util.hh). */
 Program
 nestProgram(int64_t outer, int64_t inner)
 {
-    ProgramBuilder b("t", 0);
-    b.beginFunction("main");
-    b.li(r1, 0);
-    b.li(r2, outer);
-    b.countedLoop(r1, r2, [&](const LoopCtx &) {
-        b.li(r3, 0);
-        b.li(r4, inner);
-        b.countedLoop(r3, r4, [&](const LoopCtx &) { b.nop(); });
-    });
-    b.halt();
-    return b.build();
+    return test::nestedLoops(outer, inner, 1);
 }
 
 TEST(LoopStats, SimpleLoopCounts)

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Property tests for the stride-prediction substrate: SatCounter against
+ * a clamped-integer reference model under randomized update sequences,
+ * and IterCountPredictor's saturation, reset/eviction and
+ * prediction-after-mispredict behaviour (§3.1.2's two-bit confidence).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tables/iter_predictor.hh"
+#include "tests/test_util.hh"
+#include "util/rng.hh"
+#include "util/sat_counter.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+// --- SatCounter ---------------------------------------------------------
+
+template <unsigned Bits>
+void
+randomizedCounterMatchesClampModel(uint64_t seed)
+{
+    Rng rng(seed);
+    SatCounter<Bits> c;
+    int model = 0;
+    constexpr int kMax = (1 << Bits) - 1;
+    for (int step = 0; step < 500; ++step) {
+        switch (rng.below(8)) {
+          case 0:
+            c.reset();
+            model = 0;
+            break;
+          case 1:
+          case 2:
+          case 3:
+            c.up();
+            model = std::min(model + 1, kMax);
+            break;
+          default:
+            c.down();
+            model = std::max(model - 1, 0);
+            break;
+        }
+        ASSERT_EQ(c.value(), model) << "step " << step;
+        ASSERT_EQ(c.confident(), model >= (1 << (Bits - 1)))
+            << "step " << step;
+        ASSERT_EQ(c.saturated(), model == kMax) << "step " << step;
+    }
+}
+
+TEST(SatCounterProperty, RandomizedSequencesMatchClampModel)
+{
+    for (uint64_t i = 0; i < 20; ++i) {
+        SCOPED_TRACE(i);
+        randomizedCounterMatchesClampModel<1>(test::testSeed(i));
+        randomizedCounterMatchesClampModel<2>(test::testSeed(100 + i));
+        randomizedCounterMatchesClampModel<3>(test::testSeed(200 + i));
+        randomizedCounterMatchesClampModel<8>(test::testSeed(300 + i));
+    }
+}
+
+TEST(SatCounterProperty, SaturatesAtBothRails)
+{
+    TwoBitCounter c;
+    for (int i = 0; i < 10; ++i)
+        c.down(); // already at the bottom rail
+    EXPECT_EQ(c.value(), 0u);
+    for (int i = 0; i < 10; ++i)
+        c.up(); // pegs at the top rail
+    EXPECT_EQ(c.value(), TwoBitCounter::maxValue);
+    EXPECT_TRUE(c.saturated());
+    c.up();
+    EXPECT_EQ(c.value(), TwoBitCounter::maxValue); // stays pegged
+}
+
+TEST(SatCounterProperty, ResetDropsAllConfidence)
+{
+    Rng rng(test::testSeed(400));
+    for (int trial = 0; trial < 50; ++trial) {
+        TwoBitCounter c;
+        for (uint64_t n = rng.below(20); n > 0; --n)
+            c.up();
+        c.reset();
+        EXPECT_EQ(c.value(), 0u);
+        EXPECT_FALSE(c.confident());
+    }
+}
+
+TEST(SatCounterProperty, ConstructorClampsToMax)
+{
+    SatCounter<2> c(200);
+    EXPECT_EQ(c.value(), SatCounter<2>::maxValue);
+}
+
+// --- IterCountPredictor -------------------------------------------------
+
+TEST(IterPredictorProperty, UnknownUntilFirstCompletion)
+{
+    IterCountPredictor p;
+    EXPECT_EQ(p.predict(0x1000).kind, TripPredictionKind::Unknown);
+    p.recordExecution(0x1000, 7);
+    TripPrediction t = p.predict(0x1000);
+    EXPECT_EQ(t.kind, TripPredictionKind::LastCount);
+    EXPECT_EQ(t.count, 7);
+    // Other loops stay unknown.
+    EXPECT_EQ(p.predict(0x2000).kind, TripPredictionKind::Unknown);
+}
+
+TEST(IterPredictorProperty, RandomArithmeticSequencesConverge)
+{
+    // Any loop whose trip counts follow last + stride becomes a
+    // confident Stride prediction after four completions, and then
+    // predicts exactly.
+    Rng rng(test::testSeed(500));
+    for (int trial = 0; trial < 40; ++trial) {
+        IterCountPredictor p;
+        uint32_t loop = 0x1000 + 4 * static_cast<uint32_t>(trial);
+        int64_t start = 2 + static_cast<int64_t>(rng.below(50));
+        int64_t stride = static_cast<int64_t>(rng.below(5));
+        int64_t count = start;
+        for (int n = 0; n < 4; ++n) {
+            p.recordExecution(loop, static_cast<uint64_t>(count));
+            count += stride;
+        }
+        TripPrediction t = p.predict(loop);
+        ASSERT_EQ(t.kind, TripPredictionKind::Stride) << "trial " << trial;
+        // predict = last recorded + stride == the next count.
+        ASSERT_EQ(t.count, count) << "trial " << trial;
+    }
+}
+
+TEST(IterPredictorProperty, StridePredictionClampsToOneIteration)
+{
+    // Shrinking sequence 9,6,3: predicted 3 + (-3) = 0 clamps to 1 (a
+    // detected execution always has at least one iteration).
+    IterCountPredictor p;
+    for (int64_t c : {9, 6, 3, 0})
+        p.recordExecution(7, static_cast<uint64_t>(c >= 0 ? c : 0));
+    TripPrediction t = p.predict(7);
+    EXPECT_EQ(t.kind, TripPredictionKind::Stride);
+    EXPECT_GE(t.count, 1);
+}
+
+TEST(IterPredictorProperty, MispredictDegradesThenRecovers)
+{
+    // Saturate confidence on stride 2, then break the pattern once: the
+    // §3.1.2 counter decays one notch (still confident, new stride
+    // adopted), and a second consecutive break with a different stride
+    // drops it below the confidence threshold -> LastCount.
+    IterCountPredictor p;
+    uint64_t count = 10;
+    for (int n = 0; n < 8; ++n, count += 2)
+        p.recordExecution(1, count);
+    ASSERT_EQ(p.predict(1).kind, TripPredictionKind::Stride);
+
+    uint64_t last = count - 2;
+    p.recordExecution(1, last + 7); // stride breaks: 2 -> 7
+    TripPrediction t = p.predict(1);
+    EXPECT_EQ(t.kind, TripPredictionKind::Stride); // 3 -> 2, confident
+    EXPECT_EQ(t.count, static_cast<int64_t>(last + 7 + 7));
+
+    p.recordExecution(1, last + 7 + 3); // breaks again: 7 -> 3
+    t = p.predict(1);
+    EXPECT_EQ(t.kind, TripPredictionKind::LastCount); // 2 -> 1
+    EXPECT_EQ(t.count, static_cast<int64_t>(last + 7 + 3));
+
+    // Re-confirming the new stride rebuilds confidence.
+    p.recordExecution(1, last + 7 + 6);
+    p.recordExecution(1, last + 7 + 9);
+    t = p.predict(1);
+    EXPECT_EQ(t.kind, TripPredictionKind::Stride);
+    EXPECT_EQ(t.count, static_cast<int64_t>(last + 7 + 12));
+}
+
+TEST(IterPredictorProperty, RandomizedPredictionsNeverRegress)
+{
+    // Whatever the update sequence, predictions obey the kind ladder:
+    // Unknown only before the first completion; count >= 1 whenever a
+    // Stride prediction is made; LastCount always echoes the last
+    // recorded execution.
+    Rng rng(test::testSeed(600));
+    for (int trial = 0; trial < 30; ++trial) {
+        IterCountPredictor p;
+        uint32_t loop = 1 + static_cast<uint32_t>(trial);
+        uint64_t last = 0;
+        bool any = false;
+        for (int n = 0; n < 200; ++n) {
+            if (rng.chance(0.7)) {
+                last = 1 + rng.below(30);
+                p.recordExecution(loop, last);
+                any = true;
+            }
+            TripPrediction t = p.predict(loop);
+            if (!any) {
+                ASSERT_EQ(t.kind, TripPredictionKind::Unknown);
+                continue;
+            }
+            ASSERT_NE(t.kind, TripPredictionKind::Unknown);
+            ASSERT_GE(t.count, 1);
+            if (t.kind == TripPredictionKind::LastCount) {
+                ASSERT_EQ(t.count, static_cast<int64_t>(last));
+            }
+        }
+    }
+}
+
+TEST(IterPredictorProperty, BoundedModeMatchesUnboundedUnderCapacity)
+{
+    // With at most N distinct loops, a finite-LET predictor behaves
+    // exactly like the unbounded one under any interleaving.
+    Rng rng(test::testSeed(700));
+    for (int trial = 0; trial < 20; ++trial) {
+        IterCountPredictor unbounded;
+        IterCountPredictor bounded(4);
+        for (int n = 0; n < 300; ++n) {
+            uint32_t loop = 1 + static_cast<uint32_t>(rng.below(4));
+            if (rng.chance(0.6)) {
+                uint64_t iters = 1 + rng.below(20);
+                unbounded.recordExecution(loop, iters);
+                bounded.recordExecution(loop, iters);
+            }
+            TripPrediction a = unbounded.predict(loop);
+            TripPrediction b = bounded.predict(loop);
+            ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind));
+            ASSERT_EQ(a.count, b.count);
+        }
+        EXPECT_LE(bounded.trackedLoops(), 4u);
+    }
+}
+
+TEST(IterPredictorProperty, EvictionForgetsHistory)
+{
+    // 2-entry LET warmed on loops 1 and 2; recording loops 3 then 4
+    // evicts them LRU-first. The evicted loop must predict Unknown, and
+    // re-recording starts from scratch (LastCount, no stride memory).
+    // Loop 2's counts are irregular, so it stays at LastCount.
+    IterCountPredictor p(2);
+    const uint64_t loop2_counts[] = {5, 9, 6, 13};
+    for (int n = 0; n < 4; ++n) {
+        p.recordExecution(1, 10 + 2 * static_cast<uint64_t>(n));
+        p.recordExecution(2, loop2_counts[n]);
+    }
+    ASSERT_EQ(p.predict(1).kind, TripPredictionKind::Stride);
+    p.recordExecution(3, 9); // evicts loop 1 (LRU)
+    EXPECT_EQ(p.predict(1).kind, TripPredictionKind::Unknown);
+    EXPECT_EQ(p.predict(2).kind, TripPredictionKind::LastCount);
+    p.recordExecution(4, 9); // evicts loop 2
+    EXPECT_EQ(p.predict(2).kind, TripPredictionKind::Unknown);
+    EXPECT_LE(p.trackedLoops(), 2u);
+
+    p.recordExecution(1, 18); // would be the next stride value
+    TripPrediction t = p.predict(1);
+    EXPECT_EQ(t.kind, TripPredictionKind::LastCount); // history gone
+    EXPECT_EQ(t.count, 18);
+}
+
+} // namespace
+} // namespace loopspec

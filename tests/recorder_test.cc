@@ -26,20 +26,8 @@ record(const Program &prog)
     return rec.take();
 }
 
-Program
-simpleLoop(int64_t trips, int body_nops)
-{
-    ProgramBuilder b("t", 0);
-    b.beginFunction("main");
-    b.li(r1, 0);
-    b.li(r2, trips);
-    b.countedLoop(r1, r2, [&](const LoopCtx &) {
-        for (int i = 0; i < body_nops; ++i)
-            b.nop();
-    });
-    b.halt();
-    return b.build();
-}
+/** Shared flat-loop builder (tests/test_util.hh). */
+constexpr auto simpleLoop = test::flatLoop;
 
 TEST(Recorder, SimpleLoopSegments)
 {

@@ -126,4 +126,57 @@ TEST(ParseRunOptionsDeathTest, NonPositiveScaleIsFatal)
                 testing::ExitedWithCode(1), "--scale must be positive");
 }
 
+TEST(ParseRunOptionsDeathTest, NegativeScaleIsFatal)
+{
+    const char *argv[] = {"prog", "--scale=-1.5"};
+    EXPECT_EXIT(parseRunOptions(2, const_cast<char **>(argv), {}),
+                testing::ExitedWithCode(1), "--scale must be positive");
+}
+
+TEST(ParseRunOptionsDeathTest, MalformedScaleIsFatal)
+{
+    // strtod would parse "abc" as 0.0 and "0.5x" as 0.5; both must be
+    // rejected as malformed, not silently coerced.
+    const char *argv_junk[] = {"prog", "--scale=abc"};
+    EXPECT_EXIT(parseRunOptions(2, const_cast<char **>(argv_junk), {}),
+                testing::ExitedWithCode(1), "malformed value 'abc'");
+    const char *argv_trail[] = {"prog", "--scale=0.5x"};
+    EXPECT_EXIT(parseRunOptions(2, const_cast<char **>(argv_trail), {}),
+                testing::ExitedWithCode(1), "malformed value '0.5x'");
+}
+
+TEST(ParseRunOptionsDeathTest, MalformedClsIsFatal)
+{
+    const char *argv[] = {"prog", "--cls=16q"};
+    EXPECT_EXIT(parseRunOptions(2, const_cast<char **>(argv), {}),
+                testing::ExitedWithCode(1), "malformed value '16q'");
+}
+
+TEST(ParseRunOptionsDeathTest, EmptyScaleValueIsFatal)
+{
+    const char *argv[] = {"prog", "--scale="};
+    EXPECT_EXIT(parseRunOptions(2, const_cast<char **>(argv), {}),
+                testing::ExitedWithCode(1), "malformed value ''");
+}
+
+TEST(ParseRunOptionsDeathTest, DuplicateFlagIsFatal)
+{
+    // Both --x=a --x=b and the mixed --x=a --x b forms must be caught;
+    // last-one-wins used to hide script editing mistakes.
+    const char *argv[] = {"prog", "--scale=0.5", "--scale=2"};
+    EXPECT_EXIT(parseRunOptions(3, const_cast<char **>(argv), {}),
+                testing::ExitedWithCode(1), "duplicate flag --scale");
+    const char *argv_mixed[] = {"prog", "--cls=4", "--cls", "8"};
+    EXPECT_EXIT(parseRunOptions(4, const_cast<char **>(argv_mixed), {}),
+                testing::ExitedWithCode(1), "duplicate flag --cls");
+}
+
+TEST(ParseRunOptionsDeathTest, DuplicateExtraFlagIsFatal)
+{
+    const char *argv[] = {"prog", "--tus=2", "--tus=4"};
+    EXPECT_EXIT(
+        parseRunOptions(3, const_cast<char **>(argv), {"tus"}),
+        testing::ExitedWithCode(1), "duplicate flag --tus");
+}
+
 } // namespace loopspec

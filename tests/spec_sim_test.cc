@@ -36,41 +36,8 @@ simulate(const LoopEventRecording &rec, unsigned tus, SpecPolicy policy,
     return ThreadSpecSimulator(rec, cfg).run();
 }
 
-/** Flat counted loop: trips iterations of (nops+2) instructions. */
-Program
-flatLoop(int64_t trips, int nops)
-{
-    ProgramBuilder b("t", 0);
-    b.beginFunction("main");
-    b.li(r1, 0);
-    b.li(r2, trips);
-    b.countedLoop(r1, r2, [&](const LoopCtx &) {
-        for (int i = 0; i < nops; ++i)
-            b.nop();
-    });
-    b.halt();
-    return b.build();
-}
-
-/** Outer loop re-executing a constant-trip inner loop. */
-Program
-repeatedInner(int64_t outer, int64_t inner, int nops)
-{
-    ProgramBuilder b("t", 0);
-    b.beginFunction("main");
-    b.li(r1, 0);
-    b.li(r2, outer);
-    b.countedLoop(r1, r2, [&](const LoopCtx &) {
-        b.li(r3, 0);
-        b.li(r4, inner);
-        b.countedLoop(r3, r4, [&](const LoopCtx &) {
-            for (int i = 0; i < nops; ++i)
-                b.nop();
-        });
-    });
-    b.halt();
-    return b.build();
-}
+using test::flatLoop;
+using test::nestedLoops;
 
 TEST(SpecSim, OneTuIsSequential)
 {
@@ -112,7 +79,7 @@ TEST(SpecSim, StrLearnsConstantTrips)
 {
     // After the inner loop's first execution, STR knows its trip count
     // and stops creating phantoms; IDLE keeps wasting TUs.
-    LoopEventRecording rec = record(repeatedInner(40, 6, 3));
+    LoopEventRecording rec = record(nestedLoops(40, 6, 3));
     SpecStats idle = simulate(rec, 8, SpecPolicy::Idle);
     SpecStats str = simulate(rec, 8, SpecPolicy::Str);
     EXPECT_GT(str.hitRatio(), idle.hitRatio());
@@ -142,7 +109,7 @@ TEST(SpecSim, VerificationDistanceIsIterationLength)
 
 TEST(SpecSim, NestRuleSquashesOnlyUnderStrI)
 {
-    LoopEventRecording rec = record(repeatedInner(30, 8, 2));
+    LoopEventRecording rec = record(nestedLoops(30, 8, 2));
     EXPECT_EQ(simulate(rec, 4, SpecPolicy::Idle).squashedByNestRule, 0u);
     EXPECT_EQ(simulate(rec, 4, SpecPolicy::Str).squashedByNestRule, 0u);
 }
@@ -175,7 +142,7 @@ TEST(SpecSim, TighterNestLimitSquashesMore)
 
 TEST(SpecSim, ConservationInvariants)
 {
-    LoopEventRecording rec = record(repeatedInner(25, 7, 3));
+    LoopEventRecording rec = record(nestedLoops(25, 7, 3));
     for (unsigned tus : {2u, 4u, 8u, 16u}) {
         for (SpecPolicy pol :
              {SpecPolicy::Idle, SpecPolicy::Str, SpecPolicy::StrI}) {
@@ -192,7 +159,7 @@ TEST(SpecSim, ConservationInvariants)
 
 TEST(SpecSim, MoreTusNeverSlower)
 {
-    LoopEventRecording rec = record(repeatedInner(20, 10, 4));
+    LoopEventRecording rec = record(nestedLoops(20, 10, 4));
     uint64_t prev = UINT64_MAX;
     for (unsigned tus : {1u, 2u, 4u, 8u}) {
         uint64_t cycles = simulate(rec, tus, SpecPolicy::Str).cycles;
@@ -285,6 +252,68 @@ TEST(SpecSimData, PartialCorrectnessIsProportional)
     EXPECT_LT(s.tpc(), control);
     EXPECT_GT(s.dataMisses, 0u);
     EXPECT_GT(s.threadsVerified, 0u);
+}
+
+TEST(SpecSimReplay, ReplayedRecordingGivesIdenticalStats)
+{
+    // A recording rebuilt by replaying the loop-event stream into a
+    // second recorder must drive the TU simulator to bit-identical
+    // statistics — including the phantom-thread accounting inside
+    // threadsSquashed — for every policy and TU count. Mixed program:
+    // nests, a data-dependent break and callee loops, so phantoms,
+    // nest-rule squashes and re-detections all occur.
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, 20);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.li(r3, 0);
+        b.li(r4, 6);
+        b.countedLoop(r3, r4, [&](const LoopCtx &ctx) {
+            b.andi(r5, r1, 7);
+            b.beq(r5, r3, ctx.exit);
+            b.call("leaf");
+        });
+    });
+    b.halt();
+    b.beginFunction("leaf");
+    b.li(r6, 0);
+    b.li(r7, 4);
+    b.countedLoop(r6, r7, [&](const LoopCtx &) { b.nop(); });
+    b.ret();
+    LoopEventRecording direct = record(b.build());
+
+    LoopEventRecorder second;
+    replayLoopEvents(direct, {&second});
+    LoopEventRecording replayed = second.take();
+
+    for (unsigned tus : {2u, 4u, 8u}) {
+        for (SpecPolicy pol :
+             {SpecPolicy::Idle, SpecPolicy::Str, SpecPolicy::StrI}) {
+            SCOPED_TRACE(static_cast<int>(pol) * 100 + tus);
+            SpecStats a = simulate(direct, tus, pol);
+            SpecStats r = simulate(replayed, tus, pol);
+            EXPECT_EQ(a.totalInstrs, r.totalInstrs);
+            EXPECT_EQ(a.cycles, r.cycles);
+            EXPECT_EQ(a.specEvents, r.specEvents);
+            EXPECT_EQ(a.threadsSpeculated, r.threadsSpeculated);
+            EXPECT_EQ(a.threadsVerified, r.threadsVerified);
+            EXPECT_EQ(a.threadsSquashed, r.threadsSquashed);
+            EXPECT_EQ(a.squashedByNestRule, r.squashedByNestRule);
+            EXPECT_EQ(a.dataMisses, r.dataMisses);
+            EXPECT_EQ(a.instrToVerifSum, r.instrToVerifSum);
+        }
+    }
+
+    // The phantom burst of PhantomAccountingExact must survive a replay
+    // round-trip exactly, too.
+    LoopEventRecording flat = record(flatLoop(5, 4));
+    LoopEventRecorder second_flat;
+    replayLoopEvents(flat, {&second_flat});
+    SpecStats s = simulate(second_flat.take(), 8, SpecPolicy::Idle);
+    EXPECT_EQ(s.threadsSpeculated, 7u);
+    EXPECT_EQ(s.threadsVerified, 3u);
+    EXPECT_EQ(s.threadsSquashed, 4u);
 }
 
 /** Property sweep across policies and TU counts on a mixed program. */

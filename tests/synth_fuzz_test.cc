@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Long differential fuzz campaigns (CTest label "fuzz" — excluded from
+ * `ctest -L quick`). The CI fuzz-smoke job runs the equivalent seed
+ * range through the fuzz_loopspec binary in Release and under
+ * asan/ubsan; this suite keeps the same coverage reachable from ctest.
+ */
+
+#include <gtest/gtest.h>
+
+#include "synth/fuzz_campaign.hh"
+#include "tests/test_util.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+using namespace synth;
+
+TEST(SynthFuzz, TwoHundredSeedsAgreeAtAllClsSizes)
+{
+    FuzzOptions opts;
+    opts.seedLo = 0;
+    opts.seedHi = 199;
+    FuzzReport report = runFuzzCampaign(opts);
+    EXPECT_EQ(report.seedsRun, 200u);
+    for (const auto &f : report.failures)
+        ADD_FAILURE() << "seed " << f.seed << ": " << f.message;
+}
+
+TEST(SynthFuzz, InjectedBugCampaignShrinksEveryFailure)
+{
+    FuzzOptions opts;
+    opts.seedLo = 0;
+    opts.seedHi = 19;
+    opts.diff.injectClsOffByOne = true;
+    FuzzReport report = runFuzzCampaign(opts);
+    ASSERT_GE(report.failures.size(), 1u);
+    for (const auto &f : report.failures)
+        EXPECT_LE(f.loops, 5u) << "seed " << f.seed;
+}
+
+} // namespace
+} // namespace loopspec

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the synthetic-program generator and the differential oracle:
+ * generated programs are valid and terminating, generation is
+ * deterministic, plans round-trip through the repro JSON, the
+ * DiffChecker passes on real pipelines and CATCHES an injected detector
+ * off-by-one with a shrunk repro of <= 5 loops, and fuzz campaigns merge
+ * deterministically across thread counts. Long campaigns live in
+ * synth_fuzz_test.cc (CTest label "fuzz").
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "synth/diff_checker.hh"
+#include "synth/fuzz_campaign.hh"
+#include "synth/program_generator.hh"
+#include "tests/test_util.hh"
+#include "workloads/workload.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+using namespace synth;
+
+TEST(ProgramGenerator, ProgramsAreValidAndTerminate)
+{
+    ProgramGenerator gen;
+    for (uint64_t s = 0; s < 25; ++s) {
+        SCOPED_TRACE(s);
+        Program p = gen.generate(test::testSeed(s));
+        p.validate(); // must not fatal (build() validated once already)
+        EngineConfig cfg;
+        cfg.maxInstrs = 400000; // far above the generator's budget
+        TraceEngine engine(p, cfg);
+        uint64_t n = engine.run();
+        EXPECT_TRUE(engine.finished());
+        EXPECT_GT(n, 0u);
+        EXPECT_LT(n, cfg.maxInstrs) << "generator emitted a runaway loop";
+    }
+}
+
+TEST(ProgramGenerator, SameSeedSameProgram)
+{
+    ProgramGenerator gen;
+    for (uint64_t s = 0; s < 5; ++s) {
+        Program a = gen.generate(test::testSeed(s));
+        Program b = gen.generate(test::testSeed(s));
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a.code[i].op, b.code[i].op) << i;
+            EXPECT_EQ(a.code[i].imm, b.code[i].imm) << i;
+            EXPECT_EQ(a.code[i].target, b.code[i].target) << i;
+        }
+    }
+}
+
+TEST(ProgramGenerator, AllShapesAppearAcrossSeeds)
+{
+    // The structure-knob coverage the fuzzer relies on: every LoopShape
+    // must occur somewhere in a modest seed range.
+    ProgramGenerator gen;
+    std::set<int> seen;
+    std::function<void(const LoopNode &)> visit =
+        [&](const LoopNode &n) {
+            seen.insert(static_cast<int>(n.shape));
+            for (const auto &c : n.children)
+                visit(c);
+        };
+    for (uint64_t s = 0; s < 60; ++s) {
+        ProgramPlan plan = gen.plan(test::testSeed(s));
+        for (const auto &n : plan.main)
+            visit(n);
+        for (const auto &fn : plan.funcs)
+            for (const auto &n : fn)
+                visit(n);
+    }
+    EXPECT_EQ(seen.size(),
+              static_cast<size_t>(LoopShape::NumShapes));
+}
+
+TEST(ProgramGenerator, PlanJsonRoundTrips)
+{
+    ProgramGenerator gen;
+    for (uint64_t s = 0; s < 10; ++s) {
+        ProgramPlan plan = gen.plan(test::testSeed(s));
+        std::stringstream ss;
+        plan.save(ss);
+        ProgramPlan back = ProgramPlan::load(ss);
+        std::stringstream again;
+        back.save(again);
+        EXPECT_EQ(ss.str(), again.str()) << "seed index " << s;
+        EXPECT_EQ(back.seed, plan.seed);
+        EXPECT_EQ(back.loopCount(), plan.loopCount());
+    }
+}
+
+TEST(DiffChecker, PipelinesAgreeOnGeneratedPrograms)
+{
+    // The quick slice of the fuzz campaign: a handful of seeds at the
+    // full CLS sweep. The 1000-seed campaign runs under the fuzz label.
+    ProgramGenerator gen;
+    for (uint64_t s = 0; s < 8; ++s) {
+        SCOPED_TRACE(s);
+        DiffResult r = diffProgram(gen.generate(test::testSeed(s)));
+        EXPECT_TRUE(r.ok) << r.failure;
+    }
+}
+
+TEST(DiffChecker, PipelinesAgreeOnCuratedWorkloads)
+{
+    // The oracle also holds on the Table-1 workload substrate.
+    for (const char *name : {"compress", "li"}) {
+        SCOPED_TRACE(name);
+        DiffResult r = diffProgram(buildWorkload(name, {0.01}));
+        EXPECT_TRUE(r.ok) << r.failure;
+    }
+}
+
+TEST(DiffChecker, CatchesInjectedClsOffByOne)
+{
+    // A depth-4 nest of trip-2 loops is the minimal program whose CLS
+    // reaches depth 4: with the replay detector one entry short the
+    // harness must report a divergence at cls=4.
+    ProgramGenerator gen;
+    LoopNode leaf;
+    leaf.trip = 2;
+    ProgramPlan plan;
+    plan.seed = 1;
+    plan.main.push_back(leaf);
+    LoopNode *at = &plan.main.back();
+    for (int d = 1; d < 4; ++d) {
+        at->children.push_back(leaf);
+        at = &at->children.back();
+    }
+    Program prog = gen.emit(plan, "nest4");
+
+    DiffConfig honest;
+    EXPECT_TRUE(diffProgram(prog, honest).ok);
+
+    DiffConfig injected;
+    injected.injectClsOffByOne = true;
+    DiffResult r = diffProgram(prog, injected);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.failure.find("ctrace-replay"), std::string::npos)
+        << r.failure;
+}
+
+TEST(FuzzCampaign, InjectedBugIsCaughtAndShrunkToFiveLoopsOrFewer)
+{
+    // The acceptance bar: a deliberately injected detector off-by-one
+    // must be caught with a shrunk repro of <= 5 loops.
+    FuzzOptions opts;
+    opts.seedLo = 0;
+    opts.seedHi = 4;
+    opts.diff.injectClsOffByOne = true;
+    opts.jobs = 1;
+    FuzzReport report = runFuzzCampaign(opts);
+    ASSERT_FALSE(report.failures.empty());
+    for (const auto &f : report.failures) {
+        EXPECT_LE(f.loops, 5u) << "seed " << f.seed;
+        EXPECT_FALSE(f.shrunkMessage.empty());
+        // The shrunk plan must still reproduce the divergence.
+        ProgramGenerator gen;
+        Program prog = gen.emit(f.plan, "repro");
+        EXPECT_FALSE(diffProgram(prog, opts.diff).ok);
+        EXPECT_TRUE(diffProgram(prog, DiffConfig{}).ok)
+            << "shrunk repro fails even without the injected bug";
+    }
+}
+
+TEST(FuzzCampaign, DeterministicMergeAcrossThreadCounts)
+{
+    FuzzOptions opts;
+    opts.seedLo = 0;
+    opts.seedHi = 7;
+    opts.diff.injectClsOffByOne = true; // failures exercise the merge
+    opts.shrink = false;                // keep it cheap
+    opts.jobs = 1;
+    FuzzReport serial = runFuzzCampaign(opts);
+    opts.jobs = 4;
+    FuzzReport pooled = runFuzzCampaign(opts);
+    ASSERT_EQ(serial.failures.size(), pooled.failures.size());
+    for (size_t i = 0; i < serial.failures.size(); ++i) {
+        EXPECT_EQ(serial.failures[i].seed, pooled.failures[i].seed);
+        EXPECT_EQ(serial.failures[i].message, pooled.failures[i].message);
+        EXPECT_EQ(serial.failures[i].loops, pooled.failures[i].loops);
+    }
+}
+
+TEST(FuzzCampaign, ReproJsonRoundTrips)
+{
+    FuzzOptions opts;
+    opts.seedLo = 0;
+    opts.seedHi = 0;
+    opts.diff.injectClsOffByOne = true;
+    opts.jobs = 1;
+    FuzzReport report = runFuzzCampaign(opts);
+    ASSERT_EQ(report.failures.size(), 1u);
+
+    std::stringstream repro;
+    writeReproJson(repro, report.failures[0], opts.diff);
+    ProgramPlan back = loadReproPlan(repro);
+    EXPECT_EQ(back.loopCount(), report.failures[0].loops);
+
+    // A bare plan document loads too.
+    std::stringstream bare;
+    report.failures[0].plan.save(bare);
+    ProgramPlan bare_back = loadReproPlan(bare);
+    EXPECT_EQ(bare_back.loopCount(), report.failures[0].loops);
+}
+
+TEST(SyntheticWorkloads, RegisteredFamiliesBuildAndRun)
+{
+    ASSERT_EQ(syntheticWorkloadNames().size(), 4u);
+    for (const auto &name : syntheticWorkloadNames()) {
+        SCOPED_TRACE(name);
+        Program p = buildWorkload(name, {0.5});
+        p.validate();
+        EngineConfig cfg;
+        cfg.maxInstrs = 2000000;
+        TraceEngine engine(p, cfg);
+        uint64_t n = engine.run();
+        EXPECT_GT(n, 1000u) << "family too small to be a workload";
+        EXPECT_LT(n, cfg.maxInstrs);
+    }
+    // The Table-1 registry must stay the paper's 18 programs.
+    EXPECT_EQ(workloadRegistry().size(), 18u);
+    for (const auto &name : workloadNames())
+        EXPECT_EQ(name.rfind("synth.", 0), std::string::npos);
+}
+
+TEST(SyntheticWorkloads, ScaleGrowsDynamicSizeNotShape)
+{
+    Program small = buildSynthIrregular({0.25});
+    Program large = buildSynthIrregular({1.0});
+    // Same static code (the plan is fixed per family)...
+    EXPECT_EQ(small.size(), large.size());
+    // ...but more outer repetitions.
+    TraceEngine se(small), le(large);
+    EXPECT_LT(se.run(), le.run());
+}
+
+TEST(SyntheticWorkloads, FamiliesPassTheDifferentialOracle)
+{
+    for (const auto &name : syntheticWorkloadNames()) {
+        SCOPED_TRACE(name);
+        DiffResult r = diffProgram(buildWorkload(name, {0.1}));
+        EXPECT_TRUE(r.ok) << r.failure;
+    }
+}
+
+} // namespace
+} // namespace loopspec

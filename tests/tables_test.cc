@@ -76,21 +76,12 @@ TEST(LoopTable, DoubleInsertPanics)
 
 // --- hit meters over real detector event streams -----------------------
 
-/** Nest with many inner executions to warm the tables. */
+/** Nest with many inner executions to warm the tables
+ *  (shared builder, tests/test_util.hh). */
 Program
 meterProgram(int64_t outer, int64_t inner)
 {
-    ProgramBuilder b("t", 0);
-    b.beginFunction("main");
-    b.li(r1, 0);
-    b.li(r2, outer);
-    b.countedLoop(r1, r2, [&](const LoopCtx &) {
-        b.li(r3, 0);
-        b.li(r4, inner);
-        b.countedLoop(r3, r4, [&](const LoopCtx &) { b.nop(); });
-    });
-    b.halt();
-    return b.build();
+    return test::nestedLoops(outer, inner, 1);
 }
 
 template <typename Meter>

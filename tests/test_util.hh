@@ -1,8 +1,9 @@
 /**
  * @file
- * Shared test helpers: an event-capturing LoopListener with a compact
- * textual rendering (for golden-sequence assertions), and one-call
- * program tracing.
+ * Shared test helpers: the test-suite RNG seed base, an event-capturing
+ * LoopListener with a compact textual rendering (for golden-sequence
+ * assertions), one-call program tracing, and the loop-program builders
+ * (flat counted loop, two-level nest) that half the suites need.
  */
 
 #ifndef LOOPSPEC_TESTS_TEST_UTIL_HH
@@ -21,6 +22,58 @@ namespace loopspec
 {
 namespace test
 {
+
+/**
+ * The single seed constant every randomized test fixture derives its
+ * seeds from (via testSeed): grep for kTestSeed to find — and re-run
+ * with a different base — every seeded fixture in the suite. Never seed
+ * a test RNG with an ad-hoc literal.
+ */
+constexpr uint64_t kTestSeed = 0x5eed10095ULL;
+
+/** Seed of fixture instance @p n, derived from kTestSeed. */
+constexpr uint64_t
+testSeed(uint64_t n)
+{
+    return kTestSeed + n;
+}
+
+/** Flat counted loop: @p trips iterations of (@p nops + 2) instrs. */
+inline Program
+flatLoop(int64_t trips, int nops)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(regs::r1, 0);
+    b.li(regs::r2, trips);
+    b.countedLoop(regs::r1, regs::r2, [&](const LoopCtx &) {
+        for (int i = 0; i < nops; ++i)
+            b.nop();
+    });
+    b.halt();
+    return b.build();
+}
+
+/** Outer loop re-executing a constant-trip inner loop of @p nops body
+ *  instructions per iteration. */
+inline Program
+nestedLoops(int64_t outer, int64_t inner, int nops = 1)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(regs::r1, 0);
+    b.li(regs::r2, outer);
+    b.countedLoop(regs::r1, regs::r2, [&](const LoopCtx &) {
+        b.li(regs::r3, 0);
+        b.li(regs::r4, inner);
+        b.countedLoop(regs::r3, regs::r4, [&](const LoopCtx &) {
+            for (int i = 0; i < nops; ++i)
+                b.nop();
+        });
+    });
+    b.halt();
+    return b.build();
+}
 
 /** Captures the full loop-event stream. */
 class CaptureListener : public LoopListener

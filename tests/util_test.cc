@@ -229,6 +229,35 @@ TEST(Cli, DefaultsWhenAbsent)
     EXPECT_FALSE(args.has("x"));
 }
 
+TEST(Cli, NumericFormsAccepted)
+{
+    // Hex, negative and float forms all parse to the exact value.
+    const char *argv[] = {"prog", "--a=0x10", "--b=-42", "--c=0.125"};
+    CliArgs args(4, const_cast<char **>(argv), {"a", "b", "c"});
+    EXPECT_EQ(args.getUint("a", 0), 16u);
+    EXPECT_EQ(args.getInt("b", 0), -42);
+    EXPECT_DOUBLE_EQ(args.getDouble("c", 0.0), 0.125);
+}
+
+TEST(CliDeathTest, DuplicateFlagIsFatal)
+{
+    const char *argv[] = {"prog", "--x=1", "--x=2"};
+    EXPECT_EXIT(CliArgs(3, const_cast<char **>(argv), {"x"}),
+                testing::ExitedWithCode(1), "duplicate flag --x");
+}
+
+TEST(CliDeathTest, MalformedNumbersAreFatal)
+{
+    const char *argv[] = {"prog", "--x=12abc"};
+    CliArgs args(2, const_cast<char **>(argv), {"x"});
+    EXPECT_EXIT((void)args.getInt("x", 0), testing::ExitedWithCode(1),
+                "malformed value '12abc' for --x");
+    EXPECT_EXIT((void)args.getUint("x", 0), testing::ExitedWithCode(1),
+                "malformed value '12abc' for --x");
+    EXPECT_EXIT((void)args.getDouble("x", 0), testing::ExitedWithCode(1),
+                "malformed value '12abc' for --x");
+}
+
 TEST(Cli, SplitList)
 {
     auto v = splitList("a,b,,c");

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Differential fuzz driver over the scalar/batched/replay pipelines.
+ *
+ *   fuzz_loopspec --seeds 0..999                # campaign, all cores
+ *   fuzz_loopspec --seeds 0..199 --cls 4,8,16   # explicit CLS sweep
+ *   fuzz_loopspec --seeds 0..99 --inject-bug    # self-check: must fail
+ *   fuzz_loopspec --repro fuzz_repro.json       # re-run a saved repro
+ *
+ * Exit code 0 = every seed agreed on every pipeline; 1 = divergences
+ * (each is shrunk and the first is dumped to --repro-out, default
+ * fuzz_repro.json, for bug reports and CI artifacts).
+ */
+
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "loop/cls.hh"
+#include "synth/fuzz_campaign.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+using namespace loopspec;
+using namespace loopspec::synth;
+
+namespace
+{
+
+uint64_t
+parseU64(const std::string &text, const char *what)
+{
+    // std::stoull silently wraps negatives ("-4" -> 2^64-4); only a
+    // plain digit string is a valid unsigned value here.
+    if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0])))
+        fatal("%s: malformed number '%s'", what, text.c_str());
+    try {
+        size_t used = 0;
+        uint64_t v = std::stoull(text, &used);
+        if (used != text.size())
+            fatal("%s: malformed number '%s'", what, text.c_str());
+        return v;
+    } catch (const std::exception &) {
+        fatal("%s: malformed number '%s'", what, text.c_str());
+    }
+}
+
+/** Parse "A..B" (inclusive) or a single "N". */
+void
+parseSeedRange(const std::string &text, uint64_t *lo, uint64_t *hi)
+{
+    size_t dots = text.find("..");
+    if (dots == std::string::npos) {
+        *lo = *hi = parseU64(text, "--seeds");
+    } else {
+        *lo = parseU64(text.substr(0, dots), "--seeds");
+        *hi = parseU64(text.substr(dots + 2), "--seeds");
+    }
+    if (*hi < *lo)
+        fatal("--seeds range is empty: %s", text.c_str());
+}
+
+int
+runRepro(const std::string &path, const DiffConfig &diff)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open repro '%s'", path.c_str());
+    ProgramPlan plan = loadReproPlan(in);
+    ProgramGenerator gen;
+    Program prog = gen.emit(plan, "repro");
+    DiffResult r = diffProgram(prog, diff);
+    if (r.ok) {
+        std::cout << "repro " << path << ": all pipelines agree ("
+                  << plan.loopCount() << " loops, seed " << plan.seed
+                  << ")\n";
+        return 0;
+    }
+    std::cout << "repro " << path << ": DIVERGENCE\n  " << r.failure
+              << "\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv,
+                 {"seeds", "cls", "jobs", "max-instrs", "inject-bug",
+                  "no-shrink", "repro", "repro-out", "quiet"});
+
+    DiffConfig diff;
+    diff.injectClsOffByOne = args.getBool("inject-bug", false);
+    diff.maxInstrs = args.getUint("max-instrs", diff.maxInstrs);
+    if (args.has("cls")) {
+        diff.clsSizes.clear();
+        for (const auto &tok : splitList(args.getString("cls", ""))) {
+            uint64_t sz = parseU64(tok, "--cls");
+            if (sz < 1 || sz > clsMaxCapacity)
+                fatal("--cls size %llu outside [1, %zu]",
+                      static_cast<unsigned long long>(sz),
+                      clsMaxCapacity);
+            diff.clsSizes.push_back(static_cast<size_t>(sz));
+        }
+        if (diff.clsSizes.empty())
+            fatal("--cls needs at least one size");
+    }
+
+    if (args.has("repro"))
+        return runRepro(args.getString("repro", ""), diff);
+
+    FuzzOptions opts;
+    opts.diff = diff;
+    parseSeedRange(args.getString("seeds", "0..99"), &opts.seedLo,
+                   &opts.seedHi);
+    opts.jobs = static_cast<unsigned>(args.getUint("jobs", 0));
+    opts.shrink = !args.getBool("no-shrink", false);
+    bool quiet = args.getBool("quiet", false);
+
+    FuzzReport report = runFuzzCampaign(opts);
+
+    if (!quiet) {
+        std::cout << "fuzz_loopspec: " << report.seedsRun << " seeds, cls{";
+        for (size_t i = 0; i < diff.clsSizes.size(); ++i)
+            std::cout << (i ? "," : "") << diff.clsSizes[i];
+        std::cout << "}, " << report.failures.size() << " failure"
+                  << (report.failures.size() == 1 ? "" : "s") << "\n";
+    }
+    if (report.failures.empty())
+        return 0;
+
+    for (const auto &f : report.failures) {
+        std::cout << "seed " << f.seed << " (" << f.loops
+                  << "-loop repro): " << f.shrunkMessage << "\n";
+    }
+    std::string out_path = args.getString("repro-out", "fuzz_repro.json");
+    std::ofstream out(out_path);
+    if (!out) {
+        warn("cannot write repro to '%s'", out_path.c_str());
+    } else {
+        writeReproJson(out, report.failures.front(), diff);
+        std::cout << "first repro written to " << out_path << "\n";
+    }
+    return 1;
+}
