@@ -7,16 +7,17 @@
  * live-in is discarded at verification — the cost the paper's "their
  * corresponding synchronization can be avoided" claim is about.
  *
- * Three columns per program, 4 TUs:
+ * A three-policy sweep grid on 4 TUs (one annotated recording per
+ * workload feeds all three cells):
  *   control      - §3 model (data dependences ignored; Figure 6/Table 2)
  *   ctrl+data    - Profiled data mode under STR
  *   ctrl+data(3) - Profiled data mode under STR(3)
  */
 
 #include <iostream>
+#include <memory>
 
 #include "harness/runner.hh"
-#include "speculation/spec_sim.hh"
 #include "util/table_writer.hh"
 
 using namespace loopspec;
@@ -24,30 +25,27 @@ using namespace loopspec;
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseRunOptions(argc, argv, {});
+    std::unique_ptr<CliArgs> args;
+    RunOptions opts = parseRunOptions(argc, argv, {"json"}, &args);
 
-    CollectFlags flags;
-    flags.dataCorrectness = true;
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.policies = {
+        {SpecPolicy::Str, 3, DataMode::None, "control"},
+        {SpecPolicy::Str, 3, DataMode::Profiled, "ctrl+data"},
+        {SpecPolicy::StrI, 3, DataMode::Profiled, "ctrl+data STR(3)"}};
+    grid.tuCounts = {4};
+    SweepResult r = runSpecSweep(grid, opts.jobs);
 
     TableWriter t({"bench", "control", "ctrl+data", "retained%",
                    "ctrl+data STR(3)", "data misses%"});
-    double sum_ctrl = 0, sum_data = 0;
-    unsigned count = 0;
-
-    for (const auto &name : opts.selected()) {
-        WorkloadArtifacts a = runWorkload(name, opts, flags);
-
-        SpecConfig ctrl{4, SpecPolicy::Str, 3, DataMode::None};
-        SpecConfig data{4, SpecPolicy::Str, 3, DataMode::Profiled};
-        SpecConfig data3{4, SpecPolicy::StrI, 3, DataMode::Profiled};
-
-        SpecStats sc = ThreadSpecSimulator(a.recording, ctrl).run();
-        SpecStats sd = ThreadSpecSimulator(a.recording, data).run();
-        SpecStats s3 = ThreadSpecSimulator(a.recording, data3).run();
+    for (size_t w = 0; w < grid.workloads.size(); ++w) {
+        const SpecStats &sc = r.cell(w, 0, 0, 0);
+        const SpecStats &sd = r.cell(w, 0, 1, 0);
+        const SpecStats &s3 = r.cell(w, 0, 2, 0);
 
         uint64_t attempts = sd.threadsVerified + sd.threadsSquashed;
         t.row();
-        t.cell(name);
+        t.cell(grid.workloads[w]);
         t.cell(sc.tpc(), 2);
         t.cell(sd.tpc(), 2);
         t.cell(sc.tpc() > 1.0
@@ -59,17 +57,15 @@ main(int argc, char **argv)
                               static_cast<double>(attempts)
                         : 0.0,
                1);
-        sum_ctrl += sc.tpc();
-        sum_data += sd.tpc();
-        ++count;
     }
+    double avg_ctrl = r.meanTpc(0, 0);
+    double avg_data = r.meanTpc(1, 0);
     t.row();
     t.cell(std::string("AVG"));
-    t.cell(sum_ctrl / count, 2);
-    t.cell(sum_data / count, 2);
-    t.cell(sum_ctrl / count > 1.0
-               ? 100.0 * (sum_data / count - 1.0) /
-                     (sum_ctrl / count - 1.0)
+    t.cell(avg_ctrl, 2);
+    t.cell(avg_data, 2);
+    t.cell(avg_ctrl > 1.0
+               ? 100.0 * (avg_data - 1.0) / (avg_ctrl - 1.0)
                : 100.0,
            1);
 
@@ -81,5 +77,6 @@ main(int argc, char **argv)
         t.printCsv(std::cout);
     else
         t.print(std::cout);
+    writeSweepJsonFile(args->getString("json", ""), r, opts.jobs);
     return 0;
 }

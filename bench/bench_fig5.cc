@@ -3,12 +3,15 @@
  * Reproduces Figure 5: TPC on an ideal machine with infinite thread
  * units, per program, full run vs a truncated prefix (the paper used the
  * first 10^9 instructions; we use the first half of the scaled trace).
- * The figure is log-scale in the paper; here the raw values are printed,
- * sorted in the paper's ascending order of potential.
+ * Declared as an ideal-artifact sweep grid — the engine traces the
+ * workload axis in parallel under --jobs. The figure is log-scale in the
+ * paper; here the raw values are printed, sorted in the paper's
+ * ascending order of potential.
  */
 
 #include <cmath>
 #include <iostream>
+#include <memory>
 
 #include "harness/runner.hh"
 #include "util/table_writer.hh"
@@ -18,25 +21,21 @@ using namespace loopspec;
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseRunOptions(argc, argv, {});
+    std::unique_ptr<CliArgs> args;
+    RunOptions opts = parseRunOptions(argc, argv, {"json"}, &args);
 
-    CollectFlags flags;
-    flags.ideal = true;
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.ideal = true;
+    SweepResult r = runSpecSweep(grid, opts.jobs);
 
     TableWriter t({"bench", "TPC(all)", "TPC(prefix)", "log10(all)"});
-    double geo = 0.0;
-    unsigned count = 0;
-    for (const auto &name : opts.selected()) {
-        WorkloadArtifacts a = runWorkload(name, opts, flags);
+    for (size_t w = 0; w < grid.workloads.size(); ++w) {
+        const SweepRow &row = r.row(w);
         t.row();
-        t.cell(name);
-        t.cell(a.idealTpc, 1);
-        t.cell(a.idealTpcPrefix, 1);
-        t.cell(a.idealTpc > 0 ? std::log10(a.idealTpc) : 0.0, 2);
-        if (a.idealTpc > 0) {
-            geo += std::log10(a.idealTpc);
-            ++count;
-        }
+        t.cell(row.workload);
+        t.cell(row.idealTpc, 1);
+        t.cell(row.idealTpcPrefix, 1);
+        t.cell(row.idealTpc > 0 ? std::log10(row.idealTpc) : 0.0, 2);
     }
 
     std::cout << "Figure 5: TPC for infinite TUs "
@@ -49,9 +48,10 @@ main(int argc, char **argv)
         t.printCsv(std::cout);
     else
         t.print(std::cout);
-    if (count) {
-        std::cout << "geomean TPC: "
-                  << std::pow(10.0, geo / count) << "\n";
-    }
+    double geomean = r.geomeanRowOverWorkloads(
+        0, +[](const SweepRow &row) { return row.idealTpc; });
+    if (geomean > 0.0)
+        std::cout << "geomean TPC: " << geomean << "\n";
+    writeSweepJsonFile(args->getString("json", ""), r, opts.jobs);
     return 0;
 }

@@ -1,16 +1,17 @@
 /**
  * @file
  * Reproduces Figure 6: per-program TPC under the STR policy for 2, 4, 8
- * and 16 thread units. One trace pass per workload produces the event
- * recording; the event-driven TU simulator then replays it per
- * configuration.
+ * and 16 thread units — declared as a sweep grid (STR × {2,4,8,16} TUs)
+ * over the shared-recording engine: one trace pass per workload produces
+ * the event recording, and every configuration cell replays it through
+ * the event-driven TU simulator (in parallel under --jobs).
  */
 
 #include <iostream>
+#include <memory>
 
 #include "bench/paper_ref.hh"
 #include "harness/runner.hh"
-#include "speculation/spec_sim.hh"
 #include "util/table_writer.hh"
 
 using namespace loopspec;
@@ -18,44 +19,35 @@ using namespace loopspec;
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseRunOptions(argc, argv, {});
+    std::unique_ptr<CliArgs> args;
+    RunOptions opts = parseRunOptions(argc, argv, {"json"}, &args);
 
-    CollectFlags flags;
-    flags.recording = true;
-
-    const unsigned tus[] = {2, 4, 8, 16};
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.policies = {{SpecPolicy::Str, 3, DataMode::None, "STR"}};
+    grid.tuCounts = {2, 4, 8, 16};
+    SweepResult r = runSpecSweep(grid, opts.jobs);
 
     TableWriter t({"bench", "2 TUs", "4 TUs", "8 TUs", "16 TUs"});
-    double sum[4] = {};
-    unsigned count = 0;
-    for (const auto &name : opts.selected()) {
-        WorkloadArtifacts a = runWorkload(name, opts, flags);
+    for (size_t w = 0; w < grid.workloads.size(); ++w) {
         t.row();
-        t.cell(name);
-        for (unsigned i = 0; i < 4; ++i) {
-            SpecConfig cfg;
-            cfg.numTUs = tus[i];
-            cfg.policy = SpecPolicy::Str;
-            ThreadSpecSimulator sim(a.recording, cfg);
-            double tpc = sim.run().tpc();
-            t.cell(tpc, 2);
-            sum[i] += tpc;
-        }
-        ++count;
+        t.cell(grid.workloads[w]);
+        for (size_t i = 0; i < grid.tuCounts.size(); ++i)
+            t.cell(r.cell(w, 0, 0, i).tpc(), 2);
     }
     t.row();
     t.cell(std::string("AVG"));
-    for (unsigned i = 0; i < 4; ++i)
-        t.cell(sum[i] / count, 2);
+    for (size_t i = 0; i < grid.tuCounts.size(); ++i)
+        t.cell(r.meanTpc(0, i), 2);
     t.row();
     t.cell(std::string("AVG(paper)"));
-    for (unsigned i = 0; i < 4; ++i)
-        t.cell(paper::fig6AvgStr.at(tus[i]), 2);
+    for (size_t i = 0; i < grid.tuCounts.size(); ++i)
+        t.cell(paper::fig6AvgStr.at(grid.tuCounts[i]), 2);
 
     std::cout << "Figure 6: TPC with the STR policy, 2/4/8/16 TUs\n";
     if (opts.csv)
         t.printCsv(std::cout);
     else
         t.print(std::cout);
+    writeSweepJsonFile(args->getString("json", ""), r, opts.jobs);
     return 0;
 }

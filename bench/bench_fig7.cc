@@ -1,17 +1,20 @@
 /**
  * @file
  * Reproduces Figure 7: suite-average TPC for the IDLE, STR, STR(1),
- * STR(2) and STR(3) policies on 2/4/8/16 TUs. Paper shape: STR slightly
- * above IDLE; STR(i) below STR, improving with larger i (fewer correct
- * speculations squashed).
+ * STR(2) and STR(3) policies on 2/4/8/16 TUs — a 5-policy × 4-TU grid
+ * over the shared-recording sweep engine (each workload traced once, all
+ * 20 configurations replayed from its recording). Paper shape: STR
+ * slightly above IDLE; STR(i) below STR, improving with larger i (fewer
+ * correct speculations squashed).
  */
 
 #include <iostream>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/paper_ref.hh"
 #include "harness/runner.hh"
-#include "speculation/spec_sim.hh"
 #include "util/table_writer.hh"
 
 using namespace loopspec;
@@ -19,51 +22,24 @@ using namespace loopspec;
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseRunOptions(argc, argv, {});
+    std::unique_ptr<CliArgs> args;
+    RunOptions opts = parseRunOptions(argc, argv, {"json"}, &args);
 
-    CollectFlags flags;
-    flags.recording = true;
+    SweepGrid grid = sweepGridFromOptions(opts);
+    applyPaperAxes(&grid); // 5 policies × {2,4,8,16} TUs
+    SweepResult r = runSpecSweep(grid, opts.jobs);
 
-    struct PolicySpec
-    {
-        const char *name;
-        SpecPolicy policy;
-        unsigned nest;
-    };
-    const std::vector<PolicySpec> policies = {
-        {"IDLE", SpecPolicy::Idle, 0},   {"STR", SpecPolicy::Str, 0},
-        {"STR(1)", SpecPolicy::StrI, 1}, {"STR(2)", SpecPolicy::StrI, 2},
-        {"STR(3)", SpecPolicy::StrI, 3},
-    };
-    const unsigned tus[] = {2, 4, 8, 16};
-
-    // sums[policy][tu-index]
-    std::vector<std::array<double, 4>> sums(policies.size());
-    unsigned count = 0;
-
-    for (const auto &name : opts.selected()) {
-        WorkloadArtifacts a = runWorkload(name, opts, flags);
-        for (size_t p = 0; p < policies.size(); ++p) {
-            for (unsigned i = 0; i < 4; ++i) {
-                SpecConfig cfg;
-                cfg.numTUs = tus[i];
-                cfg.policy = policies[p].policy;
-                cfg.nestLimit = policies[p].nest;
-                ThreadSpecSimulator sim(a.recording, cfg);
-                sums[p][i] += sim.run().tpc();
-            }
-        }
-        ++count;
-    }
-
-    TableWriter t({"TUs", "IDLE", "STR", "STR(1)", "STR(2)", "STR(3)",
-                   "STR(paper)"});
-    for (unsigned i = 0; i < 4; ++i) {
+    std::vector<std::string> headers = {"TUs"};
+    for (const GridPolicy &p : grid.policies)
+        headers.push_back(p.name());
+    headers.push_back("STR(paper)");
+    TableWriter t(headers);
+    for (size_t i = 0; i < grid.tuCounts.size(); ++i) {
         t.row();
-        t.cell(static_cast<uint64_t>(tus[i]));
-        for (size_t p = 0; p < policies.size(); ++p)
-            t.cell(sums[p][i] / count, 2);
-        t.cell(paper::fig6AvgStr.at(tus[i]), 2);
+        t.cell(static_cast<uint64_t>(grid.tuCounts[i]));
+        for (size_t p = 0; p < grid.policies.size(); ++p)
+            t.cell(r.meanTpc(p, i), 2);
+        t.cell(paper::fig6AvgStr.at(grid.tuCounts[i]), 2);
     }
 
     std::cout << "Figure 7: average TPC by policy and TU count\n";
@@ -71,5 +47,6 @@ main(int argc, char **argv)
         t.printCsv(std::cout);
     else
         t.print(std::cout);
+    writeSweepJsonFile(args->getString("json", ""), r, opts.jobs);
     return 0;
 }

@@ -3,11 +3,14 @@
  * Reproduces Figure 8: data-speculation statistics — the share of
  * iterations following each loop's most frequent path, live-in register
  * and memory value predictability (last value + stride), and the share
- * of iterations with all live-ins predicted. Paper anchors: ~85% of
- * iterations follow the modal path; live-in predictability is "high".
+ * of iterations with all live-ins predicted. Declared as a
+ * dataSpec-artifact sweep grid (workloads traced in parallel under
+ * --jobs). Paper anchors: ~85% of iterations follow the modal path;
+ * live-in predictability is "high".
  */
 
 #include <iostream>
+#include <memory>
 
 #include "harness/runner.hh"
 #include "util/table_writer.hh"
@@ -17,33 +20,37 @@ using namespace loopspec;
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseRunOptions(argc, argv, {});
+    std::unique_ptr<CliArgs> args;
+    RunOptions opts = parseRunOptions(argc, argv, {"json"}, &args);
 
-    CollectFlags flags;
-    flags.dataSpec = true;
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.dataSpec = true;
+    SweepResult r = runSpecSweep(grid, opts.jobs);
+
+    // The six Figure-8 series, in column order.
+    using RowFn = double (*)(const SweepRow &);
+    const RowFn cols[6] = {
+        +[](const SweepRow &x) { return x.dataSpec.samePathPct(); },
+        +[](const SweepRow &x) { return x.dataSpec.lrPredPct(); },
+        +[](const SweepRow &x) { return x.dataSpec.lmPredPct(); },
+        +[](const SweepRow &x) { return x.dataSpec.allLrPct(); },
+        +[](const SweepRow &x) { return x.dataSpec.allLmPct(); },
+        +[](const SweepRow &x) { return x.dataSpec.allDataPct(); },
+    };
 
     TableWriter t({"bench", "same path%", "lr pred%", "lm pred%",
                    "all lr%", "all lm%", "all data%"});
-
-    double sums[6] = {};
-    unsigned count = 0;
-    for (const auto &name : opts.selected()) {
-        WorkloadArtifacts a = runWorkload(name, opts, flags);
-        const auto &r = a.dataSpec;
-        double vals[6] = {r.samePathPct(), r.lrPredPct(), r.lmPredPct(),
-                          r.allLrPct(),    r.allLmPct(),  r.allDataPct()};
+    for (size_t w = 0; w < grid.workloads.size(); ++w) {
+        const SweepRow &row = r.row(w);
         t.row();
-        t.cell(name);
-        for (double v : vals)
-            t.cell(v, 2);
-        for (int i = 0; i < 6; ++i)
-            sums[i] += vals[i];
-        ++count;
+        t.cell(row.workload);
+        for (RowFn fn : cols)
+            t.cell(fn(row), 2);
     }
     t.row();
     t.cell(std::string("AVG"));
-    for (int i = 0; i < 6; ++i)
-        t.cell(sums[i] / count, 2);
+    for (RowFn fn : cols)
+        t.cell(r.meanRowOverWorkloads(0, fn), 2);
     t.row();
     t.cell(std::string("paper"));
     t.cell(std::string("~85"));
@@ -56,5 +63,6 @@ main(int argc, char **argv)
         t.printCsv(std::cout);
     else
         t.print(std::cout);
+    writeSweepJsonFile(args->getString("json", ""), r, opts.jobs);
     return 0;
 }

@@ -3,15 +3,15 @@
  * Reproduces Table 2: STR(3) control-speculation statistics on 4 TUs:
  * number of speculation actions, threads per action, thread hit ratio,
  * instructions from speculation to verification, and TPC — measured vs
- * paper. Absolute event counts scale with trace length; ratios compare
- * directly.
+ * paper. A singleton (STR(3) × 4 TUs) sweep grid; absolute event counts
+ * scale with trace length, ratios compare directly.
  */
 
 #include <iostream>
+#include <memory>
 
 #include "bench/paper_ref.hh"
 #include "harness/runner.hh"
-#include "speculation/spec_sim.hh"
 #include "util/table_writer.hh"
 
 using namespace loopspec;
@@ -19,28 +19,23 @@ using namespace loopspec;
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseRunOptions(argc, argv, {});
+    std::unique_ptr<CliArgs> args;
+    RunOptions opts = parseRunOptions(argc, argv, {"json"}, &args);
 
-    CollectFlags flags;
-    flags.recording = true;
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.policies = {{SpecPolicy::StrI, 3, DataMode::None, "STR(3)"}};
+    grid.tuCounts = {4};
+    SweepResult r = runSpecSweep(grid, opts.jobs);
 
     TableWriter t({"bench", "#spec", "#thr/spec", "(paper)", "hit%",
                    "(paper)", "#instr-verif", "(paper)", "TPC",
                    "(paper)"});
 
-    double tpc_sum = 0.0, hit_sum = 0.0;
-    unsigned count = 0;
-    for (const auto &name : opts.selected()) {
-        WorkloadArtifacts a = runWorkload(name, opts, flags);
-        SpecConfig cfg;
-        cfg.numTUs = 4;
-        cfg.policy = SpecPolicy::StrI;
-        cfg.nestLimit = 3;
-        ThreadSpecSimulator sim(a.recording, cfg);
-        SpecStats s = sim.run();
-        const auto &p = paper::table2.at(name);
+    for (size_t w = 0; w < grid.workloads.size(); ++w) {
+        const SpecStats &s = r.cell(w, 0, 0, 0);
+        const auto &p = paper::table2.at(grid.workloads[w]);
         t.row();
-        t.cell(name);
+        t.cell(grid.workloads[w]);
         t.cell(s.specEvents);
         t.cell(s.threadsPerSpec(), 2);
         t.cell(p.threadsPerSpec, 2);
@@ -50,9 +45,6 @@ main(int argc, char **argv)
         t.cell(p.instrsToVerify, 0);
         t.cell(s.tpc(), 2);
         t.cell(p.tpc, 2);
-        tpc_sum += s.tpc();
-        hit_sum += 100.0 * s.hitRatio();
-        ++count;
     }
 
     std::cout << "Table 2: control speculation statistics, STR(3), "
@@ -61,7 +53,8 @@ main(int argc, char **argv)
         t.printCsv(std::cout);
     else
         t.print(std::cout);
-    std::cout << "suite averages: TPC " << tpc_sum / count << ", hit "
-              << hit_sum / count << "%\n";
+    std::cout << "suite averages: TPC " << r.meanTpc(0, 0) << ", hit "
+              << r.meanHitPct(0, 0) << "%\n";
+    writeSweepJsonFile(args->getString("json", ""), r, opts.jobs);
     return 0;
 }

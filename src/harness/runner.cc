@@ -1,5 +1,7 @@
 #include "harness/runner.hh"
 
+#include <fstream>
+#include <iostream>
 #include <memory>
 
 #include "loop/loop_detector.hh"
@@ -26,7 +28,7 @@ parseRunOptions(int argc, char **argv,
 {
     std::vector<std::string> known = {"scale", "benchmarks", "cls",
                                       "max-instrs", "csv",
-                                      "check-replay"};
+                                      "check-replay", "jobs"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
 
     auto args = std::make_unique<CliArgs>(argc, argv, known);
@@ -40,9 +42,35 @@ parseRunOptions(int argc, char **argv,
     opts.maxInstrs = args->getUint("max-instrs", 0);
     opts.csv = args->getBool("csv", false);
     opts.checkReplay = args->getBool("check-replay", false);
+    opts.jobs = static_cast<unsigned>(args->getUint("jobs", 0));
     if (args_out)
         *args_out = std::move(args);
     return opts;
+}
+
+SweepGrid
+sweepGridFromOptions(const RunOptions &opts)
+{
+    SweepGrid grid;
+    grid.workloads = opts.selected();
+    grid.clsSizes = {opts.clsEntries};
+    grid.scale = opts.scale;
+    grid.maxInstrs = opts.maxInstrs;
+    grid.checkReplay = opts.checkReplay;
+    return grid;
+}
+
+void
+writeSweepJsonFile(const std::string &path, const SweepResult &result,
+                   unsigned jobs, double serial_seconds)
+{
+    if (path.empty())
+        return;
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write %s", path.c_str());
+    writeSweepJson(os, result, jobs, serial_seconds);
+    std::cout << "wrote " << path << "\n";
 }
 
 const std::vector<size_t> &

@@ -20,6 +20,7 @@
 #include "dataspec/data_profiler.hh"
 #include "loop/loop_stats.hh"
 #include "speculation/event_record.hh"
+#include "speculation/sweep.hh"
 #include "tables/hit_ratio.hh"
 #include "tracegen/control_trace.hh"
 #include "util/cli.hh"
@@ -39,15 +40,20 @@ struct RunOptions
     /** Cross-check every replay-derived artifact against a direct
      *  execution of the same configuration; fatal() on any mismatch. */
     bool checkReplay = false;
+    /** Thread-pool width for sweeps and parallel workload runs
+     *  (0 = one per hardware thread, 1 = fully serial). Results are
+     *  identical for every value. */
+    unsigned jobs = 0;
 
     /** Benchmarks to run (selection or full registry order). */
     std::vector<std::string> selected() const;
 };
 
 /** Parse the standard flags: --scale --benchmarks --cls --max-instrs
- *  --csv --check-replay. Extra flags may be listed in @p extra_flags and
- *  read from the CliArgs handed back through @p args_out (ownership goes
- *  to the caller; pass nullptr when only the standard flags matter). */
+ *  --csv --check-replay --jobs. Extra flags may be listed in
+ *  @p extra_flags and read from the CliArgs handed back through
+ *  @p args_out (ownership goes to the caller; pass nullptr when only the
+ *  standard flags matter). */
 RunOptions parseRunOptions(int argc, char **argv,
                            const std::vector<std::string> &extra_flags,
                            std::unique_ptr<CliArgs> *args_out = nullptr);
@@ -98,6 +104,19 @@ WorkloadArtifacts runWorkload(const std::string &name,
 std::vector<WorkloadArtifacts>
 runWorkloads(const std::vector<std::string> &names, const RunOptions &opts,
              const CollectFlags &flags, unsigned num_threads = 0);
+
+/**
+ * Seed a SweepGrid from the standard options: workload axis from the
+ * selection, CLS axis {opts.clsEntries}, scale/max-instrs/check-replay
+ * forwarded. Benches add their figure's configuration axes on top and
+ * hand the grid to runSpecSweep(grid, opts.jobs).
+ */
+SweepGrid sweepGridFromOptions(const RunOptions &opts);
+
+/** Write the sweep's JSON artifact to @p path and log it; "" = no-op
+ *  (benches wire this to an optional --json flag). */
+void writeSweepJsonFile(const std::string &path, const SweepResult &result,
+                        unsigned jobs, double serial_seconds = 0.0);
 
 /** The table sizes Figure 4 sweeps. */
 const std::vector<size_t> &hitRatioTableSizes();

@@ -161,6 +161,49 @@ LoopEventRecorder::take()
     return std::move(rec);
 }
 
+std::string
+compareRecordings(const LoopEventRecording &a,
+                  const LoopEventRecording &b)
+{
+    if (a.totalInstrs != b.totalInstrs)
+        return "recording totalInstrs differs";
+    if (a.loopEvents.size() != b.loopEvents.size())
+        return "recording loop-event count differs";
+    for (size_t i = 0; i < a.loopEvents.size(); ++i) {
+        const LoopEventRec &x = a.loopEvents[i];
+        const LoopEventRec &y = b.loopEvents[i];
+        if (x.pos != y.pos || x.execId != y.execId || x.loop != y.loop ||
+            x.aux != y.aux || x.depth != y.depth || x.kind != y.kind ||
+            x.reason != y.reason) {
+            return strprintf("recording loop event %zu differs", i);
+        }
+    }
+    if (a.execs.size() != b.execs.size())
+        return "recording exec count differs";
+    for (size_t i = 0; i < a.execs.size(); ++i) {
+        const ExecRecord &x = a.execs[i];
+        const ExecRecord &y = b.execs[i];
+        if (x.execId != y.execId || x.loop != y.loop ||
+            x.branchAddr != y.branchAddr || x.depth != y.depth ||
+            x.parentExecId != y.parentExecId ||
+            x.endBoundary != y.endBoundary ||
+            x.iterCount != y.iterCount || x.endReason != y.endReason ||
+            x.iterBoundaries != y.iterBoundaries) {
+            return strprintf("recording exec record %zu differs", i);
+        }
+    }
+    if (a.events.size() != b.events.size())
+        return "recording sim-event count differs";
+    for (size_t i = 0; i < a.events.size(); ++i) {
+        const SimEvent &x = a.events[i];
+        const SimEvent &y = b.events[i];
+        if (x.boundary != y.boundary || x.execIdx != y.execIdx ||
+            x.iterIndex != y.iterIndex || x.kind != y.kind)
+            return strprintf("recording sim event %zu differs", i);
+    }
+    return {};
+}
+
 void
 replayLoopEvents(const LoopEventRecording &recording,
                  const std::vector<LoopListener *> &listeners)

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "loop/loop_event.hh"
@@ -128,6 +129,18 @@ struct LoopEventRecording
  */
 void replayLoopEvents(const LoopEventRecording &recording,
                       const std::vector<LoopListener *> &listeners);
+
+/**
+ * Field-by-field comparison of two recordings (loop-event stream, exec
+ * records with their iteration boundaries, sim events, total length):
+ * "" when identical, else a one-line description of the first
+ * difference. The shared oracle behind the fuzz harness's re-recording
+ * check and the sweep engine's --check-replay of derived recordings.
+ * iterDataOk annotations are not compared (they come from a separate
+ * merge step, not from recording).
+ */
+std::string compareRecordings(const LoopEventRecording &a,
+                              const LoopEventRecording &b);
 
 class DataSpecProfiler; // forward: see dataspec/data_profiler.hh
 

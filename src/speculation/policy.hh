@@ -110,6 +110,23 @@ struct SpecStats
                        static_cast<double>(n)
                  : 0.0;
     }
+
+    /** Every counter equal — the definition of "bit-identical" used by
+     *  the sweep determinism checks. Keep exhaustive when adding
+     *  fields. */
+    bool
+    operator==(const SpecStats &o) const
+    {
+        return totalInstrs == o.totalInstrs && cycles == o.cycles &&
+               specEvents == o.specEvents &&
+               threadsSpeculated == o.threadsSpeculated &&
+               threadsVerified == o.threadsVerified &&
+               threadsSquashed == o.threadsSquashed &&
+               squashedByNestRule == o.squashedByNestRule &&
+               dataMisses == o.dataMisses &&
+               instrToVerifSum == o.instrToVerifSum;
+    }
+    bool operator!=(const SpecStats &o) const { return !(*this == o); }
 };
 
 } // namespace loopspec

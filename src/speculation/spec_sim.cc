@@ -44,26 +44,60 @@ parseSpecPolicy(const std::string &text, SpecPolicy *policy,
           text.c_str());
 }
 
-ThreadSpecSimulator::ThreadSpecSimulator(
-    const LoopEventRecording &recording, SpecConfig config)
-    : rec(recording), cfg(config), predictor(config.letEntries)
+RecordingIndex::RecordingIndex(const LoopEventRecording &recording)
 {
-    LOOPSPEC_ASSERT(cfg.numTUs >= 1, "need at least one TU");
+    const auto &execs = recording.execs;
 
     // Resolve parent execIds to indices once; the recording stores ids.
     std::unordered_map<uint64_t, uint32_t> byId;
-    byId.reserve(rec.execs.size());
-    for (uint32_t i = 0; i < rec.execs.size(); ++i)
-        byId.emplace(rec.execs[i].execId, i);
-    parentIdx.resize(rec.execs.size(), noParent);
-    for (uint32_t i = 0; i < rec.execs.size(); ++i) {
-        uint64_t p = rec.execs[i].parentExecId;
+    byId.reserve(execs.size());
+    for (uint32_t i = 0; i < execs.size(); ++i)
+        byId.emplace(execs[i].execId, i);
+    parentIdx.resize(execs.size(), noParent);
+    for (uint32_t i = 0; i < execs.size(); ++i) {
+        uint64_t p = execs[i].parentExecId;
         if (p != 0) {
             auto it = byId.find(p);
             if (it != byId.end())
                 parentIdx[i] = it->second;
         }
     }
+
+    // Flatten every execution's iteration boundaries, each followed by
+    // its end boundary: iteration j of exec x spans
+    // [segBounds[segOffset[x] + j-2], segBounds[segOffset[x] + j-1]).
+    size_t total = 0;
+    segOffset.resize(execs.size() + 1);
+    for (size_t i = 0; i < execs.size(); ++i) {
+        segOffset[i] = total;
+        total += execs[i].iterBoundaries.size() + 1;
+    }
+    segOffset[execs.size()] = total;
+    segBounds.resize(total);
+    for (size_t i = 0; i < execs.size(); ++i) {
+        size_t off = segOffset[i];
+        const auto &bounds = execs[i].iterBoundaries;
+        std::copy(bounds.begin(), bounds.end(), segBounds.begin() + off);
+        segBounds[off + bounds.size()] = execs[i].endBoundary;
+    }
+}
+
+ThreadSpecSimulator::ThreadSpecSimulator(
+    const LoopEventRecording &recording, SpecConfig config)
+    : rec(recording), cfg(config),
+      ownedIndex(std::make_unique<RecordingIndex>(recording)),
+      idx(ownedIndex.get()), predictor(config.letEntries)
+{
+    LOOPSPEC_ASSERT(cfg.numTUs >= 1, "need at least one TU");
+}
+
+ThreadSpecSimulator::ThreadSpecSimulator(
+    const LoopEventRecording &recording, const RecordingIndex &index,
+    SpecConfig config)
+    : rec(recording), cfg(config), idx(&index),
+      predictor(config.letEntries)
+{
+    LOOPSPEC_ASSERT(cfg.numTUs >= 1, "need at least one TU");
 }
 
 bool
@@ -152,15 +186,14 @@ ThreadSpecSimulator::trySpawn(uint32_t exec_idx, uint32_t j,
     ++stats.specEvents;
     stats.threadsSpeculated += n;
 
-    uint32_t next_iter =
-        ax.queue.empty() ? j + 1 : ax.queue.back().iterIndex + 1;
+    uint32_t next_iter = j + 1; // queue is empty: refills start here
     for (unsigned k = 0; k < n; ++k, ++next_iter) {
         SpecThread t;
         t.iterIndex = next_iter;
         t.spawnClock = clock;
         t.spawnBoundary = boundary;
         if (next_iter <= exec.iterCount) {
-            auto [s, e] = exec.iterSegment(next_iter);
+            auto [s, e] = idx->segment(exec_idx, next_iter);
             t.segStart = s;
             t.segEnd = e;
             t.phantom = false;
@@ -206,10 +239,10 @@ ThreadSpecSimulator::applyNestRule(const ExecRecord &exec,
     // squashed, freeing its TUs for the inner loops. A squashed ancestor
     // becomes non-speculated and counts against ancestors above it.
     unsigned nonspec = 1; // the just-started execution itself
-    uint32_t idx = parentIdx[static_cast<uint32_t>(
-        &exec - rec.execs.data())];
-    while (idx != noParent) {
-        auto it = active.find(idx);
+    uint32_t anc_idx = idx->parent(
+        static_cast<uint32_t>(&exec - rec.execs.data()));
+    while (anc_idx != RecordingIndex::noParent) {
+        auto it = active.find(anc_idx);
         if (it != active.end()) {
             ActiveExec &anc = it->second;
             if (anc.queue.empty()) {
@@ -221,7 +254,7 @@ ThreadSpecSimulator::applyNestRule(const ExecRecord &exec,
             // A surviving speculated ancestor does not count against
             // the levels above it.
         }
-        idx = parentIdx[idx];
+        anc_idx = idx->parent(anc_idx);
     }
 }
 

@@ -4,7 +4,7 @@
  * paper's §3.1 control-speculation scheme over a recorded loop-event
  * stream.
  *
- * Machine model (docs/DESIGN.md §5.8-§5.11): N TUs retire one instruction per
+ * Machine model (docs/DESIGN.md §5.8-§5.12): N TUs retire one instruction per
  * cycle; one TU is non-speculative (the "front") and always runs; idle
  * TUs are allocated to future iterations of the loop whose iteration the
  * front just started; the allocation count follows the IDLE/STR/STR(i)
@@ -20,26 +20,82 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "speculation/event_record.hh"
 #include "speculation/policy.hh"
 #include "tables/iter_predictor.hh"
+#include "util/logging.hh"
 #include "util/sat_counter.hh"
 
 namespace loopspec
 {
 
 /**
+ * Read-only per-recording lookup tables shared across simulator
+ * configurations: the parent chain resolved from exec ids to indices,
+ * and a flattened per-execution iteration-segment table (the boundary
+ * list of each execution with its end boundary appended, so a segment
+ * lookup is two adjacent loads instead of a branch on the last
+ * iteration). Building these costs one pass over the recording; a
+ * configuration sweep builds them once and hands the same index to
+ * every (policy × TU-count × predictor) simulator instead of rebuilding
+ * per instance.
+ */
+class RecordingIndex
+{
+  public:
+    explicit RecordingIndex(const LoopEventRecording &recording);
+
+    static constexpr uint32_t noParent = UINT32_MAX;
+
+    /** Parent execution index of @p exec_idx, or noParent. */
+    uint32_t
+    parent(uint32_t exec_idx) const
+    {
+        return parentIdx[exec_idx];
+    }
+
+    /** Trace segment of iteration @p j (2-based) of execution
+     *  @p exec_idx; the iteration must exist. */
+    std::pair<uint64_t, uint64_t>
+    segment(uint32_t exec_idx, uint32_t j) const
+    {
+        size_t off = segOffset[exec_idx];
+        LOOPSPEC_ASSERT(j >= 2 &&
+                            off + (j - 1) < segOffset[exec_idx + 1],
+                        "iteration out of range");
+        off += j - 2;
+        return {segBounds[off], segBounds[off + 1]};
+    }
+
+  private:
+    std::vector<uint32_t> parentIdx; //!< execIdx -> parent or noParent
+    /** execIdx -> first segBounds slot; one sentinel entry at the end
+     *  so segment() can bound-check against the next offset. */
+    std::vector<size_t> segOffset;
+    std::vector<uint64_t> segBounds; //!< iterBoundaries + endBoundary
+};
+
+/**
  * Runs one (policy, TU-count) configuration over a recording. The same
- * recording can be reused across any number of simulator instances.
+ * recording can be reused across any number of simulator instances;
+ * sweeps should additionally share one RecordingIndex across all of
+ * them (the two-argument constructor builds a private one).
  */
 class ThreadSpecSimulator
 {
   public:
     ThreadSpecSimulator(const LoopEventRecording &recording,
                         SpecConfig config);
+
+    /** Sweep form: @p index must outlive the simulator and have been
+     *  built from @p recording. */
+    ThreadSpecSimulator(const LoopEventRecording &recording,
+                        const RecordingIndex &index, SpecConfig config);
 
     /** Execute the whole recording and return the statistics. */
     SpecStats run();
@@ -102,8 +158,8 @@ class ThreadSpecSimulator
     const LoopEventRecording &rec;
     SpecConfig cfg;
 
-    std::vector<uint32_t> parentIdx; //!< execIdx -> parent execIdx or self
-    static constexpr uint32_t noParent = UINT32_MAX;
+    std::unique_ptr<RecordingIndex> ownedIndex; //!< two-arg ctor only
+    const RecordingIndex *idx;                  //!< never null
 
     std::unordered_map<uint32_t, ActiveExec> active;
     IterCountPredictor predictor;

@@ -1,0 +1,461 @@
+#include "speculation/sweep.hh"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+#include "harness/runner.hh"
+#include "loop/loop_detector.hh"
+#include "speculation/ideal_tpc.hh"
+#include "speculation/spec_sim.hh"
+#include "tracegen/control_trace.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace loopspec
+{
+
+std::string
+GridPolicy::name() const
+{
+    if (!label.empty())
+        return label;
+    std::string base = specPolicyName(policy, nestLimit);
+    return dataMode == DataMode::Profiled ? base + "+data" : base;
+}
+
+size_t
+SweepGrid::configsPerRecording() const
+{
+    return policies.size() * tuCounts.size() * letEntries.size();
+}
+
+size_t
+SweepGrid::numCells() const
+{
+    return workloads.size() * clsSizes.size() * configsPerRecording();
+}
+
+bool
+SweepGrid::hasCells() const
+{
+    return numCells() > 0;
+}
+
+bool
+SweepGrid::needsDataCorrectness() const
+{
+    for (const GridPolicy &p : policies) {
+        if (p.dataMode == DataMode::Profiled)
+            return true;
+    }
+    return false;
+}
+
+size_t
+SweepResult::rowIndex(size_t w, size_t c) const
+{
+    LOOPSPEC_ASSERT(w < grid.workloads.size() && c < grid.clsSizes.size(),
+                    "sweep row coordinate out of range");
+    return w * grid.clsSizes.size() + c;
+}
+
+size_t
+SweepResult::cellIndex(size_t w, size_t c, size_t p, size_t t,
+                       size_t l) const
+{
+    LOOPSPEC_ASSERT(w < grid.workloads.size() &&
+                        c < grid.clsSizes.size() &&
+                        p < grid.policies.size() &&
+                        t < grid.tuCounts.size() &&
+                        l < grid.letEntries.size(),
+                    "sweep cell coordinate out of range");
+    return (((w * grid.clsSizes.size() + c) * grid.policies.size() + p) *
+                grid.tuCounts.size() +
+            t) *
+               grid.letEntries.size() +
+           l;
+}
+
+const SweepRow &
+SweepResult::row(size_t w, size_t c) const
+{
+    return rows[rowIndex(w, c)];
+}
+
+const SpecStats &
+SweepResult::cell(size_t w, size_t c, size_t p, size_t t, size_t l) const
+{
+    return cells[cellIndex(w, c, p, t, l)].stats;
+}
+
+double
+SweepResult::meanCellOverWorkloads(size_t c, size_t p, size_t t, size_t l,
+                                   double (*fn)(const SpecStats &)) const
+{
+    const size_t w_count = grid.workloads.size();
+    if (w_count == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (size_t w = 0; w < w_count; ++w)
+        sum += fn(cell(w, c, p, t, l));
+    return sum / static_cast<double>(w_count);
+}
+
+double
+SweepResult::meanRowOverWorkloads(size_t c,
+                                  double (*fn)(const SweepRow &)) const
+{
+    const size_t w_count = grid.workloads.size();
+    if (w_count == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (size_t w = 0; w < w_count; ++w)
+        sum += fn(row(w, c));
+    return sum / static_cast<double>(w_count);
+}
+
+double
+SweepResult::geomeanRowOverWorkloads(size_t c,
+                                     double (*fn)(const SweepRow &)) const
+{
+    double log_sum = 0.0;
+    unsigned count = 0;
+    for (size_t w = 0; w < grid.workloads.size(); ++w) {
+        double v = fn(row(w, c));
+        if (v > 0.0) {
+            log_sum += std::log10(v);
+            ++count;
+        }
+    }
+    return count ? std::pow(10.0, log_sum / count) : 0.0;
+}
+
+double
+SweepResult::meanTpc(size_t p, size_t t, size_t c, size_t l) const
+{
+    return meanCellOverWorkloads(
+        c, p, t, l, +[](const SpecStats &s) { return s.tpc(); });
+}
+
+double
+SweepResult::meanHitPct(size_t p, size_t t, size_t c, size_t l) const
+{
+    return meanCellOverWorkloads(
+        c, p, t, l, +[](const SpecStats &s) { return 100.0 * s.hitRatio(); });
+}
+
+namespace
+{
+
+/** --check-replay support: a control-trace-derived recording must be
+ *  indistinguishable from one recorded on a direct functional pass. */
+void
+checkDerivedRecording(const std::string &workload, size_t cls,
+                      const LoopEventRecording &direct,
+                      const LoopEventRecording &derived)
+{
+    std::string err = compareRecordings(direct, derived);
+    if (!err.empty()) {
+        fatal("%s: recording derived at CLS %zu diverges from a direct "
+              "functional pass: %s",
+              workload.c_str(), cls, err.c_str());
+    }
+}
+
+} // namespace
+
+void
+applyPaperAxes(SweepGrid *grid)
+{
+    grid->policies = {{SpecPolicy::Idle, 3, DataMode::None, "IDLE"},
+                      {SpecPolicy::Str, 3, DataMode::None, "STR"},
+                      {SpecPolicy::StrI, 1, DataMode::None, "STR(1)"},
+                      {SpecPolicy::StrI, 2, DataMode::None, "STR(2)"},
+                      {SpecPolicy::StrI, 3, DataMode::None, "STR(3)"}};
+    grid->tuCounts = {2, 4, 8, 16};
+    grid->letEntries = {0};
+}
+
+SweepResult
+runSpecSweep(const SweepGrid &grid, unsigned jobs)
+{
+    using clk = std::chrono::steady_clock;
+    const auto t0 = clk::now();
+    const auto elapsed = [&t0] {
+        return std::chrono::duration<double>(clk::now() - t0).count();
+    };
+
+    SweepResult out;
+    out.grid = grid;
+
+    const size_t num_w = grid.workloads.size();
+    if (num_w == 0) {
+        out.sweepSeconds = elapsed();
+        return out;
+    }
+    const size_t num_c = grid.clsSizes.size();
+    if (num_c == 0)
+        fatal("sweep grid needs at least one CLS size");
+    const bool cells = grid.hasCells();
+    const bool data = grid.needsDataCorrectness();
+    if ((data || grid.dataSpec) && num_c > 1) {
+        fatal("data-speculation artifacts read operand values and cannot "
+              "be derived by control-trace replay; use a single-CLS grid");
+    }
+
+    out.rows.resize(num_w * num_c);
+    std::vector<LoopEventRecording> recordings(cells ? num_w * num_c : 0);
+
+    RunOptions opts;
+    opts.scale = grid.scale;
+    opts.maxInstrs = grid.maxInstrs;
+    opts.checkReplay = grid.checkReplay;
+    opts.clsEntries = grid.clsSizes[0];
+
+    // Extra CLS sizes only matter when something is derived per size (a
+    // recording for cells, or the ideal artifacts); rows-only grids copy
+    // the live pass and need no control trace.
+    const bool derive_cls = num_c > 1 && (cells || grid.ideal);
+
+    CollectFlags flags;
+    flags.recording = cells;
+    flags.ideal = grid.ideal;
+    flags.dataSpec = grid.dataSpec;
+    flags.dataCorrectness = data;
+    flags.controlTrace = derive_cls;
+
+    // Stage 1: one functional pass per workload; every further CLS size
+    // is derived from that pass's control trace inside the same work
+    // item, so the trace is freed before the worker moves on.
+    parallelFor(jobs, num_w, [&](uint64_t w) {
+        WorkloadArtifacts art =
+            runWorkload(grid.workloads[w], opts, flags);
+        for (size_t c = 0; c < num_c; ++c) {
+            SweepRow &row = out.rows[w * num_c + c];
+            row.workload = grid.workloads[w];
+            row.clsEntries = grid.clsSizes[c];
+            row.totalInstrs = art.totalInstrs;
+        }
+        SweepRow &row0 = out.rows[w * num_c];
+        row0.idealTpc = art.idealTpc;
+        row0.idealTpcPrefix = art.idealTpcPrefix;
+        row0.dataSpec = art.dataSpec;
+        if (cells)
+            recordings[w * num_c] = std::move(art.recording);
+
+        for (size_t c = 1; derive_cls && c < num_c; ++c) {
+            SweepRow &row = out.rows[w * num_c + c];
+            LoopDetector det({grid.clsSizes[c]});
+            LoopEventRecorder rec;
+            IdealTpcComputer ideal;
+            if (cells)
+                det.addListener(&rec);
+            if (grid.ideal)
+                det.addListener(&ideal);
+            replayControlTrace(art.controlTrace, det);
+            if (cells) {
+                recordings[w * num_c + c] = rec.take();
+                if (grid.checkReplay) {
+                    RunOptions direct = opts;
+                    direct.clsEntries = grid.clsSizes[c];
+                    direct.checkReplay = false;
+                    CollectFlags rec_only;
+                    rec_only.recording = true;
+                    checkDerivedRecording(
+                        grid.workloads[w], grid.clsSizes[c],
+                        runWorkload(grid.workloads[w], direct, rec_only)
+                            .recording,
+                        recordings[w * num_c + c]);
+                }
+            }
+            if (grid.ideal) {
+                row.idealTpc = ideal.tpc();
+                IdealTpcComputer prefix;
+                LoopDetector prefix_det({grid.clsSizes[c]});
+                prefix_det.addListener(&prefix);
+                replayControlTrace(art.controlTrace, prefix_det,
+                                   art.totalInstrs / 2);
+                row.idealTpcPrefix = prefix.tpc();
+            }
+        }
+    });
+    out.functionalPasses = num_w;
+    out.recordingsProduced = cells ? num_w * num_c : 0;
+
+    if (!cells) {
+        out.sweepSeconds = elapsed();
+        return out;
+    }
+
+    // Stage 2: one shared read-only index per recording — every
+    // configuration over a recording reuses the same segment/parent
+    // tables instead of rebuilding them per simulator.
+    std::vector<std::unique_ptr<RecordingIndex>> indexes(num_w * num_c);
+    parallelFor(jobs, indexes.size(), [&](uint64_t i) {
+        indexes[i] = std::make_unique<RecordingIndex>(recordings[i]);
+    });
+
+    // Stage 3: fan the configuration cross-product out with one
+    // pre-allocated result slot per cell. Decoding the flat index keeps
+    // cell order — and so aggregation order — independent of scheduling.
+    const size_t num_p = grid.policies.size();
+    const size_t num_t = grid.tuCounts.size();
+    const size_t num_l = grid.letEntries.size();
+    out.cells.resize(grid.numCells());
+    parallelFor(jobs, out.cells.size(), [&](uint64_t i) {
+        size_t rem = i;
+        const size_t l = rem % num_l;
+        rem /= num_l;
+        const size_t t = rem % num_t;
+        rem /= num_t;
+        const size_t p = rem % num_p;
+        rem /= num_p;
+        const size_t c = rem % num_c;
+        const size_t w = rem / num_c;
+
+        SweepCell &cell = out.cells[i];
+        cell.workloadIdx = static_cast<uint32_t>(w);
+        cell.clsIdx = static_cast<uint32_t>(c);
+        cell.policyIdx = static_cast<uint32_t>(p);
+        cell.tuIdx = static_cast<uint32_t>(t);
+        cell.letIdx = static_cast<uint32_t>(l);
+
+        const GridPolicy &gp = grid.policies[p];
+        SpecConfig cfg;
+        cfg.numTUs = grid.tuCounts[t];
+        cfg.policy = gp.policy;
+        cfg.nestLimit = gp.nestLimit;
+        cfg.dataMode = gp.dataMode;
+        cfg.letEntries = grid.letEntries[l];
+
+        const size_t rec_idx = w * num_c + c;
+        ThreadSpecSimulator sim(recordings[rec_idx], *indexes[rec_idx],
+                                cfg);
+        cell.stats = sim.run();
+    });
+    out.cellsRun = out.cells.size();
+    out.sweepSeconds = elapsed();
+    return out;
+}
+
+namespace
+{
+
+const char *
+dataModeName(DataMode mode)
+{
+    return mode == DataMode::Profiled ? "profiled" : "none";
+}
+
+void
+writeStringList(std::ostream &os, const std::vector<std::string> &items)
+{
+    os << "[";
+    for (size_t i = 0; i < items.size(); ++i)
+        os << (i ? ", " : "") << "\"" << items[i] << "\"";
+    os << "]";
+}
+
+template <typename T>
+void
+writeNumberList(std::ostream &os, const std::vector<T> &items)
+{
+    os << "[";
+    for (size_t i = 0; i < items.size(); ++i)
+        os << (i ? ", " : "") << static_cast<uint64_t>(items[i]);
+    os << "]";
+}
+
+} // namespace
+
+void
+writeSweepJson(std::ostream &os, const SweepResult &result, unsigned jobs,
+               double serial_seconds)
+{
+    const SweepGrid &grid = result.grid;
+    const auto old_precision = os.precision(12);
+
+    os << "{\n  \"grid\": {\n    \"workloads\": ";
+    writeStringList(os, grid.workloads);
+    os << ",\n    \"cls\": ";
+    writeNumberList(os, grid.clsSizes);
+    std::vector<std::string> policy_names;
+    for (const GridPolicy &p : grid.policies)
+        policy_names.push_back(p.name());
+    os << ",\n    \"policies\": ";
+    writeStringList(os, policy_names);
+    os << ",\n    \"tus\": ";
+    writeNumberList(os, grid.tuCounts);
+    os << ",\n    \"let\": ";
+    writeNumberList(os, grid.letEntries);
+    os << ",\n    \"ideal\": " << (grid.ideal ? "true" : "false")
+       << ",\n    \"dataspec\": " << (grid.dataSpec ? "true" : "false")
+       << ",\n    \"scale\": " << grid.scale.factor
+       << ",\n    \"max_instrs\": " << grid.maxInstrs << "\n  },\n";
+
+    os << "  \"jobs\": " << jobs
+       << ",\n  \"functional_passes\": " << result.functionalPasses
+       << ",\n  \"recordings_produced\": " << result.recordingsProduced
+       << ",\n  \"cells_run\": " << result.cellsRun << ",\n";
+
+    os << "  \"rows\": [\n";
+    for (size_t i = 0; i < result.rows.size(); ++i) {
+        const SweepRow &row = result.rows[i];
+        os << "    {\"workload\": \"" << row.workload
+           << "\", \"cls\": " << row.clsEntries
+           << ", \"total_instrs\": " << row.totalInstrs;
+        if (grid.ideal) {
+            os << ", \"ideal_tpc\": " << row.idealTpc
+               << ", \"ideal_tpc_prefix\": " << row.idealTpcPrefix;
+        }
+        if (grid.dataSpec) {
+            os << ", \"same_path_pct\": " << row.dataSpec.samePathPct()
+               << ", \"all_data_pct\": " << row.dataSpec.allDataPct();
+        }
+        os << "}" << (i + 1 < result.rows.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    os << "  \"cells\": [\n";
+    for (size_t i = 0; i < result.cells.size(); ++i) {
+        const SweepCell &cell = result.cells[i];
+        const SpecStats &s = cell.stats;
+        os << "    {\"workload\": \""
+           << grid.workloads[cell.workloadIdx]
+           << "\", \"cls\": " << grid.clsSizes[cell.clsIdx]
+           << ", \"policy\": \"" << grid.policies[cell.policyIdx].name()
+           << "\", \"data_mode\": \""
+           << dataModeName(grid.policies[cell.policyIdx].dataMode)
+           << "\", \"tus\": " << grid.tuCounts[cell.tuIdx]
+           << ", \"let\": " << grid.letEntries[cell.letIdx]
+           << ", \"tpc\": " << s.tpc()
+           << ", \"hit_pct\": " << 100.0 * s.hitRatio()
+           << ", \"spec_events\": " << s.specEvents
+           << ", \"threads_per_spec\": " << s.threadsPerSpec()
+           << ", \"instr_to_verif\": " << s.avgInstrToVerif()
+           << ", \"threads_verified\": " << s.threadsVerified
+           << ", \"threads_squashed\": " << s.threadsSquashed
+           << ", \"nest_rule_squashes\": " << s.squashedByNestRule
+           << ", \"data_misses\": " << s.dataMisses
+           << ", \"cycles\": " << s.cycles
+           << ", \"total_instrs\": " << s.totalInstrs << "}"
+           << (i + 1 < result.cells.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    os << "  \"wall\": {\"swept_seconds\": " << result.sweepSeconds;
+    if (serial_seconds > 0.0) {
+        os << ", \"serial_seconds\": " << serial_seconds
+           << ", \"speedup_vs_serial\": "
+           << (result.sweepSeconds > 0.0
+                   ? serial_seconds / result.sweepSeconds
+                   : 0.0);
+    }
+    os << "}\n}\n";
+    os.precision(old_precision);
+}
+
+} // namespace loopspec

@@ -541,47 +541,10 @@ checkInvariants(const EventLog &log, const std::vector<DynInstr> &stream,
     return {};
 }
 
-std::string
-compareRecordings(const LoopEventRecording &a, const LoopEventRecording &b)
-{
-    if (a.totalInstrs != b.totalInstrs)
-        return "re-recorded totalInstrs differs";
-    if (a.loopEvents.size() != b.loopEvents.size())
-        return "re-recorded loop-event count differs";
-    for (size_t i = 0; i < a.loopEvents.size(); ++i) {
-        const LoopEventRec &x = a.loopEvents[i];
-        const LoopEventRec &y = b.loopEvents[i];
-        if (x.pos != y.pos || x.execId != y.execId || x.loop != y.loop ||
-            x.aux != y.aux || x.depth != y.depth || x.kind != y.kind ||
-            x.reason != y.reason) {
-            return strprintf("re-recorded loop event %zu differs", i);
-        }
-    }
-    if (a.execs.size() != b.execs.size())
-        return "re-recorded exec count differs";
-    for (size_t i = 0; i < a.execs.size(); ++i) {
-        const ExecRecord &x = a.execs[i];
-        const ExecRecord &y = b.execs[i];
-        if (x.execId != y.execId || x.loop != y.loop ||
-            x.branchAddr != y.branchAddr || x.depth != y.depth ||
-            x.parentExecId != y.parentExecId ||
-            x.endBoundary != y.endBoundary ||
-            x.iterCount != y.iterCount || x.endReason != y.endReason ||
-            x.iterBoundaries != y.iterBoundaries) {
-            return strprintf("re-recorded exec record %zu differs", i);
-        }
-    }
-    if (a.events.size() != b.events.size())
-        return "re-recorded sim-event count differs";
-    for (size_t i = 0; i < a.events.size(); ++i) {
-        const SimEvent &x = a.events[i];
-        const SimEvent &y = b.events[i];
-        if (x.boundary != y.boundary || x.execIdx != y.execIdx ||
-            x.iterIndex != y.iterIndex || x.kind != y.kind)
-            return strprintf("re-recorded sim event %zu differs", i);
-    }
-    return {};
-}
+// compareRecordings() moved to speculation/event_record.{hh,cc}: the
+// same oracle now also backs the sweep engine's --check-replay of
+// control-trace-derived recordings.
+
 
 } // namespace
 

@@ -112,6 +112,42 @@ TEST(ParseRunOptions, CheckReplayFlag)
         parseRunOptions(1, const_cast<char **>(argv_off), {}).checkReplay);
 }
 
+TEST(ParseRunOptions, JobsFlagDefaultsToHardware)
+{
+    const char *argv[] = {"prog"};
+    EXPECT_EQ(parseRunOptions(1, const_cast<char **>(argv), {}).jobs, 0u);
+    const char *argv_jobs[] = {"prog", "--jobs=3"};
+    EXPECT_EQ(parseRunOptions(2, const_cast<char **>(argv_jobs), {}).jobs,
+              3u);
+}
+
+TEST(SweepGridFromOptions, SeedsAxesFromStandardFlags)
+{
+    RunOptions opts;
+    opts.scale.factor = 0.5;
+    opts.benchmarks = {"swim", "gcc"};
+    opts.clsEntries = 8;
+    opts.maxInstrs = 1234;
+    opts.checkReplay = true;
+    SweepGrid grid = sweepGridFromOptions(opts);
+    std::vector<std::string> expect = {"swim", "gcc"};
+    EXPECT_EQ(grid.workloads, expect);
+    std::vector<size_t> cls = {8};
+    EXPECT_EQ(grid.clsSizes, cls);
+    EXPECT_DOUBLE_EQ(grid.scale.factor, 0.5);
+    EXPECT_EQ(grid.maxInstrs, 1234u);
+    EXPECT_TRUE(grid.checkReplay);
+    // No configuration axes yet: benches declare those per figure.
+    EXPECT_FALSE(grid.hasCells());
+    EXPECT_FALSE(grid.needsDataCorrectness());
+}
+
+TEST(SweepGridFromOptions, DefaultSelectionIsWholeRegistry)
+{
+    RunOptions opts;
+    EXPECT_EQ(sweepGridFromOptions(opts).workloads, workloadNames());
+}
+
 TEST(ParseRunOptionsDeathTest, UnknownFlagIsFatal)
 {
     const char *argv[] = {"prog", "--no-such-flag=1"};

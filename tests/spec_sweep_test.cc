@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the unified speculation sweep engine: swept results must be
+ * bit-identical to the serial per-figure loops the engine replaced (for
+ * every paper grid), recordings must be deduplicated and counted,
+ * results must not depend on the job count, and degenerate grids must
+ * behave. Runs at reduced scale on a workload subset so the suite stays
+ * under the `quick` CTest label (docs/TESTING.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/runner.hh"
+#include "speculation/spec_sim.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+RunOptions
+smallOpts(std::vector<std::string> benchmarks)
+{
+    RunOptions opts;
+    opts.scale.factor = 0.25;
+    opts.benchmarks = std::move(benchmarks);
+    return opts;
+}
+
+void
+expectStatsEq(const SpecStats &a, const SpecStats &b)
+{
+    // operator== is the authoritative (exhaustive) comparison; the
+    // field-wise EXPECTs below only localise a failure.
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.totalInstrs, b.totalInstrs);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.specEvents, b.specEvents);
+    EXPECT_EQ(a.threadsSpeculated, b.threadsSpeculated);
+    EXPECT_EQ(a.threadsVerified, b.threadsVerified);
+    EXPECT_EQ(a.threadsSquashed, b.threadsSquashed);
+    EXPECT_EQ(a.squashedByNestRule, b.squashedByNestRule);
+    EXPECT_EQ(a.dataMisses, b.dataMisses);
+    EXPECT_EQ(a.instrToVerifSum, b.instrToVerifSum);
+}
+
+/** The serial shape every bench_fig* binary had before the engine: one
+ *  runWorkload per workload, one simulator per configuration. */
+SpecStats
+serialCell(const WorkloadArtifacts &art, SpecConfig cfg)
+{
+    return ThreadSpecSimulator(art.recording, cfg).run();
+}
+
+TEST(SpecSweep, Fig6GridMatchesSerialPerFigureLoop)
+{
+    RunOptions opts = smallOpts({"compress", "swim"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.policies = {{SpecPolicy::Str, 3, DataMode::None, "STR"}};
+    grid.tuCounts = {2, 4, 8, 16};
+    SweepResult r = runSpecSweep(grid, 4);
+
+    CollectFlags flags;
+    flags.recording = true;
+    for (size_t w = 0; w < grid.workloads.size(); ++w) {
+        WorkloadArtifacts art =
+            runWorkload(grid.workloads[w], opts, flags);
+        for (size_t i = 0; i < grid.tuCounts.size(); ++i) {
+            SCOPED_TRACE(grid.workloads[w] + " @ " +
+                         std::to_string(grid.tuCounts[i]) + " TUs");
+            SpecConfig cfg;
+            cfg.numTUs = grid.tuCounts[i];
+            cfg.policy = SpecPolicy::Str;
+            expectStatsEq(r.cell(w, 0, 0, i), serialCell(art, cfg));
+        }
+    }
+}
+
+TEST(SpecSweep, Fig7GridMatchesSerialPerFigureLoop)
+{
+    RunOptions opts = smallOpts({"li"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.policies = {{SpecPolicy::Idle, 3, DataMode::None, "IDLE"},
+                     {SpecPolicy::Str, 3, DataMode::None, "STR"},
+                     {SpecPolicy::StrI, 1, DataMode::None, "STR(1)"},
+                     {SpecPolicy::StrI, 2, DataMode::None, "STR(2)"},
+                     {SpecPolicy::StrI, 3, DataMode::None, "STR(3)"}};
+    grid.tuCounts = {2, 4};
+    SweepResult r = runSpecSweep(grid, 3);
+
+    CollectFlags flags;
+    flags.recording = true;
+    WorkloadArtifacts art = runWorkload("li", opts, flags);
+    for (size_t p = 0; p < grid.policies.size(); ++p) {
+        for (size_t i = 0; i < grid.tuCounts.size(); ++i) {
+            SCOPED_TRACE(grid.policies[p].name() + " @ " +
+                         std::to_string(grid.tuCounts[i]) + " TUs");
+            SpecConfig cfg;
+            cfg.numTUs = grid.tuCounts[i];
+            cfg.policy = grid.policies[p].policy;
+            cfg.nestLimit = grid.policies[p].nestLimit;
+            expectStatsEq(r.cell(0, 0, p, i), serialCell(art, cfg));
+        }
+    }
+}
+
+TEST(SpecSweep, Table2GridMatchesSerialPerFigureLoop)
+{
+    RunOptions opts = smallOpts({"compress", "gcc"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.policies = {{SpecPolicy::StrI, 3, DataMode::None, "STR(3)"}};
+    grid.tuCounts = {4};
+    SweepResult r = runSpecSweep(grid, 2);
+
+    CollectFlags flags;
+    flags.recording = true;
+    for (size_t w = 0; w < grid.workloads.size(); ++w) {
+        SCOPED_TRACE(grid.workloads[w]);
+        WorkloadArtifacts art =
+            runWorkload(grid.workloads[w], opts, flags);
+        SpecConfig cfg;
+        cfg.numTUs = 4;
+        cfg.policy = SpecPolicy::StrI;
+        cfg.nestLimit = 3;
+        expectStatsEq(r.cell(w, 0, 0, 0), serialCell(art, cfg));
+    }
+}
+
+TEST(SpecSweep, DataspecGridMatchesSerialPerFigureLoop)
+{
+    RunOptions opts = smallOpts({"compress"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.policies = {
+        {SpecPolicy::Str, 3, DataMode::None, "control"},
+        {SpecPolicy::Str, 3, DataMode::Profiled, "ctrl+data"},
+        {SpecPolicy::StrI, 3, DataMode::Profiled, "ctrl+data STR(3)"}};
+    grid.tuCounts = {4};
+    ASSERT_TRUE(grid.needsDataCorrectness());
+    SweepResult r = runSpecSweep(grid, 2);
+
+    CollectFlags flags;
+    flags.dataCorrectness = true;
+    WorkloadArtifacts art = runWorkload("compress", opts, flags);
+    const SpecConfig configs[3] = {
+        {4, SpecPolicy::Str, 3, DataMode::None, 0},
+        {4, SpecPolicy::Str, 3, DataMode::Profiled, 0},
+        {4, SpecPolicy::StrI, 3, DataMode::Profiled, 0}};
+    for (size_t p = 0; p < 3; ++p) {
+        SCOPED_TRACE(grid.policies[p].name());
+        expectStatsEq(r.cell(0, 0, p, 0), serialCell(art, configs[p]));
+    }
+    // Profiled mode must actually bite, or the equality above proves
+    // nothing about the annotated-recording path.
+    EXPECT_GT(r.cell(0, 0, 1, 0).dataMisses, 0u);
+}
+
+TEST(SpecSweep, IdealAndDataSpecRowsMatchRunWorkload)
+{
+    RunOptions opts = smallOpts({"swim", "li"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.ideal = true;
+    grid.dataSpec = true;
+    SweepResult r = runSpecSweep(grid, 2);
+    ASSERT_EQ(r.rows.size(), 2u);
+    EXPECT_TRUE(r.cells.empty());
+
+    CollectFlags flags;
+    flags.ideal = true;
+    flags.dataSpec = true;
+    for (size_t w = 0; w < grid.workloads.size(); ++w) {
+        SCOPED_TRACE(grid.workloads[w]);
+        WorkloadArtifacts art =
+            runWorkload(grid.workloads[w], opts, flags);
+        const SweepRow &row = r.row(w);
+        EXPECT_EQ(row.workload, grid.workloads[w]);
+        EXPECT_EQ(row.totalInstrs, art.totalInstrs);
+        EXPECT_EQ(row.idealTpc, art.idealTpc);
+        EXPECT_EQ(row.idealTpcPrefix, art.idealTpcPrefix);
+        EXPECT_EQ(row.dataSpec.itersEvaluated,
+                  art.dataSpec.itersEvaluated);
+        EXPECT_EQ(row.dataSpec.modalIters, art.dataSpec.modalIters);
+        EXPECT_EQ(row.dataSpec.lrCorrect, art.dataSpec.lrCorrect);
+        EXPECT_EQ(row.dataSpec.lmCorrect, art.dataSpec.lmCorrect);
+        EXPECT_EQ(row.dataSpec.allDataIters, art.dataSpec.allDataIters);
+    }
+}
+
+TEST(SpecSweep, DeterministicAcrossJobCounts)
+{
+    RunOptions opts = smallOpts({"compress", "li"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.policies = {{SpecPolicy::Str, 3, DataMode::None, "STR"},
+                     {SpecPolicy::StrI, 2, DataMode::None, "STR(2)"}};
+    grid.tuCounts = {2, 8};
+    grid.ideal = true;
+
+    SweepResult serial = runSpecSweep(grid, 1);
+    for (unsigned jobs : {2u, 4u, 8u}) {
+        SCOPED_TRACE(jobs);
+        SweepResult r = runSpecSweep(grid, jobs);
+        ASSERT_EQ(r.cells.size(), serial.cells.size());
+        for (size_t i = 0; i < r.cells.size(); ++i) {
+            expectStatsEq(r.cells[i].stats, serial.cells[i].stats);
+            EXPECT_EQ(r.cells[i].workloadIdx,
+                      serial.cells[i].workloadIdx);
+            EXPECT_EQ(r.cells[i].tuIdx, serial.cells[i].tuIdx);
+        }
+        ASSERT_EQ(r.rows.size(), serial.rows.size());
+        for (size_t i = 0; i < r.rows.size(); ++i) {
+            EXPECT_EQ(r.rows[i].totalInstrs, serial.rows[i].totalInstrs);
+            EXPECT_EQ(r.rows[i].idealTpc, serial.rows[i].idealTpc);
+        }
+    }
+}
+
+TEST(SpecSweep, RecordingDedupIsCounted)
+{
+    RunOptions opts = smallOpts({"compress", "li"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.clsSizes = {16, 4};
+    grid.policies = {{SpecPolicy::Idle, 3, DataMode::None, "IDLE"},
+                     {SpecPolicy::Str, 3, DataMode::None, "STR"}};
+    grid.tuCounts = {2, 4};
+    grid.letEntries = {0, 8};
+    SweepResult r = runSpecSweep(grid, 2);
+
+    // 32 configuration cells ran off 4 recordings from 2 functional
+    // passes: the dedup is what makes large grids affordable.
+    EXPECT_EQ(r.functionalPasses, 2u);
+    EXPECT_EQ(r.recordingsProduced, 4u);
+    EXPECT_EQ(r.cellsRun, 32u);
+    EXPECT_EQ(r.cells.size(), 32u);
+    EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST(SpecSweep, DerivedClsRecordingMatchesDirectPass)
+{
+    // The second CLS size is produced by control-trace replay; its cells
+    // must equal a fresh functional pass run directly at that size. go's
+    // deep recursion overflows a 4-entry CLS, so the axis is visible.
+    RunOptions opts = smallOpts({"go"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.clsSizes = {16, 4};
+    grid.policies = {{SpecPolicy::Str, 3, DataMode::None, "STR"}};
+    grid.tuCounts = {4};
+    // checkReplay makes the engine itself cross-check every derived
+    // recording against a direct pass (fatal on divergence), so this
+    // test also exercises that path.
+    grid.checkReplay = true;
+    SweepResult r = runSpecSweep(grid, 2);
+
+    RunOptions direct = opts;
+    direct.clsEntries = 4;
+    CollectFlags flags;
+    flags.recording = true;
+    WorkloadArtifacts art = runWorkload("go", direct, flags);
+    SpecConfig cfg;
+    cfg.numTUs = 4;
+    cfg.policy = SpecPolicy::Str;
+    expectStatsEq(r.cell(0, 1, 0, 0), serialCell(art, cfg));
+
+    // And the two CLS sizes genuinely differ on this workload, so the
+    // axis is not vacuous.
+    EXPECT_NE(r.cell(0, 0, 0, 0).cycles, r.cell(0, 1, 0, 0).cycles);
+}
+
+TEST(SpecSweep, LetAxisReachesThePredictor)
+{
+    // letEntries is the predictor axis: bounding the LET to one entry
+    // must change what STR speculates on a multi-loop workload (either
+    // direction — a tiny table can over- or under-speculate).
+    RunOptions opts = smallOpts({"li"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.policies = {{SpecPolicy::Str, 3, DataMode::None, "STR"}};
+    grid.tuCounts = {4};
+    grid.letEntries = {0, 1};
+    SweepResult r = runSpecSweep(grid, 2);
+    EXPECT_NE(r.cell(0, 0, 0, 0, 0).cycles,
+              r.cell(0, 0, 0, 0, 1).cycles);
+}
+
+TEST(SpecSweep, EmptyAndSingletonGrids)
+{
+    SweepGrid empty;
+    SweepResult r0 = runSpecSweep(empty, 2);
+    EXPECT_TRUE(r0.rows.empty());
+    EXPECT_TRUE(r0.cells.empty());
+    EXPECT_EQ(r0.functionalPasses, 0u);
+    EXPECT_EQ(r0.cellsRun, 0u);
+
+    // No configuration axes: rows only, no recordings kept.
+    RunOptions opts = smallOpts({"li"});
+    SweepGrid rows_only = sweepGridFromOptions(opts);
+    SweepResult r1 = runSpecSweep(rows_only, 2);
+    EXPECT_EQ(r1.rows.size(), 1u);
+    EXPECT_TRUE(r1.cells.empty());
+    EXPECT_EQ(r1.recordingsProduced, 0u);
+    EXPECT_GT(r1.row(0).totalInstrs, 0u);
+
+    // Fully singleton grid: exactly one cell, equal to a direct run.
+    SweepGrid one = sweepGridFromOptions(opts);
+    one.policies = {{SpecPolicy::Str, 3, DataMode::None, "STR"}};
+    one.tuCounts = {4};
+    SweepResult r2 = runSpecSweep(one, 1);
+    ASSERT_EQ(r2.cells.size(), 1u);
+    CollectFlags flags;
+    flags.recording = true;
+    WorkloadArtifacts art = runWorkload("li", opts, flags);
+    SpecConfig cfg;
+    cfg.numTUs = 4;
+    cfg.policy = SpecPolicy::Str;
+    expectStatsEq(r2.cell(0, 0, 0, 0), serialCell(art, cfg));
+}
+
+TEST(SpecSweep, SharedIndexMatchesOwnedIndex)
+{
+    // The sweep hands every simulator a shared RecordingIndex; the
+    // convenience constructor builds a private one. Both must agree.
+    RunOptions opts = smallOpts({"gcc"});
+    CollectFlags flags;
+    flags.recording = true;
+    WorkloadArtifacts art = runWorkload("gcc", opts, flags);
+    RecordingIndex index(art.recording);
+    for (SpecPolicy pol :
+         {SpecPolicy::Idle, SpecPolicy::Str, SpecPolicy::StrI}) {
+        SCOPED_TRACE(static_cast<int>(pol));
+        SpecConfig cfg;
+        cfg.numTUs = 4;
+        cfg.policy = pol;
+        SpecStats owned =
+            ThreadSpecSimulator(art.recording, cfg).run();
+        SpecStats shared =
+            ThreadSpecSimulator(art.recording, index, cfg).run();
+        expectStatsEq(owned, shared);
+    }
+}
+
+TEST(SpecSweepDeathTest, ProfiledDataModeRejectsMultiClsGrids)
+{
+    RunOptions opts = smallOpts({"li"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.clsSizes = {16, 8};
+    grid.policies = {{SpecPolicy::Str, 3, DataMode::Profiled, "data"}};
+    grid.tuCounts = {4};
+    EXPECT_EXIT(runSpecSweep(grid, 1), testing::ExitedWithCode(1),
+                "single-CLS");
+}
+
+} // namespace
+} // namespace loopspec

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Command-line front end for the unified speculation sweep engine:
+ * arbitrary (workloads × CLS × policies × TUs × LET) grids beyond the
+ * paper's figures, with the consolidated BENCH_specsim.json artifact.
+ *
+ *   sweep_loopspec                                    # paper grid, all cores
+ *   sweep_loopspec --grid paper --jobs 4 --baseline   # CI configuration
+ *   sweep_loopspec --grid "policies=str,str3;tus=2,4,8;cls=8,16;let=0,64"
+ *   sweep_loopspec --benchmarks swim,gcc --grid "policies=str+data;tus=4"
+ *
+ * The grid spec is semicolon-separated key=value pairs with
+ * comma-separated lists:
+ *   policies  idle | str | str1..str9, each with an optional "+data"
+ *             suffix for profiled live-in correctness
+ *   tus       thread-unit counts
+ *   cls       CLS capacities (first is traced live, rest replayed);
+ *             overrides --cls
+ *   let       LET capacities backing the trip predictor (0 = unbounded)
+ *   ideal     0/1: collect the ∞-TU TPC artifact per workload
+ *   dataspec  0/1: collect the §4 data-speculation report per workload
+ * or the single preset "paper": every Table-1 workload ×
+ * {IDLE, STR, STR(1..3)} × {2,4,8,16} TUs at CLS 16 — the union of the
+ * Figure 6/7 and Table 2 grids.
+ *
+ * --baseline additionally re-runs the identical grid fully serially
+ * (--jobs 1), verifies the swept rows AND cells are bit-identical to
+ * the serial ones, and records the wall-clock speedup in the JSON.
+ * --json <path> writes the consolidated artifact (CI uses
+ * BENCH_specsim.json; no file is written without the flag). Exit 0 on
+ * success; any divergence is fatal.
+ */
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "loop/cls.hh"
+#include "util/logging.hh"
+#include "util/table_writer.hh"
+
+using namespace loopspec;
+
+namespace
+{
+
+uint64_t
+parseU64(const std::string &text, const char *what)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        fatal("%s: malformed number '%s'", what, text.c_str());
+    try {
+        return std::stoull(text);
+    } catch (const std::exception &) {
+        fatal("%s: malformed number '%s'", what, text.c_str());
+    }
+}
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t end = text.find(sep, start);
+        if (end == std::string::npos)
+            end = text.size();
+        if (end > start)
+            out.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+GridPolicy
+parseGridPolicy(std::string text)
+{
+    GridPolicy gp;
+    const std::string suffix = "+data";
+    if (text.size() > suffix.size() &&
+        text.compare(text.size() - suffix.size(), suffix.size(),
+                     suffix) == 0) {
+        gp.dataMode = DataMode::Profiled;
+        text.resize(text.size() - suffix.size());
+    }
+    parseSpecPolicy(text, &gp.policy, &gp.nestLimit);
+    return gp;
+}
+
+void
+applyGridSpec(const std::string &spec, SweepGrid *grid)
+{
+    if (spec == "paper") {
+        applyPaperAxes(grid); // shared with bench_fig7 (sweep.hh)
+        return;
+    }
+    for (const std::string &pair : splitOn(spec, ';')) {
+        size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            fatal("--grid: expected key=value, got '%s'", pair.c_str());
+        const std::string key = pair.substr(0, eq);
+        const std::vector<std::string> vals =
+            splitList(pair.substr(eq + 1));
+        if (vals.empty())
+            fatal("--grid: empty value list for '%s'", key.c_str());
+        if (key == "policies") {
+            grid->policies.clear();
+            for (const auto &v : vals)
+                grid->policies.push_back(parseGridPolicy(v));
+        } else if (key == "tus") {
+            grid->tuCounts.clear();
+            for (const auto &v : vals) {
+                uint64_t n = parseU64(v, "--grid tus");
+                if (n < 1)
+                    fatal("--grid: TU count must be >= 1");
+                grid->tuCounts.push_back(static_cast<unsigned>(n));
+            }
+        } else if (key == "cls") {
+            grid->clsSizes.clear();
+            for (const auto &v : vals) {
+                uint64_t n = parseU64(v, "--grid cls");
+                if (n < 1 || n > clsMaxCapacity)
+                    fatal("--grid: CLS size %llu outside [1, %zu]",
+                          static_cast<unsigned long long>(n),
+                          clsMaxCapacity);
+                grid->clsSizes.push_back(static_cast<size_t>(n));
+            }
+        } else if (key == "let") {
+            grid->letEntries.clear();
+            for (const auto &v : vals)
+                grid->letEntries.push_back(
+                    static_cast<size_t>(parseU64(v, "--grid let")));
+        } else if (key == "ideal") {
+            grid->ideal = parseU64(vals[0], "--grid ideal") != 0;
+        } else if (key == "dataspec") {
+            grid->dataSpec = parseU64(vals[0], "--grid dataspec") != 0;
+        } else {
+            fatal("--grid: unknown axis '%s' "
+                  "(want policies|tus|cls|let|ideal|dataspec)",
+                  key.c_str());
+        }
+    }
+}
+
+void
+checkResultsIdentical(const SweepResult &swept, const SweepResult &serial)
+{
+    if (swept.rows.size() != serial.rows.size())
+        fatal("baseline check: %zu swept rows vs %zu serial",
+              swept.rows.size(), serial.rows.size());
+    for (size_t i = 0; i < swept.rows.size(); ++i) {
+        const SweepRow &a = swept.rows[i];
+        const SweepRow &b = serial.rows[i];
+        // Exact double comparison is deliberate: determinism means
+        // bit-identical, not approximately equal.
+        if (a.totalInstrs != b.totalInstrs || a.idealTpc != b.idealTpc ||
+            a.idealTpcPrefix != b.idealTpcPrefix ||
+            a.dataSpec.itersEvaluated != b.dataSpec.itersEvaluated ||
+            a.dataSpec.modalIters != b.dataSpec.modalIters ||
+            a.dataSpec.lrCorrect != b.dataSpec.lrCorrect ||
+            a.dataSpec.lmCorrect != b.dataSpec.lmCorrect ||
+            a.dataSpec.allDataIters != b.dataSpec.allDataIters) {
+            fatal("baseline check: row %zu (%s @ CLS %zu) diverges "
+                  "between swept and serial runs",
+                  i, a.workload.c_str(), a.clsEntries);
+        }
+    }
+    if (swept.cells.size() != serial.cells.size())
+        fatal("baseline check: %zu swept cells vs %zu serial",
+              swept.cells.size(), serial.cells.size());
+    for (size_t i = 0; i < swept.cells.size(); ++i) {
+        const SpecStats &a = swept.cells[i].stats;
+        const SpecStats &b = serial.cells[i].stats;
+        if (a != b) {
+            fatal("baseline check: cell %zu diverges between swept and "
+                  "serial runs (cycles %llu vs %llu)",
+                  i, static_cast<unsigned long long>(a.cycles),
+                  static_cast<unsigned long long>(b.cycles));
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::unique_ptr<CliArgs> args;
+    RunOptions opts = parseRunOptions(argc, argv,
+                                      {"grid", "json", "baseline"}, &args);
+
+    SweepGrid grid = sweepGridFromOptions(opts);
+    applyGridSpec(args->getString("grid", "paper"), &grid);
+    const std::string json_path = args->getString("json", "");
+    const bool baseline = args->getBool("baseline", false);
+
+    SweepResult swept = runSpecSweep(grid, opts.jobs);
+
+    double serial_seconds = 0.0;
+    if (baseline) {
+        SweepResult serial = runSpecSweep(grid, 1);
+        checkResultsIdentical(swept, serial);
+        serial_seconds = serial.sweepSeconds;
+    }
+
+    TableWriter t({"metric", "value"});
+    auto metric = [&t](const std::string &name, uint64_t value) {
+        t.row();
+        t.cell(name);
+        t.cell(value);
+    };
+    metric("workloads", grid.workloads.size());
+    metric("cls sizes", grid.clsSizes.size());
+    metric("policies", grid.policies.size());
+    metric("tu counts", grid.tuCounts.size());
+    metric("let sizes", grid.letEntries.size());
+    metric("functional passes", swept.functionalPasses);
+    metric("recordings produced", swept.recordingsProduced);
+    metric("cells run", swept.cellsRun);
+    std::cout << "Speculation sweep ("
+              << (opts.jobs ? std::to_string(opts.jobs)
+                            : std::string("hw"))
+              << " jobs)\n";
+    if (opts.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+
+    if (!swept.cells.empty()) {
+        std::vector<std::string> headers = {"policy \\ TUs"};
+        for (unsigned tu : grid.tuCounts)
+            headers.push_back(std::to_string(tu));
+        TableWriter tpc(headers);
+        for (size_t p = 0; p < grid.policies.size(); ++p) {
+            tpc.row();
+            tpc.cell(grid.policies[p].name());
+            for (size_t i = 0; i < grid.tuCounts.size(); ++i)
+                tpc.cell(swept.meanTpc(p, i), 2);
+        }
+        std::cout << "suite-average TPC (first CLS/LET point)\n";
+        if (opts.csv)
+            tpc.printCsv(std::cout);
+        else
+            tpc.print(std::cout);
+    }
+
+    std::cout << "swept wall time: " << swept.sweepSeconds << "s\n";
+    if (baseline) {
+        std::cout << "serial wall time: " << serial_seconds
+                  << "s  (speedup "
+                  << (swept.sweepSeconds > 0.0
+                          ? serial_seconds / swept.sweepSeconds
+                          : 0.0)
+                  << "x, rows+cells bit-identical)\n";
+    }
+    writeSweepJsonFile(json_path, swept, opts.jobs, serial_seconds);
+    return 0;
+}
