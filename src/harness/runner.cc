@@ -137,7 +137,10 @@ runWorkload(const std::string &name, const RunOptions &opts,
     // Everything an experiment needs is gathered here; derived
     // configurations below run off the recordings, never the engine.
     const bool need_recorder = flags.recording || flags.hitRatios;
-    const bool need_ctrace = flags.ideal || flags.controlTrace;
+    const bool check_predictors =
+        !flags.predictors.empty() && opts.checkReplay;
+    const bool need_ctrace =
+        flags.ideal || flags.controlTrace || check_predictors;
 
     LoopStats stats;
     IdealTpcComputer ideal;
@@ -169,9 +172,13 @@ runWorkload(const std::string &name, const RunOptions &opts,
     if (flags.dataSpec)
         listeners.push_back(&profiler);
 
+    PredictorMeter predictorMeter(flags.predictors);
+
     std::vector<TraceObserver *> extra;
     if (need_ctrace)
         extra.push_back(&ctraceRecorder);
+    if (!flags.predictors.empty())
+        extra.push_back(&predictorMeter);
 
     out.totalInstrs =
         tracePass(prog, opts.maxInstrs, opts.clsEntries, listeners, extra);
@@ -234,6 +241,36 @@ runWorkload(const std::string &name, const RunOptions &opts,
                 fatal("%s: prefix replay mismatch: direct TPC %.17g vs "
                       "replay %.17g",
                       name.c_str(), direct.tpc(), prefix.tpc());
+            }
+        }
+    }
+    if (!flags.predictors.empty()) {
+        out.predictorStats = predictorMeter.results();
+        if (opts.checkReplay) {
+            // The meters read only pc/kind/taken — fields the control
+            // trace records exactly — so a replay-fed meter bank must
+            // be indistinguishable, final table state included.
+            PredictorMeter replayMeter(flags.predictors);
+            replayControlTrace(ctrace, replayMeter);
+            std::vector<PredictorMeterResult> derived =
+                replayMeter.results();
+            for (size_t i = 0; i < derived.size(); ++i) {
+                const PredictorMeterResult &a = out.predictorStats[i];
+                const PredictorMeterResult &b = derived[i];
+                if (a.lookups != b.lookups || a.hits != b.hits ||
+                    a.stateHash != b.stateHash) {
+                    fatal("%s: predictor %s replay mismatch: live "
+                          "%llu/%llu hash %016llx vs replay %llu/%llu "
+                          "hash %016llx",
+                          name.c_str(),
+                          predictorName(a.config).c_str(),
+                          static_cast<unsigned long long>(a.hits),
+                          static_cast<unsigned long long>(a.lookups),
+                          static_cast<unsigned long long>(a.stateHash),
+                          static_cast<unsigned long long>(b.hits),
+                          static_cast<unsigned long long>(b.lookups),
+                          static_cast<unsigned long long>(b.stateHash));
+                }
             }
         }
     }

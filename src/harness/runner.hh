@@ -19,6 +19,7 @@
 
 #include "dataspec/data_profiler.hh"
 #include "loop/loop_stats.hh"
+#include "predict/predictor_meter.hh"
 #include "speculation/event_record.hh"
 #include "speculation/sweep.hh"
 #include "tables/hit_ratio.hh"
@@ -72,6 +73,11 @@ struct CollectFlags
     /** Keep the control-event trace in the artifacts so the caller can
      *  replay further derived configurations (e.g. CLS-size sweeps). */
     bool controlTrace = false;
+    /** Branch-predictor accuracy meters riding the functional pass
+     *  (one per configuration; docs/PREDICTORS.md). Under
+     *  --check-replay each meter is re-derived by control-trace replay
+     *  and must match the live one bit-for-bit. */
+    std::vector<PredictorConfig> predictors;
 };
 
 /** Everything a pass can produce. */
@@ -87,6 +93,8 @@ struct WorkloadArtifacts
     LoopEventRecording recording;
     DataSpecReport dataSpec;
     ControlTrace controlTrace; //!< populated when flags.controlTrace
+    /** Per-predictor accuracy, in CollectFlags::predictors order. */
+    std::vector<PredictorMeterResult> predictorStats;
 };
 
 /** Build + trace one workload, collecting per @p flags. */

@@ -1,0 +1,131 @@
+#include "predict/branch_predictor.hh"
+
+#include "predict/bimodal.hh"
+#include "predict/gshare.hh"
+#include "predict/local.hh"
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+namespace
+{
+
+constexpr unsigned kMinBits = 1;
+constexpr unsigned kMaxBits = 20; //!< 2^20 counters = 256 KiB, plenty
+
+unsigned
+parseBits(const std::string &text, const char *what)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        fatal("predictor spec: malformed %s '%s'", what, text.c_str());
+    unsigned long v;
+    try {
+        v = std::stoul(text);
+    } catch (const std::exception &) {
+        fatal("predictor spec: malformed %s '%s'", what, text.c_str());
+    }
+    if (v < kMinBits || v > kMaxBits) {
+        fatal("predictor spec: %s %lu outside [%u, %u]", what, v,
+              kMinBits, kMaxBits);
+    }
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
+std::string
+predictorName(const PredictorConfig &c)
+{
+    switch (c.kind) {
+      case PredictorKind::Bimodal:
+        return strprintf("bimodal:%u", c.tableBits);
+      case PredictorKind::Gshare:
+        if (c.tableBits == c.historyBits)
+            return strprintf("gshare:%u", c.historyBits);
+        return strprintf("gshare:%u/%u", c.historyBits, c.tableBits);
+      case PredictorKind::Local:
+        return strprintf("local:%u/%u", c.historyBits, c.l1Bits);
+      default:
+        panic("bad PredictorKind");
+    }
+}
+
+PredictorConfig
+parsePredictorSpec(const std::string &text)
+{
+    std::string scheme = text;
+    std::string params;
+    size_t colon = text.find(':');
+    if (colon != std::string::npos) {
+        scheme = text.substr(0, colon);
+        params = text.substr(colon + 1);
+        if (params.empty())
+            fatal("predictor spec '%s': empty parameter list",
+                  text.c_str());
+    }
+
+    std::string first = params;
+    std::string second;
+    size_t slash = params.find('/');
+    if (slash != std::string::npos) {
+        first = params.substr(0, slash);
+        second = params.substr(slash + 1);
+    }
+
+    PredictorConfig c;
+    if (scheme == "bimodal") {
+        c.kind = PredictorKind::Bimodal;
+        if (!second.empty())
+            fatal("predictor spec '%s': bimodal takes one parameter "
+                  "(bimodal[:tableBits])",
+                  text.c_str());
+        if (!first.empty())
+            c.tableBits = parseBits(first, "table bits");
+    } else if (scheme == "gshare") {
+        c.kind = PredictorKind::Gshare;
+        if (!first.empty()) {
+            c.historyBits = parseBits(first, "history bits");
+            c.tableBits = second.empty()
+                              ? c.historyBits
+                              : parseBits(second, "table bits");
+        }
+    } else if (scheme == "local") {
+        c.kind = PredictorKind::Local;
+        if (!first.empty()) {
+            if (second.empty())
+                fatal("predictor spec '%s': local needs "
+                      "historyBits/l1Bits (e.g. local:10/10)",
+                      text.c_str());
+            c.historyBits = parseBits(first, "history bits");
+            c.l1Bits = parseBits(second, "history-table bits");
+        } else {
+            c.historyBits = 10;
+            c.l1Bits = 10;
+        }
+        c.tableBits = c.historyBits; // pattern table is history-indexed
+    } else {
+        fatal("unknown predictor scheme '%s' "
+              "(want bimodal|gshare|local)",
+              scheme.c_str());
+    }
+    return c;
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const PredictorConfig &c)
+{
+    switch (c.kind) {
+      case PredictorKind::Bimodal:
+        return std::make_unique<BimodalPredictor>(c);
+      case PredictorKind::Gshare:
+        return std::make_unique<GsharePredictor>(c);
+      case PredictorKind::Local:
+        return std::make_unique<LocalHistoryPredictor>(c);
+      default:
+        panic("bad PredictorKind");
+    }
+}
+
+} // namespace loopspec

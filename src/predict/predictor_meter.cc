@@ -1,0 +1,71 @@
+#include "predict/predictor_meter.hh"
+
+namespace loopspec
+{
+
+PredictorMeter::PredictorMeter(
+    const std::vector<PredictorConfig> &configs)
+{
+    preds.reserve(configs.size());
+    for (const PredictorConfig &c : configs)
+        preds.push_back({c, makePredictor(c), 0, 0});
+}
+
+void
+PredictorMeter::onBranch(const DynInstr &d)
+{
+    for (Slot &s : preds) {
+        ++s.lookups;
+        if (s.pred->predict(d.pc) == d.taken)
+            ++s.hits;
+        s.pred->update(d.pc, d.taken);
+    }
+}
+
+void
+PredictorMeter::onInstr(const DynInstr &d)
+{
+    if (d.kind == CtrlKind::Branch)
+        onBranch(d);
+}
+
+void
+PredictorMeter::onInstrBatch(const DynInstr *instrs, size_t count)
+{
+    for (size_t i = 0; i < count; ++i) {
+        if (instrs[i].kind == CtrlKind::Branch)
+            onBranch(instrs[i]);
+    }
+}
+
+void
+PredictorMeter::onInstrBatchCtrl(const DynInstr *instrs, size_t count,
+                                 const uint32_t *ctrl, size_t num_ctrl)
+{
+    (void)count;
+    // The producer already knows where the transfers are; visit only
+    // those slots and filter for conditional branches.
+    for (size_t i = 0; i < num_ctrl; ++i) {
+        const DynInstr &d = instrs[ctrl[i]];
+        if (d.kind == CtrlKind::Branch)
+            onBranch(d);
+    }
+}
+
+std::vector<PredictorMeterResult>
+PredictorMeter::results() const
+{
+    std::vector<PredictorMeterResult> out;
+    out.reserve(preds.size());
+    for (const Slot &s : preds) {
+        PredictorMeterResult r;
+        r.config = s.config;
+        r.lookups = s.lookups;
+        r.hits = s.hits;
+        r.stateHash = s.pred->stateHash();
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace loopspec

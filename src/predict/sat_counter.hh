@@ -1,12 +1,15 @@
 /**
  * @file
- * Saturating up/down counter, the standard confidence element of the
- * paper's stride predictors ("a two-bit saturating counter is used",
- * §3.1.2).
+ * Saturating up/down counter — the single clamping element shared by
+ * every prediction structure in the repo: the paper's stride predictors
+ * ("a two-bit saturating counter is used", §3.1.2), the speculation
+ * disable table, and the conventional branch-predictor baselines
+ * (docs/PREDICTORS.md). tests/predictor_property_test.cc is the source
+ * of truth for its clamp semantics.
  */
 
-#ifndef LOOPSPEC_UTIL_SAT_COUNTER_HH
-#define LOOPSPEC_UTIL_SAT_COUNTER_HH
+#ifndef LOOPSPEC_PREDICT_SAT_COUNTER_HH
+#define LOOPSPEC_PREDICT_SAT_COUNTER_HH
 
 #include <cstdint>
 
@@ -68,4 +71,4 @@ using TwoBitCounter = SatCounter<2>;
 
 } // namespace loopspec
 
-#endif // LOOPSPEC_UTIL_SAT_COUNTER_HH
+#endif // LOOPSPEC_PREDICT_SAT_COUNTER_HH

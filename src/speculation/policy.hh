@@ -1,6 +1,10 @@
 /**
  * @file
- * Thread-speculation policy configuration (§3.1.2): IDLE, STR and STR(i).
+ * Thread-speculation policy configuration: the paper's §3.1.2 policies
+ * (IDLE, STR, STR(i)) plus the conventional branch-predictor baseline
+ * policy PRED (docs/PREDICTORS.md, docs/DESIGN.md §10), which spawns
+ * threads from chained branch predictions instead of LET trip
+ * predictions.
  */
 
 #ifndef LOOPSPEC_SPECULATION_POLICY_HH
@@ -9,18 +13,28 @@
 #include <cstdint>
 #include <string>
 
+#include "predict/branch_predictor.hh"
+
 namespace loopspec
 {
 
-/** Which §3.1.2 policy decides how many threads to speculate. */
+/** Which policy decides how many threads to speculate. */
 enum class SpecPolicy : uint8_t
 {
-    Idle, //!< speculate on every idle TU
-    Str,  //!< bound by the LET trip-count stride prediction
+    Idle, //!< speculate on every idle TU (§3.1.2)
+    Str,  //!< bound by the LET trip-count stride prediction (§3.1.2)
     StrI, //!< STR plus the nested-non-speculated-loop squash rule
+    /**
+     * Conventional-predictor baseline: allocation is bound by a chained
+     * branch prediction of the loop's closing branch — spawn while the
+     * predictor says "taken again", stop at its predicted exit
+     * (SpecConfig::predictor selects the scheme).
+     */
+    Pred,
 };
 
-/** Printable policy name ("IDLE", "STR", "STR(i)"). */
+/** Printable policy name ("IDLE", "STR", "STR(i)", "PRED"); PRED cells
+ *  are usually labelled with predictorName() instead. */
 std::string specPolicyName(SpecPolicy policy, unsigned nest_limit);
 
 /** Parse "idle" / "str" / "str1".."str9"; fatal() on anything else. */
@@ -48,6 +62,14 @@ enum class DataMode : uint8_t
 /** Full simulator configuration. */
 struct SpecConfig
 {
+    SpecConfig() = default;
+    SpecConfig(unsigned tus, SpecPolicy pol, unsigned nest = 3,
+               DataMode dm = DataMode::None, size_t let = 0)
+        : numTUs(tus), policy(pol), nestLimit(nest), dataMode(dm),
+          letEntries(let)
+    {
+    }
+
     unsigned numTUs = 4;
     SpecPolicy policy = SpecPolicy::Str;
     /** The i in STR(i): max non-speculated loops nested in a speculated
@@ -57,6 +79,9 @@ struct SpecConfig
     /** LET capacity backing the STR trip predictor; 0 = unbounded
      *  (the §3 evaluation's assumption). */
     size_t letEntries = 0;
+    /** Branch-predictor scheme behind SpecPolicy::Pred; ignored by the
+     *  paper policies. */
+    PredictorConfig predictor;
 };
 
 /** Results of one speculation simulation. */

@@ -17,6 +17,8 @@ specPolicyName(SpecPolicy policy, unsigned nest_limit)
         return "STR";
       case SpecPolicy::StrI:
         return strprintf("STR(%u)", nest_limit);
+      case SpecPolicy::Pred:
+        return "PRED";
       default:
         panic("bad SpecPolicy");
     }
@@ -89,6 +91,8 @@ ThreadSpecSimulator::ThreadSpecSimulator(
       idx(ownedIndex.get()), predictor(config.letEntries)
 {
     LOOPSPEC_ASSERT(cfg.numTUs >= 1, "need at least one TU");
+    if (cfg.policy == SpecPolicy::Pred)
+        branchPred = makePredictor(cfg.predictor);
 }
 
 ThreadSpecSimulator::ThreadSpecSimulator(
@@ -98,6 +102,8 @@ ThreadSpecSimulator::ThreadSpecSimulator(
       predictor(config.letEntries)
 {
     LOOPSPEC_ASSERT(cfg.numTUs >= 1, "need at least one TU");
+    if (cfg.policy == SpecPolicy::Pred)
+        branchPred = makePredictor(cfg.predictor);
 }
 
 bool
@@ -139,6 +145,14 @@ ThreadSpecSimulator::spawnCount(const ExecRecord &exec, uint32_t j,
         return 0;
     if (cfg.policy == SpecPolicy::Idle)
         return idle;
+    if (cfg.policy == SpecPolicy::Pred) {
+        // Conventional baseline: ask the branch predictor how many more
+        // times the loop's closing branch will be taken, chaining
+        // speculatively. Each predicted-taken outcome is one future
+        // iteration worth spawning; the chain's first predicted
+        // not-taken outcome is the predicted loop exit.
+        return branchPred->predictRun(exec.branchAddr, idle);
+    }
 
     TripPrediction p = predictor.predict(exec.loop);
     if (p.kind == TripPredictionKind::Unknown)
@@ -265,6 +279,13 @@ ThreadSpecSimulator::handleIterStart(const SimEvent &ev, bool at_front)
     ActiveExec &ax = active[ev.execIdx];
     ax.loop = exec.loop;
 
+    // PRED: every iteration start is one retired *taken* outcome of the
+    // loop's closing branch; train before the spawn decision below, as
+    // a real machine retires the branch before the new iteration's
+    // spawn point.
+    if (branchPred)
+        branchPred->update(exec.branchAddr, true);
+
     if (!at_front) {
         // This iteration start lies inside a prefix the front jumped
         // over: the instructions were already executed by a speculative
@@ -351,6 +372,11 @@ ThreadSpecSimulator::handleExecEnd(const SimEvent &ev)
         exec.endReason != ExecEndReason::TraceEnd) {
         predictor.recordExecution(exec.loop, exec.iterCount);
     }
+    // PRED: only a Close termination retires the closing branch
+    // not-taken; exits/returns leave the loop through a different
+    // instruction and train nothing.
+    if (branchPred && exec.endReason == ExecEndReason::Close)
+        branchPred->update(exec.branchAddr, false);
 }
 
 SpecStats
@@ -363,6 +389,8 @@ ThreadSpecSimulator::run()
     outstanding = 0;
     active.clear();
     squashPenalty.clear();
+    if (branchPred)
+        branchPred->reset();
 
     for (const SimEvent &ev : rec.events) {
         if (frontPos < ev.boundary) {

@@ -25,11 +25,12 @@
 #include <utility>
 #include <vector>
 
+#include "predict/branch_predictor.hh"
+#include "predict/sat_counter.hh"
 #include "speculation/event_record.hh"
 #include "speculation/policy.hh"
 #include "tables/iter_predictor.hh"
 #include "util/logging.hh"
-#include "util/sat_counter.hh"
 
 namespace loopspec
 {
@@ -163,6 +164,16 @@ class ThreadSpecSimulator
 
     std::unordered_map<uint32_t, ActiveExec> active;
     IterCountPredictor predictor;
+    /**
+     * PRED policy only (null otherwise): the conventional baseline
+     * predictor, trained on the retired outcomes of each loop's closing
+     * backward branch as they are observable in the event recording —
+     * taken at every iteration start, not-taken at a Close execution
+     * end. That is exactly the information the LET stride predictor
+     * sees, so the comparison is apples-to-apples
+     * (docs/PREDICTORS.md).
+     */
+    std::unique_ptr<BranchPredictor> branchPred;
     /**
      * §2.3.2 speculation-disable state, keyed by loop address: a loop
      * whose threads keep being squashed by the STR(i) nest rule without

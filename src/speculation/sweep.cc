@@ -22,8 +22,20 @@ GridPolicy::name() const
 {
     if (!label.empty())
         return label;
-    std::string base = specPolicyName(policy, nestLimit);
+    std::string base = policy == SpecPolicy::Pred
+                           ? predictorName(predictor)
+                           : specPolicyName(policy, nestLimit);
     return dataMode == DataMode::Profiled ? base + "+data" : base;
+}
+
+GridPolicy
+predictorGridPolicy(const std::string &spec)
+{
+    GridPolicy gp;
+    gp.policy = SpecPolicy::Pred;
+    gp.predictor = parsePredictorSpec(spec);
+    gp.label = predictorName(gp.predictor);
+    return gp;
 }
 
 size_t
@@ -330,6 +342,7 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
         cfg.nestLimit = gp.nestLimit;
         cfg.dataMode = gp.dataMode;
         cfg.letEntries = grid.letEntries[l];
+        cfg.predictor = gp.predictor;
 
         const size_t rec_idx = w * num_c + c;
         ThreadSpecSimulator sim(recordings[rec_idx], *indexes[rec_idx],

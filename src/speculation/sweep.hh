@@ -41,17 +41,33 @@ namespace loopspec
 /** One entry of a grid's policy axis. */
 struct GridPolicy
 {
+    GridPolicy() = default;
+    GridPolicy(SpecPolicy p, unsigned nest, DataMode dm,
+               std::string lbl)
+        : policy(p), nestLimit(nest), dataMode(dm),
+          label(std::move(lbl))
+    {
+    }
+
     SpecPolicy policy = SpecPolicy::Str;
     /** The i in STR(i); ignored by IDLE/STR. */
     unsigned nestLimit = 3;
     /** Control-only vs profiled live-in correctness (needs the §4
      *  profiler on the functional pass; single-CLS grids only). */
     DataMode dataMode = DataMode::None;
-    /** Display label; empty = specPolicyName(policy, nestLimit). */
+    /** Display label; empty = specPolicyName(policy, nestLimit), or
+     *  predictorName(predictor) for PRED entries. */
     std::string label;
+    /** Scheme behind a SpecPolicy::Pred entry (the `predictors=` axis,
+     *  docs/PREDICTORS.md); ignored by the paper policies. */
+    PredictorConfig predictor;
 
     std::string name() const;
 };
+
+/** A `predictors=` axis entry: the conventional-baseline policy running
+ *  @p spec (e.g. "gshare:12"), labelled with its canonical name. */
+GridPolicy predictorGridPolicy(const std::string &spec);
 
 /**
  * Declarative sweep grid. Cells are produced when both the policy and

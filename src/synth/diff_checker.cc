@@ -8,6 +8,7 @@
 
 #include "loop/loop_detector.hh"
 #include "loop/loop_stats.hh"
+#include "predict/predictor_meter.hh"
 #include "speculation/event_record.hh"
 #include "tables/hit_ratio.hh"
 #include "tracegen/control_trace.hh"
@@ -545,6 +546,69 @@ checkInvariants(const EventLog &log, const std::vector<DynInstr> &stream,
 // same oracle now also backs the sweep engine's --check-replay of
 // control-trace-derived recordings.
 
+/**
+ * Predictor-state invariant: the branch-predictor baselines are pure
+ * functions of the retired conditional-branch stream, so a scalar-fed
+ * meter, an odd-batch-fed meter and a control-trace-replay-fed meter
+ * must agree on every lookup/hit count AND end in bit-identical table
+ * state (stateHash covers every counter and history register).
+ */
+std::string
+checkPredictorState(const std::vector<std::string> &specs,
+                    const std::vector<DynInstr> &stream,
+                    uint64_t total_instrs, const ControlTrace &ctrace)
+{
+    if (specs.empty())
+        return {};
+    std::vector<PredictorConfig> configs;
+    for (const std::string &s : specs)
+        configs.push_back(parsePredictorSpec(s));
+
+    PredictorMeter scalar_fed(configs);
+    for (const DynInstr &d : stream)
+        scalar_fed.onInstr(d);
+
+    PredictorMeter batch_fed(configs);
+    const size_t chunk = 777; // deliberately odd span boundaries
+    for (size_t i = 0; i < stream.size(); i += chunk) {
+        size_t n = std::min(chunk, stream.size() - i);
+        batch_fed.onInstrBatch(stream.data() + i, n);
+    }
+
+    PredictorMeter replay_fed(configs);
+    replayControlTrace(ctrace, replay_fed);
+    (void)total_instrs;
+
+    const auto ref = scalar_fed.results();
+    for (const auto &[what, meter] :
+         {std::pair<const char *, const PredictorMeter *>{
+              "odd-batch", &batch_fed},
+          {"ctrace-replay", &replay_fed}}) {
+        const auto got = meter->results();
+        for (size_t i = 0; i < ref.size(); ++i) {
+            if (got[i].lookups != ref[i].lookups ||
+                got[i].hits != ref[i].hits) {
+                return strprintf(
+                    "predictor %s: %s-fed meter scores %llu/%llu vs "
+                    "scalar %llu/%llu",
+                    predictorName(ref[i].config).c_str(), what,
+                    static_cast<unsigned long long>(got[i].hits),
+                    static_cast<unsigned long long>(got[i].lookups),
+                    static_cast<unsigned long long>(ref[i].hits),
+                    static_cast<unsigned long long>(ref[i].lookups));
+            }
+            if (got[i].stateHash != ref[i].stateHash) {
+                return strprintf(
+                    "predictor %s: %s-fed table state %016llx vs "
+                    "scalar %016llx",
+                    predictorName(ref[i].config).c_str(), what,
+                    static_cast<unsigned long long>(got[i].stateHash),
+                    static_cast<unsigned long long>(ref[i].stateHash));
+            }
+        }
+    }
+    return {};
+}
 
 } // namespace
 
@@ -583,6 +647,15 @@ diffProgram(const Program &prog, const DiffConfig &cfg)
             return DiffResult::fail("stream: " + err);
     }
     ControlTrace ctrace = ctrace_rec.take();
+
+    // --- 1b. Predictor-state invariant (CLS-independent) -------------
+    {
+        std::string err =
+            checkPredictorState(cfg.predictorSpecs, scalar.all,
+                                scalar.totalInstrs, ctrace);
+        if (!err.empty())
+            return DiffResult::fail(err);
+    }
 
     // --- 2. Per-CLS-size detector pipeline comparisons ---------------
     for (size_t cls : cfg.clsSizes) {

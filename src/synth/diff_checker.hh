@@ -19,7 +19,12 @@
  *  - detector invariants must hold on the reference stream (conservation,
  *    iteration-count/backedge accounting, event ordering, depth bounds);
  *  - the LET/LIT meters must match independent list-based LRU reference
- *    models (LRU victim validity).
+ *    models (LRU victim validity);
+ *  - the branch-predictor baselines (src/predict/) must end in the
+ *    identical table state — stateHash plus lookup/hit counts — whether
+ *    fed scalar onInstr calls, odd-sized manual batches, or a
+ *    control-trace replay's synthesized batches (predictor-state
+ *    invariant, docs/PREDICTORS.md).
  *
  * `injectClsOffByOne` deliberately runs the replay detector one CLS entry
  * short — a synthetic detector bug the harness must catch; the fuzz tests
@@ -95,6 +100,11 @@ struct DiffConfig
 
     /** LET/LIT meter sizes (the Fig-4 sweep). */
     std::vector<size_t> meterSizes = {2, 4, 8, 16};
+
+    /** Branch-predictor configurations for the predictor-state
+     *  invariant (small tables so generated programs actually alias). */
+    std::vector<std::string> predictorSpecs = {"bimodal:6", "gshare:6",
+                                               "local:5/3"};
 
     /** Fuel cap: a generator bug cannot hang the harness (equivalence
      *  must hold under truncation too). */

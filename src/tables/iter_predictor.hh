@@ -15,7 +15,7 @@
 #include <unordered_map>
 
 #include "tables/loop_table.hh"
-#include "util/sat_counter.hh"
+#include "predict/sat_counter.hh"
 
 namespace loopspec
 {

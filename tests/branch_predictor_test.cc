@@ -1,0 +1,477 @@
+/**
+ * @file
+ * Conventional branch-predictor baselines (src/predict/) against
+ * independent reference models under randomized retired-branch
+ * sequences, aliasing and history-rollover edges, the chained
+ * predictRun() spawn-point semantics, spec parsing, and the
+ * PredictorMeter's scalar-vs-batch-vs-replay equivalence
+ * (docs/PREDICTORS.md, docs/TESTING.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "isa/instr.hh"
+#include "predict/bimodal.hh"
+#include "predict/branch_predictor.hh"
+#include "predict/gshare.hh"
+#include "predict/local.hh"
+#include "predict/predictor_meter.hh"
+#include "tests/test_util.hh"
+#include "tracegen/control_trace.hh"
+#include "tracegen/trace_engine.hh"
+#include "util/rng.hh"
+
+namespace loopspec
+{
+namespace
+{
+
+// --- Independent reference models ---------------------------------------
+// Deliberately written with plain ints and min/max clamps (no
+// SatCounter), so a clamp bug in the production code cannot hide in a
+// shared helper.
+
+struct RefBimodal
+{
+    std::vector<int> counters;
+
+    explicit RefBimodal(unsigned table_bits)
+        : counters(size_t(1) << table_bits, 0)
+    {
+    }
+
+    size_t
+    index(uint32_t pc) const
+    {
+        return (pc >> 2) & (counters.size() - 1);
+    }
+
+    bool predict(uint32_t pc) const { return counters[index(pc)] >= 2; }
+
+    void
+    update(uint32_t pc, bool taken)
+    {
+        int &c = counters[index(pc)];
+        c = taken ? std::min(c + 1, 3) : std::max(c - 1, 0);
+    }
+};
+
+struct RefGshare
+{
+    std::vector<int> counters;
+    uint32_t history = 0;
+    uint32_t histMask;
+
+    RefGshare(unsigned history_bits, unsigned table_bits)
+        : counters(size_t(1) << table_bits, 0),
+          histMask((1u << history_bits) - 1)
+    {
+    }
+
+    size_t
+    index(uint32_t pc) const
+    {
+        return ((pc >> 2) ^ history) & (counters.size() - 1);
+    }
+
+    bool predict(uint32_t pc) const { return counters[index(pc)] >= 2; }
+
+    void
+    update(uint32_t pc, bool taken)
+    {
+        int &c = counters[index(pc)];
+        c = taken ? std::min(c + 1, 3) : std::max(c - 1, 0);
+        history = ((history << 1) | (taken ? 1 : 0)) & histMask;
+    }
+};
+
+struct RefLocal
+{
+    std::vector<uint32_t> histories;
+    std::vector<int> counters;
+    uint32_t histMask;
+
+    RefLocal(unsigned history_bits, unsigned l1_bits)
+        : histories(size_t(1) << l1_bits, 0),
+          counters(size_t(1) << history_bits, 0),
+          histMask((1u << history_bits) - 1)
+    {
+    }
+
+    size_t
+    l1Index(uint32_t pc) const
+    {
+        return (pc >> 2) & (histories.size() - 1);
+    }
+
+    bool
+    predict(uint32_t pc) const
+    {
+        return counters[histories[l1Index(pc)]] >= 2;
+    }
+
+    void
+    update(uint32_t pc, bool taken)
+    {
+        uint32_t &h = histories[l1Index(pc)];
+        int &c = counters[h];
+        c = taken ? std::min(c + 1, 3) : std::max(c - 1, 0);
+        h = ((h << 1) | (taken ? 1 : 0)) & histMask;
+    }
+};
+
+/** A randomized retired-branch stream: few PCs (to force aliasing and
+ *  shared-table interference) with per-PC biased outcomes. */
+std::vector<std::pair<uint32_t, bool>>
+randomStream(uint64_t seed, size_t num_pcs, size_t length)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> pcs;
+    std::vector<double> bias;
+    for (size_t i = 0; i < num_pcs; ++i) {
+        pcs.push_back(codeBase +
+                      static_cast<uint32_t>(rng.below(4096)) *
+                          instrBytes);
+        bias.push_back(rng.uniform());
+    }
+    std::vector<std::pair<uint32_t, bool>> out;
+    out.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+        size_t k = rng.below(num_pcs);
+        out.emplace_back(pcs[k], rng.chance(bias[k]));
+    }
+    return out;
+}
+
+template <typename Pred, typename Ref>
+void
+expectMatchesReference(Pred &pred, Ref &ref, uint64_t seed,
+                       size_t num_pcs, size_t length)
+{
+    for (const auto &[pc, taken] : randomStream(seed, num_pcs, length)) {
+        ASSERT_EQ(pred.predict(pc), ref.predict(pc))
+            << "pc 0x" << std::hex << pc;
+        pred.update(pc, taken);
+        ref.update(pc, taken);
+    }
+}
+
+// --- Randomized reference-model equivalence ------------------------------
+
+TEST(BimodalPredictor, MatchesReferenceModelOnRandomStreams)
+{
+    for (uint64_t i = 0; i < 10; ++i) {
+        SCOPED_TRACE(i);
+        PredictorConfig c = parsePredictorSpec("bimodal:6");
+        BimodalPredictor pred(c);
+        RefBimodal ref(6);
+        expectMatchesReference(pred, ref, test::testSeed(1000 + i), 40,
+                               4000);
+    }
+}
+
+TEST(GsharePredictor, MatchesReferenceModelOnRandomStreams)
+{
+    for (uint64_t i = 0; i < 10; ++i) {
+        SCOPED_TRACE(i);
+        PredictorConfig c = parsePredictorSpec("gshare:7/6");
+        GsharePredictor pred(c);
+        RefGshare ref(7, 6);
+        expectMatchesReference(pred, ref, test::testSeed(2000 + i), 40,
+                               4000);
+    }
+}
+
+TEST(LocalHistoryPredictor, MatchesReferenceModelOnRandomStreams)
+{
+    for (uint64_t i = 0; i < 10; ++i) {
+        SCOPED_TRACE(i);
+        PredictorConfig c = parsePredictorSpec("local:6/4");
+        LocalHistoryPredictor pred(c);
+        RefLocal ref(6, 4);
+        expectMatchesReference(pred, ref, test::testSeed(3000 + i), 40,
+                               4000);
+    }
+}
+
+// --- Aliasing and rollover edges -----------------------------------------
+
+TEST(BimodalPredictor, AliasedPcsShareACounter)
+{
+    // tableBits=2: PCs 4 instructions apart collide.
+    BimodalPredictor pred(parsePredictorSpec("bimodal:2"));
+    const uint32_t a = codeBase;
+    const uint32_t b = codeBase + 4 * instrBytes;
+    for (int i = 0; i < 4; ++i)
+        pred.update(a, true);
+    EXPECT_TRUE(pred.predict(b)); // trained through the alias
+    pred.update(b, false);
+    pred.update(b, false);
+    pred.update(b, false);
+    EXPECT_FALSE(pred.predict(a)); // and destroyed through it
+}
+
+TEST(BimodalPredictor, DistinctCountersStayIndependent)
+{
+    BimodalPredictor pred(parsePredictorSpec("bimodal:4"));
+    const uint32_t a = codeBase;
+    const uint32_t b = codeBase + instrBytes; // adjacent, no alias
+    for (int i = 0; i < 4; ++i) {
+        pred.update(a, true);
+        pred.update(b, false);
+    }
+    EXPECT_TRUE(pred.predict(a));
+    EXPECT_FALSE(pred.predict(b));
+}
+
+TEST(GsharePredictor, HistoryRolloverKeepsMatchingReference)
+{
+    // historyBits=3 rolls over every 3 updates; long single-PC runs
+    // cycle the history through every state.
+    GsharePredictor pred(parsePredictorSpec("gshare:3/5"));
+    RefGshare ref(3, 5);
+    Rng rng(test::testSeed(4000));
+    const uint32_t pc = codeBase + 32 * instrBytes;
+    for (int i = 0; i < 2000; ++i) {
+        bool taken = rng.chance(0.8);
+        ASSERT_EQ(pred.predict(pc), ref.predict(pc)) << "step " << i;
+        pred.update(pc, taken);
+        ref.update(pc, taken);
+    }
+}
+
+TEST(LocalHistoryPredictor, HistoryTableAliasing)
+{
+    // l1Bits=1: every second instruction shares a history register.
+    LocalHistoryPredictor pred(parsePredictorSpec("local:4/1"));
+    RefLocal ref(4, 1);
+    Rng rng(test::testSeed(4100));
+    for (int i = 0; i < 2000; ++i) {
+        uint32_t pc = codeBase +
+                      static_cast<uint32_t>(rng.below(8)) * instrBytes;
+        bool taken = rng.chance(0.6);
+        ASSERT_EQ(pred.predict(pc), ref.predict(pc)) << "step " << i;
+        pred.update(pc, taken);
+        ref.update(pc, taken);
+    }
+}
+
+// --- predictRun (spawn-point) semantics ----------------------------------
+
+TEST(BimodalPredictor, PredictRunIsAllOrNothing)
+{
+    BimodalPredictor pred(parsePredictorSpec("bimodal:4"));
+    const uint32_t pc = codeBase;
+    EXPECT_EQ(pred.predictRun(pc, 8), 0u); // power-on: weakly not-taken
+    for (int i = 0; i < 4; ++i)
+        pred.update(pc, true);
+    EXPECT_EQ(pred.predictRun(pc, 8), 8u); // no history: never stops
+    EXPECT_EQ(pred.predictRun(pc, 3), 3u); // capped
+}
+
+/** Train a cyclic T..TN trip pattern into @p pred and return
+ *  predictRun at the iteration right after an exit. */
+template <typename Pred>
+unsigned
+trainedRunAfterExit(Pred &pred, uint32_t pc, unsigned trips,
+                    unsigned max_n)
+{
+    // A loop with a constant trip count of `trips` retires trips-1
+    // taken outcomes then one not-taken per execution.
+    for (int exec = 0; exec < 64; ++exec) {
+        for (unsigned j = 0; j + 1 < trips; ++j)
+            pred.update(pc, true);
+        pred.update(pc, false);
+    }
+    return pred.predictRun(pc, max_n);
+}
+
+TEST(GsharePredictor, PredictRunLearnsConstantTripCounts)
+{
+    // historyBits=6 comfortably covers a trip-4 loop's 3-taken pattern:
+    // the chained prediction should commit to exactly the 3 remaining
+    // iterations, stopping at the predicted exit.
+    GsharePredictor pred(parsePredictorSpec("gshare:6"));
+    EXPECT_EQ(trainedRunAfterExit(pred, codeBase, 4, 16), 3u);
+}
+
+TEST(LocalHistoryPredictor, PredictRunLearnsConstantTripCounts)
+{
+    LocalHistoryPredictor pred(parsePredictorSpec("local:6/4"));
+    EXPECT_EQ(trainedRunAfterExit(pred, codeBase, 4, 16), 3u);
+}
+
+TEST(GsharePredictor, PredictRunStopsBelowCapOnShortHistory)
+{
+    // A trip-9 loop needs 8 history bits; with only 4 the pattern
+    // aliases, but the chain must still never exceed the cap.
+    GsharePredictor pred(parsePredictorSpec("gshare:4"));
+    unsigned n = trainedRunAfterExit(pred, codeBase, 9, 5);
+    EXPECT_LE(n, 5u);
+}
+
+// --- reset / stateHash ---------------------------------------------------
+
+TEST(BranchPredictor, ResetRestoresPowerOnState)
+{
+    for (const char *spec : {"bimodal:6", "gshare:6", "local:5/3"}) {
+        SCOPED_TRACE(spec);
+        auto pred = makePredictor(parsePredictorSpec(spec));
+        uint64_t pristine = pred->stateHash();
+        Rng rng(test::testSeed(5000));
+        for (int i = 0; i < 500; ++i) {
+            pred->update(codeBase + static_cast<uint32_t>(
+                                        rng.below(64)) *
+                                        instrBytes,
+                         rng.chance(0.5));
+        }
+        EXPECT_NE(pred->stateHash(), pristine);
+        pred->reset();
+        EXPECT_EQ(pred->stateHash(), pristine);
+    }
+}
+
+TEST(BranchPredictor, IdenticalStreamsHashIdentically)
+{
+    for (const char *spec : {"bimodal:6", "gshare:6", "local:5/3"}) {
+        SCOPED_TRACE(spec);
+        auto a = makePredictor(parsePredictorSpec(spec));
+        auto b = makePredictor(parsePredictorSpec(spec));
+        for (const auto &[pc, taken] :
+             randomStream(test::testSeed(5100), 16, 2000)) {
+            a->update(pc, taken);
+            b->update(pc, taken);
+        }
+        EXPECT_EQ(a->stateHash(), b->stateHash());
+    }
+}
+
+// --- Spec parsing --------------------------------------------------------
+
+TEST(PredictorSpec, ParsesCanonicalForms)
+{
+    PredictorConfig c = parsePredictorSpec("bimodal");
+    EXPECT_EQ(c.kind, PredictorKind::Bimodal);
+    EXPECT_EQ(c.tableBits, 12u);
+    EXPECT_EQ(predictorName(c), "bimodal:12");
+
+    c = parsePredictorSpec("bimodal:8");
+    EXPECT_EQ(c.tableBits, 8u);
+
+    c = parsePredictorSpec("gshare:12");
+    EXPECT_EQ(c.kind, PredictorKind::Gshare);
+    EXPECT_EQ(c.historyBits, 12u);
+    EXPECT_EQ(c.tableBits, 12u);
+    EXPECT_EQ(predictorName(c), "gshare:12");
+
+    c = parsePredictorSpec("gshare:10/14");
+    EXPECT_EQ(c.historyBits, 10u);
+    EXPECT_EQ(c.tableBits, 14u);
+    EXPECT_EQ(predictorName(c), "gshare:10/14");
+
+    c = parsePredictorSpec("local:10/10");
+    EXPECT_EQ(c.kind, PredictorKind::Local);
+    EXPECT_EQ(c.historyBits, 10u);
+    EXPECT_EQ(c.l1Bits, 10u);
+    EXPECT_EQ(predictorName(c), "local:10/10");
+}
+
+TEST(PredictorSpec, RoundTripsThroughName)
+{
+    for (const char *spec :
+         {"bimodal:12", "gshare:12", "gshare:10/14", "local:10/10",
+          "bimodal:1", "gshare:20", "local:1/20"}) {
+        SCOPED_TRACE(spec);
+        PredictorConfig c = parsePredictorSpec(spec);
+        EXPECT_EQ(predictorName(c), spec);
+        EXPECT_TRUE(parsePredictorSpec(predictorName(c)) == c);
+    }
+}
+
+TEST(PredictorSpecDeathTest, RejectsMalformedSpecs)
+{
+    EXPECT_EXIT(parsePredictorSpec("tage"),
+                testing::ExitedWithCode(1), "unknown predictor scheme");
+    EXPECT_EXIT(parsePredictorSpec("bimodal:"),
+                testing::ExitedWithCode(1), "empty parameter");
+    EXPECT_EXIT(parsePredictorSpec("bimodal:8/4"),
+                testing::ExitedWithCode(1), "one parameter");
+    EXPECT_EXIT(parsePredictorSpec("gshare:0"),
+                testing::ExitedWithCode(1), "outside");
+    EXPECT_EXIT(parsePredictorSpec("gshare:21"),
+                testing::ExitedWithCode(1), "outside");
+    EXPECT_EXIT(parsePredictorSpec("gshare:abc"),
+                testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(parsePredictorSpec("local:10"),
+                testing::ExitedWithCode(1), "historyBits/l1Bits");
+}
+
+// --- PredictorMeter: scalar vs batch vs replay ---------------------------
+
+std::vector<PredictorConfig>
+meterConfigs()
+{
+    return {parsePredictorSpec("bimodal:6"),
+            parsePredictorSpec("gshare:6"),
+            parsePredictorSpec("local:5/3")};
+}
+
+TEST(PredictorMeter, BatchedEngineFeedMatchesScalarFeed)
+{
+    Program prog = test::nestedLoops(13, 7, 2);
+
+    PredictorMeter scalar_meter(meterConfigs());
+    ControlTraceRecorder ctrace_rec;
+    {
+        TraceEngine engine(prog, {});
+        engine.addObserver(&ctrace_rec);
+        DynInstr d;
+        while (engine.step(d))
+            scalar_meter.onInstr(d);
+    }
+
+    PredictorMeter batched_meter(meterConfigs());
+    {
+        TraceEngine engine(prog, {});
+        engine.addObserver(&batched_meter);
+        engine.run();
+    }
+
+    PredictorMeter replay_meter(meterConfigs());
+    replayControlTrace(ctrace_rec.take(), replay_meter);
+
+    auto a = scalar_meter.results();
+    auto b = batched_meter.results();
+    auto c = replay_meter.results();
+    ASSERT_EQ(a.size(), 3u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(predictorName(a[i].config));
+        EXPECT_GT(a[i].lookups, 0u);
+        EXPECT_EQ(a[i].lookups, b[i].lookups);
+        EXPECT_EQ(a[i].hits, b[i].hits);
+        EXPECT_EQ(a[i].stateHash, b[i].stateHash);
+        EXPECT_EQ(a[i].lookups, c[i].lookups);
+        EXPECT_EQ(a[i].hits, c[i].hits);
+        EXPECT_EQ(a[i].stateHash, c[i].stateHash);
+    }
+}
+
+TEST(PredictorMeter, CountsOnlyConditionalBranches)
+{
+    // nestedLoops retires exactly one conditional branch per iteration
+    // of each loop (the closing branch) plus one per loop setup... the
+    // builder's countedLoop emits a single backward conditional per
+    // iteration, so lookups equals total started iterations.
+    Program prog = test::flatLoop(10, 3);
+    PredictorMeter meter({parsePredictorSpec("bimodal:6")});
+    TraceEngine engine(prog, {});
+    engine.addObserver(&meter);
+    engine.run();
+    EXPECT_EQ(meter.results()[0].lookups, 10u);
+}
+
+} // namespace
+} // namespace loopspec

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Documentation link check: every relative markdown link in README.md
+ * and the docs directory must point at a file (or directory) that
+ * exists in the source tree. CI's docs link-check step runs exactly this suite, so a
+ * doc rename that strands a link fails the build instead of rotting
+ * (docs/TESTING.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef LOOPSPEC_SOURCE_DIR
+#error "doc_links_test needs LOOPSPEC_SOURCE_DIR (see CMakeLists.txt)"
+#endif
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+struct Link
+{
+    std::string target;
+    size_t line;
+};
+
+/**
+ * Extract markdown link targets: the (...) part of [text](target),
+ * including image links. Inline code spans are skipped so literal
+ * `](` sequences in examples don't produce false positives.
+ */
+std::vector<Link>
+extractLinks(const std::string &text)
+{
+    std::vector<Link> out;
+    size_t line = 1;
+    bool in_code_fence = false;
+    bool in_span = false;
+    for (size_t i = 0; i + 1 < text.size(); ++i) {
+        if (text[i] == '\n') {
+            ++line;
+            continue;
+        }
+        if (text.compare(i, 3, "```") == 0) {
+            in_code_fence = !in_code_fence;
+            in_span = false; // spans cannot leak across fences
+            i += 2;
+            continue;
+        }
+        if (in_code_fence)
+            continue;
+        if (text[i] == '`') {
+            in_span = !in_span;
+            continue;
+        }
+        if (in_span)
+            continue;
+        if (text[i] == ']' && text[i + 1] == '(') {
+            size_t end = text.find(')', i + 2);
+            if (end == std::string::npos)
+                continue;
+            out.push_back({text.substr(i + 2, end - i - 2), line});
+            i = end;
+        }
+    }
+    return out;
+}
+
+bool
+isExternal(const std::string &target)
+{
+    return target.rfind("http://", 0) == 0 ||
+           target.rfind("https://", 0) == 0 ||
+           target.rfind("mailto:", 0) == 0 || target.empty() ||
+           target[0] == '#';
+}
+
+void
+checkFile(const fs::path &md)
+{
+    std::ifstream is(md);
+    ASSERT_TRUE(is) << "cannot open " << md;
+    std::stringstream ss;
+    ss << is.rdbuf();
+
+    for (const Link &link : extractLinks(ss.str())) {
+        std::string target = link.target;
+        // Strip "#section" anchors and "title" suffixes.
+        size_t hash = target.find('#');
+        if (hash != std::string::npos)
+            target.resize(hash);
+        size_t space = target.find(' ');
+        if (space != std::string::npos)
+            target.resize(space);
+        if (isExternal(target) || target.empty())
+            continue;
+        fs::path resolved = md.parent_path() / target;
+        EXPECT_TRUE(fs::exists(resolved))
+            << md.filename().string() << ":" << link.line
+            << ": dead relative link '" << link.target << "' (resolved "
+            << resolved.string() << ")";
+    }
+}
+
+TEST(DocLinks, ReadmeAndDocsHaveNoDeadRelativeLinks)
+{
+    const fs::path root = LOOPSPEC_SOURCE_DIR;
+    ASSERT_TRUE(fs::exists(root / "README.md"));
+
+    std::vector<fs::path> files = {root / "README.md"};
+    for (const auto &entry : fs::directory_iterator(root / "docs")) {
+        if (entry.path().extension() == ".md")
+            files.push_back(entry.path());
+    }
+    // README plus at least the five core docs; a glob bug that silently
+    // checked nothing would pass vacuously otherwise.
+    ASSERT_GE(files.size(), 6u);
+    std::sort(files.begin(), files.end());
+    for (const fs::path &md : files) {
+        SCOPED_TRACE(md.string());
+        checkFile(md);
+    }
+}
+
+} // namespace

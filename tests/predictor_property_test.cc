@@ -11,7 +11,7 @@
 #include "tables/iter_predictor.hh"
 #include "tests/test_util.hh"
 #include "util/rng.hh"
-#include "util/sat_counter.hh"
+#include "predict/sat_counter.hh"
 
 namespace loopspec
 {

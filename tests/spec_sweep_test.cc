@@ -215,6 +215,58 @@ TEST(SpecSweep, DeterministicAcrossJobCounts)
     }
 }
 
+TEST(SpecSweep, PredictorAxisBitIdenticalAcrossJobCounts)
+{
+    // The `predictors=` axis rides the policy axis: every PRED cell owns
+    // its predictor, so the bit-identity guarantee must be untouched
+    // (docs/PREDICTORS.md). Pins the ISSUE acceptance grid shape.
+    RunOptions opts = smallOpts({"compress", "swim", "synth.irregular"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.policies = {{SpecPolicy::Str, 3, DataMode::None, "STR"},
+                     predictorGridPolicy("bimodal"),
+                     predictorGridPolicy("gshare:12"),
+                     predictorGridPolicy("local:10/10")};
+    grid.tuCounts = {2, 4};
+
+    SweepResult serial = runSpecSweep(grid, 1);
+    ASSERT_EQ(serial.cells.size(), 3u * 4u * 2u);
+    for (unsigned jobs : {2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+        SCOPED_TRACE(jobs);
+        SweepResult r = runSpecSweep(grid, jobs);
+        ASSERT_EQ(r.cells.size(), serial.cells.size());
+        for (size_t i = 0; i < r.cells.size(); ++i)
+            expectStatsEq(r.cells[i].stats, serial.cells[i].stats);
+    }
+}
+
+TEST(SpecSweep, PredictorCellsMatchDirectSimulation)
+{
+    // A swept PRED cell (shared RecordingIndex) must equal a standalone
+    // ThreadSpecSimulator over the same recording and configuration.
+    RunOptions opts = smallOpts({"li"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.policies = {predictorGridPolicy("gshare:10"),
+                     predictorGridPolicy("bimodal:8")};
+    grid.tuCounts = {4};
+    SweepResult r = runSpecSweep(grid, 4);
+
+    CollectFlags flags;
+    flags.recording = true;
+    WorkloadArtifacts art = runWorkload("li", opts, flags);
+    for (size_t p = 0; p < grid.policies.size(); ++p) {
+        SCOPED_TRACE(grid.policies[p].name());
+        SpecConfig cfg;
+        cfg.numTUs = 4;
+        cfg.policy = SpecPolicy::Pred;
+        cfg.predictor = grid.policies[p].predictor;
+        expectStatsEq(r.cell(0, 0, p, 0), serialCell(art, cfg));
+    }
+    // The two schemes must actually disagree somewhere, or the axis
+    // would be decorative.
+    EXPECT_NE(r.cell(0, 0, 0, 0).threadsSpeculated,
+              r.cell(0, 0, 1, 0).threadsSpeculated);
+}
+
 TEST(SpecSweep, RecordingDedupIsCounted)
 {
     RunOptions opts = smallOpts({"compress", "li"});

@@ -10,7 +10,7 @@
 #include "util/fixed_vector.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
-#include "util/sat_counter.hh"
+#include "predict/sat_counter.hh"
 #include "util/table_writer.hh"
 
 namespace loopspec

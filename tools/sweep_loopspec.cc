@@ -8,17 +8,22 @@
  *   sweep_loopspec --grid paper --jobs 4 --baseline   # CI configuration
  *   sweep_loopspec --grid "policies=str,str3;tus=2,4,8;cls=8,16;let=0,64"
  *   sweep_loopspec --benchmarks swim,gcc --grid "policies=str+data;tus=4"
+ *   sweep_loopspec --grid "predictors=bimodal,gshare:12;tus=2,4"
  *
  * The grid spec is semicolon-separated key=value pairs with
  * comma-separated lists:
- *   policies  idle | str | str1..str9, each with an optional "+data"
- *             suffix for profiled live-in correctness
- *   tus       thread-unit counts
- *   cls       CLS capacities (first is traced live, rest replayed);
- *             overrides --cls
- *   let       LET capacities backing the trip predictor (0 = unbounded)
- *   ideal     0/1: collect the ∞-TU TPC artifact per workload
- *   dataspec  0/1: collect the §4 data-speculation report per workload
+ *   policies    idle | str | str1..str9, each with an optional "+data"
+ *               suffix for profiled live-in correctness
+ *   predictors  conventional-baseline entries appended to the policy
+ *               axis: bimodal[:T] | gshare[:H[/T]] | local[:H/L]
+ *               (docs/PREDICTORS.md) — each spawns threads from chained
+ *               branch predictions instead of LET trip predictions
+ *   tus         thread-unit counts
+ *   cls         CLS capacities (first is traced live, rest replayed);
+ *               overrides --cls
+ *   let         LET capacities backing the trip predictor (0 = unbounded)
+ *   ideal       0/1: collect the ∞-TU TPC artifact per workload
+ *   dataspec    0/1: collect the §4 data-speculation report per workload
  * or the single preset "paper": every Table-1 workload ×
  * {IDLE, STR, STR(1..3)} × {2,4,8,16} TUs at CLS 16 — the union of the
  * Figure 6/7 and Table 2 grids.
@@ -107,9 +112,26 @@ applyGridSpec(const std::string &spec, SweepGrid *grid)
         if (vals.empty())
             fatal("--grid: empty value list for '%s'", key.c_str());
         if (key == "policies") {
-            grid->policies.clear();
+            // Replaces earlier policies= entries but keeps predictors=
+            // ones (and vice versa), so the two sub-axes compose in
+            // either key order.
+            std::vector<GridPolicy> kept;
+            for (GridPolicy &gp : grid->policies) {
+                if (gp.policy == SpecPolicy::Pred)
+                    kept.push_back(std::move(gp));
+            }
+            grid->policies = std::move(kept);
             for (const auto &v : vals)
                 grid->policies.push_back(parseGridPolicy(v));
+        } else if (key == "predictors") {
+            std::vector<GridPolicy> kept;
+            for (GridPolicy &gp : grid->policies) {
+                if (gp.policy != SpecPolicy::Pred)
+                    kept.push_back(std::move(gp));
+            }
+            grid->policies = std::move(kept);
+            for (const auto &v : vals)
+                grid->policies.push_back(predictorGridPolicy(v));
         } else if (key == "tus") {
             grid->tuCounts.clear();
             for (const auto &v : vals) {
@@ -139,7 +161,7 @@ applyGridSpec(const std::string &spec, SweepGrid *grid)
             grid->dataSpec = parseU64(vals[0], "--grid dataspec") != 0;
         } else {
             fatal("--grid: unknown axis '%s' "
-                  "(want policies|tus|cls|let|ideal|dataspec)",
+                  "(want policies|predictors|tus|cls|let|ideal|dataspec)",
                   key.c_str());
         }
     }
