@@ -6,6 +6,8 @@
 
 #include "loop/loop_detector.hh"
 #include "speculation/ideal_tpc.hh"
+#include "trace_io/stream_reader.hh"
+#include "trace_io/trace_codec.hh"
 #include "tracegen/trace_engine.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -18,6 +20,13 @@ RunOptions::selected() const
 {
     if (!benchmarks.empty())
         return benchmarks;
+    if (!traceDir.empty()) {
+        std::vector<std::string> names = traceDirWorkloads(traceDir);
+        if (names.empty())
+            fatal("no *%s files in trace directory %s",
+                  kControlTraceExt, traceDir.c_str());
+        return names;
+    }
     return workloadNames();
 }
 
@@ -28,7 +37,8 @@ parseRunOptions(int argc, char **argv,
 {
     std::vector<std::string> known = {"scale", "benchmarks", "cls",
                                       "max-instrs", "csv",
-                                      "check-replay", "jobs"};
+                                      "check-replay", "jobs",
+                                      "trace-dir"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
 
     auto args = std::make_unique<CliArgs>(argc, argv, known);
@@ -43,6 +53,7 @@ parseRunOptions(int argc, char **argv,
     opts.csv = args->getBool("csv", false);
     opts.checkReplay = args->getBool("check-replay", false);
     opts.jobs = static_cast<unsigned>(args->getUint("jobs", 0));
+    opts.traceDir = args->getString("trace-dir", "");
     if (args_out)
         *args_out = std::move(args);
     return opts;
@@ -57,6 +68,7 @@ sweepGridFromOptions(const RunOptions &opts)
     grid.scale = opts.scale;
     grid.maxInstrs = opts.maxInstrs;
     grid.checkReplay = opts.checkReplay;
+    grid.traceDir = opts.traceDir;
     return grid;
 }
 
@@ -116,6 +128,196 @@ checkMeterMatch(const char *what, const std::string &name, size_t entries,
     }
 }
 
+/** Fan one replayed batch out to several observers (detector +
+ *  predictor meters ride the same streaming pass, as they ride the
+ *  same engine pass in process). */
+class FanoutObserver : public TraceObserver
+{
+  public:
+    void add(TraceObserver *obs) { targets.push_back(obs); }
+
+    void
+    onInstr(const DynInstr &instr) override
+    {
+        for (auto *o : targets)
+            o->onInstr(instr);
+    }
+
+    void
+    onInstrBatch(const DynInstr *instrs, size_t count) override
+    {
+        for (auto *o : targets)
+            o->onInstrBatch(instrs, count);
+    }
+
+    void
+    onInstrBatchCtrl(const DynInstr *instrs, size_t count,
+                     const uint32_t *ctrl, size_t num_ctrl) override
+    {
+        for (auto *o : targets)
+            o->onInstrBatchCtrl(instrs, count, ctrl, num_ctrl);
+    }
+
+    void
+    onTraceEnd(uint64_t total_instrs) override
+    {
+        for (auto *o : targets)
+            o->onTraceEnd(total_instrs);
+    }
+
+  private:
+    std::vector<TraceObserver *> targets;
+};
+
+/**
+ * The --trace-dir functional pass: an out-of-core streaming replay of
+ * <traceDir>/<name>.lstrace stands in for executing the workload.
+ * Derivations are shared with the in-process path (recording replays,
+ * meter replays), so artifacts are bit-identical to a run over the
+ * ControlTrace the file was exported from. Under checkReplay the
+ * streaming pass is additionally cross-checked against a fully
+ * materialized in-memory replay of the same file.
+ */
+WorkloadArtifacts
+runWorkloadFromTrace(const std::string &name, const RunOptions &opts,
+                     const CollectFlags &flags)
+{
+    WorkloadArtifacts out;
+    out.name = name;
+    if (flags.dataSpec || flags.dataCorrectness) {
+        fatal("%s: data-speculation profiling reads operand values, "
+              "which a control-trace replay (--trace-dir) cannot "
+              "provide",
+              name.c_str());
+    }
+
+    const std::string path =
+        traceFilePath(opts.traceDir, name, kControlTraceExt);
+    std::string err;
+    std::unique_ptr<TraceFileStreamer> streamer =
+        TraceFileStreamer::open(path, StreamConfig{}, &err);
+    if (!streamer)
+        fatal("%s", err.c_str());
+
+    // A recording always rides along under checkReplay: comparing it
+    // against the materialized replay covers the whole detector event
+    // stream in one oracle.
+    const bool need_recorder =
+        flags.recording || flags.hitRatios || opts.checkReplay;
+
+    LoopStats stats;
+    IdealTpcComputer ideal;
+    LoopEventRecorder recorder;
+    LoopDetector detector({opts.clsEntries});
+    if (flags.loopStats)
+        detector.addListener(&stats);
+    if (flags.ideal)
+        detector.addListener(&ideal);
+    if (need_recorder)
+        detector.addListener(&recorder);
+    PredictorMeter predictorMeter(flags.predictors);
+
+    FanoutObserver fan;
+    fan.add(&detector);
+    if (!flags.predictors.empty())
+        fan.add(&predictorMeter);
+
+    err = streamer->replayControl(fan, opts.maxInstrs);
+    if (!err.empty())
+        fatal("%s", err.c_str());
+    out.totalInstrs = streamer->totalInstrs();
+    if (opts.maxInstrs && opts.maxInstrs < out.totalInstrs)
+        out.totalInstrs = opts.maxInstrs;
+
+    LoopEventRecording recording;
+    if (need_recorder)
+        recording = recorder.take();
+
+    ControlTrace materialized;
+    if (opts.checkReplay || flags.controlTrace)
+        materialized = readControlTraceFile(path);
+
+    if (opts.checkReplay) {
+        LoopDetector direct({opts.clsEntries});
+        LoopEventRecorder directRec;
+        direct.addListener(&directRec);
+        PredictorMeter directMeter(flags.predictors);
+        FanoutObserver directFan;
+        directFan.add(&direct);
+        if (!flags.predictors.empty())
+            directFan.add(&directMeter);
+        replayControlTrace(materialized, directFan, opts.maxInstrs);
+        std::string diff =
+            compareRecordings(directRec.take(), recording);
+        if (!diff.empty()) {
+            fatal("%s: streaming replay diverges from in-memory "
+                  "replay: %s",
+                  name.c_str(), diff.c_str());
+        }
+        std::vector<PredictorMeterResult> a = predictorMeter.results();
+        std::vector<PredictorMeterResult> b = directMeter.results();
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (a[i].lookups != b[i].lookups || a[i].hits != b[i].hits ||
+                a[i].stateHash != b[i].stateHash) {
+                fatal("%s: predictor %s diverges between streaming and "
+                      "in-memory replay",
+                      name.c_str(), predictorName(a[i].config).c_str());
+            }
+        }
+    }
+
+    if (flags.loopStats)
+        out.loopStats = stats.report();
+    if (flags.hitRatios) {
+        std::vector<std::unique_ptr<LetHitMeter>> lets;
+        std::vector<std::unique_ptr<LitHitMeter>> lits;
+        std::vector<LoopListener *> meters;
+        for (size_t sz : hitRatioTableSizes()) {
+            lets.push_back(std::make_unique<LetHitMeter>(sz));
+            lits.push_back(std::make_unique<LitHitMeter>(sz));
+            meters.push_back(lets.back().get());
+            meters.push_back(lits.back().get());
+        }
+        replayLoopEvents(recording, meters);
+        for (size_t i = 0; i < lets.size(); ++i) {
+            out.letResults.emplace_back(lets[i]->numEntries(),
+                                        lets[i]->result());
+            out.litResults.emplace_back(lits[i]->numEntries(),
+                                        lits[i]->result());
+        }
+    }
+    if (flags.ideal) {
+        out.idealTpc = ideal.tpc();
+        IdealTpcComputer prefix;
+        LoopDetector prefixDet({opts.clsEntries});
+        prefixDet.addListener(&prefix);
+        err = streamer->replayControl(prefixDet, out.totalInstrs / 2);
+        if (!err.empty())
+            fatal("%s", err.c_str());
+        out.idealTpcPrefix = prefix.tpc();
+        if (opts.checkReplay) {
+            IdealTpcComputer direct;
+            LoopDetector directDet({opts.clsEntries});
+            directDet.addListener(&direct);
+            replayControlTrace(materialized, directDet,
+                               out.totalInstrs / 2);
+            if (direct.tpc() != prefix.tpc() ||
+                direct.idealCycles() != prefix.idealCycles()) {
+                fatal("%s: prefix replay mismatch: in-memory TPC %.17g "
+                      "vs streaming %.17g",
+                      name.c_str(), direct.tpc(), prefix.tpc());
+            }
+        }
+    }
+    if (!flags.predictors.empty())
+        out.predictorStats = predictorMeter.results();
+    if (flags.recording)
+        out.recording = std::move(recording);
+    if (flags.controlTrace)
+        out.controlTrace = std::move(materialized);
+    return out;
+}
+
 } // namespace
 
 WorkloadArtifacts
@@ -130,6 +332,9 @@ runWorkload(const std::string &name, const RunOptions &opts,
         flags.recording = true;
         flags.dataSpec = true;
     }
+
+    if (!opts.traceDir.empty())
+        return runWorkloadFromTrace(name, opts, flags);
 
     Program prog = buildWorkload(name, opts.scale);
 
@@ -295,6 +500,20 @@ runWorkloads(const std::vector<std::string> &names, const RunOptions &opts,
         results[i] = runWorkload(names[i], opts, flags);
     });
     return results;
+}
+
+std::string
+exportWorkloadTrace(const std::string &name, const RunOptions &opts,
+                    const std::string &dir, TraceEncoding enc)
+{
+    if (!opts.traceDir.empty())
+        fatal("cannot export traces while replaying from --trace-dir");
+    CollectFlags flags;
+    flags.controlTrace = true;
+    WorkloadArtifacts art = runWorkload(name, opts, flags);
+    std::string path = traceFilePath(dir, name, kControlTraceExt);
+    writeControlTraceFile(path, art.controlTrace, enc);
+    return path;
 }
 
 } // namespace loopspec

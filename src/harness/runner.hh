@@ -23,6 +23,7 @@
 #include "speculation/event_record.hh"
 #include "speculation/sweep.hh"
 #include "tables/hit_ratio.hh"
+#include "trace_io/container.hh"
 #include "tracegen/control_trace.hh"
 #include "util/cli.hh"
 #include "workloads/workload.hh"
@@ -45,13 +46,24 @@ struct RunOptions
      *  (0 = one per hardware thread, 1 = fully serial). Results are
      *  identical for every value. */
     unsigned jobs = 0;
+    /**
+     * Replay recorded control-trace containers from this directory
+     * instead of executing workloads: each "benchmark" name resolves to
+     * <traceDir>/<name>.lstrace and the functional pass becomes an
+     * out-of-core streaming replay (docs/TRACE_FORMAT.md). Artifacts
+     * that need operand values (dataSpec/dataCorrectness) are fatal in
+     * this mode; everything else is bit-identical to the in-process
+     * run that exported the trace.
+     */
+    std::string traceDir;
 
-    /** Benchmarks to run (selection or full registry order). */
+    /** Benchmarks to run (selection, trace-dir scan, or full registry
+     *  order). */
     std::vector<std::string> selected() const;
 };
 
 /** Parse the standard flags: --scale --benchmarks --cls --max-instrs
- *  --csv --check-replay --jobs. Extra flags may be listed in
+ *  --csv --check-replay --jobs --trace-dir. Extra flags may be listed in
  *  @p extra_flags and read from the CliArgs handed back through
  *  @p args_out (ownership goes to the caller; pass nullptr when only the
  *  standard flags matter). */
@@ -128,6 +140,16 @@ void writeSweepJsonFile(const std::string &path, const SweepResult &result,
 
 /** The table sizes Figure 4 sweeps. */
 const std::vector<size_t> &hitRatioTableSizes();
+
+/**
+ * Run @p name once and write its control trace as a binary container
+ * to <dir>/<name>.lstrace (tools/trace_convert export, test fixtures).
+ * Returns the path written; fatal() on I/O failure.
+ */
+std::string exportWorkloadTrace(const std::string &name,
+                                const RunOptions &opts,
+                                const std::string &dir,
+                                TraceEncoding enc);
 
 } // namespace loopspec
 

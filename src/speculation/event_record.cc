@@ -77,19 +77,25 @@ LoopEventRecorder::onSingleIterExec(const SingleIterExecEvent &ev)
                               ExecEndReason::Close});
 }
 
-void
-LoopEventRecorder::onTraceDone(uint64_t total_instrs)
+std::string
+deriveRecordingEvents(LoopEventRecording &rec)
 {
-    LOOPSPEC_ASSERT(!done, "onTraceDone twice");
-    done = true;
-    rec.totalInstrs = total_instrs;
-
     // Derive the simulator's SimEvent stream and the per-execution
     // boundaries from the recorded events (bulk pass, off the per-event
-    // hot path). Exec ids are allocated densely by the detector, so a
-    // flat vector indexes the live executions.
+    // hot path). Exec ids are allocated densely by the detector starting
+    // at 1, so a flat vector indexes the live executions; anything a
+    // well-formed stream can't contain is a diagnostic, not an assert —
+    // the container decoder runs this on untrusted files.
+    rec.events.clear();
     rec.events.reserve(rec.loopEvents.size() / 2);
-    std::vector<uint32_t> exec_index; //!< execId -> idx, UINT32_MAX=none
+    for (ExecRecord &x : rec.execs) {
+        x.iterBoundaries.clear();
+        x.endBoundary = 0;
+        x.iterCount = 0;
+        x.endReason = ExecEndReason::Close;
+    }
+    std::vector<uint32_t> exec_index(rec.execs.size() + 1,
+                                     UINT32_MAX); //!< execId -> idx
     size_t live_execs = 0;
     uint32_t next_exec = 0;
     auto find_exec = [&](uint64_t exec_id) -> uint32_t {
@@ -99,16 +105,19 @@ LoopEventRecorder::onTraceDone(uint64_t total_instrs)
     for (const LoopEventRec &e : rec.loopEvents) {
         switch (e.kind) {
           case LoopEventKind::ExecStart: {
+            if (next_exec >= rec.execs.size())
+                return "more ExecStart events than exec records";
             if (e.execId >= exec_index.size())
-                exec_index.resize(e.execId + 256, UINT32_MAX);
+                return strprintf("exec id %llu out of range",
+                                 (unsigned long long)e.execId);
             exec_index[e.execId] = next_exec++;
             ++live_execs;
             break;
           }
           case LoopEventKind::IterStart: {
             uint32_t idx = find_exec(e.execId);
-            LOOPSPEC_ASSERT(idx != UINT32_MAX,
-                            "IterStart for unknown exec");
+            if (idx == UINT32_MAX)
+                return "IterStart for unknown exec";
             uint64_t boundary = e.pos + 1;
             rec.execs[idx].iterBoundaries.push_back(boundary);
             rec.events.push_back(
@@ -117,7 +126,8 @@ LoopEventRecorder::onTraceDone(uint64_t total_instrs)
           }
           case LoopEventKind::ExecEnd: {
             uint32_t idx = find_exec(e.execId);
-            LOOPSPEC_ASSERT(idx != UINT32_MAX, "ExecEnd for unknown exec");
+            if (idx == UINT32_MAX)
+                return "ExecEnd for unknown exec";
             ExecRecord &r = rec.execs[idx];
             r.endBoundary = e.pos + 1;
             r.iterCount = e.aux;
@@ -132,26 +142,40 @@ LoopEventRecorder::onTraceDone(uint64_t total_instrs)
           case LoopEventKind::SingleIter:
             break;
           default:
-            panic("bad LoopEventKind");
+            return "bad loop event kind";
         }
     }
-    LOOPSPEC_ASSERT(live_execs == 0,
-                    "executions still open at trace end (missing flush?)");
+    if (next_exec != rec.execs.size())
+        return "fewer ExecStart events than exec records";
+    if (live_execs != 0)
+        return "executions still open at trace end (missing flush?)";
 
     // The detector's flush reports positions one past the last retired
     // instruction; clamp all boundaries into [0, totalInstrs].
     for (auto &e : rec.events) {
-        if (e.boundary > total_instrs)
-            e.boundary = total_instrs;
+        if (e.boundary > rec.totalInstrs)
+            e.boundary = rec.totalInstrs;
     }
     for (auto &x : rec.execs) {
-        if (x.endBoundary > total_instrs)
-            x.endBoundary = total_instrs;
+        if (x.endBoundary > rec.totalInstrs)
+            x.endBoundary = rec.totalInstrs;
         for (auto &b : x.iterBoundaries) {
-            if (b > total_instrs)
-                b = total_instrs;
+            if (b > rec.totalInstrs)
+                b = rec.totalInstrs;
         }
     }
+    return {};
+}
+
+void
+LoopEventRecorder::onTraceDone(uint64_t total_instrs)
+{
+    LOOPSPEC_ASSERT(!done, "onTraceDone twice");
+    done = true;
+    rec.totalInstrs = total_instrs;
+    std::string err = deriveRecordingEvents(rec);
+    if (!err.empty())
+        panic("recorded event stream inconsistent: %s", err.c_str());
 }
 
 LoopEventRecording
@@ -205,6 +229,48 @@ compareRecordings(const LoopEventRecording &a,
 }
 
 void
+dispatchLoopEvent(const LoopEventRec &e, uint32_t branch_addr,
+                  uint64_t parent_exec_id,
+                  const std::vector<LoopListener *> &listeners)
+{
+    switch (e.kind) {
+      case LoopEventKind::ExecStart: {
+        ExecStartEvent ev{e.pos, e.execId, e.loop, branch_addr,
+                          e.depth, parent_exec_id};
+        for (auto *l : listeners)
+            l->onExecStart(ev);
+        break;
+      }
+      case LoopEventKind::IterStart: {
+        IterEvent ev{e.pos, e.execId, e.loop, e.aux, e.depth};
+        for (auto *l : listeners)
+            l->onIterStart(ev);
+        break;
+      }
+      case LoopEventKind::IterEnd: {
+        IterEvent ev{e.pos, e.execId, e.loop, e.aux, e.depth};
+        for (auto *l : listeners)
+            l->onIterEnd(ev);
+        break;
+      }
+      case LoopEventKind::ExecEnd: {
+        ExecEndEvent ev{e.pos, e.execId, e.loop, e.aux, e.reason};
+        for (auto *l : listeners)
+            l->onExecEnd(ev);
+        break;
+      }
+      case LoopEventKind::SingleIter: {
+        SingleIterExecEvent ev{e.pos, e.loop, e.aux, e.depth};
+        for (auto *l : listeners)
+            l->onSingleIterExec(ev);
+        break;
+      }
+      default:
+        panic("bad LoopEventKind");
+    }
+}
+
+void
 replayLoopEvents(const LoopEventRecording &recording,
                  const std::vector<LoopListener *> &listeners)
 {
@@ -212,44 +278,16 @@ replayLoopEvents(const LoopEventRecording &recording,
     // record supplies the fields the compact event stream omits.
     size_t next_exec = 0;
     for (const LoopEventRec &e : recording.loopEvents) {
-        switch (e.kind) {
-          case LoopEventKind::ExecStart: {
+        uint32_t branch_addr = 0;
+        uint64_t parent_exec_id = 0;
+        if (e.kind == LoopEventKind::ExecStart) {
             LOOPSPEC_ASSERT(next_exec < recording.execs.size(),
                             "more ExecStart events than ExecRecords");
             const ExecRecord &r = recording.execs[next_exec++];
-            ExecStartEvent ev{e.pos, e.execId, e.loop, r.branchAddr,
-                              e.depth, r.parentExecId};
-            for (auto *l : listeners)
-                l->onExecStart(ev);
-            break;
-          }
-          case LoopEventKind::IterStart: {
-            IterEvent ev{e.pos, e.execId, e.loop, e.aux, e.depth};
-            for (auto *l : listeners)
-                l->onIterStart(ev);
-            break;
-          }
-          case LoopEventKind::IterEnd: {
-            IterEvent ev{e.pos, e.execId, e.loop, e.aux, e.depth};
-            for (auto *l : listeners)
-                l->onIterEnd(ev);
-            break;
-          }
-          case LoopEventKind::ExecEnd: {
-            ExecEndEvent ev{e.pos, e.execId, e.loop, e.aux, e.reason};
-            for (auto *l : listeners)
-                l->onExecEnd(ev);
-            break;
-          }
-          case LoopEventKind::SingleIter: {
-            SingleIterExecEvent ev{e.pos, e.loop, e.aux, e.depth};
-            for (auto *l : listeners)
-                l->onSingleIterExec(ev);
-            break;
-          }
-          default:
-            panic("bad LoopEventKind");
+            branch_addr = r.branchAddr;
+            parent_exec_id = r.parentExecId;
         }
+        dispatchLoopEvent(e, branch_addr, parent_exec_id, listeners);
     }
     for (auto *l : listeners)
         l->onTraceDone(recording.totalInstrs);

@@ -121,6 +121,22 @@ struct LoopEventRecording
 };
 
 /**
+ * Rebuild the derived views of a recording — the simulator's SimEvent
+ * stream and each ExecRecord's iterBoundaries / endBoundary / iterCount /
+ * endReason — from the loopEvents stream. Requires rec.totalInstrs and
+ * rec.execs to be populated with one record per ExecStart event, in
+ * order, carrying the non-derivable fields (execId, loop, branchAddr,
+ * depth, parentExecId); everything derived is recomputed from scratch.
+ *
+ * The recorder runs this in onTraceDone (an error there is an internal
+ * bug → panic); the trace-container decoder runs the very same pass on
+ * untrusted input, so structural inconsistencies (events for unknown
+ * executions, executions left open, out-of-range kinds) come back as a
+ * diagnostic string — "" on success — never as UB or an abort.
+ */
+std::string deriveRecordingEvents(LoopEventRecording &rec);
+
+/**
  * Replay the recorded loop-event stream into @p listeners in emission
  * order, finishing with onTraceDone. Per-instruction callbacks are not
  * replayed: this derives every artifact that consumes loop events only
@@ -129,6 +145,17 @@ struct LoopEventRecording
  */
 void replayLoopEvents(const LoopEventRecording &recording,
                       const std::vector<LoopListener *> &listeners);
+
+/**
+ * Deliver one recorded event to @p listeners — the dispatch step of
+ * replayLoopEvents, shared with the out-of-core streaming reader so
+ * both replay paths reconstruct identical listener callbacks. For
+ * ExecStart the caller supplies the sidecar fields the compact event
+ * omits (@p branch_addr, @p parent_exec_id); other kinds ignore them.
+ */
+void dispatchLoopEvent(const LoopEventRec &e, uint32_t branch_addr,
+                       uint64_t parent_exec_id,
+                       const std::vector<LoopListener *> &listeners);
 
 /**
  * Field-by-field comparison of two recordings (loop-event stream, exec

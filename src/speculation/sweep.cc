@@ -10,6 +10,8 @@
 #include "loop/loop_detector.hh"
 #include "speculation/ideal_tpc.hh"
 #include "speculation/spec_sim.hh"
+#include "trace_io/stream_reader.hh"
+#include "trace_io/trace_codec.hh"
 #include "tracegen/control_trace.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -217,6 +219,11 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
         fatal("data-speculation artifacts read operand values and cannot "
               "be derived by control-trace replay; use a single-CLS grid");
     }
+    const bool from_traces = !grid.traceDir.empty();
+    if (from_traces && (data || grid.dataSpec)) {
+        fatal("data-speculation artifacts read operand values, which a "
+              "control-trace replay (--trace-dir) cannot provide");
+    }
 
     out.rows.resize(num_w * num_c);
     std::vector<LoopEventRecording> recordings(cells ? num_w * num_c : 0);
@@ -226,10 +233,13 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
     opts.maxInstrs = grid.maxInstrs;
     opts.checkReplay = grid.checkReplay;
     opts.clsEntries = grid.clsSizes[0];
+    opts.traceDir = grid.traceDir;
 
     // Extra CLS sizes only matter when something is derived per size (a
     // recording for cells, or the ideal artifacts); rows-only grids copy
-    // the live pass and need no control trace.
+    // the live pass and need no control trace. In trace-dir mode the
+    // on-disk container *is* the control trace: derived sizes re-stream
+    // it instead of buffering a materialized copy.
     const bool derive_cls = num_c > 1 && (cells || grid.ideal);
 
     CollectFlags flags;
@@ -237,7 +247,7 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
     flags.ideal = grid.ideal;
     flags.dataSpec = grid.dataSpec;
     flags.dataCorrectness = data;
-    flags.controlTrace = derive_cls;
+    flags.controlTrace = derive_cls && !from_traces;
 
     // Stage 1: one functional pass per workload; every further CLS size
     // is derived from that pass's control trace inside the same work
@@ -258,6 +268,26 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
         if (cells)
             recordings[w * num_c] = std::move(art.recording);
 
+        // Trace-dir mode re-streams the container per derived size
+        // (replayControl starts a fresh bounded-buffer cursor per call)
+        // rather than materializing the transfers in memory.
+        std::unique_ptr<TraceFileStreamer> streamer;
+        if (derive_cls && from_traces) {
+            std::string err;
+            streamer = TraceFileStreamer::open(
+                traceFilePath(grid.traceDir, grid.workloads[w],
+                              kControlTraceExt),
+                StreamConfig{}, &err);
+            if (!streamer)
+                fatal("%s", err.c_str());
+        }
+        const auto replay_stream = [&](TraceObserver &obs,
+                                       uint64_t max_instrs) {
+            std::string err = streamer->replayControl(obs, max_instrs);
+            if (!err.empty())
+                fatal("%s", err.c_str());
+        };
+
         for (size_t c = 1; derive_cls && c < num_c; ++c) {
             SweepRow &row = out.rows[w * num_c + c];
             LoopDetector det({grid.clsSizes[c]});
@@ -267,7 +297,10 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
                 det.addListener(&rec);
             if (grid.ideal)
                 det.addListener(&ideal);
-            replayControlTrace(art.controlTrace, det);
+            if (from_traces)
+                replay_stream(det, grid.maxInstrs);
+            else
+                replayControlTrace(art.controlTrace, det);
             if (cells) {
                 recordings[w * num_c + c] = rec.take();
                 if (grid.checkReplay) {
@@ -288,8 +321,11 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
                 IdealTpcComputer prefix;
                 LoopDetector prefix_det({grid.clsSizes[c]});
                 prefix_det.addListener(&prefix);
-                replayControlTrace(art.controlTrace, prefix_det,
-                                   art.totalInstrs / 2);
+                if (from_traces)
+                    replay_stream(prefix_det, art.totalInstrs / 2);
+                else
+                    replayControlTrace(art.controlTrace, prefix_det,
+                                       art.totalInstrs / 2);
                 row.idealTpcPrefix = prefix.tpc();
             }
         }

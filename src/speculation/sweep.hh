@@ -97,6 +97,16 @@ struct SweepGrid
     /** Cross-check replay-derived recordings against direct passes
      *  (forwarded to runWorkload; fatal() on divergence). */
     bool checkReplay = false;
+    /**
+     * Non-empty = replay recorded control-trace containers from this
+     * directory instead of executing the workloads (RunOptions::traceDir):
+     * each workload name resolves to <traceDir>/<name>.lstrace, the
+     * functional pass becomes an out-of-core streaming replay, and the
+     * derived-CLS / prefix reruns re-stream the same file instead of
+     * buffering a materialized ControlTrace. Grids needing operand values
+     * (dataSpec, needsDataCorrectness) are fatal in this mode.
+     */
+    std::string traceDir;
 
     /** Cells per workload-CLS point (policies × TUs × LET sizes). */
     size_t configsPerRecording() const;

@@ -1,6 +1,11 @@
 #include "synth/diff_checker.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <list>
 #include <map>
 #include <memory>
@@ -11,9 +16,13 @@
 #include "predict/predictor_meter.hh"
 #include "speculation/event_record.hh"
 #include "tables/hit_ratio.hh"
+#include "trace_io/crc32.hh"
+#include "trace_io/stream_reader.hh"
+#include "trace_io/trace_codec.hh"
 #include "tracegen/control_trace.hh"
 #include "tracegen/trace_engine.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 
 namespace loopspec
 {
@@ -546,6 +555,223 @@ checkInvariants(const EventLog &log, const std::vector<DynInstr> &stream,
 // same oracle now also backs the sweep engine's --check-replay of
 // control-trace-derived recordings.
 
+/** Field-by-field control-trace comparison; empty string when equal. */
+std::string
+compareControlTraces(const ControlTrace &a, const ControlTrace &b)
+{
+    if (a.totalInstrs != b.totalInstrs) {
+        return strprintf("totalInstrs %llu vs %llu",
+                         static_cast<unsigned long long>(b.totalInstrs),
+                         static_cast<unsigned long long>(a.totalInstrs));
+    }
+    if (a.transfers.size() != b.transfers.size()) {
+        return strprintf("%zu transfers vs %zu", b.transfers.size(),
+                         a.transfers.size());
+    }
+    for (size_t i = 0; i < a.transfers.size(); ++i) {
+        const CtrlTransfer &x = a.transfers[i];
+        const CtrlTransfer &y = b.transfers[i];
+        if (x.seq != y.seq || x.pc != y.pc || x.target != y.target ||
+            x.kind != y.kind || x.taken != y.taken)
+            return strprintf("transfer %zu differs", i);
+    }
+    return {};
+}
+
+/** One seeded corruption of @p image; never a byte-identical copy. */
+std::vector<uint8_t>
+corruptImage(const std::vector<uint8_t> &image, Rng &rng)
+{
+    std::vector<uint8_t> out = image;
+    switch (rng.below(3)) {
+      case 0: // flip bits within one byte
+        out[rng.below(out.size())] ^=
+            static_cast<uint8_t>(1 + rng.below(255));
+        break;
+      case 1: // truncate anywhere, possibly to nothing
+        out.resize(rng.below(out.size()));
+        break;
+      default: // trailing garbage past the section table
+        out.push_back(static_cast<uint8_t>(rng.next()));
+        break;
+    }
+    return out;
+}
+
+/**
+ * Every seeded corruption of @p image must fail its decoder with a
+ * diagnostic — a flipped byte, truncation or extension can never decode
+ * cleanly (the format's CRC + exact-size guarantees). The corruption
+ * sequence is a pure function of the image bytes, so failures replay.
+ */
+std::string
+requireCorruptionRejected(const char *what,
+                          const std::vector<uint8_t> &image,
+                          bool is_recording, size_t variants)
+{
+    Rng rng(crc32(image.data(), image.size()) ^
+            (static_cast<uint64_t>(image.size()) << 32));
+    for (size_t i = 0; i < variants; ++i) {
+        std::vector<uint8_t> bad = corruptImage(image, rng);
+        std::string err;
+        if (is_recording) {
+            LoopEventRecording out;
+            err = decodeRecording(bad.data(), bad.size(), &out);
+        } else {
+            ControlTrace out;
+            err = decodeControlTrace(bad.data(), bad.size(), &out);
+        }
+        if (err.empty()) {
+            return strprintf("disk: %s corruption variant %zu decoded "
+                             "cleanly (%zu -> %zu bytes)",
+                             what, i, image.size(), bad.size());
+        }
+    }
+    return {};
+}
+
+/** Unique scratch path for the streaming-replay leg (fuzz campaigns
+ *  run many DiffChecker threads in one process). */
+std::string
+tempImagePath(const char *ext)
+{
+    static std::atomic<uint64_t> counter{0};
+    const char *dir = std::getenv("TMPDIR");
+    if (!dir || !*dir)
+        dir = "/tmp";
+    return strprintf("%s/loopspec_diff_%d_%llu%s", dir,
+                     static_cast<int>(getpid()),
+                     static_cast<unsigned long long>(
+                         counter.fetch_add(1)),
+                     ext);
+}
+
+/**
+ * Disk round-trip oracle (DiffConfig::diskOracle): both encodings of
+ * both containers decode back bit-exactly; the out-of-core streaming
+ * replay of the written files reproduces the reference event log and
+ * re-records the identical recording; and every seeded corruption is
+ * rejected with a diagnostic.
+ */
+std::string
+checkDiskRoundTrip(const ControlTrace &ctrace,
+                   const LoopEventRecording &recording,
+                   const EventLog &ref_log, size_t cls,
+                   const DiffConfig &cfg)
+{
+    for (TraceEncoding enc :
+         {TraceEncoding::Raw, TraceEncoding::Varint}) {
+        const char *ename =
+            enc == TraceEncoding::Raw ? "raw" : "varint";
+
+        // In-memory round trip: encode -> decode -> field compare.
+        std::vector<uint8_t> cimg = encodeControlTrace(ctrace, enc);
+        ControlTrace cback;
+        std::string err =
+            decodeControlTrace(cimg.data(), cimg.size(), &cback);
+        if (!err.empty()) {
+            return strprintf("disk: %s control image rejected by its "
+                             "own decoder: %s",
+                             ename, err.c_str());
+        }
+        err = compareControlTraces(ctrace, cback);
+        if (!err.empty()) {
+            return strprintf("disk: %s control round-trip: %s", ename,
+                             err.c_str());
+        }
+
+        std::vector<uint8_t> rimg = encodeRecording(recording, enc);
+        LoopEventRecording rback;
+        err = decodeRecording(rimg.data(), rimg.size(), &rback);
+        if (!err.empty()) {
+            return strprintf("disk: %s recording image rejected by its "
+                             "own decoder: %s",
+                             ename, err.c_str());
+        }
+        err = compareRecordings(recording, rback);
+        if (!err.empty()) {
+            return strprintf("disk: %s recording round-trip: %s", ename,
+                             err.c_str());
+        }
+
+        // Corruption corpus: flips, truncations, extensions.
+        err = requireCorruptionRejected(
+            strprintf("%s control", ename).c_str(), cimg, false,
+            cfg.corruptionsPerImage);
+        if (!err.empty())
+            return err;
+        err = requireCorruptionRejected(
+            strprintf("%s recording", ename).c_str(), rimg, true,
+            cfg.corruptionsPerImage);
+        if (!err.empty())
+            return err;
+
+        // Out-of-core streaming replay from a real file. Tiny chunks
+        // force records to split across every chunk boundary; the
+        // replay batch stays at its default so the batched event
+        // positions match the in-memory reference bit-for-bit.
+        StreamConfig scfg;
+        scfg.chunkBytes = 512;
+
+        std::string cpath = tempImagePath(kControlTraceExt);
+        writeFileBytes(cpath, cimg);
+        EventLog log_s;
+        {
+            std::unique_ptr<TraceFileStreamer> streamer =
+                TraceFileStreamer::open(cpath, scfg, &err);
+            if (!streamer) {
+                std::remove(cpath.c_str());
+                return strprintf("disk: %s control stream open: %s",
+                                 ename, err.c_str());
+            }
+            LoopDetector det({cls});
+            det.addListener(&log_s);
+            err = streamer->replayControl(det);
+        }
+        std::remove(cpath.c_str());
+        if (!err.empty()) {
+            return strprintf("disk: %s control stream replay: %s",
+                             ename, err.c_str());
+        }
+        err = compareLogs(
+            strprintf("disk %s stream-replay", ename).c_str(), ref_log,
+            log_s);
+        if (!err.empty())
+            return err;
+
+        std::string rpath = tempImagePath(kRecordingExt);
+        writeFileBytes(rpath, rimg);
+        EventLog log_e;
+        LoopEventRecorder rerec;
+        {
+            std::unique_ptr<TraceFileStreamer> streamer =
+                TraceFileStreamer::open(rpath, scfg, &err);
+            if (!streamer) {
+                std::remove(rpath.c_str());
+                return strprintf("disk: %s recording stream open: %s",
+                                 ename, err.c_str());
+            }
+            err = streamer->replayEvents({&log_e, &rerec});
+        }
+        std::remove(rpath.c_str());
+        if (!err.empty()) {
+            return strprintf("disk: %s recording stream replay: %s",
+                             ename, err.c_str());
+        }
+        err = compareLogs(
+            strprintf("disk %s event-stream", ename).c_str(), ref_log,
+            log_e);
+        if (!err.empty())
+            return err;
+        err = compareRecordings(recording, rerec.take());
+        if (!err.empty()) {
+            return strprintf("disk: %s event-stream re-recording: %s",
+                             ename, err.c_str());
+        }
+    }
+    return {};
+}
+
 /**
  * Predictor-state invariant: the branch-predictor baselines are pure
  * functions of the retired conditional-branch stream, so a scalar-fed
@@ -750,6 +976,15 @@ diffProgram(const Program &prog, const DiffConfig &cfg)
             err = compareRecordings(recording, recorder_d.take());
         if (!err.empty())
             return DiffResult::fail(tag + ": " + err);
+
+        // (D2) Disk round-trip + corruption-rejection oracle. The
+        // container codecs are CLS-independent, so one pass (at the
+        // first CLS size) per program keeps fuzz throughput.
+        if (cfg.diskOracle && cls == cfg.clsSizes.front()) {
+            err = checkDiskRoundTrip(ctrace, recording, log_a, cls, cfg);
+            if (!err.empty())
+                return DiffResult::fail(err);
+        }
 
         // (E) Detector invariants on the reference log.
         err = checkInvariants(log_a, scalar.all, cls);

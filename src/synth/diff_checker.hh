@@ -113,6 +113,22 @@ struct DiffConfig
     /** Run the control-replay detector with one CLS entry fewer — a
      *  deliberate off-by-one the harness must detect (self-check). */
     bool injectClsOffByOne = false;
+
+    /**
+     * Disk round-trip oracle (docs/TRACE_FORMAT.md): encode the
+     * ControlTrace and LoopEventRecording as container images under
+     * both encodings, decode them back and require bit-exact recovery;
+     * write them to real files and require the out-of-core streaming
+     * replay to reproduce the reference event log; then apply seeded
+     * byte-flip / truncation / extension corruptions to every image and
+     * require each one to be rejected with a diagnostic — a corrupted
+     * container must never decode cleanly or replay wrong-but-clean.
+     * Default on; tools/fuzz_loopspec --no-disk-oracle disables it.
+     */
+    bool diskOracle = true;
+
+    /** Seeded corruption variants per container image (disk oracle). */
+    size_t corruptionsPerImage = 6;
 };
 
 /** Outcome of one differential check. */

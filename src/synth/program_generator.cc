@@ -304,6 +304,33 @@ ProgramGenerator::plan(uint64_t seed) const
     return out;
 }
 
+ProgramPlan
+massivePlan(uint64_t seed, uint64_t num_loops)
+{
+    Rng rng(seed);
+    ProgramPlan out;
+    out.seed = seed;
+    out.main.reserve(num_loops);
+    for (uint64_t i = 0; i < num_loops; ++i) {
+        LoopNode n;
+        double p = rng.uniform();
+        if (p < 0.10) {
+            n.shape = LoopShape::Trip1;
+            n.trip = 1;
+        } else if (p < 0.25) {
+            n.shape = LoopShape::DataDep;
+            n.trip = 2;
+            n.mask = rng.chance(0.5) ? 3 : 7;
+        } else {
+            n.shape = LoopShape::Counted;
+            n.trip = 2 + static_cast<int64_t>(rng.below(3));
+        }
+        n.pad = static_cast<uint8_t>(rng.below(3));
+        out.main.push_back(std::move(n));
+    }
+    return out;
+}
+
 // --------------------------------------------------------------- emitter
 
 struct ProgramGenerator::Emitter

@@ -137,6 +137,17 @@ struct GenConfig
 };
 
 /**
+ * Flat scale-stress plan: @p num_loops top-level loops (a seeded mix of
+ * small Counted / DataDep / Trip1 shapes, no nesting, no calls) — the
+ * substrate of the synth.massive workload, whose point is static-loop
+ * *count* (10^5+ distinct loops) rather than structural variety. The
+ * planner's budget logic is bypassed deliberately: one pass over main is
+ * O(num_loops) dynamic instructions and the caller bounds the dynamic
+ * footprint with outer_reps + --max-instrs fuel rather than a budget.
+ */
+ProgramPlan massivePlan(uint64_t seed, uint64_t num_loops);
+
+/**
  * The generator. One instance is reusable across seeds; all state is
  * per-call. plan() and emit() are deterministic functions of their
  * arguments.

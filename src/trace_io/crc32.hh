@@ -1,0 +1,25 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+ * Every section payload of the on-disk trace container carries a CRC so
+ * any byte flip or truncation is rejected with a diagnostic instead of
+ * decoding into a wrong-but-plausible trace (docs/TRACE_FORMAT.md).
+ */
+
+#ifndef LOOPSPEC_TRACE_IO_CRC32_HH
+#define LOOPSPEC_TRACE_IO_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace loopspec
+{
+
+/** CRC-32 of @p size bytes, continuing from @p seed (0 for a fresh
+ *  checksum). Incremental: crc32(b, n1+n2) == crc32(b+n1, n2,
+ *  crc32(b, n1)). */
+uint32_t crc32(const void *data, size_t size, uint32_t seed = 0);
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_TRACE_IO_CRC32_HH

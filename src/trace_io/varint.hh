@@ -1,0 +1,125 @@
+/**
+ * @file
+ * LEB128 varints and zigzag signed mapping for the compressed trace
+ * sections, plus the little-endian fixed-width load/store helpers the
+ * whole container format is pinned to (docs/TRACE_FORMAT.md: the disk
+ * byte order is little-endian on every host).
+ *
+ * Decoders never trust their input: every read is bounds-checked against
+ * the section span and overlong encodings (more than 10 bytes) are
+ * rejected, so a corrupted byte can produce a diagnostic error but never
+ * an out-of-bounds read.
+ */
+
+#ifndef LOOPSPEC_TRACE_IO_VARINT_HH
+#define LOOPSPEC_TRACE_IO_VARINT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace loopspec
+{
+
+// ------------------------------------------------------- little endian
+
+/** Append @p value to @p out as @p n little-endian bytes (n <= 8). */
+inline void
+putLe(std::vector<uint8_t> &out, uint64_t value, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+/** Read @p n little-endian bytes at @p p (caller checks bounds). */
+inline uint64_t
+getLe(const uint8_t *p, unsigned n)
+{
+    uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** Overwrite @p n little-endian bytes at @p p in place. */
+inline void
+storeLe(uint8_t *p, uint64_t value, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        p[i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+// --------------------------------------------------------------- varint
+
+/** Append @p value as a LEB128 varint (1..10 bytes). */
+inline void
+putVarint(std::vector<uint8_t> &out, uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(value));
+}
+
+/** Zigzag-map a signed value so small magnitudes stay small. */
+inline uint64_t
+zigzag(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+/** Inverse of zigzag(). */
+inline int64_t
+unzigzag(uint64_t v)
+{
+    return static_cast<int64_t>(v >> 1) ^
+           -static_cast<int64_t>(v & 1);
+}
+
+/** Append zigzag(@p value) as a varint. */
+inline void
+putSvarint(std::vector<uint8_t> &out, int64_t value)
+{
+    putVarint(out, zigzag(value));
+}
+
+/**
+ * Decode one varint from [*p, end). On success advances *p and returns
+ * true; returns false (leaving *p unspecified) on truncation or an
+ * overlong (> 10 byte) encoding.
+ */
+inline bool
+getVarint(const uint8_t **p, const uint8_t *end, uint64_t *out)
+{
+    uint64_t v = 0;
+    unsigned shift = 0;
+    const uint8_t *q = *p;
+    while (q < end && shift < 70) {
+        uint8_t b = *q++;
+        v |= static_cast<uint64_t>(b & 0x7F) << shift;
+        if (!(b & 0x80)) {
+            *p = q;
+            *out = v;
+            return true;
+        }
+        shift += 7;
+    }
+    return false;
+}
+
+/** Decode one zigzag varint; same contract as getVarint(). */
+inline bool
+getSvarint(const uint8_t **p, const uint8_t *end, int64_t *out)
+{
+    uint64_t raw;
+    if (!getVarint(p, end, &raw))
+        return false;
+    *out = unzigzag(raw);
+    return true;
+}
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_TRACE_IO_VARINT_HH

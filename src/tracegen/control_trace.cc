@@ -118,53 +118,100 @@ ControlTraceRecorder::take()
     return out;
 }
 
+ControlReplaySynthesizer::ControlReplaySynthesizer(
+    TraceObserver &observer, uint64_t total_instrs, uint64_t max_instrs,
+    size_t batch_instrs)
+    : observer(observer), end(total_instrs)
+{
+    LOOPSPEC_ASSERT(batch_instrs >= 1, "batch_instrs must be >= 1");
+    if (max_instrs && max_instrs < end)
+        end = max_instrs;
+    // The buffer starts as all-default gap records; per batch only seq
+    // and the control positions are patched, and the control positions
+    // are restored to gap defaults after delivery.
+    buf.resize(batch_instrs);
+    ctrl.reserve(batch_instrs);
+}
+
+void
+ControlReplaySynthesizer::flush()
+{
+    observer.onInstrBatchCtrl(buf.data(), fill, ctrl.data(),
+                              ctrl.size());
+    for (uint32_t i : ctrl) {
+        DynInstr &d = buf[i];
+        d.pc = 0;
+        d.target = 0;
+        d.kind = CtrlKind::None;
+        d.taken = false;
+    }
+    ctrl.clear();
+    fill = 0;
+}
+
+bool
+ControlReplaySynthesizer::feed(const CtrlTransfer &t)
+{
+    LOOPSPEC_ASSERT(!finished, "feed() after finish()");
+    // A transfer the materialized replay would never match (out of
+    // recorded order) blocks every later one there too — mirror that.
+    if (stalled || t.seq >= end) {
+        stalled = true;
+        return false;
+    }
+    if (t.seq < seq) {
+        stalled = true;
+        return false;
+    }
+    while (seq < t.seq) { // synthesize the gap before this transfer
+        buf[fill].seq = seq;
+        ++fill;
+        ++seq;
+        if (fill == buf.size())
+            flush();
+    }
+    DynInstr &d = buf[fill];
+    d.seq = seq;
+    d.pc = t.pc;
+    d.target = t.target;
+    d.kind = t.kind;
+    d.taken = t.taken;
+    ctrl.push_back(static_cast<uint32_t>(fill));
+    ++fill;
+    ++seq;
+    if (fill == buf.size())
+        flush();
+    return true;
+}
+
+uint64_t
+ControlReplaySynthesizer::finish()
+{
+    LOOPSPEC_ASSERT(!finished, "finish() twice");
+    finished = true;
+    while (seq < end) { // trailing gap after the last transfer
+        buf[fill].seq = seq;
+        ++fill;
+        ++seq;
+        if (fill == buf.size())
+            flush();
+    }
+    if (fill)
+        flush();
+    observer.onTraceEnd(end);
+    return end;
+}
+
 uint64_t
 replayControlTrace(const ControlTrace &trace, TraceObserver &observer,
                    uint64_t max_instrs, size_t batch_instrs)
 {
-    LOOPSPEC_ASSERT(batch_instrs >= 1, "batch_instrs must be >= 1");
-    uint64_t end = trace.totalInstrs;
-    if (max_instrs && max_instrs < end)
-        end = max_instrs;
-
-    // The buffer starts as all-default gap records; per batch only seq
-    // and the control positions are patched, and the control positions
-    // are restored to gap defaults after delivery.
-    std::vector<DynInstr> buf(batch_instrs);
-    std::vector<uint32_t> ctrl;
-    ctrl.reserve(batch_instrs);
-    uint64_t seq = 0;
-    size_t next = 0; // index of the next recorded transfer
-    while (seq < end) {
-        ctrl.clear();
-        size_t n = 0;
-        while (n < buf.size() && seq < end) {
-            DynInstr &d = buf[n];
-            d.seq = seq;
-            if (next < trace.transfers.size() &&
-                trace.transfers[next].seq == seq) {
-                const CtrlTransfer &t = trace.transfers[next++];
-                d.pc = t.pc;
-                d.target = t.target;
-                d.kind = t.kind;
-                d.taken = t.taken;
-                ctrl.push_back(static_cast<uint32_t>(n));
-            }
-            ++n;
-            ++seq;
-        }
-        observer.onInstrBatchCtrl(buf.data(), n, ctrl.data(),
-                                  ctrl.size());
-        for (uint32_t i : ctrl) {
-            DynInstr &d = buf[i];
-            d.pc = 0;
-            d.target = 0;
-            d.kind = CtrlKind::None;
-            d.taken = false;
-        }
-    }
-    observer.onTraceEnd(end);
-    return end;
+    ControlReplaySynthesizer synth(observer, trace.totalInstrs,
+                                   max_instrs, batch_instrs);
+    for (const CtrlTransfer &t : trace.transfers)
+        if (!synth.feed(t))
+            break;
+    return synth.finish();
 }
 
 } // namespace loopspec

@@ -76,6 +76,51 @@ class ControlTraceRecorder : public TraceObserver
 };
 
 /**
+ * Incremental core of control-trace replay: feed() recorded transfers one
+ * at a time and the synthesizer reconstructs the full retired stream —
+ * gap instructions (CtrlKind::None, correct seq) between them — and
+ * delivers it to the observer in onInstrBatchCtrl batches. This is what
+ * lets the on-disk streaming reader drive a replay without ever holding
+ * the transfer vector in memory; replayControlTrace() is now a thin loop
+ * over it, so both paths are bit-identical by construction (same batch
+ * boundaries, same synthesized records).
+ */
+class ControlReplaySynthesizer
+{
+  public:
+    /** Replays the first min(total_instrs, max_instrs) instructions
+     *  (max_instrs 0 = no truncation) in @p batch_instrs batches. */
+    ControlReplaySynthesizer(TraceObserver &observer,
+                             uint64_t total_instrs,
+                             uint64_t max_instrs = 0,
+                             size_t batch_instrs = 4096);
+
+    /**
+     * Feed the next recorded transfer. Transfers must arrive in the
+     * recorded order; entries at or past the replay window are ignored.
+     * Returns false once no future transfer can be consumed — the
+     * caller may stop decoding and call finish().
+     */
+    bool feed(const CtrlTransfer &t);
+
+    /** Synthesize the trailing gap, flush, deliver onTraceEnd. Returns
+     *  the instruction count replayed. Call exactly once. */
+    uint64_t finish();
+
+  private:
+    void flush();
+
+    TraceObserver &observer;
+    std::vector<DynInstr> buf;
+    std::vector<uint32_t> ctrl;
+    uint64_t end;     //!< replay window length
+    uint64_t seq = 0; //!< next seq to synthesize
+    size_t fill = 0;  //!< occupied slots in buf
+    bool stalled = false;
+    bool finished = false;
+};
+
+/**
  * Replay a recorded trace into @p observer (typically a LoopDetector with
  * a fresh listener set), delivering synthesized batches. @p max_instrs
  * truncates the replay (0 = full length), mirroring EngineConfig::

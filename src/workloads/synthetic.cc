@@ -81,6 +81,19 @@ buildSynthCalls(const WorkloadScale &scale)
 }
 
 Program
+buildSynthMassive(const WorkloadScale &scale)
+{
+    // Scale stressor for the out-of-core trace path: 1.2e5 distinct
+    // flat loops (far beyond any CLS capacity, so nearly every entry
+    // misses) and a dynamic footprint of roughly 4e9 instructions per
+    // unit scale. Always run it fuel-bounded (--max-instrs); it is
+    // resolved by name only, so registry-driven suites never pick it up.
+    synth::ProgramGenerator gen;
+    return gen.emit(synth::massivePlan(5505, 120000), "synth.massive",
+                    scale.reps(1000));
+}
+
+Program
 buildSynthDegenerate(const WorkloadScale &scale)
 {
     // Trip-1 loops, self-branches and tiny trips: the detector's edge

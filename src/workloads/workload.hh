@@ -91,6 +91,14 @@ Program buildSynthNest(const WorkloadScale &scale);
 Program buildSynthIrregular(const WorkloadScale &scale);
 Program buildSynthCalls(const WorkloadScale &scale);
 Program buildSynthDegenerate(const WorkloadScale &scale);
+/**
+ * 10^5-static-loop scale stressor for the out-of-core trace path
+ * (massivePlan): buildable by name like every synth.* family but kept
+ * out of syntheticWorkloadRegistry() too — its per-unit-scale dynamic
+ * footprint is ~4e9 instructions, so only fuel-bounded (--max-instrs)
+ * callers should ever reach it, never a registry sweep.
+ */
+Program buildSynthMassive(const WorkloadScale &scale);
 
 } // namespace loopspec
 

@@ -21,6 +21,9 @@
 #include "speculation/event_record.hh"
 #include "speculation/ideal_tpc.hh"
 #include "tables/hit_ratio.hh"
+#include "trace_io/container.hh"
+#include "trace_io/stream_reader.hh"
+#include "trace_io/trace_codec.hh"
 #include "tracegen/control_trace.hh"
 #include "tracegen/trace_engine.hh"
 #include "workloads/workload.hh"
@@ -424,6 +427,167 @@ TEST(LoopEventReplay, RecordingRoundTripPreservesLoopEvents)
     for (size_t i = 0; i < rec.execs.size(); ++i) {
         EXPECT_EQ(back.execs[i].branchAddr, rec.execs[i].branchAddr);
         EXPECT_EQ(back.execs[i].parentExecId, rec.execs[i].parentExecId);
+    }
+}
+
+// ------------------------------------------------------------------
+// Out-of-core streaming replay (src/trace_io/, docs/TRACE_FORMAT.md):
+// the bounded-buffer TraceFileStreamer must be bit-identical to both
+// the mmap-decode path and the in-memory replay — same loop-event
+// stream, not merely the same aggregates — at every CLS size, under
+// either encoding, and under mid-stream prefix cuts.
+
+/** Replay @p feed into a fresh detector; return the loop-event
+ *  recording it produces (the bit-exact comparison artifact). */
+template <typename Fn>
+LoopEventRecording
+recordReplay(size_t cls, Fn &&feed)
+{
+    LoopDetector det({cls});
+    LoopEventRecorder rec;
+    det.addListener(&rec);
+    feed(det);
+    return rec.take();
+}
+
+TEST(StreamingReplay, MatchesInMemoryAndMmapAtEveryClsSize)
+{
+    for (const char *name : kWorkloads) {
+        SCOPED_TRACE(name);
+        Program p = buildWorkload(name, {kScale});
+        auto [trace, rec] = recordOnce(p, 16);
+
+        for (TraceEncoding enc :
+             {TraceEncoding::Raw, TraceEncoding::Varint}) {
+            SCOPED_TRACE(enc == TraceEncoding::Raw ? "raw" : "varint");
+            std::string path = traceFilePath(
+                ::testing::TempDir(),
+                std::string("stream_eq_") + name +
+                    (enc == TraceEncoding::Raw ? "_raw" : "_vz"),
+                kControlTraceExt);
+            writeControlTraceFile(path, trace, enc);
+
+            for (size_t cls : {4u, 8u, 16u}) {
+                SCOPED_TRACE(cls);
+                LoopEventRecording mem =
+                    recordReplay(cls, [&](LoopDetector &det) {
+                        replayControlTrace(trace, det);
+                    });
+
+                // mmap: CRC-validated map + whole-image decode.
+                std::string err;
+                auto map = MappedTraceFile::open(path, &err);
+                ASSERT_TRUE(map) << err;
+                ControlTrace mapped;
+                err = decodeControlTrace(map->bytes(),
+                                         map->fileBytes(), &mapped);
+                ASSERT_TRUE(err.empty()) << err;
+                LoopEventRecording via_map =
+                    recordReplay(cls, [&](LoopDetector &det) {
+                        replayControlTrace(mapped, det);
+                    });
+                EXPECT_EQ(compareRecordings(mem, via_map), "");
+
+                // streaming: tiny chunks force every record shape to
+                // straddle a chunk boundary somewhere in the file.
+                StreamConfig scfg;
+                scfg.chunkBytes = 512;
+                auto streamer =
+                    TraceFileStreamer::open(path, scfg, &err);
+                ASSERT_TRUE(streamer) << err;
+                LoopEventRecording via_stream =
+                    recordReplay(cls, [&](LoopDetector &det) {
+                        std::string rerr = streamer->replayControl(det);
+                        ASSERT_TRUE(rerr.empty()) << rerr;
+                    });
+                EXPECT_EQ(compareRecordings(mem, via_stream), "");
+                // The buffer bound is chunk + replay-batch overhead,
+                // independent of trace length (the out-of-core
+                // guarantee; the format suite asserts it against a
+                // multi-megabyte trace too).
+                EXPECT_LT(streamer->peakBufferBytes(), 512u * 1024);
+            }
+        }
+    }
+}
+
+TEST(StreamingReplay, MidStreamPrefixCutsMatchTruncatedInMemoryReplay)
+{
+    Program p = buildWorkload("compress", {kScale});
+    auto [trace, rec] = recordOnce(p, 16);
+    std::string path =
+        traceFilePath(::testing::TempDir(), "stream_eq_prefix",
+                      kControlTraceExt);
+    writeControlTraceFile(path, trace, TraceEncoding::Varint);
+
+    std::string err;
+    auto streamer = TraceFileStreamer::open(path, {}, &err);
+    ASSERT_TRUE(streamer) << err;
+    ASSERT_EQ(streamer->totalInstrs(), trace.totalInstrs);
+
+    // One streamer serves several prefix replays: each call re-streams
+    // the file from the start (that is how the sweep engine derives its
+    // Figure-5 half-trace rerun in --trace-dir mode).
+    const uint64_t cuts[] = {trace.totalInstrs / 3,
+                             trace.totalInstrs / 2,
+                             2 * trace.totalInstrs / 3 + 1, 12345};
+    for (uint64_t cut : cuts) {
+        SCOPED_TRACE(cut);
+        for (size_t cls : {4u, 8u, 16u}) {
+            SCOPED_TRACE(cls);
+            LoopEventRecording mem =
+                recordReplay(cls, [&](LoopDetector &det) {
+                    replayControlTrace(trace, det, cut);
+                });
+            LoopEventRecording via_stream =
+                recordReplay(cls, [&](LoopDetector &det) {
+                    std::string rerr =
+                        streamer->replayControl(det, cut);
+                    ASSERT_TRUE(rerr.empty()) << rerr;
+                });
+            EXPECT_EQ(compareRecordings(mem, via_stream), "");
+        }
+    }
+}
+
+TEST(StreamingReplay, EventStreamMatchesInMemoryLoopEventReplay)
+{
+    Program p = buildWorkload("li", {kScale});
+    auto [trace, rec] = recordOnce(p, 8);
+    ASSERT_FALSE(rec.loopEvents.empty());
+
+    for (TraceEncoding enc :
+         {TraceEncoding::Raw, TraceEncoding::Varint}) {
+        SCOPED_TRACE(enc == TraceEncoding::Raw ? "raw" : "varint");
+        std::string path = traceFilePath(
+            ::testing::TempDir(),
+            enc == TraceEncoding::Raw ? "stream_eq_rec_raw"
+                                      : "stream_eq_rec_vz",
+            kRecordingExt);
+        writeRecordingFile(path, rec, enc);
+
+        // In-memory reference: meters + a re-recording.
+        LetHitMeter memLet(4);
+        LitHitMeter memLit(4);
+        LoopEventRecorder memRec;
+        replayLoopEvents(rec, {&memLet, &memLit, &memRec});
+
+        std::string err;
+        StreamConfig scfg;
+        scfg.chunkBytes = 256;
+        auto streamer = TraceFileStreamer::open(path, scfg, &err);
+        ASSERT_TRUE(streamer) << err;
+        LetHitMeter strLet(4);
+        LitHitMeter strLit(4);
+        LoopEventRecorder strRec;
+        err = streamer->replayEvents({&strLet, &strLit, &strRec});
+        ASSERT_TRUE(err.empty()) << err;
+
+        EXPECT_EQ(compareRecordings(memRec.take(), strRec.take()), "");
+        EXPECT_EQ(strLet.result().accesses, memLet.result().accesses);
+        EXPECT_EQ(strLet.result().hits, memLet.result().hits);
+        EXPECT_EQ(strLit.result().accesses, memLit.result().accesses);
+        EXPECT_EQ(strLit.result().hits, memLit.result().hits);
     }
 }
 

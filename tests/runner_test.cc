@@ -1,4 +1,8 @@
-/** @file Unit tests for src/harness: RunOptions and flag parsing. */
+/** @file Unit tests for src/harness: RunOptions and flag parsing, plus
+ *  the --trace-dir streaming-replay run mode (docs/TRACE_FORMAT.md). */
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -7,6 +11,8 @@
 #include <vector>
 
 #include "harness/runner.hh"
+#include "trace_io/container.hh"
+#include "trace_io/trace_codec.hh"
 #include "workloads/workload.hh"
 
 namespace loopspec
@@ -146,6 +152,132 @@ TEST(SweepGridFromOptions, DefaultSelectionIsWholeRegistry)
 {
     RunOptions opts;
     EXPECT_EQ(sweepGridFromOptions(opts).workloads, workloadNames());
+}
+
+// ------------------------------------------------------------- --trace-dir
+
+/** Fresh subdirectory under the gtest temp dir (the temp dir itself is
+ *  shared across suites, and selected() scans whole directories). */
+std::string
+freshTraceDir(const std::string &tag)
+{
+    std::string dir = ::testing::TempDir() + "runner_" + tag + "_" +
+                      std::to_string(::getpid());
+    ::mkdir(dir.c_str(), 0755);
+    return dir;
+}
+
+TEST(ParseRunOptions, TraceDirFlagReachesOptionsAndGrid)
+{
+    const char *argv[] = {"prog", "--trace-dir=/some/dir"};
+    RunOptions opts = parseRunOptions(2, const_cast<char **>(argv), {});
+    EXPECT_EQ(opts.traceDir, "/some/dir");
+    EXPECT_TRUE(
+        parseRunOptions(1, const_cast<char **>(argv), {}).traceDir.empty());
+
+    // The sweep engine inherits the replay mode through the grid.
+    opts.benchmarks = {"compress"};
+    EXPECT_EQ(sweepGridFromOptions(opts).traceDir, "/some/dir");
+}
+
+TEST(RunOptions, SelectedScansTraceDirForContainers)
+{
+    std::string dir = freshTraceDir("scan");
+    // Stems of *.lstrace files, sorted; other files are ignored.
+    writeFileBytes(traceFilePath(dir, "zeta", kControlTraceExt), {1});
+    writeFileBytes(traceFilePath(dir, "alpha", kControlTraceExt), {1});
+    writeFileBytes(traceFilePath(dir, "alpha", kRecordingExt), {1});
+
+    RunOptions opts;
+    opts.traceDir = dir;
+    std::vector<std::string> expect = {"alpha", "zeta"};
+    EXPECT_EQ(opts.selected(), expect);
+
+    // An explicit --benchmarks list still wins over the scan.
+    opts.benchmarks = {"zeta"};
+    std::vector<std::string> just_zeta = {"zeta"};
+    EXPECT_EQ(opts.selected(), just_zeta);
+}
+
+TEST(RunWorkloadTraceDir, StreamedReplayMatchesDirectExecution)
+{
+    std::string dir = freshTraceDir("replay");
+    RunOptions opts;
+    opts.scale.factor = 0.05;
+    exportWorkloadTrace("compress", opts, dir, TraceEncoding::Varint);
+
+    CollectFlags flags;
+    flags.loopStats = true;
+    flags.hitRatios = true;
+    flags.ideal = true;
+    WorkloadArtifacts direct = runWorkload("compress", opts, flags);
+
+    RunOptions replay = opts;
+    replay.traceDir = dir;
+    // checkReplay makes the runner itself cross-check the streamed
+    // replay against an in-memory replay of the same file (fatal on
+    // divergence), so this also exercises that oracle.
+    replay.checkReplay = true;
+    WorkloadArtifacts streamed = runWorkload("compress", replay, flags);
+
+    EXPECT_EQ(streamed.totalInstrs, direct.totalInstrs);
+    EXPECT_EQ(streamed.loopStats.staticLoops,
+              direct.loopStats.staticLoops);
+    EXPECT_EQ(streamed.loopStats.totalExecs, direct.loopStats.totalExecs);
+    EXPECT_EQ(streamed.loopStats.totalIters, direct.loopStats.totalIters);
+    EXPECT_EQ(streamed.idealTpc, direct.idealTpc);
+    EXPECT_EQ(streamed.idealTpcPrefix, direct.idealTpcPrefix);
+    ASSERT_EQ(streamed.letResults.size(), direct.letResults.size());
+    for (size_t i = 0; i < direct.letResults.size(); ++i) {
+        EXPECT_EQ(streamed.letResults[i].first,
+                  direct.letResults[i].first);
+        EXPECT_EQ(streamed.letResults[i].second.hits,
+                  direct.letResults[i].second.hits);
+        EXPECT_EQ(streamed.letResults[i].second.accesses,
+                  direct.letResults[i].second.accesses);
+        EXPECT_EQ(streamed.litResults[i].second.hits,
+                  direct.litResults[i].second.hits);
+        EXPECT_EQ(streamed.litResults[i].second.accesses,
+                  direct.litResults[i].second.accesses);
+    }
+}
+
+TEST(RunWorkloadTraceDirDeathTest, MissingDirectoryIsFatal)
+{
+    RunOptions opts;
+    opts.traceDir = "/nonexistent_trace_dir_for_test";
+    EXPECT_EXIT(opts.selected(), testing::ExitedWithCode(1),
+                "cannot read trace directory");
+}
+
+TEST(RunWorkloadTraceDirDeathTest, MissingTraceFileIsFatal)
+{
+    RunOptions opts;
+    opts.traceDir = freshTraceDir("missing");
+    opts.benchmarks = {"compress"};
+    EXPECT_EXIT(runWorkload("compress", opts, {}),
+                testing::ExitedWithCode(1), "cannot open trace file");
+}
+
+TEST(RunWorkloadTraceDirDeathTest, MalformedContainerIsFatal)
+{
+    std::string dir = freshTraceDir("garbage");
+    std::vector<uint8_t> junk(64, 0xde); // header-sized, wrong magic
+    writeFileBytes(traceFilePath(dir, "junk", kControlTraceExt), junk);
+    RunOptions opts;
+    opts.traceDir = dir;
+    EXPECT_EXIT(runWorkload("junk", opts, {}),
+                testing::ExitedWithCode(1), "bad magic");
+}
+
+TEST(RunWorkloadTraceDirDeathTest, DataSpecNeedsOperandValues)
+{
+    RunOptions opts;
+    opts.traceDir = freshTraceDir("dataspec");
+    CollectFlags flags;
+    flags.dataSpec = true;
+    EXPECT_EXIT(runWorkload("compress", opts, flags),
+                testing::ExitedWithCode(1), "operand values");
 }
 
 TEST(ParseRunOptionsDeathTest, UnknownFlagIsFatal)

@@ -8,12 +8,17 @@
  * under the `quick` CTest label (docs/TESTING.md).
  */
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "harness/runner.hh"
 #include "speculation/spec_sim.hh"
+#include "trace_io/trace_codec.hh"
 
 namespace loopspec
 {
@@ -387,6 +392,101 @@ TEST(SpecSweep, SharedIndexMatchesOwnedIndex)
             ThreadSpecSimulator(art.recording, index, cfg).run();
         expectStatsEq(owned, shared);
     }
+}
+
+// ------------------------------------------------------------- --trace-dir
+
+/** Export control traces for @p benchmarks into a fresh directory
+ *  under the gtest temp dir; returns the directory. */
+std::string
+exportTraces(const std::vector<std::string> &benchmarks,
+             const RunOptions &opts, const std::string &tag)
+{
+    std::string dir = ::testing::TempDir() + "sweep_" + tag + "_" +
+                      std::to_string(::getpid());
+    ::mkdir(dir.c_str(), 0755);
+    for (const std::string &name : benchmarks)
+        exportWorkloadTrace(name, opts, dir, TraceEncoding::Varint);
+    return dir;
+}
+
+TEST(SpecSweep, TraceDirGridMatchesInProcessExecution)
+{
+    // A grid replayed from exported containers must be bit-identical to
+    // the same grid executed in-process — including the derived-CLS
+    // axis, whose recordings come from the streaming reader in
+    // --trace-dir mode, and the Figure-5 half-trace ideal rerun.
+    RunOptions opts = smallOpts({"compress", "li"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.clsSizes = {16, 4};
+    grid.policies = {{SpecPolicy::Str, 3, DataMode::None, "STR"},
+                     {SpecPolicy::StrI, 2, DataMode::None, "STR(2)"}};
+    grid.tuCounts = {2, 8};
+    grid.ideal = true;
+    SweepResult direct = runSpecSweep(grid, 2);
+
+    SweepGrid from_traces = grid;
+    from_traces.traceDir =
+        exportTraces(grid.workloads, opts, "bitident");
+    from_traces.checkReplay = true; // engine cross-checks derived CLS
+    SweepResult replayed = runSpecSweep(from_traces, 2);
+
+    ASSERT_EQ(replayed.cells.size(), direct.cells.size());
+    for (size_t i = 0; i < direct.cells.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectStatsEq(replayed.cells[i].stats, direct.cells[i].stats);
+    }
+    ASSERT_EQ(replayed.rows.size(), direct.rows.size());
+    for (size_t i = 0; i < direct.rows.size(); ++i) {
+        EXPECT_EQ(replayed.rows[i].totalInstrs,
+                  direct.rows[i].totalInstrs);
+        EXPECT_EQ(replayed.rows[i].idealTpc, direct.rows[i].idealTpc);
+        EXPECT_EQ(replayed.rows[i].idealTpcPrefix,
+                  direct.rows[i].idealTpcPrefix);
+    }
+}
+
+TEST(SpecSweep, TraceDirDeterministicAcrossJobCounts)
+{
+    RunOptions opts = smallOpts({"compress", "li"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.policies = {{SpecPolicy::Str, 3, DataMode::None, "STR"}};
+    grid.tuCounts = {2, 4, 8};
+    grid.traceDir = exportTraces(grid.workloads, opts, "jobs");
+
+    SweepResult serial = runSpecSweep(grid, 1);
+    ASSERT_EQ(serial.cells.size(), 2u * 3u);
+    for (unsigned jobs : {2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+        SCOPED_TRACE(jobs);
+        SweepResult r = runSpecSweep(grid, jobs);
+        ASSERT_EQ(r.cells.size(), serial.cells.size());
+        for (size_t i = 0; i < r.cells.size(); ++i)
+            expectStatsEq(r.cells[i].stats, serial.cells[i].stats);
+    }
+}
+
+TEST(SpecSweepDeathTest, TraceDirMissingContainerIsFatal)
+{
+    RunOptions opts = smallOpts({"compress"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.policies = {{SpecPolicy::Str, 3, DataMode::None, "STR"}};
+    grid.tuCounts = {2};
+    grid.traceDir = "/nonexistent_trace_dir_for_sweep_test";
+    EXPECT_EXIT(runSpecSweep(grid, 1), testing::ExitedWithCode(1),
+                "cannot open trace file");
+}
+
+TEST(SpecSweepDeathTest, TraceDirRejectsDataSpeculationGrids)
+{
+    // Data-speculation artifacts read operand values, which a control
+    // trace cannot provide; the engine must say so up front.
+    RunOptions opts = smallOpts({"li"});
+    SweepGrid grid = sweepGridFromOptions(opts);
+    grid.policies = {{SpecPolicy::Str, 3, DataMode::Profiled, "data"}};
+    grid.tuCounts = {4};
+    grid.traceDir = "/irrelevant";
+    EXPECT_EXIT(runSpecSweep(grid, 1), testing::ExitedWithCode(1),
+                "operand values");
 }
 
 TEST(SpecSweepDeathTest, ProfiledDataModeRejectsMultiClsGrids)

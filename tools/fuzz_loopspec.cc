@@ -89,11 +89,16 @@ main(int argc, char **argv)
 {
     CliArgs args(argc, argv,
                  {"seeds", "cls", "jobs", "max-instrs", "inject-bug",
-                  "no-shrink", "repro", "repro-out", "quiet"});
+                  "no-shrink", "no-disk-oracle", "repro", "repro-out",
+                  "quiet"});
 
     DiffConfig diff;
     diff.injectClsOffByOne = args.getBool("inject-bug", false);
     diff.maxInstrs = args.getUint("max-instrs", diff.maxInstrs);
+    // The container round-trip + corruption stage (docs/TRACE_FORMAT.md)
+    // is on by default; --no-disk-oracle restores the pure in-memory
+    // pipeline diff for throughput-sensitive campaigns.
+    diff.diskOracle = !args.getBool("no-disk-oracle", false);
     if (args.has("cls")) {
         diff.clsSizes.clear();
         for (const auto &tok : splitList(args.getString("cls", ""))) {

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Binary trace-container utility (docs/TRACE_FORMAT.md):
+ *
+ *   trace_convert export --out DIR [--benchmarks a,b] [--encoding E]
+ *                 [--recordings] [--scale S --cls N --max-instrs M]
+ *       Run each selected workload once and write its control trace as
+ *       <DIR>/<name>.lstrace (plus <name>.lsrec with --recordings).
+ *
+ *   trace_convert import LEGACY --out FILE [--encoding E]
+ *       Convert a stream written by the legacy ControlTrace::save() /
+ *       LoopEventRecording::save() format into a container.
+ *
+ *   trace_convert inspect FILE...
+ *       Print header and section-table metadata (no payload decode).
+ *
+ *   trace_convert compress IN OUT [--encoding E]
+ *       Re-encode a container (default: varint) and report the ratio.
+ *
+ *   trace_convert verify FILE...
+ *       Full validation: decode every payload (all CRCs and structural
+ *       checks), round-trip through both encodings, and — for control
+ *       traces — cross-check the out-of-core streaming replay against
+ *       the in-memory replay. Exit 0 only if every file passes.
+ *
+ * --encoding is "raw" (fixed-width, mmap-friendly) or "varint"
+ * (delta/varint compressed). All failures are fatal() with a
+ * diagnostic; exit status 1.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "loop/loop_detector.hh"
+#include "trace_io/container.hh"
+#include "trace_io/stream_reader.hh"
+#include "trace_io/trace_codec.hh"
+#include "util/logging.hh"
+
+using namespace loopspec;
+
+namespace
+{
+
+const char *
+sectionKindName(uint32_t kind)
+{
+    switch (static_cast<SectionKind>(kind)) {
+      case SectionKind::CtrlMeta: return "CtrlMeta";
+      case SectionKind::CtrlTransfers: return "CtrlTransfers";
+      case SectionKind::RecMeta: return "RecMeta";
+      case SectionKind::RecExecs: return "RecExecs";
+      case SectionKind::RecLoopEvents: return "RecLoopEvents";
+      case SectionKind::RecIterDataOk: return "RecIterDataOk";
+      default: return "?";
+    }
+}
+
+const char *
+contentName(TraceContent content)
+{
+    switch (content) {
+      case TraceContent::ControlTrace: return "control-trace";
+      case TraceContent::LoopEventRecording: return "loop-event-recording";
+      default: return "?";
+    }
+}
+
+/** Sniff a container's content kind without trusting the extension. */
+TraceContent
+fileContent(const std::string &path)
+{
+    std::string err;
+    std::unique_ptr<MappedTraceFile> f = MappedTraceFile::open(path, &err);
+    if (!f)
+        fatal("%s", err.c_str());
+    return f->content();
+}
+
+std::string
+compareControlTraces(const ControlTrace &a, const ControlTrace &b)
+{
+    if (a.totalInstrs != b.totalInstrs)
+        return "totalInstrs differs";
+    if (a.transfers.size() != b.transfers.size())
+        return "transfer count differs";
+    for (size_t i = 0; i < a.transfers.size(); ++i) {
+        const CtrlTransfer &x = a.transfers[i];
+        const CtrlTransfer &y = b.transfers[i];
+        if (x.seq != y.seq || x.pc != y.pc || x.target != y.target ||
+            x.kind != y.kind || x.taken != y.taken)
+            return strprintf("transfer %zu differs", i);
+    }
+    return "";
+}
+
+/** iterDataOk is outside compareRecordings' scope (it comes from the
+ *  §4 merge, not from recording) but containers do carry it. */
+std::string
+compareIterDataOk(const LoopEventRecording &a, const LoopEventRecording &b)
+{
+    for (size_t i = 0; i < a.execs.size(); ++i) {
+        if (a.execs[i].iterDataOk != b.execs[i].iterDataOk)
+            return strprintf("exec %zu iterDataOk differs", i);
+    }
+    return "";
+}
+
+// ----------------------------------------------------------- subcommands
+
+int
+cmdExport(int argc, char **argv)
+{
+    std::unique_ptr<CliArgs> args;
+    RunOptions opts = parseRunOptions(
+        argc, argv, {"out", "encoding", "recordings"}, &args);
+    if (!opts.traceDir.empty())
+        fatal("export runs workloads; --trace-dir makes no sense here");
+    std::string dir = args->getString("out", "");
+    if (dir.empty())
+        fatal("export needs --out <directory>");
+    TraceEncoding enc =
+        traceEncodingFromName(args->getString("encoding", "raw"));
+    bool recordings = args->getBool("recordings", false);
+
+    CollectFlags flags;
+    flags.controlTrace = true;
+    flags.recording = recordings;
+    for (const std::string &name : opts.selected()) {
+        WorkloadArtifacts art = runWorkload(name, opts, flags);
+        std::string path = traceFilePath(dir, name, kControlTraceExt);
+        writeControlTraceFile(path, art.controlTrace, enc);
+        std::cout << "wrote " << path << " ("
+                  << art.controlTrace.transfers.size() << " transfers, "
+                  << art.totalInstrs << " instrs)\n";
+        if (recordings) {
+            std::string rpath = traceFilePath(dir, name, kRecordingExt);
+            writeRecordingFile(rpath, art.recording, enc);
+            std::cout << "wrote " << rpath << " ("
+                      << art.recording.loopEvents.size() << " events)\n";
+        }
+    }
+    return 0;
+}
+
+int
+cmdImport(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {"out", "encoding"});
+    if (args.positionals().size() != 1)
+        fatal("import needs exactly one legacy input file");
+    const std::string &in = args.positionals()[0];
+    std::string out = args.getString("out", "");
+    if (out.empty())
+        fatal("import needs --out <file>");
+    TraceEncoding enc =
+        traceEncodingFromName(args.getString("encoding", "raw"));
+
+    std::ifstream is(in, std::ios::binary);
+    if (!is)
+        fatal("cannot open %s", in.c_str());
+    uint64_t magic = 0;
+    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    if (!is)
+        fatal("%s: too short for a legacy trace", in.c_str());
+    is.seekg(0);
+
+    // The two legacy stream formats ("LSCTR01v" / "LSREC02v").
+    if (magic == 0x4c53435452303176ull) {
+        ControlTrace trace = ControlTrace::load(is);
+        writeControlTraceFile(out, trace, enc);
+        std::cout << "imported control trace: " << out << "\n";
+    } else if (magic == 0x4c53524543303276ull) {
+        LoopEventRecording rec = LoopEventRecording::load(is);
+        writeRecordingFile(out, rec, enc);
+        std::cout << "imported recording: " << out << "\n";
+    } else {
+        fatal("%s: not a legacy loopspec trace stream", in.c_str());
+    }
+    return 0;
+}
+
+int
+cmdInspect(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {});
+    if (args.positionals().empty())
+        fatal("inspect needs at least one container file");
+    for (const std::string &path : args.positionals()) {
+        std::string err;
+        std::unique_ptr<MappedTraceFile> f =
+            MappedTraceFile::open(path, &err);
+        if (!f)
+            fatal("%s", err.c_str());
+        const ContainerLayout &layout = f->layout();
+        std::cout << path << ": " << contentName(f->content())
+                  << " v" << layout.versionMajor << "."
+                  << layout.versionMinor << ", " << f->fileBytes()
+                  << " bytes, " << layout.sections.size()
+                  << " sections" << (f->isMmapped() ? " (mmap)" : "")
+                  << "\n";
+        for (const SectionDesc &s : layout.sections) {
+            std::cout << "  " << sectionKindName(s.kind) << " ["
+                      << traceEncodingName(
+                             static_cast<TraceEncoding>(s.encoding))
+                      << "] offset=" << s.offset
+                      << " bytes=" << s.byteSize
+                      << " items=" << s.itemCount << " crc=" << std::hex
+                      << s.payloadCrc << std::dec << "\n";
+        }
+    }
+    return 0;
+}
+
+int
+cmdCompress(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {"encoding"});
+    if (args.positionals().size() != 2)
+        fatal("compress needs <input> <output>");
+    const std::string &in = args.positionals()[0];
+    const std::string &out = args.positionals()[1];
+    TraceEncoding enc =
+        traceEncodingFromName(args.getString("encoding", "varint"));
+
+    // Decode fully (validates), then re-encode with the target encoding;
+    // works in either direction (compress or expand).
+    std::vector<uint8_t> image;
+    std::string err;
+    if (fileContent(in) == TraceContent::ControlTrace) {
+        ControlTrace trace;
+        err = loadControlTraceFile(in, &trace);
+        if (!err.empty())
+            fatal("%s", err.c_str());
+        image = encodeControlTrace(trace, enc);
+    } else {
+        LoopEventRecording rec;
+        err = loadRecordingFile(in, &rec);
+        if (!err.empty())
+            fatal("%s", err.c_str());
+        image = encodeRecording(rec, enc);
+    }
+    writeFileBytes(out, image);
+
+    std::string dummy;
+    std::unique_ptr<MappedTraceFile> src =
+        MappedTraceFile::open(in, &dummy);
+    double ratio = src && src->fileBytes()
+                       ? static_cast<double>(image.size()) /
+                             static_cast<double>(src->fileBytes())
+                       : 0.0;
+    std::cout << "wrote " << out << " (" << image.size() << " bytes, "
+              << ratio << "x of input)\n";
+    return 0;
+}
+
+/** One file's full verification; fatal() on any failure. */
+void
+verifyFile(const std::string &path)
+{
+    if (fileContent(path) == TraceContent::ControlTrace) {
+        ControlTrace trace;
+        std::string err = loadControlTraceFile(path, &trace);
+        if (!err.empty())
+            fatal("%s", err.c_str());
+
+        // Round-trip through both encodings must be lossless.
+        for (TraceEncoding enc :
+             {TraceEncoding::Raw, TraceEncoding::Varint}) {
+            std::vector<uint8_t> image = encodeControlTrace(trace, enc);
+            ControlTrace back;
+            err = decodeControlTrace(image.data(), image.size(), &back);
+            if (err.empty())
+                err = compareControlTraces(trace, back);
+            if (!err.empty())
+                fatal("%s: %s round trip: %s", path.c_str(),
+                      traceEncodingName(enc), err.c_str());
+        }
+
+        // Streaming replay must match the in-memory replay exactly.
+        std::unique_ptr<TraceFileStreamer> streamer =
+            TraceFileStreamer::open(path, StreamConfig{}, &err);
+        if (!streamer)
+            fatal("%s", err.c_str());
+        LoopDetector streamDet({16});
+        LoopEventRecorder streamRec;
+        streamDet.addListener(&streamRec);
+        err = streamer->replayControl(streamDet);
+        if (!err.empty())
+            fatal("%s", err.c_str());
+        LoopDetector memDet({16});
+        LoopEventRecorder memRec;
+        memDet.addListener(&memRec);
+        replayControlTrace(trace, memDet);
+        err = compareRecordings(memRec.take(), streamRec.take());
+        if (!err.empty())
+            fatal("%s: streaming vs in-memory replay: %s", path.c_str(),
+                  err.c_str());
+    } else {
+        LoopEventRecording rec;
+        std::string err = loadRecordingFile(path, &rec);
+        if (!err.empty())
+            fatal("%s", err.c_str());
+        for (TraceEncoding enc :
+             {TraceEncoding::Raw, TraceEncoding::Varint}) {
+            std::vector<uint8_t> image = encodeRecording(rec, enc);
+            LoopEventRecording back;
+            err = decodeRecording(image.data(), image.size(), &back);
+            if (err.empty())
+                err = compareRecordings(rec, back);
+            if (err.empty())
+                err = compareIterDataOk(rec, back);
+            if (!err.empty())
+                fatal("%s: %s round trip: %s", path.c_str(),
+                      traceEncodingName(enc), err.c_str());
+        }
+    }
+}
+
+int
+cmdVerify(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {});
+    if (args.positionals().empty())
+        fatal("verify needs at least one container file");
+    for (const std::string &path : args.positionals()) {
+        verifyFile(path);
+        std::cout << "OK " << path << "\n";
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::cerr
+        << "usage: trace_convert <command> ...\n"
+           "  export   --out DIR [--benchmarks a,b] [--encoding raw|"
+           "varint] [--recordings]\n"
+           "  import   LEGACY --out FILE [--encoding raw|varint]\n"
+           "  inspect  FILE...\n"
+           "  compress IN OUT [--encoding raw|varint]\n"
+           "  verify   FILE...\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    std::string cmd = argv[1];
+    // Shift the subcommand out; argv[0] stays for CliArgs.
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 2; i < argc; ++i)
+        rest.push_back(argv[i]);
+    int rest_argc = static_cast<int>(rest.size());
+    char **rest_argv = rest.data();
+
+    if (cmd == "export")
+        return cmdExport(rest_argc, rest_argv);
+    if (cmd == "import")
+        return cmdImport(rest_argc, rest_argv);
+    if (cmd == "inspect")
+        return cmdInspect(rest_argc, rest_argv);
+    if (cmd == "compress")
+        return cmdCompress(rest_argc, rest_argv);
+    if (cmd == "verify")
+        return cmdVerify(rest_argc, rest_argv);
+    usage();
+    fatal("unknown command '%s'", cmd.c_str());
+}
