@@ -8,11 +8,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "harness/runner.hh"
 #include "loop/loop_detector.hh"
 #include "speculation/event_record.hh"
 #include "speculation/spec_sim.hh"
 #include "tables/loop_table.hh"
+#include "trace_io/replay_source.hh"
 #include "tracegen/control_trace.hh"
 #include "tracegen/trace_engine.hh"
 #include "workloads/workload.hh"
@@ -98,22 +102,54 @@ BM_EngineThroughputScalar(benchmark::State &state)
 }
 BENCHMARK(BM_EngineThroughputScalar)->Unit(benchmark::kMillisecond);
 
-/** Engine + detector + stats (the Table-1 pipeline) throughput,
- *  batched (run) vs scalar (step) delivery. */
+/**
+ * Forces AoS record delivery onto a hot-plane consumer: default
+ * BatchNeed::FullRecords plus the default materializing onInstrBatchSoA
+ * shim, forwarding the rebuilt 72-byte records to the wrapped observer.
+ * This is the per-batch cost of an observer that never ported to hot
+ * planes (bench_throughput's batched_aos / replay_seq rows).
+ */
+class AosDeliveryShim : public TraceObserver
+{
+  public:
+    explicit AosDeliveryShim(TraceObserver *o) : inner(o) {}
+
+    void onInstr(const DynInstr &d) override { inner->onInstr(d); }
+    void
+    onInstrBatchCtrl(const DynInstr *instrs, size_t count,
+                     const uint32_t *ctrl, size_t num_ctrl) override
+    {
+        inner->onInstrBatchCtrl(instrs, count, ctrl, num_ctrl);
+    }
+    void onTraceEnd(uint64_t total) override { inner->onTraceEnd(total); }
+
+  private:
+    TraceObserver *inner;
+};
+
+/** Engine + detector + stats (the Table-1 pipeline) throughput:
+ *  0 = SoA hot-plane batches (default), 1 = scalar (step) delivery,
+ *  2 = direct AoS record fill (EngineConfig::soaBatches = false, the
+ *  non-GNU-compiler fallback), 3 = AoS records materialized from the
+ *  cold planes by the compatibility shim. */
 void
 BM_DetectorThroughput(benchmark::State &state)
 {
     WorkloadScale scale{0.05};
     uint64_t instrs = 0;
-    const bool scalar = state.range(0) != 0;
+    const int mode = static_cast<int>(state.range(0));
     for (auto _ : state) {
         Program p = buildCompress(scale);
-        TraceEngine engine(p);
+        EngineConfig cfg;
+        cfg.soaBatches = mode != 2;
+        TraceEngine engine(p, cfg);
         LoopDetector det({16});
         LoopStats stats;
         det.addListener(&stats);
-        engine.addObserver(&det);
-        if (scalar) {
+        AosDeliveryShim shim(&det);
+        engine.addObserver(
+            mode == 3 ? static_cast<TraceObserver *>(&shim) : &det);
+        if (mode == 1) {
             DynInstr d;
             while (engine.step(d)) {
             }
@@ -128,6 +164,8 @@ BM_DetectorThroughput(benchmark::State &state)
 BENCHMARK(BM_DetectorThroughput)
     ->Arg(0)
     ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
 /** Detector re-run over a prerecorded control-event trace (the cost of
@@ -154,6 +192,64 @@ BM_ControlReplayThroughput(benchmark::State &state)
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ControlReplayThroughput)->Unit(benchmark::kMillisecond);
+
+/** Four derived CLS configurations over one recorded control trace:
+ *  0 = sequential AoS-materializing passes (replay as it ran before
+ *  this optimization round), 1 = sequential SoA gap-free synthesis,
+ *  2 = interleaved SoA fixed-size chunks (round-robin through
+ *  interleaveReplay, one cache pass per chunk). */
+void
+BM_MultiReplayThroughput(benchmark::State &state)
+{
+    WorkloadScale scale{0.05};
+    Program p = buildCompress(scale);
+    TraceEngine engine(p);
+    ControlTraceRecorder rec;
+    engine.addObserver(&rec);
+    engine.run();
+    ControlTrace trace = rec.take();
+
+    const int mode = static_cast<int>(state.range(0));
+    const size_t clsSizes[] = {2, 4, 8, 16};
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        std::vector<std::unique_ptr<LoopDetector>> dets;
+        std::vector<std::unique_ptr<LoopStats>> stats;
+        for (size_t cls : clsSizes) {
+            dets.push_back(std::make_unique<LoopDetector>(
+                DetectorConfig{cls}));
+            stats.push_back(std::make_unique<LoopStats>());
+            dets.back()->addListener(stats.back().get());
+        }
+        if (mode == 2) {
+            std::vector<std::unique_ptr<ControlTraceSource>> sources;
+            std::vector<ReplaySource *> ptrs;
+            for (auto &det : dets) {
+                sources.push_back(
+                    std::make_unique<ControlTraceSource>(trace, *det));
+                ptrs.push_back(sources.back().get());
+            }
+            interleaveReplay(ptrs);
+            for (auto &src : sources)
+                instrs += src->replayed();
+        } else if (mode == 1) {
+            for (auto &det : dets)
+                instrs += replayControlTrace(trace, *det);
+        } else {
+            for (auto &det : dets) {
+                AosDeliveryShim shim(det.get());
+                instrs += replayControlTrace(trace, shim);
+            }
+        }
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MultiReplayThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 /** Event-driven TU simulator throughput over a prebuilt recording. */
 void

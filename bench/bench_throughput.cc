@@ -11,20 +11,42 @@
  *             onInstr — the dispatch contract the seed harness had.
  *             Forwarding shims restore that contract, since event-only
  *             listener filtering is one of this PR's optimizations.
- *   batched - the current runWorkload pipeline: predecoded run() with
- *             ~4K-record batches and span-batched listeners; only stats
- *             and the recorder ride the trace, the 8 meters are derived
+ *   batched_aos - AoS record delivery: the engine fills hot + cold
+ *             planes and the default TraceObserver shim materializes
+ *             72-byte DynInstr batches for a consumer that stayed on
+ *             the AoS vocabulary (BatchNeed::FullRecords), which then
+ *             walks records exactly as the pre-SoA pipeline did. This
+ *             is what an unported observer costs today; only stats and
+ *             the recorder ride the trace, the 8 meters are derived
  *             afterwards by replaying the recorded loop-event stream
- *             (replay time is included).
- *   replay  - detector + full listener set re-run over a prerecorded
- *             control-event trace: the cost of one *derived* sweep
- *             configuration (CLS size, trace prefix) under record/replay
- *             versus re-executing the functional simulator.
+ *             (replay time is included). bench_micro additionally
+ *             carries the EngineConfig::soaBatches=false direct AoS
+ *             fill (the non-GNU-compiler fallback), which skips the
+ *             materialization pass and lands between this row and the
+ *             SoA row.
+ *   batched_soa - the current default: the same pipeline with run()
+ *             delivering structure-of-arrays batches (hot pc/target/
+ *             kind/taken planes only, since every rider reports
+ *             BatchNeed::HotPlanes) through the token-threaded fill
+ *             loop and the detector's prefetched control-index walk.
+ *   replay_seq - the derived-configuration stage of a record/replay
+ *             sweep as it stood before interleaving: four detectors at
+ *             different CLS sizes (stats + ideal-TPC each) re-run one
+ *             after another over a prerecorded control-event trace,
+ *             each pass materializing AoS record batches through the
+ *             compatibility shim (the pre-SoA replay pipeline).
+ *   replay_ilv - the same four derived configurations on the new
+ *             stack: SoA gap-free synthesis, advanced round-robin in
+ *             fixed-size chunks (interleaveReplay) so each stretch of
+ *             the recorded trace is pulled through the cache once and
+ *             consumed by all four detectors while still resident.
  *
- * All three paths must agree on the derived statistics and hit ratios;
- * any disagreement is fatal. Emits BENCH_throughput.json (--json
- * overrides the path) for the perf trajectory; the CI perf-smoke step
- * uploads it.
+ * All paths must agree on the derived statistics and hit ratios (the
+ * replay pair additionally on every per-config artifact); any
+ * disagreement is fatal. Emits BENCH_throughput.json (--json overrides
+ * the path) for the perf trajectory; the CI perf gate (tools/
+ * bench_check) compares its speedup ratios against the committed
+ * baseline.
  *
  * Flags: --benchmark <name> (default compress), --reps N (default 5,
  * best-of-N), --json <path>, plus the standard --scale/--max-instrs.
@@ -41,7 +63,9 @@
 #include "loop/loop_detector.hh"
 #include "loop/loop_stats.hh"
 #include "speculation/event_record.hh"
+#include "speculation/ideal_tpc.hh"
 #include "tables/hit_ratio.hh"
+#include "trace_io/replay_source.hh"
 #include "tracegen/control_trace.hh"
 #include "tracegen/trace_engine.hh"
 #include "util/logging.hh"
@@ -106,6 +130,33 @@ class SeedDispatchShim : public LoopListener
 
   private:
     LoopListener *inner;
+};
+
+/**
+ * Keeps a hot-plane consumer on the AoS vocabulary: reports the default
+ * BatchNeed::FullRecords and leaves the default onInstrBatchSoA in
+ * place, so the producer fills the cold planes and the compatibility
+ * shim materializes 72-byte records before forwarding here. Wrapping
+ * the detector in this reproduces exactly what an observer that never
+ * ported to hot planes costs on the SoA engine — the pre-SoA record
+ * pipeline.
+ */
+class AosDeliveryShim : public TraceObserver
+{
+  public:
+    explicit AosDeliveryShim(TraceObserver *o) : inner(o) {}
+
+    void onInstr(const DynInstr &d) override { inner->onInstr(d); }
+    void
+    onInstrBatchCtrl(const DynInstr *instrs, size_t count,
+                     const uint32_t *ctrl, size_t num_ctrl) override
+    {
+        inner->onInstrBatchCtrl(instrs, count, ctrl, num_ctrl);
+    }
+    void onTraceEnd(uint64_t total) override { inner->onTraceEnd(total); }
+
+  private:
+    TraceObserver *inner;
 };
 
 /** The LET/LIT meter bank of Figure 4. */
@@ -235,31 +286,41 @@ main(int argc, char **argv)
 
     // Batched fast path, exactly the runWorkload pipeline: predecoded
     // run() with stats + recorder live, meters derived by loop-event
-    // replay (timed).
-    PathResult batched = best(reps, [&] {
-        PathResult r;
-        TraceEngine engine(prog, ecfg);
-        LoopDetector det({opts.clsEntries});
-        LoopStats stats;
-        LoopEventRecorder recorder;
-        det.addListener(&stats);
-        det.addListener(&recorder);
-        engine.addObserver(&det);
-        MeterBank meters;
-        double t0 = now();
-        r.instrs = engine.run();
-        LoopEventRecording rec = recorder.take();
-        replayLoopEvents(rec, meters.listeners());
-        r.seconds = now() - t0;
-        r.stats = stats.report();
-        r.meterHits = meters.totalHits();
-        return r;
-    });
-    checkAgreement("batched", batched, scalar);
+    // replay (timed). Measured twice — AoS record delivery through the
+    // compatibility shim (the cost of staying on the pre-SoA record
+    // vocabulary) and the default SoA hot-plane batches.
+    const auto batched_path = [&](bool soa) {
+        return best(reps, [&, soa] {
+            PathResult r;
+            TraceEngine engine(prog, ecfg);
+            LoopDetector det({opts.clsEntries});
+            LoopStats stats;
+            LoopEventRecorder recorder;
+            det.addListener(&stats);
+            det.addListener(&recorder);
+            AosDeliveryShim aos_shim(&det);
+            engine.addObserver(
+                soa ? static_cast<TraceObserver *>(&det) : &aos_shim);
+            MeterBank meters;
+            double t0 = now();
+            r.instrs = engine.run();
+            LoopEventRecording rec = recorder.take();
+            replayLoopEvents(rec, meters.listeners());
+            r.seconds = now() - t0;
+            r.stats = stats.report();
+            r.meterHits = meters.totalHits();
+            return r;
+        });
+    };
+    PathResult batched_aos = batched_path(false);
+    checkAgreement("batched_aos", batched_aos, scalar);
+    PathResult batched_soa = batched_path(true);
+    checkAgreement("batched_soa", batched_soa, scalar);
 
-    // Replay path: one recording pass (untimed), then the detector and
-    // full listener set re-run over the control-event trace — the cost
-    // of each *derived* configuration in a record/replay sweep.
+    // Replay pair: one recording pass (untimed), then the derived-
+    // configuration stage of a sweep — four CLS sizes, each a detector
+    // with stats + ideal-TPC — sequentially and interleaved. instrs is
+    // the total work (4x the trace), so Minstr/s stays comparable.
     ControlTrace trace;
     {
         TraceEngine engine(prog, ecfg);
@@ -268,49 +329,155 @@ main(int argc, char **argv)
         engine.run();
         trace = rec.take();
     }
-    PathResult replay = best(reps, [&] {
-        PathResult r;
-        LoopDetector det({opts.clsEntries});
+    const std::vector<size_t> derivedCls = {2, 4, 8, 16};
+
+    struct DerivedConfig
+    {
+        LoopDetector det;
         LoopStats stats;
-        LoopEventRecorder recorder;
-        det.addListener(&stats);
-        det.addListener(&recorder);
-        MeterBank meters;
+        IdealTpcComputer ideal;
+        explicit DerivedConfig(size_t cls) : det({cls})
+        {
+            det.addListener(&stats);
+            det.addListener(&ideal);
+        }
+    };
+    struct ReplayResult
+    {
+        double seconds = 0.0;
+        uint64_t instrs = 0;
+        std::vector<LoopStatsReport> stats;
+        std::vector<uint64_t> idealCycles;
+
+        double
+        instrsPerSec() const
+        {
+            return seconds > 0.0
+                       ? static_cast<double>(instrs) / seconds
+                       : 0.0;
+        }
+    };
+    const auto harvest = [&](ReplayResult &r,
+                             std::vector<std::unique_ptr<DerivedConfig>>
+                                 &configs) {
+        for (auto &cfg : configs) {
+            r.stats.push_back(cfg->stats.report());
+            r.idealCycles.push_back(cfg->ideal.idealCycles());
+        }
+    };
+    const auto best_replay = [&](auto &&once) {
+        ReplayResult best_r;
+        for (unsigned i = 0; i < reps; ++i) {
+            ReplayResult r = once();
+            if (i == 0 || r.seconds < best_r.seconds)
+                best_r = r;
+        }
+        return best_r;
+    };
+
+    // Sequential row = the pre-interleaving replay stage verbatim: one
+    // full AoS-materializing pass per derived config (the shim keeps
+    // the synthesizer on record batches, as replay always ran before).
+    ReplayResult replay_seq = best_replay([&] {
+        ReplayResult r;
+        std::vector<std::unique_ptr<DerivedConfig>> configs;
+        std::vector<std::unique_ptr<AosDeliveryShim>> shims;
+        for (size_t cls : derivedCls) {
+            configs.push_back(std::make_unique<DerivedConfig>(cls));
+            shims.push_back(std::make_unique<AosDeliveryShim>(
+                &configs.back()->det));
+        }
         double t0 = now();
-        r.instrs = replayControlTrace(trace, det);
-        replayLoopEvents(recorder.take(), meters.listeners());
+        for (auto &shim : shims)
+            r.instrs += replayControlTrace(trace, *shim);
         r.seconds = now() - t0;
-        r.stats = stats.report();
-        r.meterHits = meters.totalHits();
+        harvest(r, configs);
         return r;
     });
-    checkAgreement("replay", replay, scalar);
+    ReplayResult replay_ilv = best_replay([&] {
+        ReplayResult r;
+        std::vector<std::unique_ptr<DerivedConfig>> configs;
+        std::vector<std::unique_ptr<ControlTraceSource>> sources;
+        std::vector<ReplaySource *> source_ptrs;
+        for (size_t cls : derivedCls) {
+            configs.push_back(std::make_unique<DerivedConfig>(cls));
+            sources.push_back(std::make_unique<ControlTraceSource>(
+                trace, configs.back()->det));
+            source_ptrs.push_back(sources.back().get());
+        }
+        double t0 = now();
+        std::string err = interleaveReplay(source_ptrs);
+        if (!err.empty())
+            fatal("%s", err.c_str());
+        for (auto &src : sources)
+            r.instrs += src->replayed();
+        r.seconds = now() - t0;
+        harvest(r, configs);
+        return r;
+    });
+    for (size_t c = 0; c < derivedCls.size(); ++c) {
+        const LoopStatsReport &a = replay_seq.stats[c];
+        const LoopStatsReport &b = replay_ilv.stats[c];
+        if (a.totalInstrs != b.totalInstrs ||
+            a.totalExecs != b.totalExecs ||
+            a.totalIters != b.totalIters ||
+            a.staticLoops != b.staticLoops ||
+            replay_seq.idealCycles[c] != replay_ilv.idealCycles[c]) {
+            fatal("interleaved replay disagrees with sequential replay "
+                  "at CLS size %zu",
+                  derivedCls[c]);
+        }
+    }
 
-    const double speedup_batched =
-        scalar.seconds > 0.0 ? scalar.seconds / batched.seconds : 0.0;
-    const double speedup_replay =
-        scalar.seconds > 0.0 ? scalar.seconds / replay.seconds : 0.0;
+    const double speedup_aos =
+        scalar.seconds > 0.0 ? scalar.seconds / batched_aos.seconds
+                             : 0.0;
+    const double speedup_soa =
+        scalar.seconds > 0.0 ? scalar.seconds / batched_soa.seconds
+                             : 0.0;
+    const double speedup_soa_vs_aos =
+        batched_soa.seconds > 0.0
+            ? batched_aos.seconds / batched_soa.seconds
+            : 0.0;
+    const double speedup_ilv =
+        replay_ilv.seconds > 0.0
+            ? replay_seq.seconds / replay_ilv.seconds
+            : 0.0;
 
     TableWriter t({"path", "instrs", "seconds", "Minstr/s", "speedup"});
     struct Row
     {
         const char *name;
-        const PathResult *r;
+        uint64_t instrs;
+        double seconds;
+        double ips;
         double speedup;
     };
-    const Row rows[] = {{"scalar", &scalar, 1.0},
-                        {"batched", &batched, speedup_batched},
-                        {"replay", &replay, speedup_replay}};
+    const Row rows[] = {
+        {"scalar", scalar.instrs, scalar.seconds, scalar.instrsPerSec(),
+         1.0},
+        {"batched_aos", batched_aos.instrs, batched_aos.seconds,
+         batched_aos.instrsPerSec(), speedup_aos},
+        {"batched_soa", batched_soa.instrs, batched_soa.seconds,
+         batched_soa.instrsPerSec(), speedup_soa},
+        {"replay_seq", replay_seq.instrs, replay_seq.seconds,
+         replay_seq.instrsPerSec(), 1.0},
+        {"replay_ilv", replay_ilv.instrs, replay_ilv.seconds,
+         replay_ilv.instrsPerSec(), speedup_ilv},
+    };
+    const size_t num_rows = sizeof(rows) / sizeof(rows[0]);
     for (const Row &row : rows) {
         t.row();
         t.cell(std::string(row.name));
-        t.cell(row.r->instrs);
-        t.cell(row.r->seconds, 4);
-        t.cell(row.r->instrsPerSec() / 1e6, 2);
+        t.cell(row.instrs);
+        t.cell(row.seconds, 4);
+        t.cell(row.ips / 1e6, 2);
         t.cell(row.speedup, 2);
     }
     std::cout << "Trace-pipeline throughput, workload " << bench
-              << " (best of " << reps << ")\n";
+              << " (best of " << reps << "; replay rows run "
+              << derivedCls.size()
+              << " derived CLS configs, speedup vs replay_seq)\n";
     if (opts.csv)
         t.printCsv(std::cout);
     else
@@ -324,16 +491,18 @@ main(int argc, char **argv)
        << "  \"scale\": " << opts.scale.factor << ",\n"
        << "  \"reps\": " << reps << ",\n"
        << "  \"paths\": {\n";
-    for (size_t i = 0; i < 3; ++i) {
+    for (size_t i = 0; i < num_rows; ++i) {
         const Row &row = rows[i];
-        js << "    \"" << row.name << "\": {\"instrs\": "
-           << row.r->instrs << ", \"seconds\": " << row.r->seconds
-           << ", \"instrs_per_sec\": " << row.r->instrsPerSec() << "}"
-           << (i + 1 < 3 ? "," : "") << "\n";
+        js << "    \"" << row.name << "\": {\"instrs\": " << row.instrs
+           << ", \"seconds\": " << row.seconds
+           << ", \"instrs_per_sec\": " << row.ips << "}"
+           << (i + 1 < num_rows ? "," : "") << "\n";
     }
     js << "  },\n"
-       << "  \"speedup\": {\"batched_vs_scalar\": " << speedup_batched
-       << ", \"replay_vs_scalar\": " << speedup_replay << "}\n"
+       << "  \"speedup\": {\"batched_aos_vs_scalar\": " << speedup_aos
+       << ", \"batched_soa_vs_scalar\": " << speedup_soa
+       << ", \"soa_vs_aos\": " << speedup_soa_vs_aos
+       << ", \"interleaved_vs_sequential\": " << speedup_ilv << "}\n"
        << "}\n";
     std::cout << "wrote " << json_path << "\n";
     return 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/prefetch.hh"
 
 namespace loopspec
 {
@@ -33,8 +34,13 @@ LoopDetector::addListener(LoopListener *listener)
 {
     LOOPSPEC_ASSERT(listener != nullptr);
     listeners.push_back(listener);
-    if (listener->consumesInstrs())
+    if (listener->consumesInstrs()) {
         instrListeners.push_back(listener);
+        if (listener->readsSpanRecords())
+            spanRecordsNeeded = true;
+    }
+    if (listener->wantsPrefetchHints())
+        prefetchListeners.push_back(listener);
 }
 
 void
@@ -320,6 +326,86 @@ LoopDetector::onInstrBatchCtrl(const DynInstr *instrs, size_t count,
     for (size_t k = 0; k < num_ctrl; ++k)
         span_start = handleCtrlAt(instrs, ctrl[k], span_start);
     flushSpan(instrs + span_start, count - span_start);
+}
+
+BatchNeed
+LoopDetector::batchNeed() const
+{
+    // flushInterval makes every instruction a potential event boundary
+    // (scalar dispatch over real records); a record-reading span
+    // listener needs the materialized stream too. Everything else runs
+    // from the hot planes alone.
+    return (cfg.flushInterval || spanRecordsNeeded)
+               ? BatchNeed::FullRecords
+               : BatchNeed::HotPlanes;
+}
+
+void
+LoopDetector::onInstrBatchSoA(const SoaBatch &b)
+{
+    if (cfg.flushInterval || spanRecordsNeeded) {
+        // Materializing shim: rebuilds the AoS records and re-enters
+        // onInstrBatchCtrl, preserving the per-record contract.
+        TraceObserver::onInstrBatchSoA(b);
+        return;
+    }
+
+    // Hot path: only the control positions are ever touched; spans are
+    // pure counts (every attached span listener declared it never
+    // dereferences records).
+    size_t span_start = 0;
+    for (size_t k = 0; k < b.numCtrl; ++k) {
+        const size_t i = b.ctrl[k];
+        if (k + 1 < b.numCtrl) {
+            // Warm the next control record's plane lines while this one
+            // dispatches.
+            const size_t ni = b.ctrl[k + 1];
+            prefetchRead(&b.pc[ni]);
+            prefetchRead(&b.target[ni]);
+            prefetchRead(&b.kind[ni]);
+            prefetchRead(&b.taken[ni]);
+        }
+
+        // Reconstruct the hot fields of the control record — the only
+        // DynInstr this path ever builds.
+        DynInstr d;
+        d.seq = b.seqBase + i;
+        d.pc = b.pc[i];
+        d.target = b.target[i];
+        d.kind = static_cast<CtrlKind>(b.kind[i]);
+        d.taken = b.taken[i] != 0;
+
+        bool work;
+        switch (d.kind) {
+          case CtrlKind::None:
+          case CtrlKind::Call:
+            // Calls never terminate loop executions (§2.1).
+            work = false;
+            break;
+          case CtrlKind::Branch:
+            work = d.taken || d.target <= d.pc;
+            break;
+          case CtrlKind::Jump:
+          case CtrlKind::Ret:
+            work = true;
+            break;
+          default:
+            panic("bad CtrlKind");
+        }
+        if (!work)
+            continue;
+
+        // Warm the LET/LIT-style set lines keyed by the transfer's
+        // target: the span flush and CLS update below overlap the
+        // loads before any event handler probes the tables.
+        for (auto *l : prefetchListeners)
+            l->prefetchLoop(d.target);
+
+        flushSpan(nullptr, i - span_start + 1);
+        dispatch(d);
+        span_start = i + 1;
+    }
+    flushSpan(nullptr, b.count - span_start);
 }
 
 void

@@ -72,6 +72,15 @@ class LoopDetector : public TraceObserver
     void onInstrBatchCtrl(const DynInstr *instrs, size_t count,
                           const uint32_t *ctrl,
                           size_t num_ctrl) override;
+    /** SoA hot path: walks the control index over the hot planes with
+     *  the next control record (and the LET/LIT-style listeners' table
+     *  lines) prefetched; spans are forwarded as (nullptr, count). Falls
+     *  back to the materializing shim when some listener reads span
+     *  records or the periodic flush is armed. */
+    void onInstrBatchSoA(const SoaBatch &batch) override;
+    /** HotPlanes unless a listener reads span records (or flushInterval
+     *  forces scalar dispatch), so engines skip the cold planes. */
+    BatchNeed batchNeed() const override;
     void onTraceEnd(uint64_t total_instrs) override;
 
     /** Expose the CLS for tests and inspection tools. */
@@ -123,6 +132,12 @@ class LoopDetector : public TraceObserver
     /** Subset of listeners with consumesInstrs(): the only ones that
      *  receive onInstr/onInstrSpan. */
     std::vector<LoopListener *> instrListeners;
+    /** Subset of listeners with wantsPrefetchHints(): warmed right
+     *  before a CLS-changing transfer dispatches. */
+    std::vector<LoopListener *> prefetchListeners;
+    /** True when some instruction listener dereferences span records —
+     *  the SoA hot path is then unavailable. */
+    bool spanRecordsNeeded = false;
     uint64_t nextExecId = 1;
     uint64_t sinceFlush = 0;
     bool flushed = false;

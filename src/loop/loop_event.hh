@@ -108,6 +108,31 @@ class LoopListener
      */
     virtual bool consumesInstrs() const { return true; }
 
+    /**
+     * Does onInstrSpan dereference the span records, or only use the
+     * count? Aggregate listeners (the Table-1/Fig-4 statistics, the
+     * ideal-TPC model) override this to false; the detector's SoA hot
+     * path then forwards spans as (nullptr, count) without ever
+     * materialising DynInstr records — the count and the event stream
+     * carry everything such listeners observe. A listener returning
+     * false must override onInstrSpan and must not touch @p instrs.
+     */
+    virtual bool readsSpanRecords() const { return true; }
+
+    /** Listeners with loop-keyed state (the LET/LIT table models)
+     *  return true to receive prefetchLoop() hints from batch-driven
+     *  producers. Default off: a virtual call per control transfer is
+     *  only worth issuing where there are lines to warm. */
+    virtual bool wantsPrefetchHints() const { return false; }
+
+    /**
+     * Hint, never semantics: a control transfer targeting @p loop is
+     * about to dispatch, so any set lines keyed by it are worth
+     * warming now — the producer still has span/CLS work to overlap
+     * with the loads. Must have no observable effect.
+     */
+    virtual void prefetchLoop(uint32_t loop) { (void)loop; }
+
     virtual void onInstr(const DynInstr &instr) { (void)instr; }
 
     /** A run of consecutive instructions with no loop event between

@@ -65,6 +65,8 @@ class PerLoopStats : public LoopListener
   public:
     void onInstr(const DynInstr &instr) override;
     void onInstrSpan(const DynInstr *instrs, size_t count) override;
+    /** Spans only accrue counts; the records are never dereferenced. */
+    bool readsSpanRecords() const override { return false; }
     void onExecStart(const ExecStartEvent &ev) override;
     void onExecEnd(const ExecEndEvent &ev) override;
     void onSingleIterExec(const SingleIterExecEvent &ev) override;

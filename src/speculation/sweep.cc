@@ -10,6 +10,7 @@
 #include "loop/loop_detector.hh"
 #include "speculation/ideal_tpc.hh"
 #include "speculation/spec_sim.hh"
+#include "trace_io/replay_source.hh"
 #include "trace_io/stream_reader.hh"
 #include "trace_io/trace_codec.hh"
 #include "tracegen/control_trace.hh"
@@ -269,8 +270,8 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
             recordings[w * num_c] = std::move(art.recording);
 
         // Trace-dir mode re-streams the container per derived size
-        // (replayControl starts a fresh bounded-buffer cursor per call)
-        // rather than materializing the transfers in memory.
+        // (each pump keeps its own bounded-buffer cursor over the
+        // shared fd) rather than materializing the transfers in memory.
         std::unique_ptr<TraceFileStreamer> streamer;
         if (derive_cls && from_traces) {
             std::string err;
@@ -281,52 +282,103 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
             if (!streamer)
                 fatal("%s", err.c_str());
         }
-        const auto replay_stream = [&](TraceObserver &obs,
-                                       uint64_t max_instrs) {
-            std::string err = streamer->replayControl(obs, max_instrs);
+
+        // All derived CLS sizes replay the *same* recorded control
+        // stream, so instead of N-1 sequential full passes the sources
+        // advance round-robin in fixed-size chunks (interleaveReplay):
+        // each chunk of trace bytes is pulled through the cache once
+        // and consumed by every derived detector while still resident.
+        // Per-source artifacts are bit-identical to sequential replay.
+        struct DerivedState
+        {
+            LoopDetector det;
+            LoopEventRecorder rec;
+            IdealTpcComputer ideal;
+            explicit DerivedState(size_t cls_entries)
+                : det({cls_entries})
+            {
+            }
+        };
+        const auto interleave = [&](const std::vector<ReplaySource *>
+                                        &sources) {
+            std::string err = interleaveReplay(sources);
             if (!err.empty())
                 fatal("%s", err.c_str());
         };
-
-        for (size_t c = 1; derive_cls && c < num_c; ++c) {
-            SweepRow &row = out.rows[w * num_c + c];
-            LoopDetector det({grid.clsSizes[c]});
-            LoopEventRecorder rec;
-            IdealTpcComputer ideal;
-            if (cells)
-                det.addListener(&rec);
-            if (grid.ideal)
-                det.addListener(&ideal);
-            if (from_traces)
-                replay_stream(det, grid.maxInstrs);
-            else
-                replayControlTrace(art.controlTrace, det);
-            if (cells) {
-                recordings[w * num_c + c] = rec.take();
-                if (grid.checkReplay) {
-                    RunOptions direct = opts;
-                    direct.clsEntries = grid.clsSizes[c];
-                    direct.checkReplay = false;
-                    CollectFlags rec_only;
-                    rec_only.recording = true;
-                    checkDerivedRecording(
-                        grid.workloads[w], grid.clsSizes[c],
-                        runWorkload(grid.workloads[w], direct, rec_only)
-                            .recording,
-                        recordings[w * num_c + c]);
-                }
-            }
-            if (grid.ideal) {
-                row.idealTpc = ideal.tpc();
-                IdealTpcComputer prefix;
-                LoopDetector prefix_det({grid.clsSizes[c]});
-                prefix_det.addListener(&prefix);
+        if (derive_cls) {
+            std::vector<std::unique_ptr<DerivedState>> states;
+            std::vector<std::unique_ptr<ReplaySource>> sources;
+            std::vector<ReplaySource *> source_ptrs;
+            for (size_t c = 1; c < num_c; ++c) {
+                auto st =
+                    std::make_unique<DerivedState>(grid.clsSizes[c]);
+                if (cells)
+                    st->det.addListener(&st->rec);
+                if (grid.ideal)
+                    st->det.addListener(&st->ideal);
                 if (from_traces)
-                    replay_stream(prefix_det, art.totalInstrs / 2);
+                    sources.push_back(
+                        std::make_unique<StreamedControlSource>(
+                            *streamer, st->det, grid.maxInstrs));
                 else
-                    replayControlTrace(art.controlTrace, prefix_det,
-                                       art.totalInstrs / 2);
-                row.idealTpcPrefix = prefix.tpc();
+                    sources.push_back(
+                        std::make_unique<ControlTraceSource>(
+                            art.controlTrace, st->det));
+                source_ptrs.push_back(sources.back().get());
+                states.push_back(std::move(st));
+            }
+            interleave(source_ptrs);
+
+            for (size_t c = 1; c < num_c; ++c) {
+                SweepRow &row = out.rows[w * num_c + c];
+                DerivedState &st = *states[c - 1];
+                if (cells) {
+                    recordings[w * num_c + c] = st.rec.take();
+                    if (grid.checkReplay) {
+                        RunOptions direct = opts;
+                        direct.clsEntries = grid.clsSizes[c];
+                        direct.checkReplay = false;
+                        CollectFlags rec_only;
+                        rec_only.recording = true;
+                        checkDerivedRecording(
+                            grid.workloads[w], grid.clsSizes[c],
+                            runWorkload(grid.workloads[w], direct,
+                                        rec_only)
+                                .recording,
+                            recordings[w * num_c + c]);
+                    }
+                }
+                if (grid.ideal)
+                    row.idealTpc = st.ideal.tpc();
+            }
+
+            // Half-trace prefix replays (Figure 8's convergence check)
+            // interleave the same way.
+            if (grid.ideal) {
+                std::vector<std::unique_ptr<DerivedState>> pstates;
+                std::vector<std::unique_ptr<ReplaySource>> psources;
+                std::vector<ReplaySource *> psource_ptrs;
+                for (size_t c = 1; c < num_c; ++c) {
+                    auto st =
+                        std::make_unique<DerivedState>(grid.clsSizes[c]);
+                    st->det.addListener(&st->ideal);
+                    if (from_traces)
+                        psources.push_back(
+                            std::make_unique<StreamedControlSource>(
+                                *streamer, st->det,
+                                art.totalInstrs / 2));
+                    else
+                        psources.push_back(
+                            std::make_unique<ControlTraceSource>(
+                                art.controlTrace, st->det,
+                                art.totalInstrs / 2));
+                    psource_ptrs.push_back(psources.back().get());
+                    pstates.push_back(std::move(st));
+                }
+                interleave(psource_ptrs);
+                for (size_t c = 1; c < num_c; ++c)
+                    out.rows[w * num_c + c].idealTpcPrefix =
+                        pstates[c - 1]->ideal.tpc();
             }
         }
     });

@@ -17,6 +17,7 @@
 #include "speculation/event_record.hh"
 #include "tables/hit_ratio.hh"
 #include "trace_io/crc32.hh"
+#include "trace_io/replay_source.hh"
 #include "trace_io/stream_reader.hh"
 #include "trace_io/trace_codec.hh"
 #include "tracegen/control_trace.hh"
@@ -127,6 +128,58 @@ class StreamCollector : public TraceObserver
     {
         totalInstrs = total;
     }
+};
+
+/**
+ * Hot-plane stream collector (BatchNeed::HotPlanes): verifies the SoA
+ * producer contract — no cold planes on a hot-only delivery, a ctrl
+ * index listing exactly the kind != None positions — while collecting
+ * the planes positionally for comparison against the scalar stream.
+ */
+class HotStreamCollector : public TraceObserver
+{
+  public:
+    struct Hot
+    {
+        uint64_t seq;
+        uint32_t pc;
+        uint32_t target;
+        CtrlKind kind;
+        bool taken;
+    };
+    std::vector<Hot> all;
+    std::string err;
+
+    void
+    onInstr(const DynInstr &d) override
+    {
+        all.push_back({d.seq, d.pc, d.target, d.kind, d.taken});
+    }
+
+    void
+    onInstrBatchSoA(const SoaBatch &b) override
+    {
+        if (b.hasColdPlanes() && err.empty())
+            err = "soa: hot-only delivery carries cold planes";
+        size_t c = 0;
+        for (size_t i = 0; i < b.count; ++i) {
+            const bool is_ctrl =
+                static_cast<CtrlKind>(b.kind[i]) != CtrlKind::None;
+            const bool indexed =
+                c < b.numCtrl && b.ctrl[c] == static_cast<uint32_t>(i);
+            if (is_ctrl != indexed && err.empty())
+                err = strprintf("soa: ctrl index wrong at batch pos %zu",
+                                i);
+            c += indexed;
+            all.push_back({b.seqBase + i, b.pc[i], b.target[i],
+                           static_cast<CtrlKind>(b.kind[i]),
+                           b.taken[i] != 0});
+        }
+        if (c != b.numCtrl && err.empty())
+            err = "soa: ctrl index count mismatch";
+    }
+
+    BatchNeed batchNeed() const override { return BatchNeed::HotPlanes; }
 };
 
 /** Field-by-field record comparison; empty string when equal. */
@@ -874,6 +927,58 @@ diffProgram(const Program &prog, const DiffConfig &cfg)
     }
     ControlTrace ctrace = ctrace_rec.take();
 
+    // --- 1a. SoA deliveries vs the reference stream ------------------
+    // Hot planes (the default fast path) must agree field-for-field
+    // with the scalar records, and the direct AoS fill (soaBatches =
+    // false, the non-GNU fallback) must stay bit-identical too. The
+    // stage-1 batched collector above already covered the third
+    // delivery form: cold planes materialized by the default shim.
+    {
+        HotStreamCollector hot;
+        {
+            TraceEngine engine(prog, ecfg);
+            engine.addObserver(&hot);
+            engine.run();
+        }
+        if (!hot.err.empty())
+            return DiffResult::fail(hot.err);
+        if (hot.all.size() != scalar.all.size()) {
+            return DiffResult::fail(strprintf(
+                "soa: hot planes carry %zu instrs, scalar %zu",
+                hot.all.size(), scalar.all.size()));
+        }
+        for (size_t i = 0; i < scalar.all.size(); ++i) {
+            const DynInstr &a = scalar.all[i];
+            const HotStreamCollector::Hot &b = hot.all[i];
+            if (a.seq != b.seq || a.pc != b.pc || a.target != b.target ||
+                a.kind != b.kind || a.taken != b.taken) {
+                return DiffResult::fail(strprintf(
+                    "soa: hot planes diverge from scalar at instr %zu",
+                    i));
+            }
+        }
+
+        StreamCollector direct;
+        {
+            EngineConfig acfg = ecfg;
+            acfg.soaBatches = false;
+            TraceEngine engine(prog, acfg);
+            engine.addObserver(&direct);
+            engine.run();
+        }
+        if (direct.all.size() != scalar.all.size()) {
+            return DiffResult::fail(strprintf(
+                "soa: direct AoS fill retires %zu instrs, scalar %zu",
+                direct.all.size(), scalar.all.size()));
+        }
+        for (size_t i = 0; i < scalar.all.size(); ++i) {
+            std::string err =
+                compareInstr(scalar.all[i], direct.all[i], i);
+            if (!err.empty())
+                return DiffResult::fail("soa direct-aos: " + err);
+        }
+    }
+
     // --- 1b. Predictor-state invariant (CLS-independent) -------------
     {
         std::string err =
@@ -923,6 +1028,23 @@ diffProgram(const Program &prog, const DiffConfig &cfg)
         if (!err.empty())
             return DiffResult::fail(err);
 
+        // (B2) Direct AoS batches (soaBatches = false): the detector's
+        // record walk must emit the identical events as its hot-plane
+        // walk in (B).
+        EventLog log_b2;
+        {
+            EngineConfig acfg = ecfg;
+            acfg.soaBatches = false;
+            TraceEngine engine(prog, acfg);
+            LoopDetector det({cls});
+            det.addListener(&log_b2);
+            engine.addObserver(&det);
+            engine.run();
+        }
+        err = compareLogs((tag + " aos-batched").c_str(), log_a, log_b2);
+        if (!err.empty())
+            return DiffResult::fail(err);
+
         // (B1) Odd-sized manual batches stress span boundaries.
         EventLog log_b1;
         {
@@ -955,6 +1077,28 @@ diffProgram(const Program &prog, const DiffConfig &cfg)
         if (err.empty())
             err = compareStats((tag + " ctrace-replay").c_str(),
                                stats_a.report(), stats_c.report());
+        if (!err.empty())
+            return DiffResult::fail(err);
+
+        // (C2) Interleaved replay: two chunk-scheduled sources over the
+        // same control trace must each reproduce the reference events
+        // (interleaving is a pure scheduling change).
+        EventLog log_c2a, log_c2b;
+        {
+            LoopDetector det_a({cls}), det_b({cls});
+            det_a.addListener(&log_c2a);
+            det_b.addListener(&log_c2b);
+            ControlTraceSource src_a(ctrace, det_a);
+            ControlTraceSource src_b(ctrace, det_b);
+            std::string ierr = interleaveReplay({&src_a, &src_b}, 1000);
+            if (!ierr.empty())
+                return DiffResult::fail(tag + " interleaved: " + ierr);
+        }
+        err = compareLogs((tag + " interleaved-a").c_str(), log_a,
+                          log_c2a);
+        if (err.empty())
+            err = compareLogs((tag + " interleaved-b").c_str(), log_a,
+                              log_c2b);
         if (!err.empty())
             return DiffResult::fail(err);
 

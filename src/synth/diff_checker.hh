@@ -9,10 +9,13 @@
  * through all of them, at several CLS sizes, and reports the first
  * divergence:
  *
- *  - DynInstr streams of step() and run() must be bit-identical;
+ *  - DynInstr streams of step() and run() must be bit-identical, on
+ *    every delivery layout: SoA hot planes, shim-materialized records,
+ *    and the direct AoS fill (EngineConfig::soaBatches = false);
  *  - the LoopDetector must emit the identical event sequence whether fed
- *    per-instruction, in batches, by the engine, or by control-trace
- *    replay;
+ *    per-instruction, in batches (hot-plane or record form), by the
+ *    engine, by control-trace replay, or by chunk-interleaved replay
+ *    sources (trace_io/replay_source.hh);
  *  - replaying a LoopEventRecording must reproduce the events, the
  *    Fig-4 meter artifacts, and a re-recorded recording exactly;
  *  - Table-1 statistics must agree across every path;

@@ -105,6 +105,13 @@ class LetHitMeter : public LoopListener
 
     /** Event-driven only: instruction data carries no information. */
     bool consumesInstrs() const override { return false; }
+    /** Table lines keyed by loop id: worth warming before dispatch. */
+    bool wantsPrefetchHints() const override { return true; }
+    void prefetchLoop(uint32_t loop) override
+    {
+        (void)loop;
+        table.prefetch();
+    }
     void onExecStart(const ExecStartEvent &ev) override;
     void onExecEnd(const ExecEndEvent &ev) override;
     void onSingleIterExec(const SingleIterExecEvent &ev) override;
@@ -141,6 +148,13 @@ class LitHitMeter : public LoopListener
 
     /** Event-driven only: instruction data carries no information. */
     bool consumesInstrs() const override { return false; }
+    /** Table lines keyed by loop id: worth warming before dispatch. */
+    bool wantsPrefetchHints() const override { return true; }
+    void prefetchLoop(uint32_t loop) override
+    {
+        (void)loop;
+        table.prefetch();
+    }
     void onExecStart(const ExecStartEvent &ev) override;
     void onIterStart(const IterEvent &ev) override;
     void onIterEnd(const IterEvent &ev) override;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "util/logging.hh"
+#include "util/prefetch.hh"
 
 namespace loopspec
 {
@@ -104,6 +105,23 @@ class LoopTable
 
     size_t size() const { return slots.size(); }
     size_t numEntries() const { return capacity; }
+
+    /**
+     * Warm the table's set lines ahead of an upcoming find()/touch().
+     * Fully associative means every line is in the set: at the paper's
+     * 2..16 entries that is one to a few cache lines, issued while the
+     * producer is still decoding the transfer that will probe them.
+     */
+    void
+    prefetch() const
+    {
+        constexpr size_t stride =
+            sizeof(Slot) >= 64 ? 1 : 64 / sizeof(Slot);
+        const Slot *base = slots.data();
+        const Slot *end = base + slots.size();
+        for (const Slot *p = base; p < end; p += stride)
+            prefetchRead(p);
+    }
 
   private:
     struct Slot

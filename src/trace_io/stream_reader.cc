@@ -246,66 +246,145 @@ TraceFileStreamer::verifySectionCrc(const SectionDesc &desc)
     return "";
 }
 
+/**
+ * Incremental control-replay state: the decode loop of the old
+ * monolithic replayControl(), restartable at chunk granularity. step()
+ * runs until the synthesizer has passed @p goal (or the section is
+ * fully decoded, validated and finished — then *done is set).
+ */
+struct TraceFileStreamer::ControlPump::Impl
+{
+    TraceFileStreamer &streamer;
+    const SectionDesc &sec;
+    Cursor cur;
+    CtrlTransferDecoder dec;
+    ControlReplaySynthesizer synth;
+    size_t batchBytes;
+    uint64_t count = 0;
+    bool feeding = true;
+
+    Impl(TraceFileStreamer &s, const SectionDesc &sec,
+         TraceObserver &observer, uint64_t max_instrs)
+        : streamer(s), sec(sec),
+          cur(s.fd, s.path, sec, s.config.chunkBytes),
+          dec(static_cast<TraceEncoding>(sec.encoding),
+              s.metaTotalInstrs),
+          synth(observer, s.metaTotalInstrs, max_instrs,
+                s.config.batchInstrs),
+          batchBytes(s.config.batchInstrs * sizeof(DynInstr))
+    {
+    }
+
+    std::string
+    step(uint64_t goal, bool *done)
+    {
+        const std::string &path = streamer.path;
+        for (;;) {
+            if (feeding && synth.position() >= goal &&
+                goal < synth.windowEnd())
+                return ""; // chunk satisfied, replay still live
+            const uint8_t *p = cur.data();
+            CtrlTransfer t;
+            int r = dec.next(&p, cur.end(), &t);
+            if (r < 0)
+                return path + ": " + dec.error();
+            if (r == 1) {
+                cur.advance(p);
+                ++count;
+                // Past the replay window the synthesizer ignores
+                // input, but keep decoding: validation and the CRC
+                // must cover the whole section before the replay may
+                // complete.
+                if (feeding)
+                    feeding = synth.feed(t);
+                continue;
+            }
+            if (cur.canRefill()) {
+                std::string e = cur.refill();
+                if (!e.empty())
+                    return e;
+                streamer.notePeak(cur.bufferBytes() + batchBytes);
+                continue;
+            }
+            if (cur.buffered() != 0)
+                return path + ": truncated control transfer record";
+            break;
+        }
+        if (count != sec.itemCount)
+            return strprintf("%s: decoded %llu control transfers, "
+                             "table promised %llu",
+                             path.c_str(), (unsigned long long)count,
+                             (unsigned long long)sec.itemCount);
+        if (cur.crc() != sec.payloadCrc)
+            return strprintf("%s: CtrlTransfers payload CRC mismatch: "
+                             "stored %08x, computed %08x",
+                             path.c_str(), sec.payloadCrc, cur.crc());
+        synth.finish();
+        *done = true;
+        return "";
+    }
+};
+
+TraceFileStreamer::ControlPump::~ControlPump() = default;
+
+bool
+TraceFileStreamer::ControlPump::pump(uint64_t chunk_instrs)
+{
+    LOOPSPEC_ASSERT(!finished, "pump() after completion");
+    uint64_t pos = impl->synth.position();
+    uint64_t goal = impl->synth.windowEnd();
+    if (chunk_instrs < goal - pos)
+        goal = pos + chunk_instrs;
+    bool done = false;
+    err = impl->step(goal, &done);
+    if (!err.empty() || done) {
+        finished = true;
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+TraceFileStreamer::ControlPump::position() const
+{
+    return impl->synth.position();
+}
+
+std::unique_ptr<TraceFileStreamer::ControlPump>
+TraceFileStreamer::openControlPump(TraceObserver &observer,
+                                   uint64_t max_instrs, std::string *err)
+{
+    if (layout.content != TraceContent::ControlTrace) {
+        *err = path + ": container is not a control trace";
+        return nullptr;
+    }
+    for (const SectionDesc &d : layout.sections) {
+        if (d.kind != static_cast<uint32_t>(SectionKind::CtrlMeta) &&
+            d.kind !=
+                static_cast<uint32_t>(SectionKind::CtrlTransfers)) {
+            *err = strprintf("%s: unexpected section kind %u",
+                             path.c_str(), d.kind);
+            return nullptr;
+        }
+    }
+    const SectionDesc &sec = *layout.find(SectionKind::CtrlTransfers);
+    std::unique_ptr<ControlPump> pump(new ControlPump);
+    pump->impl.reset(new ControlPump::Impl(*this, sec, observer,
+                                           max_instrs));
+    return pump;
+}
+
 std::string
 TraceFileStreamer::replayControl(TraceObserver &observer,
                                  uint64_t max_instrs)
 {
-    if (layout.content != TraceContent::ControlTrace)
-        return path + ": container is not a control trace";
-    const SectionDesc &sec = *layout.find(SectionKind::CtrlTransfers);
-    for (const SectionDesc &d : layout.sections) {
-        if (d.kind != static_cast<uint32_t>(SectionKind::CtrlMeta) &&
-            d.kind != static_cast<uint32_t>(SectionKind::CtrlTransfers))
-            return strprintf("%s: unexpected section kind %u",
-                             path.c_str(), d.kind);
+    std::string err;
+    auto pump = openControlPump(observer, max_instrs, &err);
+    if (!pump)
+        return err;
+    while (pump->pump(UINT64_MAX)) {
     }
-
-    Cursor cur(fd, path, sec, config.chunkBytes);
-    CtrlTransferDecoder dec(static_cast<TraceEncoding>(sec.encoding),
-                            metaTotalInstrs);
-    ControlReplaySynthesizer synth(observer, metaTotalInstrs,
-                                   max_instrs, config.batchInstrs);
-    size_t batch_bytes = config.batchInstrs * sizeof(DynInstr);
-    uint64_t count = 0;
-    bool feeding = true;
-    for (;;) {
-        const uint8_t *p = cur.data();
-        CtrlTransfer t;
-        int r = dec.next(&p, cur.end(), &t);
-        if (r < 0)
-            return path + ": " + dec.error();
-        if (r == 1) {
-            cur.advance(p);
-            ++count;
-            // Past the replay window the synthesizer ignores input,
-            // but keep decoding: validation and the CRC must cover
-            // the whole section before the replay may complete.
-            if (feeding)
-                feeding = synth.feed(t);
-            continue;
-        }
-        if (cur.canRefill()) {
-            std::string e = cur.refill();
-            if (!e.empty())
-                return e;
-            notePeak(cur.bufferBytes() + batch_bytes);
-            continue;
-        }
-        if (cur.buffered() != 0)
-            return path + ": truncated control transfer record";
-        break;
-    }
-    if (count != sec.itemCount)
-        return strprintf("%s: decoded %llu control transfers, table "
-                         "promised %llu",
-                         path.c_str(), (unsigned long long)count,
-                         (unsigned long long)sec.itemCount);
-    if (cur.crc() != sec.payloadCrc)
-        return strprintf("%s: CtrlTransfers payload CRC mismatch: "
-                         "stored %08x, computed %08x",
-                         path.c_str(), sec.payloadCrc, cur.crc());
-    synth.finish();
-    return "";
+    return pump->error();
 }
 
 std::string

@@ -75,9 +75,51 @@ class TraceFileStreamer
      * truncates the window (0 = full). Returns "" on success; on error
      * the observer saw a partial, unusable replay. Each replay streams
      * the file afresh, so one streamer can run several prefix replays.
+     *
+     * Implemented as openControlPump() pumped to completion, so the
+     * incremental path below is bit-identical by construction.
      */
     std::string replayControl(TraceObserver &observer,
                               uint64_t max_instrs = 0);
+
+    /**
+     * Incremental control replay for interleaved multi-recording
+     * schedules: each pump() decodes/synthesizes roughly a chunk more
+     * instructions. The final pump() also validates the section CRC and
+     * item count before delivering onTraceEnd — a corrupted file can
+     * never complete a replay, exactly like replayControl().
+     */
+    class ControlPump
+    {
+      public:
+        ~ControlPump();
+
+        /** Advance ~@p chunk_instrs; false when complete or failed
+         *  (then error() distinguishes — "" means clean completion).
+         *  Must not be called again after returning false. */
+        bool pump(uint64_t chunk_instrs);
+
+        /** Instructions synthesized so far. */
+        uint64_t position() const;
+
+        const std::string &error() const { return err; }
+
+      private:
+        friend class TraceFileStreamer;
+        ControlPump() = default;
+
+        struct Impl;
+        std::unique_ptr<Impl> impl;
+        std::string err;
+        bool finished = false;
+    };
+
+    /** Open an incremental control replay over this container; nullptr
+     *  with *err when it is not a control trace. The streamer and
+     *  @p observer must outlive the pump. */
+    std::unique_ptr<ControlPump> openControlPump(TraceObserver &observer,
+                                                 uint64_t max_instrs,
+                                                 std::string *err);
 
     /**
      * Stream a LoopEventRecording container into @p listeners exactly

@@ -101,6 +101,17 @@ ControlTraceRecorder::onInstrBatchCtrl(const DynInstr *instrs,
 }
 
 void
+ControlTraceRecorder::onInstrBatchSoA(const SoaBatch &b)
+{
+    for (size_t k = 0; k < b.numCtrl; ++k) {
+        uint32_t i = b.ctrl[k];
+        trace.transfers.push_back({b.seqBase + i, b.pc[i], b.target[i],
+                                   static_cast<CtrlKind>(b.kind[i]),
+                                   b.taken[i] != 0});
+    }
+}
+
+void
 ControlTraceRecorder::onTraceEnd(uint64_t total_instrs)
 {
     LOOPSPEC_ASSERT(!done, "onTraceEnd twice");
@@ -121,32 +132,88 @@ ControlTraceRecorder::take()
 ControlReplaySynthesizer::ControlReplaySynthesizer(
     TraceObserver &observer, uint64_t total_instrs, uint64_t max_instrs,
     size_t batch_instrs)
-    : observer(observer), end(total_instrs)
+    : observer(observer), cap(batch_instrs), end(total_instrs)
 {
     LOOPSPEC_ASSERT(batch_instrs >= 1, "batch_instrs must be >= 1");
     if (max_instrs && max_instrs < end)
         end = max_instrs;
-    // The buffer starts as all-default gap records; per batch only seq
-    // and the control positions are patched, and the control positions
-    // are restored to gap defaults after delivery.
-    buf.resize(batch_instrs);
-    ctrl.reserve(batch_instrs);
+    soa = observer.batchNeed() == BatchNeed::HotPlanes;
+    if (soa) {
+        // Zero-filled planes are exactly the gap defaults; per batch
+        // only the control positions are patched, and restored after
+        // delivery.
+        pcP.resize(cap);
+        targetP.resize(cap);
+        kindP.resize(cap);
+        takenP.resize(cap);
+    } else {
+        // The buffer starts as all-default gap records; per batch only
+        // seq and the control positions are patched, and the control
+        // positions are restored to gap defaults after delivery.
+        buf.resize(cap);
+    }
+    ctrl.reserve(cap);
 }
 
 void
 ControlReplaySynthesizer::flush()
 {
-    observer.onInstrBatchCtrl(buf.data(), fill, ctrl.data(),
-                              ctrl.size());
-    for (uint32_t i : ctrl) {
-        DynInstr &d = buf[i];
-        d.pc = 0;
-        d.target = 0;
-        d.kind = CtrlKind::None;
-        d.taken = false;
+    if (soa) {
+        SoaBatch b;
+        b.pc = pcP.data();
+        b.target = targetP.data();
+        b.kind = kindP.data();
+        b.taken = takenP.data();
+        b.seqBase = batchSeqBase;
+        b.count = fill;
+        b.ctrl = ctrl.data();
+        b.numCtrl = ctrl.size();
+        observer.onInstrBatchSoA(b);
+        for (uint32_t i : ctrl) {
+            pcP[i] = 0;
+            targetP[i] = 0;
+            kindP[i] = 0;
+            takenP[i] = 0;
+        }
+    } else {
+        observer.onInstrBatchCtrl(buf.data(), fill, ctrl.data(),
+                                  ctrl.size());
+        for (uint32_t i : ctrl) {
+            DynInstr &d = buf[i];
+            d.pc = 0;
+            d.target = 0;
+            d.kind = CtrlKind::None;
+            d.taken = false;
+        }
     }
     ctrl.clear();
+    batchSeqBase += fill;
     fill = 0;
+}
+
+void
+ControlReplaySynthesizer::synthGap(uint64_t upto)
+{
+    if (soa) {
+        // Gap records are all-zero plane entries with implicit seq:
+        // advancing the fill position *is* synthesizing them.
+        while (seq < upto) {
+            uint64_t room = static_cast<uint64_t>(cap - fill);
+            uint64_t take = upto - seq < room ? upto - seq : room;
+            fill += static_cast<size_t>(take);
+            seq += take;
+            if (fill == cap)
+                flush();
+        }
+    } else {
+        while (seq < upto) {
+            buf[fill].seq = seq;
+            ++fill;
+            ++seq;
+            if (fill == cap)
+                flush();
+        }
+    }
 }
 
 bool
@@ -163,23 +230,24 @@ ControlReplaySynthesizer::feed(const CtrlTransfer &t)
         stalled = true;
         return false;
     }
-    while (seq < t.seq) { // synthesize the gap before this transfer
-        buf[fill].seq = seq;
-        ++fill;
-        ++seq;
-        if (fill == buf.size())
-            flush();
+    synthGap(t.seq); // synthesize the gap before this transfer
+    if (soa) {
+        pcP[fill] = t.pc;
+        targetP[fill] = t.target;
+        kindP[fill] = static_cast<uint8_t>(t.kind);
+        takenP[fill] = t.taken ? 1 : 0;
+    } else {
+        DynInstr &d = buf[fill];
+        d.seq = seq;
+        d.pc = t.pc;
+        d.target = t.target;
+        d.kind = t.kind;
+        d.taken = t.taken;
     }
-    DynInstr &d = buf[fill];
-    d.seq = seq;
-    d.pc = t.pc;
-    d.target = t.target;
-    d.kind = t.kind;
-    d.taken = t.taken;
     ctrl.push_back(static_cast<uint32_t>(fill));
     ++fill;
     ++seq;
-    if (fill == buf.size())
+    if (fill == cap)
         flush();
     return true;
 }
@@ -189,13 +257,7 @@ ControlReplaySynthesizer::finish()
 {
     LOOPSPEC_ASSERT(!finished, "finish() twice");
     finished = true;
-    while (seq < end) { // trailing gap after the last transfer
-        buf[fill].seq = seq;
-        ++fill;
-        ++seq;
-        if (fill == buf.size())
-            flush();
-    }
+    synthGap(end); // trailing gap after the last transfer
     if (fill)
         flush();
     observer.onTraceEnd(end);

@@ -65,6 +65,10 @@ class ControlTraceRecorder : public TraceObserver
     void onInstrBatchCtrl(const DynInstr *instrs, size_t count,
                           const uint32_t *ctrl,
                           size_t num_ctrl) override;
+    /** Hot-plane consumer: a transfer is exactly the four hot fields
+     *  plus seq, so the recorder never needs full records. */
+    void onInstrBatchSoA(const SoaBatch &batch) override;
+    BatchNeed batchNeed() const override { return BatchNeed::HotPlanes; }
     void onTraceEnd(uint64_t total_instrs) override;
 
     /** Move the finished trace out (valid after onTraceEnd). */
@@ -107,15 +111,37 @@ class ControlReplaySynthesizer
      *  the instruction count replayed. Call exactly once. */
     uint64_t finish();
 
+    /** Instructions synthesized so far (next seq to produce). */
+    uint64_t position() const { return seq; }
+
+    /** Replay window length (totalInstrs clamped by max_instrs). */
+    uint64_t windowEnd() const { return end; }
+
   private:
     void flush();
+
+    /** Synthesize gap instructions until seq reaches @p upto. */
+    void synthGap(uint64_t upto);
 
     TraceObserver &observer;
     std::vector<DynInstr> buf;
     std::vector<uint32_t> ctrl;
+    /**
+     * Hot-plane delivery (chosen when the observer reports
+     * BatchNeed::HotPlanes): batches go out as SoaBatch views over four
+     * plane vectors and gap instructions become pure position advances —
+     * no 72-byte record is ever written. Bit-identical observations by
+     * the SoaBatch hot-plane contract (zeros at gap positions, implicit
+     * seq).
+     */
+    bool soa = false;
+    std::vector<uint32_t> pcP, targetP;
+    std::vector<uint8_t> kindP, takenP;
+    uint64_t batchSeqBase = 0; //!< seq of plane/buf position 0
+    size_t cap = 0;   //!< batch capacity (records per flush)
     uint64_t end;     //!< replay window length
     uint64_t seq = 0; //!< next seq to synthesize
-    size_t fill = 0;  //!< occupied slots in buf
+    size_t fill = 0;  //!< occupied batch slots
     bool stalled = false;
     bool finished = false;
 };

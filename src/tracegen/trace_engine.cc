@@ -136,7 +136,7 @@ void
 TraceEngine::checkDynTarget(uint32_t target, uint32_t from_pc) const
 {
     if (target < codeBase || (target - codeBase) % instrBytes != 0 ||
-        indexOfAddr(target) >= pre.size())
+        indexOfAddr(target) >= opCore.size())
         panic("%s: dynamic control transfer from pc 0x%x to bad address "
               "0x%x",
               prog.name.c_str(), from_pc, target);
@@ -154,7 +154,9 @@ TraceEngine::TraceEngine(Program program, EngineConfig config)
 void
 TraceEngine::predecode()
 {
-    pre.reserve(prog.code.size());
+    opCore.reserve(prog.code.size());
+    opImm.reserve(prog.code.size());
+    opTarget.reserve(prog.code.size());
     recTemplate.reserve(prog.code.size());
     for (const Instr &in : prog.code) {
         PredecodedOp p;
@@ -225,7 +227,17 @@ TraceEngine::predecode()
           default:
             panic("bad opcode %d in predecode", static_cast<int>(in.op));
         }
-        pre.push_back(p);
+        // Scatter the staging record into the SoA op planes.
+        OpCore core;
+        core.tag = static_cast<uint8_t>(p.tag);
+        core.subop = p.subop;
+        core.rd = p.rd;
+        core.rs1 = p.rs1;
+        core.rs2 = p.rs2;
+        core.kind = static_cast<uint8_t>(p.kind);
+        opCore.push_back(core);
+        opImm.push_back(p.imm);
+        opTarget.push_back(p.target);
 
         // Record prototype: everything statically known, so the hot loop
         // copies and patches instead of zeroing and scattering.
@@ -563,10 +575,42 @@ TraceEngine::step(DynInstr &out)
     return true;
 }
 
+// Token-threaded dispatch: under GCC/Clang every handler ends by
+// jumping straight to the next handler through a computed-goto table
+// (labels-as-values), so the CPU's indirect-branch predictor learns
+// per-handler successor patterns instead of funnelling every
+// instruction through one shared switch branch. Compilers without the
+// extension fall back to a dense switch driven by the same macros.
+#if defined(__GNUC__) || defined(__clang__)
+#define LOOPSPEC_THREADED_DISPATCH 1
+#else
+#define LOOPSPEC_THREADED_DISPATCH 0
+#endif
+
+/*
+ * The one hot loop behind every execution mode. The per-instruction
+ * work is identical in all modes (same helpers as step(), so the
+ * streams stay bit-identical); M selects what gets materialised:
+ *
+ *  - Unobserved: architectural effects only, no records.
+ *  - Aos: 72-byte DynInstr records (prototype copy + dynamic patches)
+ *    plus the control index — the compatibility layout.
+ *  - SoaHot: the hot planes only (pc/kind always; taken/target zeroed
+ *    per batch and overwritten at control positions) — ~10 bytes per
+ *    instruction instead of 72.
+ *  - SoaFull: hot planes + sidx + operand/value cold planes, from
+ *    which SoaBatch::materialize rebuilds the exact AoS record.
+ */
+template <TraceEngine::FillMode M>
 size_t
-TraceEngine::fillBatch(DynInstr *buf, size_t cap, uint32_t *ctrl,
-                       size_t &num_ctrl)
+TraceEngine::fillCore(const FillBufs &bufs, size_t cap, size_t &num_ctrl)
 {
+    constexpr bool kAos = M == FillMode::Aos;
+    constexpr bool kSoa =
+        M == FillMode::SoaHot || M == FillMode::SoaFull;
+    constexpr bool kCold = M == FillMode::SoaFull;
+    constexpr bool kRec = M != FillMode::Unobserved;
+
     // Hoist the architectural state into locals for the whole batch:
     // going through `this` per retired instruction defeats register
     // allocation (every store to memory[] is an aliasing barrier for
@@ -576,194 +620,323 @@ TraceEngine::fillBatch(DynInstr *buf, size_t cap, uint32_t *ctrl,
     uint64_t lseq = seq;
     int64_t lregs[numRegs];
     std::memcpy(lregs, regs, sizeof(lregs));
-    const PredecodedOp *ops = pre.data();
+    const OpCore *ops = opCore.data();
+    const int64_t *imms = opImm.data();
+    const uint32_t *tgts = opTarget.data();
     const DynInstr *tmpl = recTemplate.data();
     int64_t *mem = memory.data();
     const uint64_t mem_words = memory.size();
     const uint64_t max_instrs = cfg.maxInstrs;
     const bool strict = cfg.strictMemory;
     bool lhalted = false;
+    (void)bufs;
+    (void)tmpl;
 
     // Fuel folds into the batch bound so the hot loop tests one limit.
     size_t limit = cap;
     if (max_instrs && max_instrs - lseq < limit)
         limit = static_cast<size_t>(max_instrs - lseq);
 
-    size_t n = 0;
-    size_t nc = 0;
-    while (n < limit) {
-        const uint32_t cur_pc = lpc;
-        const uint64_t idx = (cur_pc - codeBase) / instrBytes;
-        const PredecodedOp &p = ops[idx];
-
-        // Copy the record prototype (static fields prefilled at
-        // predecode), then patch the dynamic fields. Bit-identical to
-        // step()'s records.
-        DynInstr &d = buf[n];
-        d = tmpl[idx];
-        d.seq = lseq;
-
-        uint32_t next_pc = cur_pc + instrBytes;
-
-        switch (p.tag) {
-          case ExecTag::Nop:
-            break;
-          case ExecTag::Halt:
-            lhalted = true;
-            break;
-
-          case ExecTag::Alu: {
-            int64_t a = lregs[p.rs1];
-            int64_t b = lregs[p.rs2];
-            d.srcVal[0] = a;
-            d.srcVal[1] = b;
-            int64_t v = aluCompute(p.subop, a, b);
-            if (p.rd != 0)
-                lregs[p.rd] = v;
-            d.dstVal = lregs[p.rd];
-            break;
-          }
-          case ExecTag::AluImm: {
-            int64_t a = lregs[p.rs1];
-            d.srcVal[0] = a;
-            int64_t v = aluCompute(p.subop, a, p.imm);
-            if (p.rd != 0)
-                lregs[p.rd] = v;
-            d.dstVal = lregs[p.rd];
-            break;
-          }
-
-          case ExecTag::Li:
-            if (p.rd != 0)
-                lregs[p.rd] = p.imm;
-            d.dstVal = lregs[p.rd];
-            break;
-          case ExecTag::Mov: {
-            int64_t a = lregs[p.rs1];
-            d.srcVal[0] = a;
-            if (p.rd != 0)
-                lregs[p.rd] = a;
-            d.dstVal = lregs[p.rd];
-            break;
-          }
-
-          case ExecTag::Ld: {
-            int64_t a = lregs[p.rs1];
-            d.srcVal[0] = a;
-            uint64_t addr = static_cast<uint64_t>(a + p.imm);
-            int64_t value;
-            if (addr >= mem_words) {
-                if (strict)
-                    panic("%s: load from 0x%llx outside data segment "
-                          "(%zu words)",
-                          prog.name.c_str(),
-                          static_cast<unsigned long long>(addr),
-                          memory.size());
-                value = 0;
-            } else {
-                value = mem[addr];
-            }
-            d.memAddr = addr;
-            d.memVal = value;
-            if (p.rd != 0)
-                lregs[p.rd] = value;
-            d.dstVal = lregs[p.rd];
-            break;
-          }
-          case ExecTag::St: {
-            int64_t a = lregs[p.rs1];
-            int64_t value = lregs[p.rs2];
-            d.srcVal[0] = a;
-            d.srcVal[1] = value;
-            uint64_t addr = static_cast<uint64_t>(a + p.imm);
-            d.memAddr = addr;
-            d.memVal = value;
-            if (addr >= mem_words) {
-                if (strict)
-                    panic("%s: store to 0x%llx outside data segment "
-                          "(%zu words)",
-                          prog.name.c_str(),
-                          static_cast<unsigned long long>(addr),
-                          memory.size());
-            } else {
-                mem[addr] = value;
-            }
-            break;
-          }
-
-          case ExecTag::Branch: {
-            int64_t a = lregs[p.rs1];
-            int64_t b = lregs[p.rs2];
-            d.srcVal[0] = a;
-            d.srcVal[1] = b;
-            bool cond = branchTaken(p.subop, a, b);
-            d.taken = cond;
-            if (cond)
-                next_pc = p.target;
-            break;
-          }
-
-          case ExecTag::Jmp:
-            next_pc = p.target;
-            break;
-
-          case ExecTag::JmpInd: {
-            int64_t a = lregs[p.rs1];
-            d.srcVal[0] = a;
-            uint32_t t = static_cast<uint32_t>(a);
-            checkDynTarget(t, cur_pc);
-            d.target = t;
-            next_pc = t;
-            break;
-          }
-
-          case ExecTag::Call:
-            if (raStack.size() >= cfg.maxCallDepth)
-                panic("%s: call depth limit exceeded at pc 0x%x",
-                      prog.name.c_str(), cur_pc);
-            raStack.push_back(cur_pc + instrBytes);
-            next_pc = p.target;
-            break;
-
-          case ExecTag::CallInd: {
-            int64_t a = lregs[p.rs1];
-            d.srcVal[0] = a;
-            uint32_t t = static_cast<uint32_t>(a);
-            checkDynTarget(t, cur_pc);
-            d.target = t;
-            if (raStack.size() >= cfg.maxCallDepth)
-                panic("%s: call depth limit exceeded at pc 0x%x",
-                      prog.name.c_str(), cur_pc);
-            raStack.push_back(cur_pc + instrBytes);
-            next_pc = t;
-            break;
-          }
-
-          case ExecTag::Ret: {
-            if (raStack.empty())
-                panic("%s: ret with empty RA stack at pc 0x%x",
-                      prog.name.c_str(), cur_pc);
-            uint32_t t = raStack.back();
-            raStack.pop_back();
-            checkDynTarget(t, cur_pc);
-            d.target = t;
-            next_pc = t;
-            break;
-          }
-
-          default:
-            panic("bad ExecTag at pc 0x%x", cur_pc);
+    if constexpr (kSoa) {
+        // Non-control positions keep zeroed taken/target planes (and,
+        // in full mode, zeroed value planes) — the same zeros the AoS
+        // records carry; control handlers overwrite their own slots.
+        std::memset(bufs.takenP, 0, limit);
+        std::memset(bufs.targetP, 0, limit * sizeof(uint32_t));
+        if constexpr (kCold) {
+            std::memset(bufs.srcVal0P, 0, limit * sizeof(int64_t));
+            std::memset(bufs.srcVal1P, 0, limit * sizeof(int64_t));
+            std::memset(bufs.dstValP, 0, limit * sizeof(int64_t));
+            std::memset(bufs.memAddrP, 0, limit * sizeof(uint64_t));
+            std::memset(bufs.memValP, 0, limit * sizeof(int64_t));
         }
-
-        if (p.kind != CtrlKind::None)
-            ctrl[nc++] = static_cast<uint32_t>(n);
-        lpc = next_pc;
-        ++lseq;
-        ++n;
-        if (lhalted)
-            break;
     }
 
+    size_t n = 0;
+    size_t nc = 0;
+    uint64_t idx;
+    uint32_t cur_pc;
+    uint32_t next_pc;
+    const OpCore *op;
+    DynInstr *d = nullptr;
+    (void)d;
+
+// Per-instruction prologue: decode position, then the record prologue
+// of the active mode (AoS: prototype copy + seq; SoA: pc/kind planes).
+#define LS_BEGIN_OP()                                                  \
+    cur_pc = lpc;                                                      \
+    idx = (cur_pc - codeBase) / instrBytes;                            \
+    op = ops + idx;                                                    \
+    next_pc = cur_pc + instrBytes;                                     \
+    if constexpr (kAos) {                                              \
+        d = bufs.buf + n;                                              \
+        *d = tmpl[idx];                                                \
+        d->seq = lseq;                                                 \
+    } else if constexpr (kSoa) {                                       \
+        bufs.pcP[n] = cur_pc;                                          \
+        bufs.kindP[n] = op->kind;                                      \
+        if constexpr (kCold)                                           \
+            bufs.sidxP[n] = static_cast<uint32_t>(idx);                \
+    }
+
+// Dynamic-field writes. AoS patches the copied prototype; SoaFull
+// writes the cold planes; SoaHot and Unobserved drop the value.
+#define LS_SRC0(v)                                                     \
+    if constexpr (kAos)                                                \
+        d->srcVal[0] = (v);                                            \
+    else if constexpr (kCold)                                          \
+        bufs.srcVal0P[n] = (v)
+#define LS_SRC1(v)                                                     \
+    if constexpr (kAos)                                                \
+        d->srcVal[1] = (v);                                            \
+    else if constexpr (kCold)                                          \
+        bufs.srcVal1P[n] = (v)
+#define LS_DST(v)                                                      \
+    if constexpr (kAos)                                                \
+        d->dstVal = (v);                                               \
+    else if constexpr (kCold)                                          \
+        bufs.dstValP[n] = (v)
+#define LS_MEM(a_, v_)                                                 \
+    if constexpr (kAos) {                                              \
+        d->memAddr = (a_);                                             \
+        d->memVal = (v_);                                              \
+    } else if constexpr (kCold) {                                      \
+        bufs.memAddrP[n] = (a_);                                       \
+        bufs.memValP[n] = (v_);                                        \
+    }
+// Resolved control fields. LS_TAKEN/LS_TARGET mirror the AoS patches;
+// the LS_SOA_* variants cover fields the AoS prototype already holds
+// (static targets, constant taken) that SoA planes must still record.
+#define LS_TAKEN(v)                                                    \
+    if constexpr (kAos)                                                \
+        d->taken = (v);                                                \
+    else if constexpr (kSoa)                                           \
+        bufs.takenP[n] = (v) ? 1 : 0
+#define LS_TARGET(v)                                                   \
+    if constexpr (kAos)                                                \
+        d->target = (v);                                               \
+    else if constexpr (kSoa)                                           \
+        bufs.targetP[n] = (v)
+#define LS_SOA_TAKEN1()                                                \
+    if constexpr (kSoa)                                                \
+        bufs.takenP[n] = 1
+#define LS_SOA_TARGET(v)                                               \
+    if constexpr (kSoa)                                                \
+        bufs.targetP[n] = (v)
+// Control-index append: only handlers of control ops reach this, so
+// the per-instruction kind test of the old loop is gone entirely.
+#define LS_CTRL()                                                      \
+    if constexpr (kRec)                                                \
+        bufs.ctrl[nc++] = static_cast<uint32_t>(n)
+
+#if LOOPSPEC_THREADED_DISPATCH
+    static const void *const jump[] = {
+        &&h_Nop,    &&h_Halt, &&h_Alu,     &&h_AluImm, &&h_Li,
+        &&h_Mov,    &&h_Ld,   &&h_St,      &&h_Branch, &&h_Jmp,
+        &&h_JmpInd, &&h_Call, &&h_CallInd, &&h_Ret,
+    };
+#define LS_OP(t) h_##t:
+#define LS_END_OP()                                                    \
+    do {                                                               \
+        lpc = next_pc;                                                 \
+        ++lseq;                                                        \
+        if (++n >= limit)                                              \
+            goto fill_done;                                            \
+        LS_BEGIN_OP();                                                 \
+        goto *jump[op->tag];                                           \
+    } while (0)
+
+    if (limit == 0)
+        goto fill_done;
+    LS_BEGIN_OP();
+    goto *jump[op->tag];
+#else
+#define LS_OP(t) case ExecTag::t:
+#define LS_END_OP() goto ls_next_op
+
+    if (limit == 0)
+        goto fill_done;
+ls_begin_op:
+    LS_BEGIN_OP();
+    switch (static_cast<ExecTag>(op->tag)) {
+#endif
+
+    LS_OP(Nop)
+    LS_END_OP();
+
+    LS_OP(Halt)
+    lhalted = true;
+    lpc = next_pc;
+    ++lseq;
+    ++n;
+    goto fill_done;
+
+    LS_OP(Alu) {
+        int64_t a = lregs[op->rs1];
+        int64_t b = lregs[op->rs2];
+        LS_SRC0(a);
+        LS_SRC1(b);
+        int64_t v = aluCompute(op->subop, a, b);
+        if (op->rd != 0)
+            lregs[op->rd] = v;
+        LS_DST(lregs[op->rd]);
+    }
+    LS_END_OP();
+
+    LS_OP(AluImm) {
+        int64_t a = lregs[op->rs1];
+        LS_SRC0(a);
+        int64_t v = aluCompute(op->subop, a, imms[idx]);
+        if (op->rd != 0)
+            lregs[op->rd] = v;
+        LS_DST(lregs[op->rd]);
+    }
+    LS_END_OP();
+
+    LS_OP(Li)
+    if (op->rd != 0)
+        lregs[op->rd] = imms[idx];
+    LS_DST(lregs[op->rd]);
+    LS_END_OP();
+
+    LS_OP(Mov) {
+        int64_t a = lregs[op->rs1];
+        LS_SRC0(a);
+        if (op->rd != 0)
+            lregs[op->rd] = a;
+        LS_DST(lregs[op->rd]);
+    }
+    LS_END_OP();
+
+    LS_OP(Ld) {
+        int64_t a = lregs[op->rs1];
+        LS_SRC0(a);
+        uint64_t addr = static_cast<uint64_t>(a + imms[idx]);
+        int64_t value;
+        if (addr >= mem_words) {
+            if (strict)
+                panic("%s: load from 0x%llx outside data segment "
+                      "(%zu words)",
+                      prog.name.c_str(),
+                      static_cast<unsigned long long>(addr),
+                      memory.size());
+            value = 0;
+        } else {
+            value = mem[addr];
+        }
+        LS_MEM(addr, value);
+        if (op->rd != 0)
+            lregs[op->rd] = value;
+        LS_DST(lregs[op->rd]);
+    }
+    LS_END_OP();
+
+    LS_OP(St) {
+        int64_t a = lregs[op->rs1];
+        int64_t value = lregs[op->rs2];
+        LS_SRC0(a);
+        LS_SRC1(value);
+        uint64_t addr = static_cast<uint64_t>(a + imms[idx]);
+        LS_MEM(addr, value);
+        if (addr >= mem_words) {
+            if (strict)
+                panic("%s: store to 0x%llx outside data segment "
+                      "(%zu words)",
+                      prog.name.c_str(),
+                      static_cast<unsigned long long>(addr),
+                      memory.size());
+        } else {
+            mem[addr] = value;
+        }
+    }
+    LS_END_OP();
+
+    LS_OP(Branch) {
+        int64_t a = lregs[op->rs1];
+        int64_t b = lregs[op->rs2];
+        LS_SRC0(a);
+        LS_SRC1(b);
+        bool cond = branchTaken(op->subop, a, b);
+        LS_TAKEN(cond);
+        LS_SOA_TARGET(tgts[idx]); // AoS prototype holds the static target
+        if (cond)
+            next_pc = tgts[idx];
+        LS_CTRL();
+    }
+    LS_END_OP();
+
+    LS_OP(Jmp)
+    LS_SOA_TAKEN1();
+    LS_SOA_TARGET(tgts[idx]);
+    next_pc = tgts[idx];
+    LS_CTRL();
+    LS_END_OP();
+
+    LS_OP(JmpInd) {
+        int64_t a = lregs[op->rs1];
+        LS_SRC0(a);
+        uint32_t t = static_cast<uint32_t>(a);
+        checkDynTarget(t, cur_pc);
+        LS_SOA_TAKEN1();
+        LS_TARGET(t);
+        next_pc = t;
+        LS_CTRL();
+    }
+    LS_END_OP();
+
+    LS_OP(Call)
+    if (raStack.size() >= cfg.maxCallDepth)
+        panic("%s: call depth limit exceeded at pc 0x%x",
+              prog.name.c_str(), cur_pc);
+    raStack.push_back(cur_pc + instrBytes);
+    LS_SOA_TAKEN1();
+    LS_SOA_TARGET(tgts[idx]);
+    next_pc = tgts[idx];
+    LS_CTRL();
+    LS_END_OP();
+
+    LS_OP(CallInd) {
+        int64_t a = lregs[op->rs1];
+        LS_SRC0(a);
+        uint32_t t = static_cast<uint32_t>(a);
+        checkDynTarget(t, cur_pc);
+        LS_SOA_TAKEN1();
+        LS_TARGET(t);
+        if (raStack.size() >= cfg.maxCallDepth)
+            panic("%s: call depth limit exceeded at pc 0x%x",
+                  prog.name.c_str(), cur_pc);
+        raStack.push_back(cur_pc + instrBytes);
+        next_pc = t;
+        LS_CTRL();
+    }
+    LS_END_OP();
+
+    LS_OP(Ret) {
+        if (raStack.empty())
+            panic("%s: ret with empty RA stack at pc 0x%x",
+                  prog.name.c_str(), cur_pc);
+        uint32_t t = raStack.back();
+        raStack.pop_back();
+        checkDynTarget(t, cur_pc);
+        LS_SOA_TAKEN1();
+        LS_TARGET(t);
+        next_pc = t;
+        LS_CTRL();
+    }
+    LS_END_OP();
+
+#if !LOOPSPEC_THREADED_DISPATCH
+      default:
+        panic("bad ExecTag at pc 0x%x", cur_pc);
+    }
+ls_next_op:
+    lpc = next_pc;
+    ++lseq;
+    if (++n < limit)
+        goto ls_begin_op;
+#endif
+
+fill_done:
     if (!lhalted && max_instrs && lseq >= max_instrs)
         lhalted = true;
 
@@ -774,135 +947,19 @@ TraceEngine::fillBatch(DynInstr *buf, size_t cap, uint32_t *ctrl,
         halted = true;
     num_ctrl = nc;
     return n;
-}
 
-void
-TraceEngine::runUnobserved()
-{
-    // Same state hoisting as fillBatch, minus the records.
-    uint32_t lpc = pc;
-    uint64_t lseq = seq;
-    int64_t lregs[numRegs];
-    std::memcpy(lregs, regs, sizeof(lregs));
-    const PredecodedOp *ops = pre.data();
-    int64_t *mem = memory.data();
-    const uint64_t mem_words = memory.size();
-    const uint64_t max_instrs = cfg.maxInstrs;
-    const bool strict = cfg.strictMemory;
-    bool lhalted = halted;
-
-    while (!lhalted) {
-        const uint32_t cur_pc = lpc;
-        const uint64_t idx = (cur_pc - codeBase) / instrBytes;
-        const PredecodedOp &p = ops[idx];
-
-        uint32_t next_pc = cur_pc + instrBytes;
-        switch (p.tag) {
-          case ExecTag::Nop:
-            break;
-          case ExecTag::Halt:
-            lhalted = true;
-            break;
-          case ExecTag::Alu: {
-            int64_t v = aluCompute(p.subop, lregs[p.rs1], lregs[p.rs2]);
-            if (p.rd != 0)
-                lregs[p.rd] = v;
-            break;
-          }
-          case ExecTag::AluImm: {
-            int64_t v = aluCompute(p.subop, lregs[p.rs1], p.imm);
-            if (p.rd != 0)
-                lregs[p.rd] = v;
-            break;
-          }
-          case ExecTag::Li:
-            if (p.rd != 0)
-                lregs[p.rd] = p.imm;
-            break;
-          case ExecTag::Mov:
-            if (p.rd != 0)
-                lregs[p.rd] = lregs[p.rs1];
-            break;
-          case ExecTag::Ld: {
-            uint64_t addr = static_cast<uint64_t>(lregs[p.rs1] + p.imm);
-            int64_t v;
-            if (addr >= mem_words) {
-                if (strict)
-                    panic("%s: load from 0x%llx outside data segment "
-                          "(%zu words)",
-                          prog.name.c_str(),
-                          static_cast<unsigned long long>(addr),
-                          memory.size());
-                v = 0;
-            } else {
-                v = mem[addr];
-            }
-            if (p.rd != 0)
-                lregs[p.rd] = v;
-            break;
-          }
-          case ExecTag::St: {
-            uint64_t addr = static_cast<uint64_t>(lregs[p.rs1] + p.imm);
-            if (addr >= mem_words) {
-                if (strict)
-                    panic("%s: store to 0x%llx outside data segment "
-                          "(%zu words)",
-                          prog.name.c_str(),
-                          static_cast<unsigned long long>(addr),
-                          memory.size());
-            } else {
-                mem[addr] = lregs[p.rs2];
-            }
-            break;
-          }
-          case ExecTag::Branch:
-            if (branchTaken(p.subop, lregs[p.rs1], lregs[p.rs2]))
-                next_pc = p.target;
-            break;
-          case ExecTag::Jmp:
-            next_pc = p.target;
-            break;
-          case ExecTag::JmpInd:
-            next_pc = static_cast<uint32_t>(lregs[p.rs1]);
-            checkDynTarget(next_pc, cur_pc);
-            break;
-          case ExecTag::Call:
-            if (raStack.size() >= cfg.maxCallDepth)
-                panic("%s: call depth limit exceeded at pc 0x%x",
-                      prog.name.c_str(), cur_pc);
-            raStack.push_back(cur_pc + instrBytes);
-            next_pc = p.target;
-            break;
-          case ExecTag::CallInd:
-            if (raStack.size() >= cfg.maxCallDepth)
-                panic("%s: call depth limit exceeded at pc 0x%x",
-                      prog.name.c_str(), cur_pc);
-            raStack.push_back(cur_pc + instrBytes);
-            next_pc = static_cast<uint32_t>(lregs[p.rs1]);
-            checkDynTarget(next_pc, cur_pc);
-            break;
-          case ExecTag::Ret:
-            if (raStack.empty())
-                panic("%s: ret with empty RA stack at pc 0x%x",
-                      prog.name.c_str(), cur_pc);
-            next_pc = raStack.back();
-            raStack.pop_back();
-            checkDynTarget(next_pc, cur_pc);
-            break;
-          default:
-            panic("bad ExecTag at pc 0x%x", cur_pc);
-        }
-
-        lpc = next_pc;
-        ++lseq;
-        if (max_instrs && lseq >= max_instrs)
-            lhalted = true;
-    }
-
-    pc = lpc;
-    seq = lseq;
-    std::memcpy(regs, lregs, sizeof(lregs));
-    halted = lhalted;
+#undef LS_BEGIN_OP
+#undef LS_SRC0
+#undef LS_SRC1
+#undef LS_DST
+#undef LS_MEM
+#undef LS_TAKEN
+#undef LS_TARGET
+#undef LS_SOA_TAKEN1
+#undef LS_SOA_TARGET
+#undef LS_CTRL
+#undef LS_OP
+#undef LS_END_OP
 }
 
 uint64_t
@@ -915,19 +972,66 @@ TraceEngine::run()
 
     if (observers.empty()) {
         // Nobody reads the records: execute without materialising them.
-        runUnobserved();
+        FillBufs none;
+        size_t num_ctrl = 0;
+        fillCore<FillMode::Unobserved>(none, SIZE_MAX, num_ctrl);
         deliverEnd();
         return seq;
     }
 
-    std::vector<DynInstr> buf(cfg.batchInstrs);
-    std::vector<uint32_t> ctrl(cfg.batchInstrs);
+    if (!cfg.soaBatches) {
+        // Compatibility layout: AoS records + control index.
+        std::vector<DynInstr> buf(cfg.batchInstrs);
+        std::vector<uint32_t> ctrl(cfg.batchInstrs);
+        FillBufs fb;
+        fb.buf = buf.data();
+        fb.ctrl = ctrl.data();
+        while (!halted) {
+            size_t num_ctrl = 0;
+            size_t n =
+                fillCore<FillMode::Aos>(fb, cfg.batchInstrs, num_ctrl);
+            for (auto *obs : observers)
+                obs->onInstrBatchCtrl(buf.data(), n, ctrl.data(),
+                                      num_ctrl);
+        }
+        deliverEnd();
+        return seq;
+    }
+
+    // SoA delivery. The cold operand/value planes are filled only when
+    // some observer needs full records (the materializing shim or a §4
+    // value consumer); an all-hot observer set costs ~10 B/instr.
+    bool cold = false;
+    for (auto *obs : observers)
+        cold |= obs->batchNeed() == BatchNeed::FullRecords;
+    SoaBatchStorage soa;
+    soa.ensure(cfg.batchInstrs, cold);
+    FillBufs fb;
+    fb.ctrl = soa.ctrl.data();
+    fb.pcP = soa.pc.data();
+    fb.targetP = soa.target.data();
+    fb.kindP = soa.kind.data();
+    fb.takenP = soa.taken.data();
+    if (cold) {
+        fb.sidxP = soa.sidx.data();
+        fb.srcVal0P = soa.srcVal0.data();
+        fb.srcVal1P = soa.srcVal1.data();
+        fb.dstValP = soa.dstVal.data();
+        fb.memAddrP = soa.memAddr.data();
+        fb.memValP = soa.memVal.data();
+    }
     while (!halted) {
         size_t num_ctrl = 0;
-        size_t n = fillBatch(buf.data(), buf.size(), ctrl.data(),
-                             num_ctrl);
+        const uint64_t seq_base = seq;
+        size_t n =
+            cold ? fillCore<FillMode::SoaFull>(fb, cfg.batchInstrs,
+                                               num_ctrl)
+                 : fillCore<FillMode::SoaHot>(fb, cfg.batchInstrs,
+                                              num_ctrl);
+        SoaBatch batch =
+            soa.view(n, num_ctrl, seq_base, recTemplate.data());
         for (auto *obs : observers)
-            obs->onInstrBatchCtrl(buf.data(), n, ctrl.data(), num_ctrl);
+            obs->onInstrBatchSoA(batch);
     }
     deliverEnd();
     return seq;

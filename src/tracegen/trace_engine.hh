@@ -10,14 +10,17 @@
  *    switch, one onInstr observer call per retired instruction. It is the
  *    obviously-correct oracle the equivalence tests compare against.
  *  - run() is the fast path: every static instruction is decoded once at
- *    construction into a PredecodedOp (operand indices, control kind,
- *    handler tag), the hot loop executes from that flat array, and
- *    retired records are delivered to observers in ~4K-instruction
- *    batches (TraceObserver::onInstrBatch) — one virtual call per batch
- *    instead of per instruction.
+ *    construction into structure-of-arrays planes (an 8-byte OpCore of
+ *    handler tag + operand indices, plus cold immediate/target planes),
+ *    the hot loop executes from those flat arrays through a
+ *    token-threaded dispatch (computed goto under GCC/Clang, a dense
+ *    switch elsewhere), and retired records are delivered to observers
+ *    in ~4K-instruction batches — SoA planes (onInstrBatchSoA) by
+ *    default, AoS records (onInstrBatchCtrl) as the compatibility
+ *    layout — one virtual call per batch instead of per instruction.
  *
- * Both paths produce bit-identical DynInstr streams and may be mixed on
- * one engine.
+ * All paths produce bit-identical instruction streams and may be mixed
+ * on one engine.
  */
 
 #ifndef LOOPSPEC_TRACEGEN_TRACE_ENGINE_HH
@@ -46,6 +49,15 @@ struct EngineConfig
 
     /** Records per observer batch on the run() fast path. */
     size_t batchInstrs = 4096;
+
+    /**
+     * Deliver run() batches as SoA planes (TraceObserver::onInstrBatchSoA)
+     * when true; as AoS DynInstr arrays (onInstrBatchCtrl) when false.
+     * Both deliveries carry bit-identical streams — AoS-only observers
+     * see materialized records through the SoA shim — so this is a
+     * layout/performance switch, not a semantic one.
+     */
+    bool soaBatches = true;
 };
 
 /**
@@ -114,40 +126,87 @@ class TraceEngine
         Ret,
     };
 
-    /** One statically decoded instruction: everything run() needs. */
+    /**
+     * One statically decoded instruction, width-descending so the tail
+     * padding is the only padding. The decode *staging* record only:
+     * the hot loop reads the split planes below (OpCore + imm + target),
+     * not this struct.
+     */
     struct PredecodedOp
     {
+        int64_t imm;
+        uint32_t target;
         ExecTag tag;
         uint8_t subop; //!< AluFn or branch condition index
         Opcode op;     //!< original opcode (copied into records)
         CtrlKind kind; //!< precomputed ctrlKindOf(op)
         uint8_t rd, rs1, rs2;
-        int64_t imm;
-        uint32_t target;
+    };
+    static_assert(sizeof(PredecodedOp) == 24,
+                  "PredecodedOp must stay 24 bytes (8-byte imm + "
+                  "4-byte target + 7 tag/operand bytes, tail-padded)");
+
+    /**
+     * Hot plane of one predecoded instruction: the bytes every executed
+     * instruction touches (handler tag, subcode, operand indices,
+     * control kind). One 8-byte load per dispatch; the immediate and
+     * direct-target planes stay cold for the ops that need them.
+     */
+    struct OpCore
+    {
+        uint8_t tag;   //!< ExecTag
+        uint8_t subop; //!< AluFn or branch condition index
+        uint8_t rd, rs1, rs2;
+        uint8_t kind; //!< CtrlKind
+        uint8_t pad0 = 0, pad1 = 0;
+    };
+    static_assert(sizeof(OpCore) == 8,
+                  "OpCore plane stride must stay 8 bytes");
+
+    /** How fillCore materialises retired-instruction data. */
+    enum class FillMode : uint8_t
+    {
+        Unobserved, //!< no records: architectural effects only
+        Aos,        //!< DynInstr array + control index (compat layout)
+        SoaHot,     //!< hot planes + control index only
+        SoaFull,    //!< hot planes + operand/value cold planes
     };
 
-    /** Decode the whole code image into `pre` + `recTemplate`
+    /** Output planes for fillCore; members for other modes stay null. */
+    struct FillBufs
+    {
+        DynInstr *buf = nullptr; //!< Aos
+        uint32_t *ctrl = nullptr;
+        uint32_t *pcP = nullptr; //!< SoaHot/SoaFull hot planes
+        uint32_t *targetP = nullptr;
+        uint8_t *kindP = nullptr;
+        uint8_t *takenP = nullptr;
+        uint32_t *sidxP = nullptr; //!< SoaFull cold planes
+        int64_t *srcVal0P = nullptr;
+        int64_t *srcVal1P = nullptr;
+        int64_t *dstValP = nullptr;
+        uint64_t *memAddrP = nullptr;
+        int64_t *memValP = nullptr;
+    };
+
+    /** Decode the whole code image into the op planes + `recTemplate`
      *  (constructor helper). */
     void predecode();
 
     /**
-     * Execute up to @p cap instructions from the predecoded array,
-     * appending records to @p buf and the positions of control
-     * transfers to @p ctrl (capacity >= cap); returns the count
-     * produced and sets @p num_ctrl. Stops at Halt or the fuel limit
-     * (setting halted). Architectural state is hoisted into locals for
-     * the whole batch — member traffic per retired instruction is what
-     * made the scalar path slow.
+     * Execute up to @p cap instructions from the predecoded planes,
+     * writing retired-instruction data to @p bufs in the layout chosen
+     * by @p M and control-transfer positions to bufs.ctrl; returns the
+     * count produced and sets @p num_ctrl. Stops at Halt or the fuel
+     * limit (setting halted). Architectural state is hoisted into
+     * locals for the whole batch — member traffic per retired
+     * instruction is what made the scalar path slow — and dispatch is
+     * token-threaded: each handler jumps straight to the next one
+     * through a computed-goto table, so the indirect branch predicts
+     * per handler pair instead of through one shared switch branch.
      */
-    size_t fillBatch(DynInstr *buf, size_t cap, uint32_t *ctrl,
-                     size_t &num_ctrl);
-
-    /**
-     * Run-to-halt specialization for the no-observer case: nobody reads
-     * the records, so none are materialised. Architectural effects are
-     * identical to the record-producing path.
-     */
-    void runUnobserved();
+    template <FillMode M>
+    size_t fillCore(const FillBufs &bufs, size_t cap, size_t &num_ctrl);
 
     /** Panic unless @p target is an aligned, in-range code address
      *  (dynamic JmpInd/CallInd/Ret targets; static ones are validated
@@ -163,7 +222,12 @@ class TraceEngine
     const Program prog;
     EngineConfig cfg;
     std::vector<TraceObserver *> observers;
-    std::vector<PredecodedOp> pre; //!< one per static instruction
+    // Predecoded program, split SoA-style: the dispatch loop streams
+    // opCore (8 B/instr); imm and direct targets load only on the ops
+    // that use them.
+    std::vector<OpCore> opCore;    //!< one per static instruction
+    std::vector<int64_t> opImm;    //!< immediate plane
+    std::vector<uint32_t> opTarget; //!< direct-target plane
     /**
      * Per-static-instruction DynInstr prototype with every statically
      * known field prefilled (pc, opcode, kind, operand indices, direct

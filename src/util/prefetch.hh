@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Portable software-prefetch wrapper. __builtin_prefetch under
+ * GCC/Clang, a no-op elsewhere — a hint, never a semantic dependency,
+ * so callers may pass addresses that are out of range or even null-ish
+ * (the instruction cannot fault).
+ */
+
+#ifndef LOOPSPEC_UTIL_PREFETCH_HH
+#define LOOPSPEC_UTIL_PREFETCH_HH
+
+namespace loopspec
+{
+
+/** Prefetch for reading, low temporal locality bias left to default. */
+inline void
+prefetchRead(const void *addr)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+    (void)addr;
+#endif
+}
+
+/** Prefetch for an upcoming write. */
+inline void
+prefetchWrite(const void *addr)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(addr, /*rw=*/1, /*locality=*/3);
+#else
+    (void)addr;
+#endif
+}
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_UTIL_PREFETCH_HH

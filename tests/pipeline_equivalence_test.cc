@@ -194,6 +194,191 @@ TEST(RunVsStep, MixedSteppingAndRunning)
     }
 }
 
+// ------------------------------------------------------------------
+// SoA batch delivery (tracegen/dyn_instr.hh): the hot planes, the
+// control index, and shim-materialized records must all be
+// bit-identical to the step() reference — at the default batch size,
+// at odd batch sizes that misalign every batch boundary, and under
+// mid-stream fuel truncation.
+
+/** Hot-plane consumer: collects the planes positionally and checks the
+ *  producer honoured the HotPlanes contract (no cold planes). */
+class HotPlaneCollector : public TraceObserver
+{
+  public:
+    struct Hot
+    {
+        uint64_t seq;
+        uint32_t pc;
+        uint32_t target;
+        CtrlKind kind;
+        bool taken;
+    };
+    std::vector<Hot> all;
+    size_t batches = 0;
+    bool sawColdPlanes = false;
+    bool ctrlIndexExact = true;
+
+    void
+    onInstr(const DynInstr &d) override
+    {
+        all.push_back({d.seq, d.pc, d.target, d.kind, d.taken});
+    }
+
+    void
+    onInstrBatchSoA(const SoaBatch &b) override
+    {
+        ++batches;
+        sawColdPlanes = sawColdPlanes || b.hasColdPlanes();
+        size_t c = 0;
+        for (size_t i = 0; i < b.count; ++i) {
+            const bool is_ctrl =
+                static_cast<CtrlKind>(b.kind[i]) != CtrlKind::None;
+            const bool indexed =
+                c < b.numCtrl && b.ctrl[c] == static_cast<uint32_t>(i);
+            if (is_ctrl != indexed)
+                ctrlIndexExact = false;
+            c += indexed;
+            all.push_back({b.seqBase + i, b.pc[i], b.target[i],
+                           static_cast<CtrlKind>(b.kind[i]),
+                           b.taken[i] != 0});
+        }
+        if (c != b.numCtrl)
+            ctrlIndexExact = false;
+    }
+
+    BatchNeed batchNeed() const override { return BatchNeed::HotPlanes; }
+};
+
+/** FullRecords consumer that rebuilds every AoS record itself via
+ *  SoaBatch::materialize() instead of the default shim. */
+class MaterializingCollector : public TraceObserver
+{
+  public:
+    std::vector<DynInstr> all;
+    bool sawColdPlanes = true;
+
+    void onInstr(const DynInstr &d) override { all.push_back(d); }
+
+    void
+    onInstrBatchSoA(const SoaBatch &b) override
+    {
+        sawColdPlanes = sawColdPlanes && b.hasColdPlanes();
+        for (size_t i = 0; i < b.count; ++i)
+            all.push_back(b.materialize(i));
+    }
+};
+
+void
+expectSoaMatchesScalar(const Program &prog, size_t batch_instrs,
+                       uint64_t max_instrs = 0)
+{
+    EngineConfig cfg;
+    cfg.maxInstrs = max_instrs;
+    cfg.batchInstrs = batch_instrs;
+
+    Collector scalar;
+    TraceEngine se(prog, cfg);
+    se.addObserver(&scalar);
+    DynInstr d;
+    while (se.step(d)) {
+    }
+
+    HotPlaneCollector hot;
+    TraceEngine he(prog, cfg);
+    he.addObserver(&hot);
+    he.run();
+    EXPECT_FALSE(hot.sawColdPlanes)
+        << "hot-only consumer must not trigger cold-plane fills";
+    EXPECT_TRUE(hot.ctrlIndexExact)
+        << "ctrl index must list exactly the kind != None positions";
+    ASSERT_EQ(scalar.all.size(), hot.all.size());
+    for (size_t i = 0; i < scalar.all.size(); ++i) {
+        const DynInstr &a = scalar.all[i];
+        const HotPlaneCollector::Hot &b = hot.all[i];
+        ASSERT_TRUE(a.seq == b.seq && a.pc == b.pc &&
+                    a.target == b.target && a.kind == b.kind &&
+                    a.taken == b.taken)
+            << "hot planes diverge from scalar at instr " << i;
+    }
+
+    MaterializingCollector full;
+    TraceEngine fe(prog, cfg);
+    fe.addObserver(&full);
+    fe.run();
+    EXPECT_TRUE(full.sawColdPlanes)
+        << "FullRecords consumer must receive cold planes";
+    ASSERT_EQ(scalar.all.size(), full.all.size());
+    for (size_t i = 0; i < scalar.all.size(); ++i) {
+        expectSameInstr(scalar.all[i], full.all[i], i);
+        if (::testing::Test::HasFailure())
+            break;
+    }
+}
+
+TEST(SoaDelivery, HotAndMaterializedStreamsMatchScalar)
+{
+    for (const char *name : kWorkloads) {
+        SCOPED_TRACE(name);
+        expectSoaMatchesScalar(buildWorkload(name, {kScale}), 4096);
+    }
+}
+
+TEST(SoaDelivery, OddBatchSizesMatchScalar)
+{
+    Program p = buildWorkload("compress", {kScale});
+    for (size_t batch : {1u, 3u, 31u, 1000u}) {
+        SCOPED_TRACE(batch);
+        expectSoaMatchesScalar(p, batch);
+    }
+}
+
+TEST(SoaDelivery, MidStreamTruncationMatchesScalar)
+{
+    Program p = buildWorkload("li", {kScale});
+    // Cuts chosen to land mid-batch for both batch sizes.
+    expectSoaMatchesScalar(p, 4096, 777);
+    expectSoaMatchesScalar(p, 37, 1000);
+}
+
+TEST(SoaDelivery, MixedNeedObserversEachSeeTheirContract)
+{
+    // A hot-plane consumer and a FullRecords consumer on one engine:
+    // the producer must upgrade the fill to cold planes for the second
+    // without perturbing what the first sees.
+    Program p = buildWorkload("compress", {kScale});
+
+    Collector scalar;
+    TraceEngine se(p);
+    se.addObserver(&scalar);
+    DynInstr d;
+    while (se.step(d)) {
+    }
+
+    HotPlaneCollector hot;
+    MaterializingCollector full;
+    TraceEngine e(p);
+    e.addObserver(&hot);
+    e.addObserver(&full);
+    e.run();
+    // The shared delivery carries cold planes (the FullRecords consumer
+    // forces them), so the hot consumer legitimately sees them too.
+    ASSERT_EQ(scalar.all.size(), hot.all.size());
+    ASSERT_EQ(scalar.all.size(), full.all.size());
+    for (size_t i = 0; i < scalar.all.size(); ++i) {
+        const HotPlaneCollector::Hot &h = hot.all[i];
+        ASSERT_TRUE(scalar.all[i].seq == h.seq &&
+                    scalar.all[i].pc == h.pc &&
+                    scalar.all[i].target == h.target &&
+                    scalar.all[i].kind == h.kind &&
+                    scalar.all[i].taken == h.taken)
+            << "instr " << i;
+        expectSameInstr(scalar.all[i], full.all[i], i);
+        if (::testing::Test::HasFailure())
+            break;
+    }
+}
+
 /** Full pipeline artifacts for one configuration. */
 struct Artifacts
 {
@@ -203,10 +388,12 @@ struct Artifacts
 };
 
 Artifacts
-collect(const Program &prog, size_t cls, uint64_t max_instrs, bool scalar)
+collect(const Program &prog, size_t cls, uint64_t max_instrs, bool scalar,
+        bool soa_batches = true)
 {
     EngineConfig cfg;
     cfg.maxInstrs = max_instrs;
+    cfg.soaBatches = soa_batches;
     TraceEngine engine(prog, cfg);
     LoopDetector det({cls});
     LoopStats stats;
@@ -268,6 +455,24 @@ TEST(BatchVsScalar, PipelineArtifactsIdentical)
         Program p = buildWorkload(name, {kScale});
         expectSameArtifacts(collect(p, 16, 0, true),
                             collect(p, 16, 0, false));
+    }
+}
+
+TEST(BatchVsScalar, ArtifactsIdenticalAcrossLayoutsAtEveryClsSize)
+{
+    // Scalar step(), SoA hot-plane run(), and direct-AoS run() (the
+    // non-GNU fallback layout) must agree on every Table-1/Figure-4
+    // artifact at CLS 4/8/16 — the detector consumes a different
+    // delivery form in each case.
+    for (const char *name : kWorkloads) {
+        SCOPED_TRACE(name);
+        Program p = buildWorkload(name, {kScale});
+        for (size_t cls : {4u, 8u, 16u}) {
+            SCOPED_TRACE(cls);
+            Artifacts ref = collect(p, cls, 0, true);
+            expectSameArtifacts(collect(p, cls, 0, false, true), ref);
+            expectSameArtifacts(collect(p, cls, 0, false, false), ref);
+        }
     }
 }
 
