@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Load generator for the sweep service: an in-process SweepServer on a
+ * temp Unix socket, hammered by N concurrent client connections with a
+ * mix of small sweep grids. Measures
+ *
+ *   cold         - the distinct request mix once, one client, every
+ *                  control trace and recording built from scratch;
+ *   warm         - the same mix again on the same single client, served
+ *                  from the content-addressed RecordingCache; the
+ *                  cold/warm mean ratio isolates what caching saves at
+ *                  equal concurrency;
+ *   warm-concur  - the mix round-robined by all clients at once: tail
+ *                  latency (p50/p95/p99) of a warm server under load.
+ *
+ * Every warm response is byte-compared against the cold response of
+ * the same request (identical payloads is the service's core
+ * guarantee; "wall" timing is volatile and excluded), so the benchmark
+ * doubles as an end-to-end identity check under concurrency. Emits
+ * BENCH_sweepd.json (--json overrides; CI uploads it).
+ *
+ * Flags: --clients N (default 8), --iters N (warm requests per client,
+ * default 25), --jobs N (server pool width, default 0 = hardware),
+ * --scale F (workload scale of the request mix, default 0.25),
+ * --json <path>.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "service/protocol.hh"
+#include "service/sweep_server.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/table_writer.hh"
+
+using namespace loopspec;
+
+namespace
+{
+
+double
+now()
+{
+    using clk = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clk::now().time_since_epoch())
+        .count();
+}
+
+/** Submit one sweep request and read back the response JSON. Any
+ *  transport error or ErrResp is fatal: the bench asserts the service
+ *  works, it does not tolerate it failing. */
+std::string
+submit(int fd, const std::string &payload)
+{
+    std::string err = writeFrame(fd, MsgType::SweepReq, payload);
+    if (!err.empty())
+        fatal("%s", err.c_str());
+    MsgType type{};
+    std::string response;
+    bool eof = false;
+    err = readFrame(fd, &type, &response, kMaxResponseBytes, &eof);
+    if (!err.empty())
+        fatal("%s", err.c_str());
+    if (eof)
+        fatal("server closed the connection mid-benchmark");
+    if (type != MsgType::JsonResp)
+        fatal("sweep request failed: %s", response.c_str());
+    return response;
+}
+
+/** Strip the volatile wall-clock block so responses can be compared
+ *  byte-for-byte (same filter the CI smoke test applies with grep). */
+std::string
+stripWall(const std::string &json)
+{
+    std::string out;
+    size_t start = 0;
+    while (start < json.size()) {
+        size_t end = json.find('\n', start);
+        if (end == std::string::npos)
+            end = json.size();
+        const std::string line = json.substr(start, end - start);
+        if (line.find("swept_seconds") == std::string::npos)
+            out += line + "\n";
+        start = end + 1;
+    }
+    return out;
+}
+
+struct Percentiles
+{
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0, mean = 0.0;
+};
+
+Percentiles
+percentiles(std::vector<double> lat)
+{
+    Percentiles p;
+    if (lat.empty())
+        return p;
+    std::sort(lat.begin(), lat.end());
+    const auto at = [&lat](double q) {
+        size_t i = static_cast<size_t>(q * (lat.size() - 1));
+        return lat[i];
+    };
+    p.p50 = at(0.50);
+    p.p95 = at(0.95);
+    p.p99 = at(0.99);
+    for (double v : lat)
+        p.mean += v;
+    p.mean /= static_cast<double>(lat.size());
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv,
+                 {"clients", "iters", "jobs", "scale", "json"});
+    const unsigned clients =
+        static_cast<unsigned>(args.getUint("clients", 8));
+    const unsigned iters =
+        static_cast<unsigned>(args.getUint("iters", 25));
+    const std::string scale = args.getString("scale", "0.25");
+    const std::string json_path =
+        args.getString("json", "BENCH_sweepd.json");
+    if (clients < 1 || iters < 1)
+        fatal("--clients and --iters must be >= 1");
+
+    SweepServerConfig cfg;
+    cfg.socketPath = strprintf("/tmp/bench_sweepd_%d.sock",
+                               static_cast<int>(::getpid()));
+    cfg.service.jobs = static_cast<unsigned>(args.getUint("jobs", 0));
+    SweepServer server(cfg);
+    std::string err = server.start();
+    if (!err.empty())
+        fatal("%s", err.c_str());
+
+    // The request mix: small distinct grids over distinct workload
+    // subsets, so the cache holds several independent recordings and
+    // warm requests exercise different entries.
+    const char *grids[] = {
+        "policies=str,str2;tus=2,4;cls=8",
+        "policies=idle,str;tus=4;cls=8,16",
+        "policies=str3;tus=2,4,8;cls=16",
+        "policies=str,str1;tus=8;cls=8;ideal=1",
+    };
+    const char *benches[] = {"compress", "li", "perl", "m88ksim"};
+    std::vector<std::string> payloads;
+    for (size_t g = 0; g < sizeof(grids) / sizeof(grids[0]); ++g) {
+        SweepRequest req;
+        req.grid = grids[g];
+        req.benchmarks = benches[g];
+        req.scale = scale;
+        payloads.push_back(encodeSweepRequest(req));
+    }
+
+    // Cold pass: every distinct request once, serially, caches empty.
+    // Then a warm pass on the same single client: the only difference
+    // from cold is the cache, so the mean ratio is the cache's saving.
+    std::vector<std::string> expected(payloads.size());
+    std::vector<double> cold_lat;
+    std::vector<double> warm_serial_lat;
+    {
+        int fd = connectUnixSocket(cfg.socketPath, &err);
+        if (fd < 0)
+            fatal("%s", err.c_str());
+        for (size_t i = 0; i < payloads.size(); ++i) {
+            const double t0 = now();
+            expected[i] = stripWall(submit(fd, payloads[i]));
+            cold_lat.push_back(now() - t0);
+        }
+        for (unsigned rep = 0; rep < iters; ++rep) {
+            for (size_t i = 0; i < payloads.size(); ++i) {
+                const double t0 = now();
+                const std::string got = stripWall(submit(fd, payloads[i]));
+                warm_serial_lat.push_back(now() - t0);
+                if (got != expected[i])
+                    fatal("warm-serial response diverges from cold "
+                          "response for request %zu",
+                          i);
+            }
+        }
+        ::close(fd);
+    }
+
+    // Warm concurrent pass: all clients at once, round-robin over the
+    // mix; every response must match the cold response of the same
+    // request.
+    std::vector<std::vector<double>> warm_lat(clients);
+    std::vector<std::string> mismatch(clients);
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            std::string cerr_str;
+            int fd = connectUnixSocket(cfg.socketPath, &cerr_str);
+            if (fd < 0)
+                fatal("%s", cerr_str.c_str());
+            for (unsigned i = 0; i < iters; ++i) {
+                const size_t which = (c + i) % payloads.size();
+                const double t0 = now();
+                const std::string got =
+                    stripWall(submit(fd, payloads[which]));
+                warm_lat[c].push_back(now() - t0);
+                if (got != expected[which] && mismatch[c].empty())
+                    mismatch[c] = strprintf(
+                        "client %u iter %u: warm response diverges "
+                        "from cold response for request %zu",
+                        c, i, which);
+            }
+            ::close(fd);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (const std::string &m : mismatch) {
+        if (!m.empty())
+            fatal("%s", m.c_str());
+    }
+
+    const CacheStats cache = server.service().cacheStats();
+    server.stop();
+
+    std::vector<double> warm_all;
+    for (const auto &v : warm_lat)
+        warm_all.insert(warm_all.end(), v.begin(), v.end());
+    const Percentiles cold = percentiles(cold_lat);
+    const Percentiles warm_serial = percentiles(warm_serial_lat);
+    const Percentiles warm = percentiles(warm_all);
+    const double speedup =
+        warm_serial.mean > 0.0 ? cold.mean / warm_serial.mean : 0.0;
+
+    TableWriter t({"phase", "requests", "p50 ms", "p95 ms", "p99 ms",
+                   "mean ms"});
+    const auto phase = [&t](const char *name, size_t n,
+                            const Percentiles &p) {
+        t.row();
+        t.cell(std::string(name));
+        t.cell(static_cast<uint64_t>(n));
+        t.cell(p.p50 * 1e3, 2);
+        t.cell(p.p95 * 1e3, 2);
+        t.cell(p.p99 * 1e3, 2);
+        t.cell(p.mean * 1e3, 2);
+    };
+    phase("cold", cold_lat.size(), cold);
+    phase("warm-serial", warm_serial_lat.size(), warm_serial);
+    phase(strprintf("warm-%uclients", clients).c_str(), warm_all.size(),
+          warm);
+    std::cout << "sweepd load (" << clients << " clients x " << iters
+              << " warm requests, scale " << scale << ")\n";
+    t.print(std::cout);
+    std::cout << "warm-vs-cold mean speedup: "
+              << strprintf("%.1f", speedup) << "x  (cache: " << cache.hits
+              << " hits, " << cache.misses << " misses, "
+              << cache.entries << " entries, " << cache.bytes
+              << " B)\n"
+              << "all " << warm_serial_lat.size() + warm_all.size()
+              << " warm responses byte-identical to cold responses\n";
+
+    std::ofstream js(json_path);
+    if (!js)
+        fatal("cannot write %s", json_path.c_str());
+    const auto block = [&js](const char *name, size_t n,
+                             const Percentiles &p, const char *tail) {
+        js << "  \"" << name << "\": {\"requests\": " << n
+           << ", \"p50_ms\": " << p.p50 * 1e3
+           << ", \"p95_ms\": " << p.p95 * 1e3
+           << ", \"p99_ms\": " << p.p99 * 1e3
+           << ", \"mean_ms\": " << p.mean * 1e3 << "}" << tail << "\n";
+    };
+    js << "{\n"
+       << "  \"clients\": " << clients << ",\n"
+       << "  \"iters_per_client\": " << iters << ",\n"
+       << "  \"scale\": " << scale << ",\n"
+       << "  \"distinct_requests\": " << payloads.size() << ",\n";
+    block("cold", cold_lat.size(), cold, ",");
+    block("warm_serial", warm_serial_lat.size(), warm_serial, ",");
+    block("warm_concurrent", warm_all.size(), warm, ",");
+    js << "  \"speedup\": {\"warm_vs_cold\": " << speedup << "},\n"
+       << "  \"cache\": {\"hits\": " << cache.hits
+       << ", \"misses\": " << cache.misses
+       << ", \"insertions\": " << cache.insertions
+       << ", \"evictions\": " << cache.evictions
+       << ", \"entries\": " << cache.entries
+       << ", \"bytes\": " << cache.bytes << "},\n"
+       << "  \"identity\": \"warm responses byte-identical to cold\"\n"
+       << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+    return 0;
+}

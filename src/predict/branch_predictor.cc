@@ -14,23 +14,26 @@ namespace
 constexpr unsigned kMinBits = 1;
 constexpr unsigned kMaxBits = 20; //!< 2^20 counters = 256 KiB, plenty
 
-unsigned
-parseBits(const std::string &text, const char *what)
+std::string
+tryParseBits(const std::string &text, const char *what, unsigned *out)
 {
     if (text.empty() ||
         text.find_first_not_of("0123456789") != std::string::npos)
-        fatal("predictor spec: malformed %s '%s'", what, text.c_str());
+        return strprintf("predictor spec: malformed %s '%s'", what,
+                         text.c_str());
     unsigned long v;
     try {
         v = std::stoul(text);
     } catch (const std::exception &) {
-        fatal("predictor spec: malformed %s '%s'", what, text.c_str());
+        return strprintf("predictor spec: malformed %s '%s'", what,
+                         text.c_str());
     }
     if (v < kMinBits || v > kMaxBits) {
-        fatal("predictor spec: %s %lu outside [%u, %u]", what, v,
-              kMinBits, kMaxBits);
+        return strprintf("predictor spec: %s %lu outside [%u, %u]", what,
+                         v, kMinBits, kMaxBits);
     }
-    return static_cast<unsigned>(v);
+    *out = static_cast<unsigned>(v);
+    return "";
 }
 
 } // namespace
@@ -52,8 +55,8 @@ predictorName(const PredictorConfig &c)
     }
 }
 
-PredictorConfig
-parsePredictorSpec(const std::string &text)
+std::string
+tryParsePredictorSpec(const std::string &text, PredictorConfig *out)
 {
     std::string scheme = text;
     std::string params;
@@ -62,8 +65,8 @@ parsePredictorSpec(const std::string &text)
         scheme = text.substr(0, colon);
         params = text.substr(colon + 1);
         if (params.empty())
-            fatal("predictor spec '%s': empty parameter list",
-                  text.c_str());
+            return strprintf("predictor spec '%s': empty parameter list",
+                             text.c_str());
     }
 
     std::string first = params;
@@ -74,42 +77,67 @@ parsePredictorSpec(const std::string &text)
         second = params.substr(slash + 1);
     }
 
+    std::string err;
     PredictorConfig c;
     if (scheme == "bimodal") {
         c.kind = PredictorKind::Bimodal;
         if (!second.empty())
-            fatal("predictor spec '%s': bimodal takes one parameter "
-                  "(bimodal[:tableBits])",
-                  text.c_str());
-        if (!first.empty())
-            c.tableBits = parseBits(first, "table bits");
+            return strprintf("predictor spec '%s': bimodal takes one "
+                             "parameter (bimodal[:tableBits])",
+                             text.c_str());
+        if (!first.empty()) {
+            err = tryParseBits(first, "table bits", &c.tableBits);
+            if (!err.empty())
+                return err;
+        }
     } else if (scheme == "gshare") {
         c.kind = PredictorKind::Gshare;
         if (!first.empty()) {
-            c.historyBits = parseBits(first, "history bits");
-            c.tableBits = second.empty()
-                              ? c.historyBits
-                              : parseBits(second, "table bits");
+            err = tryParseBits(first, "history bits", &c.historyBits);
+            if (!err.empty())
+                return err;
+            if (second.empty()) {
+                c.tableBits = c.historyBits;
+            } else {
+                err = tryParseBits(second, "table bits", &c.tableBits);
+                if (!err.empty())
+                    return err;
+            }
         }
     } else if (scheme == "local") {
         c.kind = PredictorKind::Local;
         if (!first.empty()) {
             if (second.empty())
-                fatal("predictor spec '%s': local needs "
-                      "historyBits/l1Bits (e.g. local:10/10)",
-                      text.c_str());
-            c.historyBits = parseBits(first, "history bits");
-            c.l1Bits = parseBits(second, "history-table bits");
+                return strprintf("predictor spec '%s': local needs "
+                                 "historyBits/l1Bits (e.g. local:10/10)",
+                                 text.c_str());
+            err = tryParseBits(first, "history bits", &c.historyBits);
+            if (!err.empty())
+                return err;
+            err = tryParseBits(second, "history-table bits", &c.l1Bits);
+            if (!err.empty())
+                return err;
         } else {
             c.historyBits = 10;
             c.l1Bits = 10;
         }
         c.tableBits = c.historyBits; // pattern table is history-indexed
     } else {
-        fatal("unknown predictor scheme '%s' "
-              "(want bimodal|gshare|local)",
-              scheme.c_str());
+        return strprintf("unknown predictor scheme '%s' "
+                         "(want bimodal|gshare|local)",
+                         scheme.c_str());
     }
+    *out = c;
+    return "";
+}
+
+PredictorConfig
+parsePredictorSpec(const std::string &text)
+{
+    PredictorConfig c;
+    std::string err = tryParsePredictorSpec(text, &c);
+    if (!err.empty())
+        fatal("%s", err.c_str());
     return c;
 }
 

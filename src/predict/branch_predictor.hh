@@ -76,6 +76,12 @@ std::string predictorName(const PredictorConfig &config);
  *  malformed specs or bit widths outside [1, 20]. */
 PredictorConfig parsePredictorSpec(const std::string &text);
 
+/** Non-fatal parsePredictorSpec for untrusted input (the sweep
+ *  service): "" on success with *out set, else the diagnostic
+ *  parsePredictorSpec would have died with. */
+std::string tryParsePredictorSpec(const std::string &text,
+                                  PredictorConfig *out);
+
 /**
  * Interface every scheme implements. update() is called once per
  * retired conditional branch, in retire order — the exact stream the

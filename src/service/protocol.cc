@@ -1,0 +1,218 @@
+#include "service/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+namespace
+{
+
+constexpr size_t kHeaderBytes = 5; // type byte + u32le length
+
+std::string
+writeAll(int fd, const uint8_t *data, size_t size)
+{
+    size_t sent = 0;
+    while (sent < size) {
+#ifdef MSG_NOSIGNAL
+        ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+#else
+        ssize_t n = ::write(fd, data + sent, size - sent);
+#endif
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return strprintf("socket write failed: %s", strerror(errno));
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return "";
+}
+
+/** Read exactly @p size bytes. @p at_start distinguishes a clean EOF
+ *  (peer closed between frames) from a truncated frame. */
+std::string
+readAll(int fd, uint8_t *data, size_t size, bool at_start, bool *eof)
+{
+    size_t got = 0;
+    while (got < size) {
+        ssize_t n = ::read(fd, data + got, size - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return strprintf("socket read failed: %s", strerror(errno));
+        }
+        if (n == 0) {
+            if (at_start && got == 0) {
+                *eof = true;
+                return "";
+            }
+            return "connection closed mid-frame";
+        }
+        got += static_cast<size_t>(n);
+    }
+    return "";
+}
+
+} // namespace
+
+std::string
+writeFrame(int fd, MsgType type, const std::string &payload)
+{
+    if (payload.size() > kMaxResponseBytes)
+        return strprintf("frame payload %zu bytes exceeds limit",
+                         payload.size());
+    uint8_t header[kHeaderBytes];
+    header[0] = static_cast<uint8_t>(type);
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    header[1] = static_cast<uint8_t>(len);
+    header[2] = static_cast<uint8_t>(len >> 8);
+    header[3] = static_cast<uint8_t>(len >> 16);
+    header[4] = static_cast<uint8_t>(len >> 24);
+    std::string err = writeAll(fd, header, kHeaderBytes);
+    if (!err.empty())
+        return err;
+    return writeAll(
+        fd, reinterpret_cast<const uint8_t *>(payload.data()),
+        payload.size());
+}
+
+std::string
+readFrame(int fd, MsgType *type, std::string *payload,
+          uint32_t max_payload, bool *eof)
+{
+    *eof = false;
+    uint8_t header[kHeaderBytes];
+    std::string err = readAll(fd, header, kHeaderBytes, true, eof);
+    if (!err.empty() || *eof)
+        return err;
+    uint32_t len = static_cast<uint32_t>(header[1]) |
+                   (static_cast<uint32_t>(header[2]) << 8) |
+                   (static_cast<uint32_t>(header[3]) << 16) |
+                   (static_cast<uint32_t>(header[4]) << 24);
+    // Reject before allocating: the length field is untrusted input.
+    if (len > max_payload)
+        return strprintf("frame of %u bytes exceeds the %u-byte limit",
+                         len, max_payload);
+    *type = static_cast<MsgType>(header[0]);
+    payload->resize(len);
+    if (len == 0)
+        return "";
+    bool mid_eof = false;
+    return readAll(fd, reinterpret_cast<uint8_t *>(&(*payload)[0]), len,
+                   false, &mid_eof);
+}
+
+std::string
+encodeSweepRequest(const SweepRequest &req)
+{
+    std::string out;
+    const auto put = [&out](const char *key, const std::string &value) {
+        if (!value.empty())
+            out += std::string(key) + "=" + value + "\n";
+    };
+    put("grid", req.grid);
+    put("benchmarks", req.benchmarks);
+    put("scale", req.scale);
+    put("cls", req.cls);
+    put("max-instrs", req.maxInstrs);
+    put("jobs", req.jobs);
+    put("trace-dir", req.traceDir);
+    return out;
+}
+
+std::string
+decodeSweepRequest(const std::string &payload, SweepRequest *req)
+{
+    *req = SweepRequest{};
+    for (const std::string &line : splitOn(payload, '\n')) {
+        size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return "request: expected key=value, got '" + line + "'";
+        const std::string key = line.substr(0, eq);
+        const std::string value = line.substr(eq + 1);
+        std::string *slot = nullptr;
+        if (key == "grid")
+            slot = &req->grid;
+        else if (key == "benchmarks")
+            slot = &req->benchmarks;
+        else if (key == "scale")
+            slot = &req->scale;
+        else if (key == "cls")
+            slot = &req->cls;
+        else if (key == "max-instrs")
+            slot = &req->maxInstrs;
+        else if (key == "jobs")
+            slot = &req->jobs;
+        else if (key == "trace-dir")
+            slot = &req->traceDir;
+        else
+            return "request: unknown key '" + key + "'";
+        if (!slot->empty())
+            return "request: duplicate key '" + key + "'";
+        if (value.empty())
+            return "request: empty value for '" + key + "'";
+        *slot = value;
+    }
+    return "";
+}
+
+int
+connectUnixSocket(const std::string &path, std::string *err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        *err = strprintf("socket path '%s' exceeds %zu bytes",
+                         path.c_str(), sizeof(addr.sun_path) - 1);
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *err = strprintf("socket: %s", strerror(errno));
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        *err = strprintf("connect %s: %s", path.c_str(), strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTcpSocket(int port, std::string *err)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *err = strprintf("socket: %s", strerror(errno));
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        *err = strprintf("connect 127.0.0.1:%d: %s", port,
+                         strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace loopspec

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Wire protocol between sweepd and its clients (docs/DESIGN.md §12): a
+ * length-prefixed frame — one type byte, a 32-bit little-endian payload
+ * length, then the payload — over a Unix or TCP stream socket.
+ *
+ * Requests carry the sweep parameters as RAW strings ("scale=0.25"),
+ * exactly the text a sweep_loopspec command line would carry; the
+ * server parses them with the same tryParse* routines the CLI uses, so
+ * a value means bit-for-bit the same thing on the wire as on the
+ * command line — the foundation of the served-vs-direct JSON identity
+ * guarantee.
+ *
+ * Length limits are enforced before any allocation: a malicious or
+ * corrupt length field is rejected, never trusted.
+ */
+
+#ifndef LOOPSPEC_SERVICE_PROTOCOL_HH
+#define LOOPSPEC_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace loopspec
+{
+
+enum class MsgType : uint8_t
+{
+    SweepReq = 0x01,    //!< payload: encoded SweepRequest
+    StatsReq = 0x02,    //!< payload: empty
+    PingReq = 0x03,     //!< payload: empty
+    ShutdownReq = 0x04, //!< payload: empty
+    JsonResp = 0x81,    //!< payload: sweep JSON (writeSweepJson bytes)
+    StatsResp = 0x82,   //!< payload: cache/server stats JSON
+    PongResp = 0x83,    //!< payload: "pong" / shutdown ack
+    ErrResp = 0xFF,     //!< payload: human-readable diagnostic
+};
+
+/** Requests are small (a grid spec); responses carry full sweep JSON. */
+constexpr uint32_t kMaxRequestBytes = 1u << 20;
+constexpr uint32_t kMaxResponseBytes = 256u << 20;
+
+/** Write one frame; "" on success, else a diagnostic. Handles partial
+ *  writes and EINTR; never raises SIGPIPE. */
+std::string writeFrame(int fd, MsgType type, const std::string &payload);
+
+/**
+ * Read one frame. "" on success; on clean EOF before any header byte
+ * sets *eof instead (payload untouched). Frames whose length field
+ * exceeds @p max_payload are rejected before allocating.
+ */
+std::string readFrame(int fd, MsgType *type, std::string *payload,
+                      uint32_t max_payload, bool *eof);
+
+/**
+ * One sweep request: the sweep_loopspec surface as raw strings. Empty
+ * string = flag absent (server-side default, identical to the CLI
+ * default). "jobs" is echoed into the response JSON's "jobs" field so
+ * served output matches a direct run with the same --jobs; the server's
+ * own pool width does the actual work (results are jobs-independent by
+ * construction).
+ */
+struct SweepRequest
+{
+    std::string grid;       //!< --grid (default "paper")
+    std::string benchmarks; //!< --benchmarks CSV
+    std::string scale;      //!< --scale
+    std::string cls;        //!< --cls
+    std::string maxInstrs;  //!< --max-instrs
+    std::string jobs;       //!< --jobs (JSON echo only)
+    std::string traceDir;   //!< --trace-dir (must match the server's)
+};
+
+/** Serialise as newline-separated key=value lines (omits empties). */
+std::string encodeSweepRequest(const SweepRequest &req);
+
+/** Connect to a Unix-domain sweepd socket. Returns the fd, or -1 with
+ *  *err set. */
+int connectUnixSocket(const std::string &path, std::string *err);
+
+/** Connect to a sweepd TCP listener on 127.0.0.1. Returns the fd, or
+ *  -1 with *err set. */
+int connectTcpSocket(int port, std::string *err);
+
+/** Parse an encoded request; "" on success, else a diagnostic (unknown
+ *  or duplicate keys, missing '='). Never fatal(): this is the remote
+ *  input boundary. */
+std::string decodeSweepRequest(const std::string &payload,
+                               SweepRequest *req);
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_SERVICE_PROTOCOL_HH

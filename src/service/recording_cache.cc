@@ -1,0 +1,158 @@
+#include "service/recording_cache.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+namespace
+{
+
+/** Exact bit pattern of the scale factor: content addressing must not
+ *  go through decimal formatting (two factors that print the same
+ *  could still simulate differently). */
+std::string
+scaleBits(double factor)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(factor), "double is 64-bit");
+    std::memcpy(&bits, &factor, sizeof(bits));
+    return strprintf("%016llx", static_cast<unsigned long long>(bits));
+}
+
+/** Fixed per-entry overhead charged on top of the payload: key string,
+ *  map node, LRU node, control blocks. */
+constexpr size_t kEntryOverheadBytes = 128;
+
+} // namespace
+
+std::string
+RecordingCache::traceKey(const std::string &workload, double scale_factor,
+                         uint64_t max_instrs, const std::string &src)
+{
+    return "ctrace|" + workload + "|scale=" + scaleBits(scale_factor) +
+           "|max=" + std::to_string(max_instrs) + "|src=" + src +
+           "|fmt=engine-v1";
+}
+
+std::string
+RecordingCache::recordingKey(const std::string &workload,
+                             double scale_factor, uint64_t max_instrs,
+                             const std::string &src, size_t cls)
+{
+    return "rec|" + workload + "|scale=" + scaleBits(scale_factor) +
+           "|max=" + std::to_string(max_instrs) + "|src=" + src +
+           "|cls=" + std::to_string(cls) + "|fmt=engine-v1";
+}
+
+void
+RecordingCache::touch(Entry &e)
+{
+    lru.splice(lru.begin(), lru, e.lruIt);
+}
+
+std::shared_ptr<const CachedControlTrace>
+RecordingCache::getTrace(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = entries.find(key);
+    if (it == entries.end() || !it->second.trace) {
+        ++misses;
+        return nullptr;
+    }
+    ++hits;
+    touch(it->second);
+    return it->second.trace;
+}
+
+std::shared_ptr<const CachedRecording>
+RecordingCache::getRecording(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = entries.find(key);
+    if (it == entries.end() || !it->second.recording) {
+        ++misses;
+        return nullptr;
+    }
+    ++hits;
+    touch(it->second);
+    return it->second.recording;
+}
+
+void
+RecordingCache::insertAndEvict(const std::string &key, Entry e)
+{
+    lru.push_front(key);
+    e.lruIt = lru.begin();
+    bytes += e.bytes;
+    ++insertions;
+    entries.emplace(key, std::move(e));
+
+    // Strict LRU from the cold end; the just-inserted entry sits at the
+    // front and is only reached — and deterministically dropped — when
+    // it alone exceeds the whole budget.
+    while (bytes > budget && !lru.empty()) {
+        const std::string victim = lru.back();
+        auto vit = entries.find(victim);
+        bytes -= vit->second.bytes;
+        lru.pop_back();
+        entries.erase(vit);
+        ++evictions;
+    }
+}
+
+std::shared_ptr<const CachedControlTrace>
+RecordingCache::putTrace(const std::string &key,
+                         std::shared_ptr<const CachedControlTrace> value)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = entries.find(key);
+    if (it != entries.end() && it->second.trace) {
+        touch(it->second);
+        return it->second.trace; // a racing builder got here first
+    }
+    Entry e;
+    e.trace = std::move(value);
+    e.bytes = e.trace->memoryBytes() + key.size() + kEntryOverheadBytes;
+    auto kept = e.trace;
+    insertAndEvict(key, std::move(e));
+    return kept;
+}
+
+std::shared_ptr<const CachedRecording>
+RecordingCache::putRecording(const std::string &key,
+                             std::shared_ptr<const CachedRecording> value)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = entries.find(key);
+    if (it != entries.end() && it->second.recording) {
+        touch(it->second);
+        return it->second.recording;
+    }
+    Entry e;
+    e.recording = std::move(value);
+    e.bytes =
+        e.recording->memoryBytes() + key.size() + kEntryOverheadBytes;
+    auto kept = e.recording;
+    insertAndEvict(key, std::move(e));
+    return kept;
+}
+
+CacheStats
+RecordingCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    CacheStats s;
+    s.hits = hits;
+    s.misses = misses;
+    s.insertions = insertions;
+    s.evictions = evictions;
+    s.entries = entries.size();
+    s.bytes = bytes;
+    s.budgetBytes = budget;
+    return s;
+}
+
+} // namespace loopspec

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Content-addressed cache behind the sweep service (docs/DESIGN.md
+ * §12): ControlTraces and (LoopEventRecording, RecordingIndex) pairs
+ * keyed on everything that determines their bytes — workload, scale
+ * factor (exact double bits), instruction window, trace source and CLS
+ * capacity — and evicted least-recently-used under a configurable
+ * memory budget.
+ *
+ * Entries are immutable once inserted and handed out as
+ * shared_ptr<const T>: eviction only drops the cache's reference, so a
+ * request still simulating over an evicted recording keeps it alive
+ * until the response is written. The accounted footprint is charged on
+ * insert and released on evict regardless of outstanding readers
+ * (budget = what the cache itself pins).
+ *
+ * get-or-insert semantics: when two requests miss on the same key and
+ * both build, the first insert wins and the second builder adopts the
+ * already-cached object — every user of a key always simulates over
+ * the same bytes.
+ */
+
+#ifndef LOOPSPEC_SERVICE_RECORDING_CACHE_HH
+#define LOOPSPEC_SERVICE_RECORDING_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "speculation/event_record.hh"
+#include "speculation/spec_sim.hh"
+#include "tracegen/control_trace.hh"
+
+namespace loopspec
+{
+
+/** Cache effectiveness counters (sweepd_client --stats). */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;     //!< resident entries
+    uint64_t bytes = 0;       //!< accounted resident bytes
+    uint64_t budgetBytes = 0; //!< configured ceiling
+};
+
+/** An immutable cached control trace. */
+struct CachedControlTrace
+{
+    ControlTrace trace;
+
+    size_t
+    memoryBytes() const
+    {
+        return trace.memoryBytes();
+    }
+};
+
+/** An immutable cached recording with its shared read-only index,
+ *  built together so no request ever re-indexes a cached recording. */
+struct CachedRecording
+{
+    explicit CachedRecording(LoopEventRecording rec)
+        : recording(std::move(rec)), index(recording)
+    {
+    }
+
+    LoopEventRecording recording;
+    RecordingIndex index;
+
+    size_t
+    memoryBytes() const
+    {
+        return recording.memoryBytes() + index.memoryBytes();
+    }
+};
+
+class RecordingCache
+{
+  public:
+    /** @param budget_bytes accounted-byte ceiling; 0 = cache nothing
+     *  (every insert is immediately evicted — still correct, never
+     *  faster). */
+    explicit RecordingCache(uint64_t budget_bytes)
+        : budget(budget_bytes)
+    {
+    }
+
+    RecordingCache(const RecordingCache &) = delete;
+    RecordingCache &operator=(const RecordingCache &) = delete;
+
+    /** Content-address of a control trace: everything that determines
+     *  its bytes. @p src is the serving trace directory or "run" for
+     *  in-process execution; @p scale_factor is keyed on its exact bit
+     *  pattern, so 0.25 and 0.250000001 never collide. */
+    static std::string traceKey(const std::string &workload,
+                                double scale_factor, uint64_t max_instrs,
+                                const std::string &src);
+
+    /** Content-address of a (workload, CLS) recording+index pair. */
+    static std::string recordingKey(const std::string &workload,
+                                    double scale_factor,
+                                    uint64_t max_instrs,
+                                    const std::string &src, size_t cls);
+
+    /** nullptr on miss (counted); hit refreshes LRU position. */
+    std::shared_ptr<const CachedControlTrace>
+    getTrace(const std::string &key);
+    std::shared_ptr<const CachedRecording>
+    getRecording(const std::string &key);
+
+    /** Insert-or-adopt: returns the resident entry for @p key — the
+     *  one just inserted, or a pre-existing one from a racing builder
+     *  (first insert wins). May evict, including the new entry itself
+     *  when it alone exceeds the budget. */
+    std::shared_ptr<const CachedControlTrace>
+    putTrace(const std::string &key,
+             std::shared_ptr<const CachedControlTrace> value);
+    std::shared_ptr<const CachedRecording>
+    putRecording(const std::string &key,
+                 std::shared_ptr<const CachedRecording> value);
+
+    CacheStats stats() const;
+
+  private:
+    struct Entry
+    {
+        // Exactly one of the two is set.
+        std::shared_ptr<const CachedControlTrace> trace;
+        std::shared_ptr<const CachedRecording> recording;
+        size_t bytes = 0;
+        std::list<std::string>::iterator lruIt;
+    };
+
+    void touch(Entry &e);
+    void insertAndEvict(const std::string &key, Entry e);
+
+    mutable std::mutex mtx;
+    std::unordered_map<std::string, Entry> entries;
+    std::list<std::string> lru; //!< front = most recently used
+    uint64_t budget;
+    uint64_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_SERVICE_RECORDING_CACHE_HH

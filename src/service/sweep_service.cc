@@ -1,0 +1,375 @@
+#include "service/sweep_service.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "harness/runner.hh"
+#include "loop/cls.hh"
+#include "loop/loop_detector.hh"
+#include "speculation/ideal_tpc.hh"
+#include "trace_io/replay_source.hh"
+#include "trace_io/trace_codec.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "workloads/workload.hh"
+
+namespace loopspec
+{
+
+SweepService::SweepService(const SweepServiceConfig &config)
+    : cfg(config), cache(config.cacheBytes), pool(config.jobs)
+{
+    // A bad --trace-dir is a server configuration error: fail at
+    // startup (fatal is fine here — no remote input involved).
+    if (!cfg.traceDir.empty())
+        traceWorkloads = traceDirWorkloads(cfg.traceDir);
+}
+
+std::string
+SweepService::requestToGrid(const SweepRequest &req, SweepGrid *grid,
+                            unsigned *jobs_echo) const
+{
+    std::string err;
+
+    // Mirror parseRunOptions defaults and validation, through the same
+    // tryParse* primitives, so a raw flag string parses to the exact
+    // value the CLI would produce (including the double bit pattern
+    // behind --scale).
+    double scale = 1.0;
+    if (!req.scale.empty()) {
+        err = tryParseDouble(req.scale, &scale);
+        if (!err.empty())
+            return err + " for scale";
+    }
+    if (!(scale > 0.0) || !std::isfinite(scale))
+        return "scale must be positive";
+
+    uint64_t cls = 16;
+    if (!req.cls.empty()) {
+        err = tryParseUint(req.cls, &cls);
+        if (!err.empty())
+            return err + " for cls";
+    }
+
+    uint64_t max_instrs = 0;
+    if (!req.maxInstrs.empty()) {
+        err = tryParseUint(req.maxInstrs, &max_instrs);
+        if (!err.empty())
+            return err + " for max-instrs";
+    }
+
+    uint64_t jobs = 0;
+    if (!req.jobs.empty()) {
+        err = tryParseUint(req.jobs, &jobs);
+        if (!err.empty())
+            return err + " for jobs";
+        if (jobs > 4096)
+            return "jobs out of range";
+    }
+    *jobs_echo = static_cast<unsigned>(jobs);
+
+    SweepGrid g;
+    g.scale.factor = scale;
+    g.clsSizes = {static_cast<size_t>(cls)};
+    g.maxInstrs = max_instrs;
+    g.traceDir = req.traceDir;
+    g.workloads = splitList(req.benchmarks);
+    if (g.workloads.empty())
+        g.workloads =
+            req.traceDir.empty() ? workloadNames() : traceWorkloads;
+
+    err = applyGridSpec(req.grid.empty() ? "paper" : req.grid, &g);
+    if (!err.empty())
+        return err;
+
+    err = validateGrid(g);
+    if (!err.empty())
+        return err;
+    *grid = std::move(g);
+    return "";
+}
+
+std::string
+SweepService::validateGrid(const SweepGrid &grid) const
+{
+    if (grid.checkReplay)
+        return "check-replay is not supported by the sweep service "
+               "(divergence is fatal, not an error response)";
+
+    // Requests may only read the directory this server was started to
+    // serve: arbitrary client paths would turn the daemon into a file
+    // probe.
+    if (!grid.traceDir.empty() && grid.traceDir != cfg.traceDir)
+        return "trace-dir '" + grid.traceDir +
+               "' is not served by this server";
+
+    if (grid.clsSizes.empty())
+        return "sweep grid needs at least one CLS size";
+    for (size_t cls : grid.clsSizes) {
+        if (cls < 1 || cls > clsMaxCapacity)
+            return strprintf("CLS size %zu outside [1, %zu]", cls,
+                             clsMaxCapacity);
+    }
+    for (unsigned tu : grid.tuCounts) {
+        if (tu < 1)
+            return "TU count must be >= 1";
+    }
+
+    const bool data = grid.needsDataCorrectness();
+    if ((data || grid.dataSpec) && grid.clsSizes.size() > 1)
+        return "data-speculation artifacts cannot be derived by "
+               "control-trace replay; use a single-CLS grid";
+    if ((data || grid.dataSpec) && !grid.traceDir.empty())
+        return "data-speculation artifacts need operand values, which "
+               "a control-trace replay cannot provide";
+
+    for (const std::string &w : grid.workloads) {
+        if (grid.traceDir.empty()) {
+            if (!isKnownWorkload(w))
+                return "unknown workload '" + w + "'";
+        } else if (std::find(traceWorkloads.begin(),
+                             traceWorkloads.end(),
+                             w) == traceWorkloads.end()) {
+            return "workload '" + w +
+                   "' has no trace in the served directory";
+        }
+    }
+    return "";
+}
+
+std::string
+SweepService::materializeWorkload(
+    const SweepGrid &grid, size_t w,
+    std::vector<std::shared_ptr<const CachedRecording>> *recs,
+    std::vector<SweepRow> *rows)
+{
+    const std::string &name = grid.workloads[w];
+    const size_t num_c = grid.clsSizes.size();
+    const bool cells = grid.hasCells();
+    const bool from_traces = !grid.traceDir.empty();
+    const std::string src = from_traces ? grid.traceDir : "run";
+
+    // 1. Recording lookups — a fully warm cells-only workload needs no
+    // control trace and no functional pass at all.
+    std::vector<size_t> missing;
+    if (cells) {
+        for (size_t c = 0; c < num_c; ++c) {
+            (*recs)[c] = cache.getRecording(RecordingCache::recordingKey(
+                name, grid.scale.factor, grid.maxInstrs, src,
+                grid.clsSizes[c]));
+            if (!(*recs)[c])
+                missing.push_back(c);
+        }
+    }
+
+    // Rows-only grids still need totalInstrs, which the trace carries.
+    const bool need_trace =
+        grid.ideal || !missing.empty() || !cells;
+
+    // 2. Get-or-build the control trace.
+    std::shared_ptr<const CachedControlTrace> ct;
+    if (need_trace) {
+        const std::string tkey = RecordingCache::traceKey(
+            name, grid.scale.factor, grid.maxInstrs, src);
+        ct = cache.getTrace(tkey);
+        if (!ct) {
+            auto built = std::make_shared<CachedControlTrace>();
+            if (from_traces) {
+                std::string err = loadControlTraceFile(
+                    traceFilePath(grid.traceDir, name, kControlTraceExt),
+                    &built->trace);
+                if (!err.empty())
+                    return name + ": " + err;
+            } else {
+                RunOptions opts;
+                opts.scale = grid.scale;
+                opts.maxInstrs = grid.maxInstrs;
+                opts.clsEntries = grid.clsSizes[0];
+                CollectFlags flags;
+                flags.controlTrace = true;
+                built->trace =
+                    std::move(runWorkload(name, opts, flags)
+                                  .controlTrace);
+            }
+            ct = cache.putTrace(tkey, std::move(built));
+        }
+    }
+
+    // The window actually simulated: in-process traces are recorded
+    // already truncated; a served container is clamped here exactly
+    // like runWorkloadFromTrace clamps its streamer.
+    uint64_t total = 0;
+    if (ct) {
+        total = ct->trace.totalInstrs;
+        if (grid.maxInstrs && grid.maxInstrs < total)
+            total = grid.maxInstrs;
+    } else {
+        total = (*recs)[0]->recording.totalInstrs;
+    }
+
+    // 3. Derive every missing recording in ONE interleaved replay walk
+    // (chunk-lockstep across CLS sizes, like runSpecSweep's stage 1),
+    // then freeze recording+index into the cache together.
+    if (!missing.empty()) {
+        struct DeriveState
+        {
+            LoopDetector det;
+            LoopEventRecorder rec;
+            explicit DeriveState(size_t cls_entries) : det({cls_entries})
+            {
+            }
+        };
+        std::vector<std::unique_ptr<DeriveState>> states;
+        std::vector<std::unique_ptr<ReplaySource>> sources;
+        std::vector<ReplaySource *> source_ptrs;
+        for (size_t c : missing) {
+            auto st = std::make_unique<DeriveState>(grid.clsSizes[c]);
+            st->det.addListener(&st->rec);
+            sources.push_back(std::make_unique<ControlTraceSource>(
+                ct->trace, st->det, grid.maxInstrs));
+            source_ptrs.push_back(sources.back().get());
+            states.push_back(std::move(st));
+        }
+        std::string err = interleaveReplay(source_ptrs);
+        if (!err.empty())
+            return name + ": " + err;
+        for (size_t i = 0; i < missing.size(); ++i) {
+            const size_t c = missing[i];
+            (*recs)[c] = cache.putRecording(
+                RecordingCache::recordingKey(name, grid.scale.factor,
+                                             grid.maxInstrs, src,
+                                             grid.clsSizes[c]),
+                std::make_shared<CachedRecording>(
+                    states[i]->rec.take()));
+        }
+    }
+
+    // 4. Ideal ∞-TU TPC per CLS: one full walk and one half-prefix
+    // walk over the shared trace. Replay-derived values are identical
+    // to the live pass's (the pipeline-equivalence guarantee), so the
+    // response cannot tell which path produced them.
+    std::vector<double> ideal_full(num_c, 0.0);
+    std::vector<double> ideal_prefix(num_c, 0.0);
+    if (grid.ideal) {
+        struct IdealState
+        {
+            LoopDetector det;
+            IdealTpcComputer ideal;
+            explicit IdealState(size_t cls_entries) : det({cls_entries})
+            {
+            }
+        };
+        for (int prefix = 0; prefix < 2; ++prefix) {
+            const uint64_t window =
+                prefix ? total / 2 : grid.maxInstrs;
+            std::vector<std::unique_ptr<IdealState>> states;
+            std::vector<std::unique_ptr<ReplaySource>> sources;
+            std::vector<ReplaySource *> source_ptrs;
+            for (size_t c = 0; c < num_c; ++c) {
+                auto st = std::make_unique<IdealState>(grid.clsSizes[c]);
+                st->det.addListener(&st->ideal);
+                sources.push_back(std::make_unique<ControlTraceSource>(
+                    ct->trace, st->det, window));
+                source_ptrs.push_back(sources.back().get());
+                states.push_back(std::move(st));
+            }
+            std::string err = interleaveReplay(source_ptrs);
+            if (!err.empty())
+                return name + ": " + err;
+            for (size_t c = 0; c < num_c; ++c) {
+                (prefix ? ideal_prefix : ideal_full)[c] =
+                    states[c]->ideal.tpc();
+            }
+        }
+    }
+
+    for (size_t c = 0; c < num_c; ++c) {
+        SweepRow &row = (*rows)[c];
+        row.workload = name;
+        row.clsEntries = grid.clsSizes[c];
+        row.totalInstrs = total;
+        if (grid.ideal) {
+            row.idealTpc = ideal_full[c];
+            row.idealTpcPrefix = ideal_prefix[c];
+        }
+    }
+    return "";
+}
+
+std::string
+SweepService::run(const SweepGrid &grid, SweepResult *out)
+{
+    using clk = std::chrono::steady_clock;
+    const auto t0 = clk::now();
+    served.fetch_add(1);
+
+    std::string err = validateGrid(grid);
+    if (!err.empty())
+        return err;
+
+    // Operand-dependent grids are uncacheable (a control trace carries
+    // no operand values): serve them with a plain in-request sweep.
+    // validateGrid has already bounded every input, so the fatal()
+    // paths inside cannot trigger on remote data.
+    if (grid.dataSpec || grid.needsDataCorrectness()) {
+        *out = runSpecSweep(grid, cfg.jobs);
+        return "";
+    }
+
+    SweepResult result;
+    result.grid = grid;
+    const size_t num_w = grid.workloads.size();
+    const size_t num_c = grid.clsSizes.size();
+    const bool cells = grid.hasCells();
+
+    result.rows.resize(num_w * num_c);
+    std::vector<std::shared_ptr<const CachedRecording>> recordings(
+        cells ? num_w * num_c : 0);
+
+    // Materialize per workload on the shared pool. Tasks must not
+    // throw or die: each workload reports through its own error slot.
+    std::vector<std::string> errors(num_w);
+    pool.parallelFor(num_w, [&](uint64_t w) {
+        std::vector<std::shared_ptr<const CachedRecording>> recs(num_c);
+        std::vector<SweepRow> rows(num_c);
+        errors[w] = materializeWorkload(grid, w, &recs, &rows);
+        if (!errors[w].empty())
+            return;
+        for (size_t c = 0; c < num_c; ++c) {
+            result.rows[w * num_c + c] = std::move(rows[c]);
+            if (cells)
+                recordings[w * num_c + c] = std::move(recs[c]);
+        }
+    });
+    for (const std::string &e : errors) {
+        if (!e.empty())
+            return e;
+    }
+
+    // Dedup counters describe the grid's work shape — what a cold
+    // standalone run performs — so warm and cold responses stay
+    // byte-identical. Real cache effectiveness is reported out of band
+    // (sweepd_client --stats).
+    result.functionalPasses = num_w;
+    result.recordingsProduced = cells ? num_w * num_c : 0;
+
+    if (cells) {
+        std::vector<const LoopEventRecording *> rec_ptrs(
+            recordings.size());
+        std::vector<const RecordingIndex *> idx_ptrs(recordings.size());
+        for (size_t i = 0; i < recordings.size(); ++i) {
+            rec_ptrs[i] = &recordings[i]->recording;
+            idx_ptrs[i] = &recordings[i]->index;
+        }
+        runSweepCells(grid, rec_ptrs, idx_ptrs, &result.cells, &pool,
+                      cfg.jobs);
+    }
+    result.cellsRun = result.cells.size();
+    result.sweepSeconds =
+        std::chrono::duration<double>(clk::now() - t0).count();
+    *out = std::move(result);
+    return "";
+}
+
+} // namespace loopspec

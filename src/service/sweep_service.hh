@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The sweep service: runSpecSweep's three stages restructured around a
+ * content-addressed RecordingCache so a long-running server amortises
+ * functional passes across requests (docs/DESIGN.md §12).
+ *
+ * Staging is split so cached artifacts are immutable once built:
+ *
+ *  materialize — per workload, look up the (workload, CLS) recordings;
+ *      on a miss, get-or-build the ControlTrace (in-process functional
+ *      pass, or the loaded --trace-dir container) and derive every
+ *      missing recording + index from it by interleaved replay, then
+ *      freeze the results into the cache;
+ *  run cells — fan the configuration cross-product over the persistent
+ *      thread pool via runSweepCells(), reading only shared_ptr<const>
+ *      recordings.
+ *
+ * Served results are bit-identical to tools/sweep_loopspec because
+ * every cell goes through the exact stage-3 code path, and because
+ * replay-derived recordings are proven indistinguishable from direct
+ * functional passes (the --check-replay / pipeline-equivalence suites).
+ * A fully warm request never executes a workload at all.
+ *
+ * Everything here returns error strings instead of fatal()ing: a bad
+ * remote grid must produce an ErrResp, never kill the daemon. Grids
+ * needing operand values (dataspec / +data policies) are uncacheable
+ * (control traces carry no operands) and fall back to a plain
+ * runSpecSweep inside the request.
+ */
+
+#ifndef LOOPSPEC_SERVICE_SWEEP_SERVICE_HH
+#define LOOPSPEC_SERVICE_SWEEP_SERVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hh"
+#include "service/recording_cache.hh"
+#include "speculation/sweep.hh"
+#include "util/thread_pool.hh"
+
+namespace loopspec
+{
+
+struct SweepServiceConfig
+{
+    /** Pool width for materialize + cell fan-out (0 = hardware). */
+    unsigned jobs = 0;
+    /** RecordingCache budget in bytes. */
+    uint64_t cacheBytes = uint64_t{1} << 30;
+    /** Non-empty = serve --trace-dir grids from this directory (scanned
+     *  once at construction); requests must name this exact directory
+     *  or none. */
+    std::string traceDir;
+};
+
+class SweepService
+{
+  public:
+    explicit SweepService(const SweepServiceConfig &config);
+
+    SweepService(const SweepService &) = delete;
+    SweepService &operator=(const SweepService &) = delete;
+
+    /**
+     * Translate a wire request into a SweepGrid + validate it against
+     * this service (known workloads, CLS bounds, trace-dir policy).
+     * Returns "" with *grid and *jobs_echo set, else the diagnostic for
+     * the ErrResp. Uses the same parsers as parseRunOptions, so raw
+     * flag strings mean exactly what they mean on the command line.
+     */
+    std::string requestToGrid(const SweepRequest &req, SweepGrid *grid,
+                              unsigned *jobs_echo) const;
+
+    /** Validate an already-built grid (requestToGrid calls this). */
+    std::string validateGrid(const SweepGrid &grid) const;
+
+    /** Execute a validated grid. "" on success with *out filled. The
+     *  result's rows/cells/counters are independent of cache state —
+     *  warm and cold responses are byte-identical. */
+    std::string run(const SweepGrid &grid, SweepResult *out);
+
+    CacheStats cacheStats() const { return cache.stats(); }
+    const SweepServiceConfig &config() const { return cfg; }
+    uint64_t requestsServed() const { return served; }
+
+  private:
+    std::string materializeWorkload(
+        const SweepGrid &grid, size_t w,
+        std::vector<std::shared_ptr<const CachedRecording>> *recs,
+        std::vector<SweepRow> *rows);
+
+    SweepServiceConfig cfg;
+    RecordingCache cache;
+    ThreadPool pool;
+    std::vector<std::string> traceWorkloads; //!< scan of cfg.traceDir
+    std::atomic<uint64_t> served{0};
+};
+
+} // namespace loopspec
+
+#endif // LOOPSPEC_SERVICE_SWEEP_SERVICE_HH

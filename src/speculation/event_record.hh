@@ -113,6 +113,21 @@ struct LoopEventRecording
     /** Replayable event stream (see replayLoopEvents). */
     std::vector<LoopEventRec> loopEvents;
 
+    /** Heap footprint including per-exec sidecars — the recording
+     *  cache's accounting hook. */
+    size_t
+    memoryBytes() const
+    {
+        size_t bytes = execs.capacity() * sizeof(ExecRecord) +
+                       events.capacity() * sizeof(SimEvent) +
+                       loopEvents.capacity() * sizeof(LoopEventRec);
+        for (const ExecRecord &e : execs) {
+            bytes += e.iterBoundaries.capacity() * sizeof(uint64_t);
+            bytes += e.iterDataOk.capacity() / 8;
+        }
+        return bytes;
+    }
+
     /** Serialise to a stream (simple binary format, versioned). */
     void save(std::ostream &os) const;
 

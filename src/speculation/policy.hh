@@ -41,6 +41,12 @@ std::string specPolicyName(SpecPolicy policy, unsigned nest_limit);
 void parseSpecPolicy(const std::string &text, SpecPolicy *policy,
                      unsigned *nest_limit);
 
+/** Non-fatal parseSpecPolicy for untrusted input (the sweep service):
+ *  "" on success, else the diagnostic parseSpecPolicy would have died
+ *  with. */
+std::string tryParseSpecPolicy(const std::string &text, SpecPolicy *policy,
+                               unsigned *nest_limit);
+
 /**
  * How the simulator treats inter-thread *data* dependences — the paper's
  * §4 follow-up, modelled on top of its §3 control speculation.

@@ -24,26 +24,34 @@ specPolicyName(SpecPolicy policy, unsigned nest_limit)
     }
 }
 
-void
-parseSpecPolicy(const std::string &text, SpecPolicy *policy,
-                unsigned *nest_limit)
+std::string
+tryParseSpecPolicy(const std::string &text, SpecPolicy *policy,
+                   unsigned *nest_limit)
 {
     if (text == "idle" || text == "IDLE") {
         *policy = SpecPolicy::Idle;
-        return;
+        return "";
     }
     if (text == "str" || text == "STR") {
         *policy = SpecPolicy::Str;
-        return;
+        return "";
     }
     if ((text.rfind("str", 0) == 0 || text.rfind("STR", 0) == 0) &&
         text.size() == 4 && text[3] >= '1' && text[3] <= '9') {
         *policy = SpecPolicy::StrI;
         *nest_limit = static_cast<unsigned>(text[3] - '0');
-        return;
+        return "";
     }
-    fatal("bad speculation policy '%s' (want idle|str|strN)",
-          text.c_str());
+    return "bad speculation policy '" + text + "' (want idle|str|strN)";
+}
+
+void
+parseSpecPolicy(const std::string &text, SpecPolicy *policy,
+                unsigned *nest_limit)
+{
+    std::string err = tryParseSpecPolicy(text, policy, nest_limit);
+    if (!err.empty())
+        fatal("%s", err.c_str());
 }
 
 RecordingIndex::RecordingIndex(const LoopEventRecording &recording)

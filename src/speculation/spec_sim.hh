@@ -73,6 +73,16 @@ class RecordingIndex
         return {segBounds[off], segBounds[off + 1]};
     }
 
+    /** Heap footprint of the index tables — the recording cache's
+     *  accounting hook (src/service/recording_cache.hh). */
+    size_t
+    memoryBytes() const
+    {
+        return parentIdx.capacity() * sizeof(uint32_t) +
+               segOffset.capacity() * sizeof(size_t) +
+               segBounds.capacity() * sizeof(uint64_t);
+    }
+
   private:
     std::vector<uint32_t> parentIdx; //!< execIdx -> parent or noParent
     /** execIdx -> first segBounds slot; one sentinel entry at the end

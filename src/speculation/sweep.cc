@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "harness/runner.hh"
+#include "loop/cls.hh"
 #include "loop/loop_detector.hh"
 #include "speculation/ideal_tpc.hh"
 #include "speculation/spec_sim.hh"
@@ -14,6 +15,7 @@
 #include "trace_io/stream_reader.hh"
 #include "trace_io/trace_codec.hh"
 #include "tracegen/control_trace.hh"
+#include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -192,6 +194,136 @@ applyPaperAxes(SweepGrid *grid)
                       {SpecPolicy::StrI, 3, DataMode::None, "STR(3)"}};
     grid->tuCounts = {2, 4, 8, 16};
     grid->letEntries = {0};
+}
+
+namespace
+{
+
+/** Grid-axis policy entry: "idle" / "str" / "strN", optional "+data"
+ *  suffix for profiled live-in correctness. */
+std::string
+tryParseGridPolicy(std::string text, GridPolicy *gp)
+{
+    const std::string suffix = "+data";
+    if (text.size() > suffix.size() &&
+        text.compare(text.size() - suffix.size(), suffix.size(),
+                     suffix) == 0) {
+        gp->dataMode = DataMode::Profiled;
+        text.resize(text.size() - suffix.size());
+    }
+    return tryParseSpecPolicy(text, &gp->policy, &gp->nestLimit);
+}
+
+/** Grid-axis number with the axis name prepended to any diagnostic. */
+std::string
+tryParseGridU64(const std::string &text, const char *what, uint64_t *out)
+{
+    std::string err = tryParseUint(text, out);
+    return err.empty() ? err : std::string(what) + ": " + err;
+}
+
+} // namespace
+
+std::string
+applyGridSpec(const std::string &spec, SweepGrid *grid)
+{
+    if (spec == "paper") {
+        applyPaperAxes(grid); // shared with bench_fig7
+        return "";
+    }
+    for (const std::string &pair : splitOn(spec, ';')) {
+        size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            return "grid: expected key=value, got '" + pair + "'";
+        const std::string key = pair.substr(0, eq);
+        const std::vector<std::string> vals =
+            splitList(pair.substr(eq + 1));
+        if (vals.empty())
+            return "grid: empty value list for '" + key + "'";
+        std::string err;
+        if (key == "policies") {
+            // Replaces earlier policies= entries but keeps predictors=
+            // ones (and vice versa), so the two sub-axes compose in
+            // either key order.
+            std::vector<GridPolicy> kept;
+            for (GridPolicy &gp : grid->policies) {
+                if (gp.policy == SpecPolicy::Pred)
+                    kept.push_back(std::move(gp));
+            }
+            grid->policies = std::move(kept);
+            for (const auto &v : vals) {
+                GridPolicy gp;
+                err = tryParseGridPolicy(v, &gp);
+                if (!err.empty())
+                    return "grid: " + err;
+                grid->policies.push_back(std::move(gp));
+            }
+        } else if (key == "predictors") {
+            std::vector<GridPolicy> kept;
+            for (GridPolicy &gp : grid->policies) {
+                if (gp.policy != SpecPolicy::Pred)
+                    kept.push_back(std::move(gp));
+            }
+            grid->policies = std::move(kept);
+            for (const auto &v : vals) {
+                GridPolicy gp;
+                gp.policy = SpecPolicy::Pred;
+                err = tryParsePredictorSpec(v, &gp.predictor);
+                if (!err.empty())
+                    return "grid: " + err;
+                gp.label = predictorName(gp.predictor);
+                grid->policies.push_back(std::move(gp));
+            }
+        } else if (key == "tus") {
+            grid->tuCounts.clear();
+            for (const auto &v : vals) {
+                uint64_t n = 0;
+                err = tryParseGridU64(v, "grid tus", &n);
+                if (!err.empty())
+                    return err;
+                if (n < 1)
+                    return "grid: TU count must be >= 1";
+                grid->tuCounts.push_back(static_cast<unsigned>(n));
+            }
+        } else if (key == "cls") {
+            grid->clsSizes.clear();
+            for (const auto &v : vals) {
+                uint64_t n = 0;
+                err = tryParseGridU64(v, "grid cls", &n);
+                if (!err.empty())
+                    return err;
+                if (n < 1 || n > clsMaxCapacity)
+                    return strprintf(
+                        "grid: CLS size %llu outside [1, %zu]",
+                        static_cast<unsigned long long>(n),
+                        clsMaxCapacity);
+                grid->clsSizes.push_back(static_cast<size_t>(n));
+            }
+        } else if (key == "let") {
+            grid->letEntries.clear();
+            for (const auto &v : vals) {
+                uint64_t n = 0;
+                err = tryParseGridU64(v, "grid let", &n);
+                if (!err.empty())
+                    return err;
+                grid->letEntries.push_back(static_cast<size_t>(n));
+            }
+        } else if (key == "ideal" || key == "dataspec") {
+            uint64_t n = 0;
+            err = tryParseGridU64(vals[0], key == "ideal"
+                                               ? "grid ideal"
+                                               : "grid dataspec",
+                                  &n);
+            if (!err.empty())
+                return err;
+            (key == "ideal" ? grid->ideal : grid->dataSpec) = n != 0;
+        } else {
+            return "grid: unknown axis '" + key +
+                   "' (want policies|predictors|tus|cls|let|ideal|"
+                   "dataspec)";
+        }
+    }
+    return "";
 }
 
 SweepResult
@@ -399,13 +531,39 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
     });
 
     // Stage 3: fan the configuration cross-product out with one
-    // pre-allocated result slot per cell. Decoding the flat index keeps
-    // cell order — and so aggregation order — independent of scheduling.
+    // pre-allocated result slot per cell.
+    std::vector<const LoopEventRecording *> rec_ptrs(recordings.size());
+    std::vector<const RecordingIndex *> idx_ptrs(indexes.size());
+    for (size_t i = 0; i < recordings.size(); ++i) {
+        rec_ptrs[i] = &recordings[i];
+        idx_ptrs[i] = indexes[i].get();
+    }
+    runSweepCells(grid, rec_ptrs, idx_ptrs, &out.cells, nullptr, jobs);
+    out.cellsRun = out.cells.size();
+    out.sweepSeconds = elapsed();
+    return out;
+}
+
+void
+runSweepCells(const SweepGrid &grid,
+              const std::vector<const LoopEventRecording *> &recordings,
+              const std::vector<const RecordingIndex *> &indexes,
+              std::vector<SweepCell> *cells, ThreadPool *pool,
+              unsigned jobs)
+{
+    const size_t num_c = grid.clsSizes.size();
     const size_t num_p = grid.policies.size();
     const size_t num_t = grid.tuCounts.size();
     const size_t num_l = grid.letEntries.size();
-    out.cells.resize(grid.numCells());
-    parallelFor(jobs, out.cells.size(), [&](uint64_t i) {
+    LOOPSPEC_ASSERT(recordings.size() ==
+                            grid.workloads.size() * num_c &&
+                        indexes.size() == recordings.size(),
+                    "one recording+index per (workload, CLS) point");
+
+    // Decoding the flat index keeps cell order — and so aggregation
+    // order — independent of scheduling.
+    cells->resize(grid.numCells());
+    const auto run_cell = [&](uint64_t i) {
         size_t rem = i;
         const size_t l = rem % num_l;
         rem /= num_l;
@@ -416,7 +574,7 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
         const size_t c = rem % num_c;
         const size_t w = rem / num_c;
 
-        SweepCell &cell = out.cells[i];
+        SweepCell &cell = (*cells)[i];
         cell.workloadIdx = static_cast<uint32_t>(w);
         cell.clsIdx = static_cast<uint32_t>(c);
         cell.policyIdx = static_cast<uint32_t>(p);
@@ -433,13 +591,14 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
         cfg.predictor = gp.predictor;
 
         const size_t rec_idx = w * num_c + c;
-        ThreadSpecSimulator sim(recordings[rec_idx], *indexes[rec_idx],
+        ThreadSpecSimulator sim(*recordings[rec_idx], *indexes[rec_idx],
                                 cfg);
         cell.stats = sim.run();
-    });
-    out.cellsRun = out.cells.size();
-    out.sweepSeconds = elapsed();
-    return out;
+    };
+    if (pool)
+        pool->parallelFor(cells->size(), run_cell);
+    else
+        parallelFor(jobs, cells->size(), run_cell);
 }
 
 namespace

@@ -198,11 +198,40 @@ struct SweepResult
 void applyPaperAxes(SweepGrid *grid);
 
 /**
+ * Apply a `--grid` axis spec to @p grid: semicolon-separated key=value
+ * pairs with comma-separated lists (policies | predictors | tus | cls |
+ * let | ideal | dataspec), or the single preset "paper" =
+ * applyPaperAxes(). Returns "" on success, else a diagnostic — never
+ * fatal(), so the sweep service can reject bad remote grids without
+ * dying (tools wrap it with fatal() themselves).
+ */
+std::string applyGridSpec(const std::string &spec, SweepGrid *grid);
+
+/**
  * Execute @p grid. @p jobs sizes the thread pool (0 = one per hardware
  * thread, 1 = fully inline serial). The result — rows, cells, and every
  * statistic in them — is identical for every jobs value.
  */
 SweepResult runSpecSweep(const SweepGrid &grid, unsigned jobs = 0);
+
+class RecordingIndex;
+class ThreadPool;
+struct LoopEventRecording;
+
+/**
+ * Stage 3 of runSpecSweep on pre-materialized recordings: fan the
+ * configuration cross-product of @p grid out over @p pool (nullptr = a
+ * transient pool of @p jobs threads, runSpecSweep's behaviour), one
+ * pre-allocated slot per cell. @p recordings / @p indexes hold one
+ * entry per (workload-major, CLS-minor) point. The sweep service runs
+ * cells over cached immutable recordings through this exact code path,
+ * which is what keeps served cells bit-identical to a direct sweep.
+ */
+void runSweepCells(const SweepGrid &grid,
+                   const std::vector<const LoopEventRecording *> &recordings,
+                   const std::vector<const RecordingIndex *> &indexes,
+                   std::vector<SweepCell> *cells, ThreadPool *pool,
+                   unsigned jobs);
 
 /**
  * Consolidated machine-readable artifact (BENCH_specsim.json): the grid,

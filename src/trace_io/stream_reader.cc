@@ -1,6 +1,7 @@
 #include "trace_io/stream_reader.hh"
 
 #include <algorithm>
+#include <cassert>
 #include <cerrno>
 #include <cstring>
 
@@ -52,9 +53,11 @@ class TraceFileStreamer::Cursor
   public:
     Cursor(int fd, const std::string &path, const SectionDesc &desc,
            size_t chunk_bytes)
-        : fd(fd), path(path), desc(desc),
-          chunkBytes(std::max<size_t>(chunk_bytes, 64))
+        : fd(fd), path(path), desc(desc), chunkBytes(chunk_bytes)
     {
+        // open() validates and raises the configured chunk size to
+        // kMinStreamChunkBytes before any cursor is built.
+        assert(chunkBytes >= kMinStreamChunkBytes);
     }
 
     const uint8_t *data() const { return buf.data() + pos; }
@@ -110,6 +113,16 @@ TraceFileStreamer::open(const std::string &path,
         *err = "batchInstrs must be >= 1";
         return nullptr;
     }
+    if (config.chunkBytes == 0) {
+        // A zero chunk would never make progress; it used to be clamped
+        // silently, which hid broken server configs.
+        *err = "chunkBytes must be >= 1";
+        return nullptr;
+    }
+    // Tiny-but-nonzero chunks are raised to the documented minimum so a
+    // record split across a boundary always fits in one carry.
+    s->config.chunkBytes =
+        std::max(config.chunkBytes, kMinStreamChunkBytes);
 
     s->fd = ::open(path.c_str(), O_RDONLY);
     if (s->fd < 0) {

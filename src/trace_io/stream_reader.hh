@@ -35,10 +35,19 @@ namespace loopspec
 class TraceObserver;
 class LoopListener;
 
+/** Smallest per-section read granularity open() will run with: chunks
+ *  below this are raised to it (a record split across a chunk boundary
+ *  must fit one carry). A configured chunkBytes of 0 is rejected by
+ *  open() outright rather than silently adjusted. */
+constexpr size_t kMinStreamChunkBytes = 64;
+
 /** Knobs for the streaming reader. */
 struct StreamConfig
 {
     size_t chunkBytes = 256 * 1024; //!< per-section read granularity
+                                    //!< (>= 1; values below
+                                    //!< kMinStreamChunkBytes are raised
+                                    //!< to it by open())
     size_t batchInstrs = 4096;      //!< replay batch (keep the default
                                     //!< to match in-memory replay)
 };

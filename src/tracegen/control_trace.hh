@@ -45,6 +45,13 @@ struct ControlTrace
     uint64_t totalInstrs = 0;
     std::vector<CtrlTransfer> transfers;
 
+    /** Heap footprint — the recording cache's accounting hook. */
+    size_t
+    memoryBytes() const
+    {
+        return transfers.capacity() * sizeof(CtrlTransfer);
+    }
+
     /** Serialise to a stream (simple binary format, versioned). */
     void save(std::ostream &os) const;
 

@@ -1,6 +1,9 @@
 #include "util/cli.hh"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/logging.hh"
@@ -67,14 +70,73 @@ namespace
 
 /** The whole value must parse: trailing junk ("0.5x", "1..5") and empty
  *  values are user errors, not zeros. */
-void
-checkFullParse(const char *name, const std::string &value, const char *end)
+bool
+fullyParsed(const std::string &value, const char *end)
 {
-    if (value.empty() || *end != '\0')
-        fatal("malformed value '%s' for --%s", value.c_str(), name);
+    return !value.empty() && *end == '\0';
+}
+
+/** First non-whitespace character is '-' (strtoull skips the same
+ *  leading whitespace before accepting a sign). */
+bool
+leadingMinus(const std::string &value)
+{
+    size_t i = 0;
+    while (i < value.size() &&
+           std::isspace(static_cast<unsigned char>(value[i])))
+        ++i;
+    return i < value.size() && value[i] == '-';
 }
 
 } // namespace
+
+std::string
+tryParseInt(const std::string &value, int64_t *out)
+{
+    char *end = nullptr;
+    errno = 0;
+    int64_t v = std::strtoll(value.c_str(), &end, 0);
+    if (!fullyParsed(value, end))
+        return "malformed value '" + value + "'";
+    if (errno == ERANGE)
+        return "out-of-range value '" + value + "'";
+    *out = v;
+    return "";
+}
+
+std::string
+tryParseUint(const std::string &value, uint64_t *out)
+{
+    // strtoull accepts "-5" and wraps it to 2^64-5; a negative where an
+    // unsigned is expected is always a user error, never a wrap.
+    if (leadingMinus(value))
+        return "negative value '" + value + "'";
+    char *end = nullptr;
+    errno = 0;
+    uint64_t v = std::strtoull(value.c_str(), &end, 0);
+    if (!fullyParsed(value, end))
+        return "malformed value '" + value + "'";
+    if (errno == ERANGE)
+        return "out-of-range value '" + value + "'";
+    *out = v;
+    return "";
+}
+
+std::string
+tryParseDouble(const std::string &value, double *out)
+{
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(value.c_str(), &end);
+    if (!fullyParsed(value, end))
+        return "malformed value '" + value + "'";
+    // Overflow to +-inf is an error; underflow to a denormal (or zero)
+    // keeps the nearest representable value and is accepted.
+    if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL))
+        return "out-of-range value '" + value + "'";
+    *out = v;
+    return "";
+}
 
 int64_t
 CliArgs::getInt(const std::string &name, int64_t def) const
@@ -82,9 +144,10 @@ CliArgs::getInt(const std::string &name, int64_t def) const
     auto it = values.find(name);
     if (it == values.end())
         return def;
-    char *end = nullptr;
-    int64_t v = std::strtoll(it->second.c_str(), &end, 0);
-    checkFullParse(name.c_str(), it->second, end);
+    int64_t v = 0;
+    std::string err = tryParseInt(it->second, &v);
+    if (!err.empty())
+        fatal("%s for --%s", err.c_str(), name.c_str());
     return v;
 }
 
@@ -94,9 +157,10 @@ CliArgs::getUint(const std::string &name, uint64_t def) const
     auto it = values.find(name);
     if (it == values.end())
         return def;
-    char *end = nullptr;
-    uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
-    checkFullParse(name.c_str(), it->second, end);
+    uint64_t v = 0;
+    std::string err = tryParseUint(it->second, &v);
+    if (!err.empty())
+        fatal("%s for --%s", err.c_str(), name.c_str());
     return v;
 }
 
@@ -106,9 +170,10 @@ CliArgs::getDouble(const std::string &name, double def) const
     auto it = values.find(name);
     if (it == values.end())
         return def;
-    char *end = nullptr;
-    double v = std::strtod(it->second.c_str(), &end);
-    checkFullParse(name.c_str(), it->second, end);
+    double v = 0.0;
+    std::string err = tryParseDouble(it->second, &v);
+    if (!err.empty())
+        fatal("%s for --%s", err.c_str(), name.c_str());
     return v;
 }
 
@@ -123,12 +188,12 @@ CliArgs::getBool(const std::string &name, bool def) const
 }
 
 std::vector<std::string>
-splitList(const std::string &csv)
+splitOn(const std::string &text, char sep)
 {
     std::vector<std::string> out;
     std::string cur;
-    for (char c : csv) {
-        if (c == ',') {
+    for (char c : text) {
+        if (c == sep) {
             if (!cur.empty())
                 out.push_back(cur);
             cur.clear();
@@ -139,6 +204,12 @@ splitList(const std::string &csv)
     if (!cur.empty())
         out.push_back(cur);
     return out;
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    return splitOn(csv, ',');
 }
 
 } // namespace loopspec

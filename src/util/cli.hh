@@ -48,6 +48,25 @@ class CliArgs
 /** Split a comma-separated list into items (empty items dropped). */
 std::vector<std::string> splitList(const std::string &csv);
 
+/** splitList with an arbitrary separator (empty items dropped). */
+std::vector<std::string> splitOn(const std::string &text, char sep);
+
+/**
+ * Error-returning numeric parsers shared by CliArgs and the sweep
+ * service request decoder (which must never fatal() on remote input).
+ * Return "" on success with *out set, else a diagnostic without flag
+ * context ("malformed value 'x'", "negative value '-5'",
+ * "out-of-range value '...'") so callers can append their own.
+ *
+ * Unlike bare strtoll/strtoull these check errno/ERANGE (out-of-range
+ * inputs used to clamp silently to LLONG_MAX/ULLONG_MAX) and
+ * tryParseUint rejects sign-prefixed values (strtoull parses "-5" and
+ * wraps it to 2^64-5).
+ */
+std::string tryParseInt(const std::string &value, int64_t *out);
+std::string tryParseUint(const std::string &value, uint64_t *out);
+std::string tryParseDouble(const std::string &value, double *out);
+
 } // namespace loopspec
 
 #endif // LOOPSPEC_UTIL_CLI_HH

@@ -1,6 +1,10 @@
 #include "util/thread_pool.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
+
+#include "util/logging.hh"
 
 namespace loopspec
 {
@@ -34,6 +38,11 @@ ThreadPool::submit(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(mtx);
+        // The destructor only sets stopping once the queue is drained;
+        // a task pushed after that would never run. Fail loudly instead
+        // of losing it.
+        if (stopping)
+            panic("ThreadPool::submit after shutdown began");
         tasks.push(std::move(task));
     }
     taskReady.notify_one();
@@ -71,6 +80,59 @@ ThreadPool::workerLoop()
 }
 
 void
+ThreadPool::parallelFor(uint64_t n,
+                        const std::function<void(uint64_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    // Per-batch completion state, shared with the queued helper tasks.
+    // Kept alive by the task copies: a helper scheduled after the batch
+    // finished still dereferences cursor/total (and exits immediately),
+    // possibly after this frame returned.
+    struct Batch
+    {
+        std::atomic<uint64_t> cursor{0};
+        std::atomic<uint64_t> done{0};
+        uint64_t total = 0;
+        std::mutex m;
+        std::condition_variable cv;
+        const std::function<void(uint64_t)> *fn = nullptr;
+    };
+    auto batch = std::make_shared<Batch>();
+    batch->total = n;
+    batch->fn = &fn;
+
+    // Safe to dereference batch->fn only while an index < total is
+    // claimed: the waiter below cannot return before every claimed
+    // index has completed, so &fn outlives every dereference.
+    auto drain = [batch] {
+        for (;;) {
+            uint64_t i = batch->cursor.fetch_add(1);
+            if (i >= batch->total)
+                return;
+            (*batch->fn)(i);
+            if (batch->done.fetch_add(1) + 1 == batch->total) {
+                std::lock_guard<std::mutex> lock(batch->m);
+                batch->cv.notify_all();
+            }
+        }
+    };
+
+    // n - 1 helpers at most: the caller claims indices too, so with a
+    // small batch no helper is queued just to find the cursor spent.
+    uint64_t helpers = std::min<uint64_t>(numThreads(), n - 1);
+    for (uint64_t t = 0; t < helpers; ++t)
+        submit(drain);
+    drain();
+
+    std::unique_lock<std::mutex> lock(batch->m);
+    batch->cv.wait(lock, [&] {
+        return batch->done.load() == batch->total;
+    });
+}
+
+void
 parallelFor(unsigned num_threads, uint64_t n,
             const std::function<void(uint64_t)> &fn)
 {
@@ -87,19 +149,11 @@ parallelFor(unsigned num_threads, uint64_t n,
         return;
     }
 
-    std::atomic<uint64_t> cursor{0};
-    ThreadPool pool(num_threads);
-    for (unsigned t = 0; t < pool.numThreads(); ++t) {
-        pool.submit([&] {
-            for (;;) {
-                uint64_t i = cursor.fetch_add(1);
-                if (i >= n)
-                    return;
-                fn(i);
-            }
-        });
-    }
-    pool.wait();
+    // The caller participates in the batch, so num_threads - 1 workers
+    // gives exactly num_threads concurrent runners — the contract the
+    // --jobs flags are written against.
+    ThreadPool pool(num_threads - 1);
+    pool.parallelFor(n, fn);
 }
 
 } // namespace loopspec

@@ -39,11 +39,26 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue one task. */
+    /** Enqueue one task. Submitting after destruction has begun is a
+     *  programming error and panics (it used to lose the task
+     *  silently). */
     void submit(std::function<void()> task);
 
-    /** Block until the queue is empty and all workers are idle. */
+    /** Block until the queue is empty and all workers are idle. Note
+     *  this is pool-global: with several concurrent submitters it only
+     *  returns once *everyone's* tasks are done — batch-scoped callers
+     *  (the sweep service) use parallelFor() below instead. */
     void wait();
+
+    /**
+     * Run fn(i) for i in [0, n) on this pool and block until the batch
+     * completes. Unlike submit()+wait() this tracks completion per
+     * batch, so concurrent requests sharing one pool never wait on each
+     * other's tasks, and the calling thread participates in draining the
+     * batch — a saturated pool still makes progress and a worker task
+     * that itself calls parallelFor() cannot deadlock.
+     */
+    void parallelFor(uint64_t n, const std::function<void(uint64_t)> &fn);
 
     unsigned numThreads() const
     {

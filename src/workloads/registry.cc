@@ -58,6 +58,18 @@ buildWorkload(const std::string &name, const WorkloadScale &scale)
     fatal("unknown workload '%s'", name.c_str());
 }
 
+bool
+isKnownWorkload(const std::string &name)
+{
+    for (const auto &w : workloadRegistry())
+        if (w.name == name)
+            return true;
+    for (const auto &w : syntheticWorkloadRegistry())
+        if (w.name == name)
+            return true;
+    return name == "synth.massive";
+}
+
 std::vector<std::string>
 workloadNames()
 {

@@ -63,6 +63,11 @@ std::vector<std::string> syntheticWorkloadNames();
 /** Build one workload by name (Table-1 or synth.*); fatal() if unknown. */
 Program buildWorkload(const std::string &name, const WorkloadScale &scale);
 
+/** True when buildWorkload(name) would succeed — the non-fatal check
+ *  the sweep service runs on remote requests before touching the
+ *  builder. */
+bool isKnownWorkload(const std::string &name);
+
 /** Names of all workloads, Table 1 order. */
 std::vector<std::string> workloadNames();
 

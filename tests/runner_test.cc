@@ -327,6 +327,35 @@ TEST(ParseRunOptionsDeathTest, EmptyScaleValueIsFatal)
                 testing::ExitedWithCode(1), "malformed value ''");
 }
 
+TEST(ParseRunOptionsDeathTest, NegativeUnsignedIsFatal)
+{
+    // --max-instrs goes through getUint; strtoull would accept "-5" and
+    // wrap it to 2^64-5, turning a typo into a near-infinite run.
+    const char *argv[] = {"prog", "--max-instrs=-5"};
+    EXPECT_EXIT(parseRunOptions(2, const_cast<char **>(argv), {}),
+                testing::ExitedWithCode(1),
+                "negative value '-5' for --max-instrs");
+}
+
+TEST(ParseRunOptionsDeathTest, OutOfRangeUnsignedIsFatal)
+{
+    // 2^64 does not fit; strtoull used to clamp it silently to
+    // ULLONG_MAX and carry on.
+    const char *argv[] = {"prog", "--max-instrs=18446744073709551616"};
+    EXPECT_EXIT(parseRunOptions(2, const_cast<char **>(argv), {}),
+                testing::ExitedWithCode(1),
+                "out-of-range value '18446744073709551616' "
+                "for --max-instrs");
+}
+
+TEST(ParseRunOptionsDeathTest, OutOfRangeClsEntryIsFatal)
+{
+    // --cls takes the same getUint path.
+    const char *argv[] = {"prog", "--cls=99999999999999999999999"};
+    EXPECT_EXIT(parseRunOptions(2, const_cast<char **>(argv), {}),
+                testing::ExitedWithCode(1), "out-of-range value");
+}
+
 TEST(ParseRunOptionsDeathTest, DuplicateFlagIsFatal)
 {
     // Both --x=a --x=b and the mixed --x=a --x b forms must be caught;

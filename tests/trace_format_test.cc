@@ -287,6 +287,52 @@ TEST(TraceFormatCorruption, TrailingGarbageIsRejected)
 
 // --------------------------------- out-of-core scale / memory budget
 
+TEST(TraceFormatStreaming, ZeroChunkBytesIsAnExplicitError)
+{
+    // chunkBytes == 0 used to be clamped silently to 64 while
+    // batchInstrs < 1 was a hard error; both config mistakes must now
+    // fail loudly, and before any file I/O happens.
+    StreamConfig config;
+    config.chunkBytes = 0;
+    std::string err;
+    auto streamer =
+        TraceFileStreamer::open("/no/such/file.lstrace", config, &err);
+    EXPECT_EQ(streamer, nullptr);
+    EXPECT_EQ(err, "chunkBytes must be >= 1");
+
+    config.chunkBytes = 1;
+    config.batchInstrs = 0;
+    err.clear();
+    streamer =
+        TraceFileStreamer::open("/no/such/file.lstrace", config, &err);
+    EXPECT_EQ(streamer, nullptr);
+    EXPECT_EQ(err, "batchInstrs must be >= 1");
+}
+
+TEST(TraceFormatStreaming, TinyChunkBytesIsRaisedToDocumentedMinimum)
+{
+    // Nonzero-but-tiny chunks are raised to kMinStreamChunkBytes (a
+    // split record must fit one carry) and the replay still works.
+    RunOptions opts;
+    opts.maxInstrs = 50000;
+    std::string dir = ::testing::TempDir();
+    std::string path = exportWorkloadTrace("compress", opts, dir,
+                                           TraceEncoding::Raw);
+
+    StreamConfig config;
+    config.chunkBytes = 1;
+    std::string err;
+    auto streamer = TraceFileStreamer::open(path, config, &err);
+    ASSERT_NE(streamer, nullptr) << err;
+
+    LoopDetector det({16});
+    LoopStats stats;
+    det.addListener(&stats);
+    err = streamer->replayControl(det);
+    ASSERT_EQ(err, "");
+    EXPECT_EQ(stats.report().totalInstrs, 50000u);
+}
+
 TEST(TraceFormatStreaming, MassiveTraceReplaysWithinFixedMemoryBudget)
 {
     // synth.massive carries 1.2e5 distinct static loops; 4M instructions

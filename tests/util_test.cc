@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "util/cli.hh"
+#include "util/thread_pool.hh"
 #include "util/fixed_vector.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -258,6 +261,55 @@ TEST(CliDeathTest, MalformedNumbersAreFatal)
                 "malformed value '12abc' for --x");
 }
 
+TEST(CliDeathTest, NegativeUnsignedIsFatal)
+{
+    // strtoull would parse "-5" and wrap to 2^64-5.
+    const char *argv[] = {"prog", "--x=-5"};
+    CliArgs args(2, const_cast<char **>(argv), {"x"});
+    EXPECT_EXIT((void)args.getUint("x", 0), testing::ExitedWithCode(1),
+                "negative value '-5' for --x");
+}
+
+TEST(CliDeathTest, OutOfRangeNumbersAreFatal)
+{
+    // Values past the 64-bit range used to clamp silently to
+    // LLONG_MAX / ULLONG_MAX; overflow to infinity likewise for doubles.
+    const char *argv[] = {"prog", "--i=99999999999999999999",
+                          "--u=18446744073709551616", "--d=1e999"};
+    CliArgs args(4, const_cast<char **>(argv), {"i", "u", "d"});
+    EXPECT_EXIT((void)args.getInt("i", 0), testing::ExitedWithCode(1),
+                "out-of-range value '99999999999999999999' for --i");
+    EXPECT_EXIT((void)args.getUint("u", 0), testing::ExitedWithCode(1),
+                "out-of-range value '18446744073709551616' for --u");
+    EXPECT_EXIT((void)args.getDouble("d", 0), testing::ExitedWithCode(1),
+                "out-of-range value '1e999' for --d");
+}
+
+TEST(Cli, TryParsersRoundTripAndReject)
+{
+    int64_t i = 0;
+    uint64_t u = 0;
+    double d = 0.0;
+    EXPECT_EQ(tryParseInt("-42", &i), "");
+    EXPECT_EQ(i, -42);
+    EXPECT_EQ(tryParseUint("0x10", &u), "");
+    EXPECT_EQ(u, 16u);
+    EXPECT_EQ(tryParseDouble("0.125", &d), "");
+    EXPECT_DOUBLE_EQ(d, 0.125);
+
+    EXPECT_EQ(tryParseUint("-5", &u), "negative value '-5'");
+    EXPECT_EQ(tryParseUint("  -5", &u), "negative value '  -5'");
+    EXPECT_EQ(tryParseInt("abc", &i), "malformed value 'abc'");
+    EXPECT_EQ(tryParseInt("9223372036854775808", &i),
+              "out-of-range value '9223372036854775808'");
+    EXPECT_EQ(tryParseDouble("1e999", &d), "out-of-range value '1e999'");
+    // Underflow keeps the nearest representable value (zero) silently.
+    EXPECT_EQ(tryParseDouble("1e-999", &d), "");
+    // INT64_MIN itself is in range for the signed parser.
+    EXPECT_EQ(tryParseInt("-9223372036854775808", &i), "");
+    EXPECT_EQ(i, INT64_MIN);
+}
+
 TEST(Cli, SplitList)
 {
     auto v = splitList("a,b,,c");
@@ -272,6 +324,101 @@ TEST(Logging, Strprintf)
     EXPECT_EQ(strprintf("x=%d y=%s", 3, "z"), "x=3 y=z");
     EXPECT_EQ(strprintf("%llu", 18446744073709551615ull),
               "18446744073709551615");
+}
+
+// ------------------------------------------------------------------
+// ThreadPool reuse: a daemon keeps one pool alive for its whole life,
+// so submit()/wait() must stay sound across thousands of cycles — any
+// missed-wakeup or lost-task window shows up here as a hang or a wrong
+// count.
+
+TEST(ThreadPool, ReuseAcrossThousandsOfSubmitWaitCycles)
+{
+    ThreadPool pool(4);
+    std::atomic<uint64_t> ran{0};
+    uint64_t expected = 0;
+    for (int cycle = 0; cycle < 3000; ++cycle) {
+        int burst = 1 + (cycle % 7);
+        for (int t = 0; t < burst; ++t)
+            pool.submit([&ran] { ran.fetch_add(1); });
+        expected += static_cast<uint64_t>(burst);
+        pool.wait();
+        ASSERT_EQ(ran.load(), expected) << "cycle " << cycle;
+    }
+}
+
+TEST(ThreadPool, WaitCoversTasksSubmittedWhileWorkersDrain)
+{
+    // A running task may enqueue more work; wait() must not return
+    // between the parent finishing and the child running, because the
+    // child is queued before the parent retires.
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int round = 0; round < 200; ++round) {
+        for (int i = 0; i < 8; ++i) {
+            pool.submit([&] {
+                pool.submit([&] { done.fetch_add(1); });
+            });
+        }
+        pool.wait();
+        ASSERT_EQ(done.load(), (round + 1) * 8);
+    }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(1000);
+    for (auto &h : hits)
+        h.store(0);
+    pool.parallelFor(hits.size(),
+                     [&](uint64_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+
+    // Degenerate batches.
+    pool.parallelFor(0, [&](uint64_t) { FAIL() << "n == 0 ran fn"; });
+    int ones = 0;
+    pool.parallelFor(1, [&](uint64_t) { ++ones; });
+    EXPECT_EQ(ones, 1);
+}
+
+TEST(ThreadPool, ConcurrentParallelForBatchesDoNotBlockEachOther)
+{
+    // Batch-scoped completion: clients sharing one pool must each see
+    // exactly their own batch complete, even when batches overlap. The
+    // pool is deliberately smaller than the client count — the calling
+    // threads participate in draining, so this also cannot deadlock.
+    ThreadPool pool(2);
+    constexpr int kClients = 8;
+    constexpr uint64_t kItems = 500;
+    std::vector<std::vector<uint64_t>> out(kClients);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        out[c].assign(kItems, 0);
+        clients.emplace_back([&pool, &out, c] {
+            pool.parallelFor(kItems, [&out, c](uint64_t i) {
+                out[c][i] = i + static_cast<uint64_t>(c);
+            });
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    for (int c = 0; c < kClients; ++c)
+        for (uint64_t i = 0; i < kItems; ++i)
+            ASSERT_EQ(out[c][i], i + static_cast<uint64_t>(c));
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // A worker task that itself fans out must make progress even when
+    // every pool thread is busy with outer batches.
+    ThreadPool pool(2);
+    std::atomic<uint64_t> inner{0};
+    pool.parallelFor(4, [&](uint64_t) {
+        pool.parallelFor(16, [&](uint64_t) { inner.fetch_add(1); });
+    });
+    EXPECT_EQ(inner.load(), 64u);
 }
 
 } // namespace

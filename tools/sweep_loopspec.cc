@@ -51,122 +51,6 @@ using namespace loopspec;
 namespace
 {
 
-uint64_t
-parseU64(const std::string &text, const char *what)
-{
-    if (text.empty() ||
-        text.find_first_not_of("0123456789") != std::string::npos)
-        fatal("%s: malformed number '%s'", what, text.c_str());
-    try {
-        return std::stoull(text);
-    } catch (const std::exception &) {
-        fatal("%s: malformed number '%s'", what, text.c_str());
-    }
-}
-
-std::vector<std::string>
-splitOn(const std::string &text, char sep)
-{
-    std::vector<std::string> out;
-    size_t start = 0;
-    while (start <= text.size()) {
-        size_t end = text.find(sep, start);
-        if (end == std::string::npos)
-            end = text.size();
-        if (end > start)
-            out.push_back(text.substr(start, end - start));
-        start = end + 1;
-    }
-    return out;
-}
-
-GridPolicy
-parseGridPolicy(std::string text)
-{
-    GridPolicy gp;
-    const std::string suffix = "+data";
-    if (text.size() > suffix.size() &&
-        text.compare(text.size() - suffix.size(), suffix.size(),
-                     suffix) == 0) {
-        gp.dataMode = DataMode::Profiled;
-        text.resize(text.size() - suffix.size());
-    }
-    parseSpecPolicy(text, &gp.policy, &gp.nestLimit);
-    return gp;
-}
-
-void
-applyGridSpec(const std::string &spec, SweepGrid *grid)
-{
-    if (spec == "paper") {
-        applyPaperAxes(grid); // shared with bench_fig7 (sweep.hh)
-        return;
-    }
-    for (const std::string &pair : splitOn(spec, ';')) {
-        size_t eq = pair.find('=');
-        if (eq == std::string::npos)
-            fatal("--grid: expected key=value, got '%s'", pair.c_str());
-        const std::string key = pair.substr(0, eq);
-        const std::vector<std::string> vals =
-            splitList(pair.substr(eq + 1));
-        if (vals.empty())
-            fatal("--grid: empty value list for '%s'", key.c_str());
-        if (key == "policies") {
-            // Replaces earlier policies= entries but keeps predictors=
-            // ones (and vice versa), so the two sub-axes compose in
-            // either key order.
-            std::vector<GridPolicy> kept;
-            for (GridPolicy &gp : grid->policies) {
-                if (gp.policy == SpecPolicy::Pred)
-                    kept.push_back(std::move(gp));
-            }
-            grid->policies = std::move(kept);
-            for (const auto &v : vals)
-                grid->policies.push_back(parseGridPolicy(v));
-        } else if (key == "predictors") {
-            std::vector<GridPolicy> kept;
-            for (GridPolicy &gp : grid->policies) {
-                if (gp.policy != SpecPolicy::Pred)
-                    kept.push_back(std::move(gp));
-            }
-            grid->policies = std::move(kept);
-            for (const auto &v : vals)
-                grid->policies.push_back(predictorGridPolicy(v));
-        } else if (key == "tus") {
-            grid->tuCounts.clear();
-            for (const auto &v : vals) {
-                uint64_t n = parseU64(v, "--grid tus");
-                if (n < 1)
-                    fatal("--grid: TU count must be >= 1");
-                grid->tuCounts.push_back(static_cast<unsigned>(n));
-            }
-        } else if (key == "cls") {
-            grid->clsSizes.clear();
-            for (const auto &v : vals) {
-                uint64_t n = parseU64(v, "--grid cls");
-                if (n < 1 || n > clsMaxCapacity)
-                    fatal("--grid: CLS size %llu outside [1, %zu]",
-                          static_cast<unsigned long long>(n),
-                          clsMaxCapacity);
-                grid->clsSizes.push_back(static_cast<size_t>(n));
-            }
-        } else if (key == "let") {
-            grid->letEntries.clear();
-            for (const auto &v : vals)
-                grid->letEntries.push_back(
-                    static_cast<size_t>(parseU64(v, "--grid let")));
-        } else if (key == "ideal") {
-            grid->ideal = parseU64(vals[0], "--grid ideal") != 0;
-        } else if (key == "dataspec") {
-            grid->dataSpec = parseU64(vals[0], "--grid dataspec") != 0;
-        } else {
-            fatal("--grid: unknown axis '%s' "
-                  "(want policies|predictors|tus|cls|let|ideal|dataspec)",
-                  key.c_str());
-        }
-    }
-}
-
 void
 checkResultsIdentical(const SweepResult &swept, const SweepResult &serial)
 {
@@ -215,7 +99,12 @@ main(int argc, char **argv)
                                       {"grid", "json", "baseline"}, &args);
 
     SweepGrid grid = sweepGridFromOptions(opts);
-    applyGridSpec(args->getString("grid", "paper"), &grid);
+    // Shared with the sweep service (sweep.hh): same parser, so a grid
+    // string means the same thing on the command line and on the wire.
+    std::string grid_err =
+        applyGridSpec(args->getString("grid", "paper"), &grid);
+    if (!grid_err.empty())
+        fatal("--%s", grid_err.c_str());
     const std::string json_path = args->getString("json", "");
     const bool baseline = args->getBool("baseline", false);
 

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Client for the sweepd daemon. Submits a sweep grid over the Unix (or
+ * loopback TCP) socket and streams the JSON response to stdout or a
+ * file; the sweep flags mirror sweep_loopspec exactly, and their values
+ * travel as raw strings so the server parses them with the very same
+ * code the command line would.
+ *
+ *   sweepd_client --socket /tmp/sweepd.sock --grid paper --scale 0.25
+ *   sweepd_client --socket /tmp/sweepd.sock --grid "policies=str;tus=4" \
+ *                 --benchmarks swim,gcc --json out.json
+ *   sweepd_client --socket /tmp/sweepd.sock --stats
+ *   sweepd_client --socket /tmp/sweepd.sock --ping
+ *   sweepd_client --socket /tmp/sweepd.sock --shutdown
+ *
+ * --repeat N submits the same grid N times on one connection (cache
+ * warm-up / smoke testing); only the last response is written. Exit 0
+ * on success; an ErrResp from the server is printed and exits 1.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include <unistd.h>
+
+#include "service/protocol.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+using namespace loopspec;
+
+namespace
+{
+
+/** One request/response exchange; fatal on transport errors (this is
+ *  the operator's terminal, not the daemon). Returns false on ErrResp
+ *  with the diagnostic printed. */
+bool
+exchange(int fd, MsgType type, const std::string &payload,
+         std::string *response)
+{
+    std::string err = writeFrame(fd, type, payload);
+    if (!err.empty())
+        fatal("%s", err.c_str());
+    MsgType resp_type{};
+    bool eof = false;
+    err = readFrame(fd, &resp_type, response, kMaxResponseBytes, &eof);
+    if (!err.empty())
+        fatal("%s", err.c_str());
+    if (eof)
+        fatal("server closed the connection without responding");
+    if (resp_type == MsgType::ErrResp) {
+        std::cerr << "sweepd error: " << *response << "\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv,
+                 {"socket", "tcp-port", "grid", "benchmarks", "scale",
+                  "cls", "max-instrs", "jobs", "trace-dir", "json",
+                  "repeat", "stats", "ping", "shutdown"});
+
+    const std::string socket_path = args.getString("socket", "");
+    const int tcp_port = static_cast<int>(args.getInt("tcp-port", -1));
+    if (socket_path.empty() && tcp_port < 0)
+        fatal("need --socket <path> or --tcp-port <port>");
+
+    std::string err;
+    int fd = socket_path.empty() ? connectTcpSocket(tcp_port, &err)
+                                 : connectUnixSocket(socket_path, &err);
+    if (fd < 0)
+        fatal("%s", err.c_str());
+
+    bool ok = true;
+    std::string response;
+    if (args.getBool("ping", false)) {
+        ok = exchange(fd, MsgType::PingReq, "", &response);
+        if (ok)
+            std::cout << response << "\n";
+    } else if (args.getBool("shutdown", false)) {
+        ok = exchange(fd, MsgType::ShutdownReq, "", &response);
+        if (ok)
+            std::cout << response << "\n";
+    } else if (args.getBool("stats", false)) {
+        ok = exchange(fd, MsgType::StatsReq, "", &response);
+        if (ok)
+            std::cout << response;
+    } else {
+        // Values stay raw strings end to end: the server runs them
+        // through the same tryParse* path a sweep_loopspec invocation
+        // would, so served JSON matches a direct run byte for byte.
+        SweepRequest req;
+        req.grid = args.getString("grid", "");
+        req.benchmarks = args.getString("benchmarks", "");
+        req.scale = args.getString("scale", "");
+        req.cls = args.getString("cls", "");
+        req.maxInstrs = args.getString("max-instrs", "");
+        req.jobs = args.getString("jobs", "");
+        req.traceDir = args.getString("trace-dir", "");
+        const std::string payload = encodeSweepRequest(req);
+
+        const uint64_t repeat = args.getUint("repeat", 1);
+        if (repeat < 1)
+            fatal("--repeat must be >= 1");
+        for (uint64_t i = 0; ok && i < repeat; ++i)
+            ok = exchange(fd, MsgType::SweepReq, payload, &response);
+
+        if (ok) {
+            const std::string json_path = args.getString("json", "");
+            if (json_path.empty()) {
+                std::cout << response;
+            } else {
+                std::ofstream os(json_path,
+                                 std::ios::binary | std::ios::trunc);
+                if (!os)
+                    fatal("cannot write %s", json_path.c_str());
+                os << response;
+                std::cerr << "wrote " << json_path << "\n";
+            }
+        }
+    }
+    ::close(fd);
+    return ok ? 0 : 1;
+}
