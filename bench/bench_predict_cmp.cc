@@ -123,11 +123,15 @@ writeJson(const std::string &path,
         }
     }
     os << "    ],\n    \"suite_avg\": [\n";
+    // Policy 0 is the LET-backed STR reference; tpc_gap_vs_str > 0
+    // means the scheme closed (and passed) the PR-5 predictor gap.
     for (size_t p = 0; p < grid.policies.size(); ++p) {
         for (size_t t = 0; t < grid.tuCounts.size(); ++t) {
             os << "      {\"policy\": \"" << grid.policies[p].name()
                << "\", \"tus\": " << grid.tuCounts[t]
                << ", \"tpc\": " << r.meanTpc(p, t)
+               << ", \"tpc_gap_vs_str\": "
+               << r.meanTpc(p, t) - r.meanTpc(0, t)
                << ", \"hit_pct\": " << r.meanHitPct(p, t) << "}"
                << (p + 1 < grid.policies.size() ||
                            t + 1 < grid.tuCounts.size()
@@ -152,7 +156,9 @@ main(int argc, char **argv)
 
     std::vector<PredictorConfig> configs;
     for (const std::string &spec : splitList(args->getString(
-             "predictors", "bimodal:12,gshare:12,local:10/10")))
+             "predictors",
+             "bimodal:12,gshare:12,local:10/10,let:10,"
+             "tournament:let:10+local:10/10,tage:4/2-8")))
         configs.push_back(parsePredictorSpec(spec));
     if (configs.empty())
         fatal("--predictors: empty list");

@@ -3,6 +3,9 @@
 #include "predict/bimodal.hh"
 #include "predict/gshare.hh"
 #include "predict/local.hh"
+#include "predict/stride_run.hh"
+#include "predict/tage.hh"
+#include "predict/tournament.hh"
 #include "util/logging.hh"
 
 namespace loopspec
@@ -13,9 +16,12 @@ namespace
 
 constexpr unsigned kMinBits = 1;
 constexpr unsigned kMaxBits = 20; //!< 2^20 counters = 256 KiB, plenty
+constexpr unsigned kMaxTageTables = 8;
+constexpr unsigned kMaxTageHist = 8; //!< one packed history register
 
 std::string
-tryParseBits(const std::string &text, const char *what, unsigned *out)
+tryParseNum(const std::string &text, const char *what, unsigned lo,
+            unsigned hi, unsigned *out)
 {
     if (text.empty() ||
         text.find_first_not_of("0123456789") != std::string::npos)
@@ -28,12 +34,38 @@ tryParseBits(const std::string &text, const char *what, unsigned *out)
         return strprintf("predictor spec: malformed %s '%s'", what,
                          text.c_str());
     }
-    if (v < kMinBits || v > kMaxBits) {
+    if (v < lo || v > hi) {
         return strprintf("predictor spec: %s %lu outside [%u, %u]", what,
-                         v, kMinBits, kMaxBits);
+                         v, lo, hi);
     }
     *out = static_cast<unsigned>(v);
     return "";
+}
+
+std::string
+tryParseBits(const std::string &text, const char *what, unsigned *out)
+{
+    return tryParseNum(text, what, kMinBits, kMaxBits, out);
+}
+
+/** Split on @p sep keeping empty fields, so trailing or doubled
+ *  separators ("gshare:12/", "tage:4//8") surface as malformed fields
+ *  instead of silently parsing as the shorter form. */
+std::vector<std::string>
+splitFields(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (;;) {
+        size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
 }
 
 } // namespace
@@ -50,6 +82,17 @@ predictorName(const PredictorConfig &c)
         return strprintf("gshare:%u/%u", c.historyBits, c.tableBits);
       case PredictorKind::Local:
         return strprintf("local:%u/%u", c.historyBits, c.l1Bits);
+      case PredictorKind::StrideRun:
+        return strprintf("let:%u", c.tableBits);
+      case PredictorKind::Tage:
+        if (c.tableBits == 10)
+            return strprintf("tage:%u/%u-%u", c.tageTables,
+                             c.tageMinHist, c.tageMaxHist);
+        return strprintf("tage:%u/%u-%u/%u", c.tageTables, c.tageMinHist,
+                         c.tageMaxHist, c.tableBits);
+      case PredictorKind::Tournament:
+        return "tournament:" + predictorName(c.components.at(0)) + "+" +
+               predictorName(c.components.at(1));
       default:
         panic("bad PredictorKind");
     }
@@ -60,61 +103,106 @@ tryParsePredictorSpec(const std::string &text, PredictorConfig *out)
 {
     std::string scheme = text;
     std::string params;
+    bool has_params = false;
     size_t colon = text.find(':');
     if (colon != std::string::npos) {
         scheme = text.substr(0, colon);
         params = text.substr(colon + 1);
+        has_params = true;
         if (params.empty())
             return strprintf("predictor spec '%s': empty parameter list",
                              text.c_str());
     }
 
-    std::string first = params;
-    std::string second;
-    size_t slash = params.find('/');
-    if (slash != std::string::npos) {
-        first = params.substr(0, slash);
-        second = params.substr(slash + 1);
-    }
-
     std::string err;
     PredictorConfig c;
+
+    if (scheme == "tournament") {
+        // tournament:<a>+<b> — the components are full specs of their
+        // own, so they are parsed recursively, before any '/' handling.
+        c.kind = PredictorKind::Tournament;
+        c.tableBits = 12; // chooser-table entries
+        size_t plus = params.find('+');
+        if (!has_params || plus == std::string::npos || plus == 0 ||
+            plus + 1 >= params.size())
+            return strprintf("predictor spec '%s': tournament needs two "
+                             "components (tournament:<a>+<b>)",
+                             text.c_str());
+        c.components.resize(2);
+        err = tryParsePredictorSpec(params.substr(0, plus),
+                                    &c.components[0]);
+        if (!err.empty())
+            return err;
+        err = tryParsePredictorSpec(params.substr(plus + 1),
+                                    &c.components[1]);
+        if (!err.empty())
+            return err;
+        for (const PredictorConfig &comp : c.components) {
+            if (comp.kind == PredictorKind::Tournament)
+                return strprintf("predictor spec '%s': tournament "
+                                 "components must not nest",
+                                 text.c_str());
+        }
+        *out = c;
+        return "";
+    }
+
+    std::vector<std::string> fields;
+    if (has_params) {
+        fields = splitFields(params, '/');
+        for (const std::string &f : fields) {
+            if (f.empty())
+                return strprintf(
+                    "predictor spec '%s': empty parameter field",
+                    text.c_str());
+        }
+    }
+
     if (scheme == "bimodal") {
         c.kind = PredictorKind::Bimodal;
-        if (!second.empty())
+        if (fields.size() > 1)
             return strprintf("predictor spec '%s': bimodal takes one "
                              "parameter (bimodal[:tableBits])",
                              text.c_str());
-        if (!first.empty()) {
-            err = tryParseBits(first, "table bits", &c.tableBits);
+        if (!fields.empty()) {
+            err = tryParseBits(fields[0], "table bits", &c.tableBits);
             if (!err.empty())
                 return err;
         }
     } else if (scheme == "gshare") {
         c.kind = PredictorKind::Gshare;
-        if (!first.empty()) {
-            err = tryParseBits(first, "history bits", &c.historyBits);
+        if (fields.size() > 2)
+            return strprintf("predictor spec '%s': gshare takes at most "
+                             "two parameters (gshare[:histBits[/"
+                             "tableBits]])",
+                             text.c_str());
+        if (!fields.empty()) {
+            err = tryParseBits(fields[0], "history bits",
+                               &c.historyBits);
             if (!err.empty())
                 return err;
-            if (second.empty()) {
-                c.tableBits = c.historyBits;
-            } else {
-                err = tryParseBits(second, "table bits", &c.tableBits);
+            if (fields.size() == 2) {
+                err = tryParseBits(fields[1], "table bits",
+                                   &c.tableBits);
                 if (!err.empty())
                     return err;
+            } else {
+                c.tableBits = c.historyBits;
             }
         }
     } else if (scheme == "local") {
         c.kind = PredictorKind::Local;
-        if (!first.empty()) {
-            if (second.empty())
-                return strprintf("predictor spec '%s': local needs "
-                                 "historyBits/l1Bits (e.g. local:10/10)",
-                                 text.c_str());
-            err = tryParseBits(first, "history bits", &c.historyBits);
+        if (!fields.empty() && fields.size() != 2)
+            return strprintf("predictor spec '%s': local needs "
+                             "historyBits/l1Bits (e.g. local:10/10)",
+                             text.c_str());
+        if (!fields.empty()) {
+            err = tryParseBits(fields[0], "history bits",
+                               &c.historyBits);
             if (!err.empty())
                 return err;
-            err = tryParseBits(second, "history-table bits", &c.l1Bits);
+            err = tryParseBits(fields[1], "history-table bits",
+                               &c.l1Bits);
             if (!err.empty())
                 return err;
         } else {
@@ -122,10 +210,65 @@ tryParsePredictorSpec(const std::string &text, PredictorConfig *out)
             c.l1Bits = 10;
         }
         c.tableBits = c.historyBits; // pattern table is history-indexed
+    } else if (scheme == "let") {
+        c.kind = PredictorKind::StrideRun;
+        c.tableBits = 10;
+        if (fields.size() > 1)
+            return strprintf("predictor spec '%s': let takes one "
+                             "parameter (let[:tableBits])",
+                             text.c_str());
+        if (!fields.empty()) {
+            err = tryParseBits(fields[0], "table bits", &c.tableBits);
+            if (!err.empty())
+                return err;
+        }
+    } else if (scheme == "tage") {
+        c.kind = PredictorKind::Tage;
+        c.tableBits = 10;
+        if (!fields.empty() &&
+            (fields.size() < 2 || fields.size() > 3))
+            return strprintf("predictor spec '%s': tage needs "
+                             "numTables/minHist-maxHist[/tableBits] "
+                             "(e.g. tage:4/2-8)",
+                             text.c_str());
+        if (!fields.empty()) {
+            err = tryParseNum(fields[0], "tage table count", 1,
+                              kMaxTageTables, &c.tageTables);
+            if (!err.empty())
+                return err;
+            std::vector<std::string> range =
+                splitFields(fields[1], '-');
+            if (range.size() != 2 || range[0].empty() ||
+                range[1].empty())
+                return strprintf("predictor spec '%s': malformed tage "
+                                 "history range '%s' (want "
+                                 "minHist-maxHist)",
+                                 text.c_str(), fields[1].c_str());
+            err = tryParseNum(range[0], "tage min history", 1,
+                              kMaxTageHist, &c.tageMinHist);
+            if (!err.empty())
+                return err;
+            err = tryParseNum(range[1], "tage max history", 1,
+                              kMaxTageHist, &c.tageMaxHist);
+            if (!err.empty())
+                return err;
+            if (c.tageMinHist > c.tageMaxHist)
+                return strprintf("predictor spec '%s': tage history "
+                                 "range %u-%u has min > max",
+                                 text.c_str(), c.tageMinHist,
+                                 c.tageMaxHist);
+            if (fields.size() == 3) {
+                err = tryParseBits(fields[2], "table bits",
+                                   &c.tableBits);
+                if (!err.empty())
+                    return err;
+            }
+        }
     } else {
-        return strprintf("unknown predictor scheme '%s' "
-                         "(want bimodal|gshare|local)",
-                         scheme.c_str());
+        return strprintf(
+            "unknown predictor scheme '%s' "
+            "(want bimodal|gshare|local|let|tage|tournament)",
+            scheme.c_str());
     }
     *out = c;
     return "";
@@ -151,6 +294,12 @@ makePredictor(const PredictorConfig &c)
         return std::make_unique<GsharePredictor>(c);
       case PredictorKind::Local:
         return std::make_unique<LocalHistoryPredictor>(c);
+      case PredictorKind::StrideRun:
+        return std::make_unique<StrideRunPredictor>(c);
+      case PredictorKind::Tage:
+        return std::make_unique<TageRunLengthPredictor>(c);
+      case PredictorKind::Tournament:
+        return std::make_unique<TournamentPredictor>(c);
       default:
         panic("bad PredictorKind");
     }

@@ -14,9 +14,11 @@
  *    start — the predictor-based analogue of the LET trip prediction).
  *
  * Implementations: BimodalPredictor (bimodal.hh), GsharePredictor
- * (gshare.hh), LocalHistoryPredictor (local.hh). All are deterministic
- * pure functions of their update stream, so sweep cells that own one
- * stay bit-identical across any --jobs value.
+ * (gshare.hh), LocalHistoryPredictor (local.hh), StrideRunPredictor
+ * (stride_run.hh), TournamentPredictor (tournament.hh),
+ * TageRunLengthPredictor (tage.hh). All are deterministic pure
+ * functions of their update stream, so sweep cells that own one stay
+ * bit-identical across any --jobs value.
  */
 
 #ifndef LOOPSPEC_PREDICT_BRANCH_PREDICTOR_HH
@@ -26,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace loopspec
 {
@@ -33,9 +36,12 @@ namespace loopspec
 /** The implemented prediction schemes. */
 enum class PredictorKind : uint8_t
 {
-    Bimodal, //!< per-PC two-bit counters, no history
-    Gshare,  //!< global history XOR PC into one counter table
-    Local,   //!< two-level: per-PC history into a shared pattern table
+    Bimodal,    //!< per-PC two-bit counters, no history
+    Gshare,     //!< global history XOR PC into one counter table
+    Local,      //!< two-level: per-PC history into a shared pattern table
+    StrideRun,  //!< LET-style last+stride run lengths on the branch stream
+    Tournament, //!< per-PC chooser arbitrating two component schemes
+    Tage,       //!< tagged geometric run-length-history tables
 };
 
 /**
@@ -48,6 +54,14 @@ enum class PredictorKind : uint8_t
  *   local[:H/L]      H = per-branch history bits (pattern table has
  *                    2^H counters), L = log2 history-table entries
  *                    (default 10/10)
+ *   let[:T]          T = log2 stride-table entries        (default 10)
+ *   tage[:N/a-b[/T]] N tagged tables, run-length history depths
+ *                    geometrically spaced in [a, b] completed runs,
+ *                    T = log2 entries per table     (default 4/2-8/10)
+ *   tournament:<a>+<b>
+ *                    chooser over two component specs (any of the
+ *                    above; tournaments don't nest); chooser table is
+ *                    2^12 two-bit counters
  */
 struct PredictorConfig
 {
@@ -55,12 +69,20 @@ struct PredictorConfig
     unsigned tableBits = 12;   //!< log2 of the counter-table entries
     unsigned historyBits = 12; //!< history width (gshare/local)
     unsigned l1Bits = 10;      //!< log2 history-table entries (local)
+    unsigned tageTables = 4;   //!< tagged tables (tage)
+    unsigned tageMinHist = 2;  //!< shortest history, completed runs (tage)
+    unsigned tageMaxHist = 8;  //!< longest history, completed runs (tage)
+    //! the two component configurations (tournament; empty otherwise)
+    std::vector<PredictorConfig> components;
 
     bool
     operator==(const PredictorConfig &o) const
     {
         return kind == o.kind && tableBits == o.tableBits &&
-               historyBits == o.historyBits && l1Bits == o.l1Bits;
+               historyBits == o.historyBits && l1Bits == o.l1Bits &&
+               tageTables == o.tageTables &&
+               tageMinHist == o.tageMinHist &&
+               tageMaxHist == o.tageMaxHist && components == o.components;
     }
     bool operator!=(const PredictorConfig &o) const
     {
@@ -157,6 +179,32 @@ inline uint32_t
 pcIndexBits(uint32_t pc)
 {
     return pc >> 2;
+}
+
+/**
+ * Shared remaining-run arithmetic for run-length schemes (stride_run,
+ * tage): given a predicted total run length @p predicted (consecutive
+ * taken outcomes before the closing not-taken) and @p cur taken
+ * outcomes already observed in the current run, how many more takens do
+ * we commit to, capped at @p max_n? Mirrors the STR policy's doubling
+ * recovery in ThreadSpecSimulator::spawnCount: once a live run outgrows
+ * its prediction, assume it runs at least as far again rather than
+ * predicting an exit we already know is wrong.
+ */
+inline unsigned
+runRemaining(int64_t predicted, uint64_t cur, unsigned max_n)
+{
+    if (cur > 0 && predicted <= static_cast<int64_t>(cur)) {
+        if (predicted < 1)
+            predicted = 1;
+        while (predicted <= static_cast<int64_t>(cur))
+            predicted *= 2;
+    }
+    int64_t rem = predicted - static_cast<int64_t>(cur);
+    if (rem <= 0)
+        return 0;
+    return rem < static_cast<int64_t>(max_n) ? static_cast<unsigned>(rem)
+                                             : max_n;
 }
 
 } // namespace predict_detail

@@ -88,6 +88,20 @@ struct SpecConfig
     /** Branch-predictor scheme behind SpecPolicy::Pred; ignored by the
      *  paper policies. */
     PredictorConfig predictor;
+    /**
+     * Per-loop adaptive spawn throttling (docs/PREDICTORS.md): width of
+     * the per-loop confidence counter trained on verify/squash
+     * outcomes. 0 (the default) disables throttling entirely — the
+     * simulator then behaves bit-identically to the paper policies.
+     */
+    unsigned spawnConfidenceBits = 0;
+    /**
+     * Spawning from a loop is suppressed while its confidence counter
+     * sits below this threshold; counters start at the threshold, so
+     * every loop begins enabled. Must be in [1, 2^bits - 1] when
+     * throttling is on.
+     */
+    unsigned spawnConfidenceThreshold = 2;
 };
 
 /** Results of one speculation simulation. */
@@ -103,6 +117,8 @@ struct SpecStats
     uint64_t dataMisses = 0; //!< control-correct threads whose live-in
                              //!< values mispredicted (Profiled mode)
     uint64_t instrToVerifSum = 0;   //!< over all threads, spawn->verify
+    uint64_t spawnsThrottled = 0;   //!< spawn chances vetoed by the
+                                    //!< per-loop confidence throttle
 
     /** Average active-and-correct threads per cycle. */
     double
@@ -155,7 +171,8 @@ struct SpecStats
                threadsSquashed == o.threadsSquashed &&
                squashedByNestRule == o.squashedByNestRule &&
                dataMisses == o.dataMisses &&
-               instrToVerifSum == o.instrToVerifSum;
+               instrToVerifSum == o.instrToVerifSum &&
+               spawnsThrottled == o.spawnsThrottled;
     }
     bool operator!=(const SpecStats &o) const { return !(*this == o); }
 };

@@ -99,6 +99,12 @@ ThreadSpecSimulator::ThreadSpecSimulator(
       idx(ownedIndex.get()), predictor(config.letEntries)
 {
     LOOPSPEC_ASSERT(cfg.numTUs >= 1, "need at least one TU");
+    LOOPSPEC_ASSERT(cfg.spawnConfidenceBits == 0 ||
+                        (cfg.spawnConfidenceBits <= 8 &&
+                         cfg.spawnConfidenceThreshold >= 1 &&
+                         cfg.spawnConfidenceThreshold <
+                             (1u << cfg.spawnConfidenceBits)),
+                    "bad spawn-confidence configuration");
     if (cfg.policy == SpecPolicy::Pred)
         branchPred = makePredictor(cfg.predictor);
 }
@@ -110,8 +116,45 @@ ThreadSpecSimulator::ThreadSpecSimulator(
       predictor(config.letEntries)
 {
     LOOPSPEC_ASSERT(cfg.numTUs >= 1, "need at least one TU");
+    LOOPSPEC_ASSERT(cfg.spawnConfidenceBits == 0 ||
+                        (cfg.spawnConfidenceBits <= 8 &&
+                         cfg.spawnConfidenceThreshold >= 1 &&
+                         cfg.spawnConfidenceThreshold <
+                             (1u << cfg.spawnConfidenceBits)),
+                    "bad spawn-confidence configuration");
     if (cfg.policy == SpecPolicy::Pred)
         branchPred = makePredictor(cfg.predictor);
+}
+
+bool
+ThreadSpecSimulator::spawnSuppressed(uint32_t loop)
+{
+    if (cfg.spawnConfidenceBits == 0)
+        return false;
+    auto it = spawnConf
+                  .emplace(loop, static_cast<uint8_t>(
+                                     cfg.spawnConfidenceThreshold))
+                  .first;
+    return it->second < cfg.spawnConfidenceThreshold;
+}
+
+void
+ThreadSpecSimulator::trainSpawnConf(uint32_t loop, bool good)
+{
+    if (cfg.spawnConfidenceBits == 0)
+        return;
+    uint8_t max = static_cast<uint8_t>(
+        (1u << cfg.spawnConfidenceBits) - 1);
+    auto it = spawnConf
+                  .emplace(loop, static_cast<uint8_t>(
+                                     cfg.spawnConfidenceThreshold))
+                  .first;
+    if (good) {
+        if (it->second < max)
+            ++it->second;
+    } else if (it->second > 0) {
+        --it->second;
+    }
 }
 
 bool
@@ -201,6 +244,12 @@ ThreadSpecSimulator::trySpawn(uint32_t exec_idx, uint32_t j,
     auto pen = squashPenalty.find(exec.loop);
     if (pen != squashPenalty.end() && pen->second.confident())
         return;
+    // Throttled: the loop's verify/squash record says speculating on it
+    // loses more than it wins right now.
+    if (spawnSuppressed(exec.loop)) {
+        ++stats.spawnsThrottled;
+        return;
+    }
     unsigned n = spawnCount(exec, j, ax, idleTUs());
     if (n == 0)
         return;
@@ -244,6 +293,7 @@ ThreadSpecSimulator::squashAll(ActiveExec &ax, uint64_t boundary,
             ++stats.squashedByNestRule;
         if (boundary > t.spawnBoundary)
             stats.instrToVerifSum += boundary - t.spawnBoundary;
+        trainSpawnConf(ax.loop, false);
         ax.queue.pop_front();
         --outstanding;
     }
@@ -306,9 +356,11 @@ ThreadSpecSimulator::handleIterStart(const SimEvent &ev, bool at_front)
             stats.instrToVerifSum += ev.boundary - t.spawnBoundary;
             if (iterDataCorrect(exec, ev.iterIndex)) {
                 ++stats.threadsVerified;
+                trainSpawnConf(exec.loop, true);
             } else {
                 ++stats.threadsSquashed;
                 ++stats.dataMisses;
+                trainSpawnConf(exec.loop, false);
             }
             ax.queue.pop_front();
             --outstanding;
@@ -332,6 +384,7 @@ ThreadSpecSimulator::handleIterStart(const SimEvent &ev, bool at_front)
             // and the front jumps over it.
             ++stats.threadsVerified;
             frontPos += executedSoFar(t);
+            trainSpawnConf(exec.loop, true);
             auto pen = squashPenalty.find(exec.loop);
             if (pen != squashPenalty.end())
                 pen->second.down();
@@ -340,6 +393,7 @@ ThreadSpecSimulator::handleIterStart(const SimEvent &ev, bool at_front)
             // wrong inputs; discard its work, the front re-executes.
             ++stats.threadsSquashed;
             ++stats.dataMisses;
+            trainSpawnConf(exec.loop, false);
         }
     }
 
@@ -378,6 +432,16 @@ ThreadSpecSimulator::handleExecEnd(const SimEvent &ev)
     if (exec.endReason != ExecEndReason::Overflow &&
         exec.endReason != ExecEndReason::Flush &&
         exec.endReason != ExecEndReason::TraceEnd) {
+        // Throttle recovery: a suppressed loop spawns nothing, so it
+        // produces no verify/squash outcomes to climb back on. Credit
+        // it when the trip predictor would have nailed this execution —
+        // checked against the prediction *before* it learns the count.
+        if (cfg.spawnConfidenceBits > 0 && spawnSuppressed(exec.loop)) {
+            TripPrediction p = predictor.predict(exec.loop);
+            if (p.kind != TripPredictionKind::Unknown &&
+                p.count == static_cast<int64_t>(exec.iterCount))
+                trainSpawnConf(exec.loop, true);
+        }
         predictor.recordExecution(exec.loop, exec.iterCount);
     }
     // PRED: only a Close termination retires the closing branch
@@ -397,6 +461,7 @@ ThreadSpecSimulator::run()
     outstanding = 0;
     active.clear();
     squashPenalty.clear();
+    spawnConf.clear();
     if (branchPred)
         branchPred->reset();
 

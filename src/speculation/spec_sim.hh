@@ -164,6 +164,15 @@ class ThreadSpecSimulator
     bool iterDataCorrect(const ExecRecord &exec,
                          uint32_t iter_index) const;
 
+    /** Spawn throttle: is @p loop below the confidence threshold?
+     *  Always false with spawnConfidenceBits == 0. */
+    bool spawnSuppressed(uint32_t loop);
+
+    /** Train @p loop's spawn-confidence counter: up on a verified
+     *  thread (or a correct trip prediction while suppressed), down on
+     *  a squash. No-op with spawnConfidenceBits == 0. */
+    void trainSpawnConf(uint32_t loop, bool good);
+
     unsigned idleTUs() const;
 
     const LoopEventRecording &rec;
@@ -194,6 +203,18 @@ class ThreadSpecSimulator
      * disable anything.
      */
     std::unordered_map<uint32_t, SatCounter<2>> squashPenalty;
+    /**
+     * Per-loop spawn-throttle confidence (spawnConfidenceBits > 0
+     * only), keyed by loop address. A runtime-width saturating counter
+     * (the SatCounter template is compile-time-width): starts at the
+     * threshold, counts up on verified threads, down on squashes;
+     * spawning is suppressed while below the threshold. While a loop is
+     * suppressed it re-earns confidence through exact LET trip
+     * predictions at execution ends — without that path a decayed loop
+     * would never produce verify/squash outcomes again and throttling
+     * would be permanent (docs/PREDICTORS.md "Spawn throttling").
+     */
+    std::unordered_map<uint32_t, uint8_t> spawnConf;
     uint64_t clock = 0;
     uint64_t frontPos = 0;
     unsigned outstanding = 0; //!< live speculative threads (incl. phantom)

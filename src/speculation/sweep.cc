@@ -308,6 +308,43 @@ applyGridSpec(const std::string &spec, SweepGrid *grid)
                     return err;
                 grid->letEntries.push_back(static_cast<size_t>(n));
             }
+        } else if (key == "spawnconf") {
+            // Grid-wide spawn throttle: a single "bits/threshold"
+            // value (not a list), or "off"/"0" to disable.
+            if (vals.size() != 1)
+                return "grid: spawnconf wants one bits/threshold value "
+                       "(e.g. spawnconf=2/2) or 'off'";
+            if (vals[0] == "off" || vals[0] == "0") {
+                grid->spawnConfidenceBits = 0;
+            } else {
+                size_t slash = vals[0].find('/');
+                if (slash == std::string::npos)
+                    return "grid: spawnconf wants bits/threshold "
+                           "(e.g. spawnconf=2/2) or 'off'";
+                uint64_t bits = 0;
+                uint64_t thr = 0;
+                err = tryParseGridU64(vals[0].substr(0, slash),
+                                      "grid spawnconf bits", &bits);
+                if (!err.empty())
+                    return err;
+                err = tryParseGridU64(vals[0].substr(slash + 1),
+                                      "grid spawnconf threshold", &thr);
+                if (!err.empty())
+                    return err;
+                if (bits < 1 || bits > 8)
+                    return "grid: spawnconf bits outside [1, 8]";
+                if (thr < 1 || thr >= (uint64_t(1) << bits))
+                    return strprintf(
+                        "grid: spawnconf threshold %llu outside "
+                        "[1, %llu]",
+                        static_cast<unsigned long long>(thr),
+                        static_cast<unsigned long long>(
+                            (uint64_t(1) << bits) - 1));
+                grid->spawnConfidenceBits =
+                    static_cast<unsigned>(bits);
+                grid->spawnConfidenceThreshold =
+                    static_cast<unsigned>(thr);
+            }
         } else if (key == "ideal" || key == "dataspec") {
             uint64_t n = 0;
             err = tryParseGridU64(vals[0], key == "ideal"
@@ -319,8 +356,8 @@ applyGridSpec(const std::string &spec, SweepGrid *grid)
             (key == "ideal" ? grid->ideal : grid->dataSpec) = n != 0;
         } else {
             return "grid: unknown axis '" + key +
-                   "' (want policies|predictors|tus|cls|let|ideal|"
-                   "dataspec)";
+                   "' (want policies|predictors|tus|cls|let|spawnconf|"
+                   "ideal|dataspec)";
         }
     }
     return "";
@@ -589,6 +626,8 @@ runSweepCells(const SweepGrid &grid,
         cfg.dataMode = gp.dataMode;
         cfg.letEntries = grid.letEntries[l];
         cfg.predictor = gp.predictor;
+        cfg.spawnConfidenceBits = grid.spawnConfidenceBits;
+        cfg.spawnConfidenceThreshold = grid.spawnConfidenceThreshold;
 
         const size_t rec_idx = w * num_c + c;
         ThreadSpecSimulator sim(*recordings[rec_idx], *indexes[rec_idx],
@@ -651,6 +690,9 @@ writeSweepJson(std::ostream &os, const SweepResult &result, unsigned jobs,
     writeNumberList(os, grid.tuCounts);
     os << ",\n    \"let\": ";
     writeNumberList(os, grid.letEntries);
+    os << ",\n    \"spawn_conf_bits\": " << grid.spawnConfidenceBits
+       << ",\n    \"spawn_conf_threshold\": "
+       << grid.spawnConfidenceThreshold;
     os << ",\n    \"ideal\": " << (grid.ideal ? "true" : "false")
        << ",\n    \"dataspec\": " << (grid.dataSpec ? "true" : "false")
        << ",\n    \"scale\": " << grid.scale.factor
@@ -699,6 +741,7 @@ writeSweepJson(std::ostream &os, const SweepResult &result, unsigned jobs,
            << ", \"threads_verified\": " << s.threadsVerified
            << ", \"threads_squashed\": " << s.threadsSquashed
            << ", \"nest_rule_squashes\": " << s.squashedByNestRule
+           << ", \"spawns_throttled\": " << s.spawnsThrottled
            << ", \"data_misses\": " << s.dataMisses
            << ", \"cycles\": " << s.cycles
            << ", \"total_instrs\": " << s.totalInstrs << "}"

@@ -86,6 +86,10 @@ struct SweepGrid
     /** Predictor axis: LET capacities backing the STR trip predictor
      *  (0 = unbounded, the §3 evaluation's assumption). */
     std::vector<size_t> letEntries = {0};
+    /** Grid-wide spawn throttle (SpecConfig::spawnConfidenceBits):
+     *  0 = off, the paper behaviour. */
+    unsigned spawnConfidenceBits = 0;
+    unsigned spawnConfidenceThreshold = 2;
 
     /** Collect the ideal ∞-TU TPC and its half-prefix rerun per row. */
     bool ideal = false;
@@ -200,10 +204,11 @@ void applyPaperAxes(SweepGrid *grid);
 /**
  * Apply a `--grid` axis spec to @p grid: semicolon-separated key=value
  * pairs with comma-separated lists (policies | predictors | tus | cls |
- * let | ideal | dataspec), or the single preset "paper" =
- * applyPaperAxes(). Returns "" on success, else a diagnostic — never
- * fatal(), so the sweep service can reject bad remote grids without
- * dying (tools wrap it with fatal() themselves).
+ * let | spawnconf | ideal | dataspec), or the single preset "paper" =
+ * applyPaperAxes(). `spawnconf=<bits>/<threshold>` (or `spawnconf=off`)
+ * sets the grid-wide spawn throttle. Returns "" on success, else a
+ * diagnostic — never fatal(), so the sweep service can reject bad
+ * remote grids without dying (tools wrap it with fatal() themselves).
  */
 std::string applyGridSpec(const std::string &spec, SweepGrid *grid);
 

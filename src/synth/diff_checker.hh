@@ -105,9 +105,17 @@ struct DiffConfig
     std::vector<size_t> meterSizes = {2, 4, 8, 16};
 
     /** Branch-predictor configurations for the predictor-state
-     *  invariant (small tables so generated programs actually alias). */
-    std::vector<std::string> predictorSpecs = {"bimodal:6", "gshare:6",
-                                               "local:5/3"};
+     *  invariant (small tables so generated programs actually alias).
+     *  Every implemented scheme is represented — the fuzz campaign
+     *  (CI seeds 0..199, asan+ubsan) exercises each one per seed. */
+    std::vector<std::string> predictorSpecs = {
+        "bimodal:6",
+        "gshare:6",
+        "local:5/3",
+        "let:4",
+        "tournament:let:4+local:5/3",
+        "tage:3/1-4/5",
+    };
 
     /** Fuel cap: a generator bug cannot hang the harness (equivalence
      *  must hold under truncation too). */

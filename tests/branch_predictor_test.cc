@@ -19,6 +19,9 @@
 #include "predict/gshare.hh"
 #include "predict/local.hh"
 #include "predict/predictor_meter.hh"
+#include "predict/stride_run.hh"
+#include "predict/tage.hh"
+#include "predict/tournament.hh"
 #include "tests/test_util.hh"
 #include "tracegen/control_trace.hh"
 #include "tracegen/trace_engine.hh"
@@ -123,6 +126,91 @@ struct RefLocal
     }
 };
 
+struct RefStrideRun
+{
+    struct Entry
+    {
+        uint32_t pc = 0;
+        bool valid = false;
+        uint32_t cur = 0;
+        long long lastLen = 0;
+        long long stride = 0;
+        bool hasLen = false;
+        bool hasStride = false;
+        int conf = 0;
+    };
+
+    std::vector<Entry> entries;
+
+    explicit RefStrideRun(unsigned table_bits)
+        : entries(size_t(1) << table_bits)
+    {
+    }
+
+    size_t
+    index(uint32_t pc) const
+    {
+        return (pc >> 2) & (entries.size() - 1);
+    }
+
+    long long
+    predictedTotal(const Entry &e) const
+    {
+        if (e.hasStride && e.conf >= 2)
+            return std::max(e.lastLen + e.stride, 0LL);
+        return e.lastLen;
+    }
+
+    unsigned
+    run(uint32_t pc, unsigned max_n) const
+    {
+        const Entry &e = entries[index(pc)];
+        if (!e.valid || e.pc != pc || !e.hasLen)
+            return max_n;
+        long long predicted = predictedTotal(e);
+        if (e.cur > 0 && predicted <= (long long)e.cur) {
+            if (predicted < 1)
+                predicted = 1;
+            while (predicted <= (long long)e.cur)
+                predicted *= 2;
+        }
+        long long rem = predicted - (long long)e.cur;
+        if (rem <= 0)
+            return 0;
+        return rem < (long long)max_n ? (unsigned)rem : max_n;
+    }
+
+    bool predict(uint32_t pc) const { return run(pc, 1) > 0; }
+
+    void
+    update(uint32_t pc, bool taken)
+    {
+        Entry &e = entries[index(pc)];
+        if (!e.valid || e.pc != pc) {
+            e = Entry();
+            e.pc = pc;
+            e.valid = true;
+        }
+        if (taken) {
+            ++e.cur;
+            return;
+        }
+        long long len = e.cur;
+        if (e.hasLen) {
+            long long stride = len - e.lastLen;
+            if (e.hasStride) {
+                e.conf = stride == e.stride ? std::min(e.conf + 1, 3)
+                                            : std::max(e.conf - 1, 0);
+            }
+            e.stride = stride;
+            e.hasStride = true;
+        }
+        e.lastLen = len;
+        e.hasLen = true;
+        e.cur = 0;
+    }
+};
+
 /** A randomized retired-branch stream: few PCs (to force aliasing and
  *  shared-table interference) with per-PC biased outcomes. */
 std::vector<std::pair<uint32_t, bool>>
@@ -194,6 +282,39 @@ TEST(LocalHistoryPredictor, MatchesReferenceModelOnRandomStreams)
         RefLocal ref(6, 4);
         expectMatchesReference(pred, ref, test::testSeed(3000 + i), 40,
                                4000);
+    }
+}
+
+TEST(StrideRunPredictor, MatchesReferenceModelOnRandomStreams)
+{
+    for (uint64_t i = 0; i < 10; ++i) {
+        SCOPED_TRACE(i);
+        PredictorConfig c = parsePredictorSpec("let:6");
+        StrideRunPredictor pred(c);
+        RefStrideRun ref(6);
+        expectMatchesReference(pred, ref, test::testSeed(3500 + i), 40,
+                               4000);
+    }
+}
+
+TEST(StrideRunPredictor, ConflictMissesResetTheEntry)
+{
+    // tableBits=2: PCs 4 instructions apart collide, and the full-PC
+    // tag means the loser restarts from scratch instead of inheriting
+    // the winner's run state.
+    StrideRunPredictor pred(parsePredictorSpec("let:2"));
+    RefStrideRun ref(2);
+    Rng rng(test::testSeed(3600));
+    const uint32_t a = codeBase;
+    const uint32_t b = codeBase + 4 * instrBytes;
+    for (int i = 0; i < 3000; ++i) {
+        uint32_t pc = rng.chance(0.5) ? a : b;
+        bool taken = rng.chance(0.7);
+        ASSERT_EQ(pred.predict(pc), ref.predict(pc)) << "step " << i;
+        ASSERT_EQ(pred.predictRun(pc, 16), ref.run(pc, 16))
+            << "step " << i;
+        pred.update(pc, taken);
+        ref.update(pc, taken);
     }
 }
 
@@ -313,11 +434,99 @@ TEST(GsharePredictor, PredictRunStopsBelowCapOnShortHistory)
     EXPECT_LE(n, 5u);
 }
 
+TEST(StrideRunPredictor, PredictRunLearnsConstantTripCounts)
+{
+    // Like LET: a constant trip-4 loop settles on run length 3, and the
+    // prediction right after an exit is exactly the 3 remaining taken
+    // outcomes — no history-length limit involved.
+    StrideRunPredictor pred(parsePredictorSpec("let:10"));
+    EXPECT_EQ(trainedRunAfterExit(pred, codeBase, 4, 16), 3u);
+}
+
+TEST(StrideRunPredictor, PredictRunExtrapolatesStrides)
+{
+    // Runs of 3, 5, 7, ... : stride +2 with saturated confidence, so
+    // right after the run of length 9 the next run predicts 11.
+    StrideRunPredictor pred(parsePredictorSpec("let:10"));
+    const uint32_t pc = codeBase;
+    for (unsigned len = 3; len <= 9; len += 2) {
+        for (unsigned j = 0; j < len; ++j)
+            pred.update(pc, true);
+        pred.update(pc, false);
+    }
+    EXPECT_EQ(pred.predictRun(pc, 16), 11u);
+    EXPECT_EQ(pred.predictRun(pc, 8), 8u); // capped
+}
+
+TEST(TagePredictor, PredictRunLearnsConstantTripCounts)
+{
+    TageRunLengthPredictor pred(parsePredictorSpec("tage:4/2-8"));
+    EXPECT_EQ(trainedRunAfterExit(pred, codeBase, 4, 16), 3u);
+}
+
+TEST(TagePredictor, LearnsAlternatingRunLengthsThroughHistory)
+{
+    // Run lengths alternate 2, 5, 2, 5, ... — the stride path can never
+    // gain confidence (stride flips +3/-3) and last-length is always
+    // wrong, but one prior run length of history separates the phases,
+    // so the tagged tables converge on exact predictions.
+    TageRunLengthPredictor pred(parsePredictorSpec("tage:4/2-8"));
+    const uint32_t pc = codeBase;
+    const unsigned lens[2] = {2, 5};
+    for (int exec = 0; exec < 200; ++exec) {
+        unsigned len = lens[exec & 1];
+        for (unsigned j = 0; j < len; ++j)
+            pred.update(pc, true);
+        pred.update(pc, false);
+    }
+    for (int exec = 200; exec < 220; ++exec) {
+        unsigned len = lens[exec & 1];
+        ASSERT_EQ(pred.predictRun(pc, 16), len) << "exec " << exec;
+        for (unsigned j = 0; j < len; ++j)
+            pred.update(pc, true);
+        pred.update(pc, false);
+    }
+}
+
+TEST(TagePredictor, HistoryLengthsAreGeometricAndIncreasing)
+{
+    PredictorConfig c = parsePredictorSpec("tage:4/2-8");
+    std::vector<unsigned> lens =
+        TageRunLengthPredictor::historyLengths(c);
+    EXPECT_EQ(lens, (std::vector<unsigned>{2, 3, 5, 8}));
+
+    c = parsePredictorSpec("tage:1/3-3");
+    lens = TageRunLengthPredictor::historyLengths(c);
+    EXPECT_EQ(lens, (std::vector<unsigned>{3}));
+
+    c = parsePredictorSpec("tage:8/1-4");
+    lens = TageRunLengthPredictor::historyLengths(c);
+    ASSERT_EQ(lens.size(), 8u);
+    for (size_t i = 0; i < lens.size(); ++i) {
+        EXPECT_GE(lens[i], 1u);
+        EXPECT_LE(lens[i], 4u);
+        if (i > 0)
+            EXPECT_GE(lens[i], lens[i - 1]);
+    }
+}
+
+TEST(TournamentPredictor, PredictRunIsAllOrNothing)
+{
+    // let learns the trip-4 pattern exactly; the chooser powers on
+    // favouring component A (the stride path), so the tournament's
+    // chained prediction equals the let component's — not a splice.
+    TournamentPredictor pred(
+        parsePredictorSpec("tournament:let:10+bimodal:10"));
+    EXPECT_EQ(trainedRunAfterExit(pred, codeBase, 4, 16), 3u);
+}
+
 // --- reset / stateHash ---------------------------------------------------
 
 TEST(BranchPredictor, ResetRestoresPowerOnState)
 {
-    for (const char *spec : {"bimodal:6", "gshare:6", "local:5/3"}) {
+    for (const char *spec :
+         {"bimodal:6", "gshare:6", "local:5/3", "let:4",
+          "tournament:let:4+local:5/3", "tage:3/1-4/5"}) {
         SCOPED_TRACE(spec);
         auto pred = makePredictor(parsePredictorSpec(spec));
         uint64_t pristine = pred->stateHash();
@@ -336,7 +545,9 @@ TEST(BranchPredictor, ResetRestoresPowerOnState)
 
 TEST(BranchPredictor, IdenticalStreamsHashIdentically)
 {
-    for (const char *spec : {"bimodal:6", "gshare:6", "local:5/3"}) {
+    for (const char *spec :
+         {"bimodal:6", "gshare:6", "local:5/3", "let:4",
+          "tournament:let:4+local:5/3", "tage:3/1-4/5"}) {
         SCOPED_TRACE(spec);
         auto a = makePredictor(parsePredictorSpec(spec));
         auto b = makePredictor(parsePredictorSpec(spec));
@@ -377,13 +588,44 @@ TEST(PredictorSpec, ParsesCanonicalForms)
     EXPECT_EQ(c.historyBits, 10u);
     EXPECT_EQ(c.l1Bits, 10u);
     EXPECT_EQ(predictorName(c), "local:10/10");
+
+    c = parsePredictorSpec("let");
+    EXPECT_EQ(c.kind, PredictorKind::StrideRun);
+    EXPECT_EQ(c.tableBits, 10u);
+    EXPECT_EQ(predictorName(c), "let:10");
+
+    c = parsePredictorSpec("tage");
+    EXPECT_EQ(c.kind, PredictorKind::Tage);
+    EXPECT_EQ(c.tageTables, 4u);
+    EXPECT_EQ(c.tageMinHist, 2u);
+    EXPECT_EQ(c.tageMaxHist, 8u);
+    EXPECT_EQ(c.tableBits, 10u);
+    EXPECT_EQ(predictorName(c), "tage:4/2-8");
+
+    c = parsePredictorSpec("tage:3/1-4/5");
+    EXPECT_EQ(c.tageTables, 3u);
+    EXPECT_EQ(c.tageMinHist, 1u);
+    EXPECT_EQ(c.tageMaxHist, 4u);
+    EXPECT_EQ(c.tableBits, 5u);
+    EXPECT_EQ(predictorName(c), "tage:3/1-4/5");
+
+    c = parsePredictorSpec("tournament:let+local");
+    EXPECT_EQ(c.kind, PredictorKind::Tournament);
+    EXPECT_EQ(c.tableBits, 12u); // chooser entries
+    ASSERT_EQ(c.components.size(), 2u);
+    EXPECT_EQ(c.components[0].kind, PredictorKind::StrideRun);
+    EXPECT_EQ(c.components[1].kind, PredictorKind::Local);
+    EXPECT_EQ(predictorName(c), "tournament:let:10+local:10/10");
 }
 
 TEST(PredictorSpec, RoundTripsThroughName)
 {
     for (const char *spec :
          {"bimodal:12", "gshare:12", "gshare:10/14", "local:10/10",
-          "bimodal:1", "gshare:20", "local:1/20"}) {
+          "bimodal:1", "gshare:20", "local:1/20", "let:10", "let:1",
+          "tage:4/2-8", "tage:1/1-1", "tage:3/1-4/5",
+          "tournament:let:10+local:10/10",
+          "tournament:gshare:12+tage:4/2-8"}) {
         SCOPED_TRACE(spec);
         PredictorConfig c = parsePredictorSpec(spec);
         EXPECT_EQ(predictorName(c), spec);
@@ -393,7 +635,7 @@ TEST(PredictorSpec, RoundTripsThroughName)
 
 TEST(PredictorSpecDeathTest, RejectsMalformedSpecs)
 {
-    EXPECT_EXIT(parsePredictorSpec("tage"),
+    EXPECT_EXIT(parsePredictorSpec("perceptron"),
                 testing::ExitedWithCode(1), "unknown predictor scheme");
     EXPECT_EXIT(parsePredictorSpec("bimodal:"),
                 testing::ExitedWithCode(1), "empty parameter");
@@ -409,6 +651,61 @@ TEST(PredictorSpecDeathTest, RejectsMalformedSpecs)
                 testing::ExitedWithCode(1), "historyBits/l1Bits");
 }
 
+TEST(PredictorSpecDeathTest, RejectsTrailingJunk)
+{
+    // These used to parse as their shorter forms because the split
+    // helper dropped empty fields; every one must now be fatal.
+    EXPECT_EXIT(parsePredictorSpec("bimodal:8/"),
+                testing::ExitedWithCode(1), "empty parameter field");
+    EXPECT_EXIT(parsePredictorSpec("gshare:12/"),
+                testing::ExitedWithCode(1), "empty parameter field");
+    EXPECT_EXIT(parsePredictorSpec("gshare:12//14"),
+                testing::ExitedWithCode(1), "empty parameter field");
+    EXPECT_EXIT(parsePredictorSpec("local:10/10/"),
+                testing::ExitedWithCode(1), "empty parameter field");
+    EXPECT_EXIT(parsePredictorSpec("tage:4/2-8/"),
+                testing::ExitedWithCode(1), "empty parameter field");
+    EXPECT_EXIT(parsePredictorSpec("let:10/"),
+                testing::ExitedWithCode(1), "empty parameter field");
+}
+
+TEST(PredictorSpecDeathTest, RejectsMalformedLetAndTageSpecs)
+{
+    EXPECT_EXIT(parsePredictorSpec("let:0"),
+                testing::ExitedWithCode(1), "outside");
+    EXPECT_EXIT(parsePredictorSpec("let:10/2"),
+                testing::ExitedWithCode(1), "one parameter");
+    EXPECT_EXIT(parsePredictorSpec("tage:4"),
+                testing::ExitedWithCode(1), "tage needs");
+    EXPECT_EXIT(parsePredictorSpec("tage:9/2-8"),
+                testing::ExitedWithCode(1), "outside");
+    EXPECT_EXIT(parsePredictorSpec("tage:4/2"),
+                testing::ExitedWithCode(1), "history range");
+    EXPECT_EXIT(parsePredictorSpec("tage:4/2-"),
+                testing::ExitedWithCode(1), "history range");
+    EXPECT_EXIT(parsePredictorSpec("tage:4/8-2"),
+                testing::ExitedWithCode(1), "min > max");
+    EXPECT_EXIT(parsePredictorSpec("tage:4/2-9"),
+                testing::ExitedWithCode(1), "outside");
+}
+
+TEST(PredictorSpecDeathTest, RejectsMalformedTournamentSpecs)
+{
+    EXPECT_EXIT(parsePredictorSpec("tournament"),
+                testing::ExitedWithCode(1), "needs two");
+    EXPECT_EXIT(parsePredictorSpec("tournament:let"),
+                testing::ExitedWithCode(1), "needs two");
+    EXPECT_EXIT(parsePredictorSpec("tournament:let+"),
+                testing::ExitedWithCode(1), "needs two");
+    EXPECT_EXIT(parsePredictorSpec("tournament:+local"),
+                testing::ExitedWithCode(1), "needs two");
+    EXPECT_EXIT(parsePredictorSpec("tournament:let+perceptron"),
+                testing::ExitedWithCode(1), "unknown predictor scheme");
+    EXPECT_EXIT(
+        parsePredictorSpec("tournament:let+tournament:gshare+bimodal"),
+        testing::ExitedWithCode(1), "must not nest");
+}
+
 // --- PredictorMeter: scalar vs batch vs replay ---------------------------
 
 std::vector<PredictorConfig>
@@ -416,7 +713,10 @@ meterConfigs()
 {
     return {parsePredictorSpec("bimodal:6"),
             parsePredictorSpec("gshare:6"),
-            parsePredictorSpec("local:5/3")};
+            parsePredictorSpec("local:5/3"),
+            parsePredictorSpec("let:4"),
+            parsePredictorSpec("tournament:let:4+local:5/3"),
+            parsePredictorSpec("tage:3/1-4/5")};
 }
 
 TEST(PredictorMeter, BatchedEngineFeedMatchesScalarFeed)
@@ -446,7 +746,7 @@ TEST(PredictorMeter, BatchedEngineFeedMatchesScalarFeed)
     auto a = scalar_meter.results();
     auto b = batched_meter.results();
     auto c = replay_meter.results();
-    ASSERT_EQ(a.size(), 3u);
+    ASSERT_EQ(a.size(), 6u);
     for (size_t i = 0; i < a.size(); ++i) {
         SCOPED_TRACE(predictorName(a[i].config));
         EXPECT_GT(a[i].lookups, 0u);

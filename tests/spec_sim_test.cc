@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/runner.hh"
 #include "speculation/spec_sim.hh"
+#include "speculation/sweep.hh"
 #include "tests/test_util.hh"
 
 namespace loopspec
@@ -314,6 +316,133 @@ TEST(SpecSimReplay, ReplayedRecordingGivesIdenticalStats)
     EXPECT_EQ(s.threadsSpeculated, 7u);
     EXPECT_EQ(s.threadsVerified, 3u);
     EXPECT_EQ(s.threadsSquashed, 4u);
+}
+
+// --- Per-loop spawn-confidence throttling (docs/PREDICTORS.md) ------------
+
+/** Inner loop whose trip count alternates 2, 9, 2, 9 with the outer
+ *  parity: the LET stride flips sign every execution, so STR's
+ *  last-count predictions are wrong on every single execution — the
+ *  adversarial case the throttle exists for. */
+Program
+alternatingTripProgram(int64_t outer_trips = 80)
+{
+    ProgramBuilder b("t", 0);
+    b.beginFunction("main");
+    b.li(r1, 0);
+    b.li(r2, outer_trips);
+    b.countedLoop(r1, r2, [&](const LoopCtx &) {
+        b.andi(r3, r1, 1);
+        b.muli(r4, r3, 7);
+        b.addi(r4, r4, 2); // inner bound: 2 or 9
+        b.li(r5, 0);
+        b.countedLoop(r5, r4, [&](const LoopCtx &) { b.nop(); });
+    });
+    b.halt();
+    return b.build();
+}
+
+SpecStats
+simulateThrottled(const LoopEventRecording &rec, unsigned tus,
+                  unsigned bits, unsigned threshold)
+{
+    SpecConfig cfg;
+    cfg.numTUs = tus;
+    cfg.policy = SpecPolicy::Str;
+    cfg.spawnConfidenceBits = bits;
+    cfg.spawnConfidenceThreshold = threshold;
+    return ThreadSpecSimulator(rec, cfg).run();
+}
+
+TEST(SpecSimThrottle, AdversarialLoopStopsSpawning)
+{
+    LoopEventRecording rec = record(alternatingTripProgram());
+    SpecStats baseline = simulateThrottled(rec, 8, 0, 2);
+    SpecStats throttled = simulateThrottled(rec, 8, 2, 2);
+
+    // Untrottled STR mispredicts every inner execution: big squash
+    // bill, and no vetoes because the throttle is off.
+    EXPECT_EQ(baseline.spawnsThrottled, 0u);
+    EXPECT_GT(baseline.threadsSquashed, 50u);
+
+    // With a 2-bit counter the loop's confidence decays after the first
+    // few squash bursts and stays down (its predictions never come
+    // true, so the recovery path cannot retrain it): spawning stops.
+    EXPECT_GT(throttled.spawnsThrottled, 0u);
+    EXPECT_LT(throttled.threadsSquashed, baseline.threadsSquashed / 2);
+    EXPECT_LT(throttled.threadsSpeculated, baseline.threadsSpeculated);
+    EXPECT_GE(throttled.hitRatio(), baseline.hitRatio());
+    EXPECT_EQ(throttled.threadsSpeculated,
+              throttled.threadsVerified + throttled.threadsSquashed);
+}
+
+TEST(SpecSimThrottle, DisabledThrottleIsBitIdenticalToStr)
+{
+    // spawnConfidenceBits == 0 must leave every counter — not just the
+    // averages — exactly as plain STR produces it, on the program built
+    // to stress the throttle.
+    LoopEventRecording rec = record(alternatingTripProgram());
+    for (unsigned tus : {2u, 4u, 8u}) {
+        SCOPED_TRACE(tus);
+        SpecStats str = simulate(rec, tus, SpecPolicy::Str);
+        SpecStats off = simulateThrottled(rec, tus, 0, 7);
+        EXPECT_TRUE(str == off);
+    }
+}
+
+TEST(SpecSimThrottle, WellPredictedLoopIsUntouched)
+{
+    // A constant-trip flat loop keeps its confidence at the rail (the
+    // one phantom burst at the end can't push it below threshold), so
+    // throttling on vs off is bit-identical — including zero vetoes.
+    LoopEventRecording rec = record(flatLoop(400, 4));
+    SpecStats str = simulate(rec, 8, SpecPolicy::Str);
+    SpecStats throttled = simulateThrottled(rec, 8, 2, 2);
+    EXPECT_EQ(throttled.spawnsThrottled, 0u);
+    EXPECT_TRUE(str == throttled);
+}
+
+TEST(SpecSimThrottle, ThrottledSweepBitIdenticalAcrossJobs)
+{
+    RunOptions opts;
+    opts.scale.factor = 0.25;
+    opts.benchmarks = {"compress"};
+    SweepGrid grid = sweepGridFromOptions(opts);
+    ASSERT_EQ(applyGridSpec("policies=idle,str;tus=2,8;cls=8;"
+                            "spawnconf=3/7",
+                            &grid),
+              "");
+    ASSERT_EQ(grid.spawnConfidenceBits, 3u);
+    ASSERT_EQ(grid.spawnConfidenceThreshold, 7u);
+
+    SweepResult serial = runSpecSweep(grid, 1);
+    uint64_t vetoes = 0;
+    for (const SweepCell &cell : serial.cells)
+        vetoes += cell.stats.spawnsThrottled;
+    EXPECT_GT(vetoes, 0u); // the axis reached the simulator
+
+    for (unsigned jobs : {2u, 5u, 8u}) {
+        SCOPED_TRACE(jobs);
+        SweepResult r = runSpecSweep(grid, jobs);
+        ASSERT_EQ(r.cells.size(), serial.cells.size());
+        for (size_t i = 0; i < r.cells.size(); ++i)
+            EXPECT_TRUE(r.cells[i].stats == serial.cells[i].stats);
+    }
+}
+
+TEST(SpecSimThrottleDeathTest, RejectsBadThresholds)
+{
+    LoopEventRecording rec = record(flatLoop(5, 4));
+    SpecConfig cfg;
+    cfg.policy = SpecPolicy::Str;
+    cfg.spawnConfidenceBits = 2;
+    cfg.spawnConfidenceThreshold = 4; // == 2^bits: unreachable
+    EXPECT_DEATH(ThreadSpecSimulator(rec, cfg), "");
+    cfg.spawnConfidenceThreshold = 0; // never throttles: surely a typo
+    EXPECT_DEATH(ThreadSpecSimulator(rec, cfg), "");
+    cfg.spawnConfidenceBits = 9; // wider than the uint8_t counters
+    cfg.spawnConfidenceThreshold = 2;
+    EXPECT_DEATH(ThreadSpecSimulator(rec, cfg), "");
 }
 
 /** Property sweep across policies and TU counts on a mixed program. */

@@ -49,6 +49,7 @@ expectStatsEq(const SpecStats &a, const SpecStats &b)
     EXPECT_EQ(a.squashedByNestRule, b.squashedByNestRule);
     EXPECT_EQ(a.dataMisses, b.dataMisses);
     EXPECT_EQ(a.instrToVerifSum, b.instrToVerifSum);
+    EXPECT_EQ(a.spawnsThrottled, b.spawnsThrottled);
 }
 
 /** The serial shape every bench_fig* binary had before the engine: one

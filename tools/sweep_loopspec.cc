@@ -15,13 +15,17 @@
  *   policies    idle | str | str1..str9, each with an optional "+data"
  *               suffix for profiled live-in correctness
  *   predictors  conventional-baseline entries appended to the policy
- *               axis: bimodal[:T] | gshare[:H[/T]] | local[:H/L]
+ *               axis: bimodal[:T] | gshare[:H[/T]] | local[:H/L] |
+ *               let[:T] | tage[:N/a-b[/T]] | tournament:<a>+<b>
  *               (docs/PREDICTORS.md) — each spawns threads from chained
  *               branch predictions instead of LET trip predictions
  *   tus         thread-unit counts
  *   cls         CLS capacities (first is traced live, rest replayed);
  *               overrides --cls
  *   let         LET capacities backing the trip predictor (0 = unbounded)
+ *   spawnconf   <bits>/<threshold> or "off": grid-wide per-loop spawn
+ *               throttle trained on verify/squash outcomes (off = the
+ *               paper behaviour, bit-identical to no throttle)
  *   ideal       0/1: collect the ∞-TU TPC artifact per workload
  *   dataspec    0/1: collect the §4 data-speculation report per workload
  * or the single preset "paper": every Table-1 workload ×
