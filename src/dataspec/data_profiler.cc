@@ -173,9 +173,8 @@ DataSpecProfiler::evaluateIteration(Frame &f, uint32_t iter_index)
     for (unsigned r = 1; r < numRegs; ++r) {
         if (!(f.readFirstMask & (1u << r)))
             continue;
-        RegPred &rp = lp.regs[r];
-        bool correct =
-            rp.state == 2 && rp.last + rp.stride == f.firstVal[r];
+        LiveInPredictor &rp = lp.regs[r];
+        bool correct = rp.predictCorrect(f.firstVal[r]);
         if (agg) {
             ++agg->lrTotal;
             if (correct)
@@ -183,14 +182,7 @@ DataSpecProfiler::evaluateIteration(Frame &f, uint32_t iter_index)
         }
         if (!correct)
             all_lr = false;
-        // Update last-value + stride history.
-        if (rp.state >= 1) {
-            rp.stride = f.firstVal[r] - rp.last;
-            rp.state = 2;
-        } else {
-            rp.state = 1;
-        }
-        rp.last = f.firstVal[r];
+        rp.observe(f.firstVal[r]);
     }
 
     // Live-in memory locations (skipped entirely on footprint overflow).
@@ -199,11 +191,8 @@ DataSpecProfiler::evaluateIteration(Frame &f, uint32_t iter_index)
     if (lm_evaluated) {
         for (const auto &[load_pc, av] : f.loads) {
             const auto &[addr, val] = av;
-            MemPred &mp = lp.mems[load_pc];
-            bool correct = mp.state == 2 &&
-                           mp.lastAddr + static_cast<uint64_t>(
-                                             mp.addrStride) == addr &&
-                           mp.lastVal + mp.valStride == val;
+            LiveInMemPredictor &mp = lp.mems[load_pc];
+            bool correct = mp.predictCorrect(addr, val);
             if (agg) {
                 ++agg->lmTotal;
                 if (correct)
@@ -211,16 +200,7 @@ DataSpecProfiler::evaluateIteration(Frame &f, uint32_t iter_index)
             }
             if (!correct)
                 all_lm = false;
-            if (mp.state >= 1) {
-                mp.addrStride =
-                    static_cast<int64_t>(addr - mp.lastAddr);
-                mp.valStride = val - mp.lastVal;
-                mp.state = 2;
-            } else {
-                mp.state = 1;
-            }
-            mp.lastAddr = addr;
-            mp.lastVal = val;
+            mp.observe(addr, val);
         }
     }
 
@@ -237,11 +217,16 @@ DataSpecProfiler::evaluateIteration(Frame &f, uint32_t iter_index)
     }
 
     if (cfg.recordPerIteration && iter_index >= 2) {
-        std::vector<bool> &flags = perIter[f.execId];
         size_t idx = iter_index - 2;
+        std::vector<bool> &flags = perIter[f.execId];
         if (flags.size() <= idx)
             flags.resize(idx + 1, false);
         flags[idx] = all_lr && lm_evaluated && all_lm;
+
+        std::vector<bool> &reg_flags = perIterLiveIn[f.execId];
+        if (reg_flags.size() <= idx)
+            reg_flags.resize(idx + 1, false);
+        reg_flags[idx] = all_lr;
     }
 
     f.resetIteration();

@@ -32,6 +32,7 @@
 
 #include "isa/instr.hh"
 #include "loop/loop_event.hh"
+#include "predict/live_in.hh"
 
 namespace loopspec
 {
@@ -117,6 +118,20 @@ class DataSpecProfiler : public LoopListener
         return perIter;
     }
 
+    /**
+     * Registers-only variant of perIterationOk(): the flag ignores
+     * memory live-ins (and the footprint-overflow exclusion), saying
+     * only whether every live-in *register* of the iteration was stride
+     * predictable. This is what a spawned thread's live-in register
+     * predictor (DataMode::Full) gets right or wrong — memory
+     * dependences are judged separately by the conflict profiler.
+     */
+    const std::unordered_map<uint64_t, std::vector<bool>> &
+    perIterationLiveInOk() const
+    {
+        return perIterLiveIn;
+    }
+
   private:
     struct PathAgg
     {
@@ -131,26 +146,14 @@ class DataSpecProfiler : public LoopListener
         uint64_t allDataIters = 0;
     };
 
-    struct RegPred
-    {
-        int64_t last = 0;
-        int64_t stride = 0;
-        uint8_t state = 0; //!< 0 none, 1 have last, 2 have stride
-    };
-
-    struct MemPred
-    {
-        uint64_t lastAddr = 0;
-        int64_t addrStride = 0;
-        int64_t lastVal = 0;
-        int64_t valStride = 0;
-        uint8_t state = 0;
-    };
-
     struct LoopProfile
     {
-        std::array<RegPred, numRegs> regs{};
-        std::unordered_map<uint32_t, MemPred> mems;
+        // One shared live-in state machine (predict/live_in.hh) backs
+        // the profiler, the simulator's data modes and the property
+        // tests; the Figure-8 numbers are bit-identical to the
+        // historical inline predictors.
+        std::array<LiveInPredictor, numRegs> regs{};
+        std::unordered_map<uint32_t, LiveInMemPredictor> mems;
         std::unordered_map<uint64_t, PathAgg> paths;
         uint64_t pathOverflowIters = 0;
     };
@@ -179,6 +182,7 @@ class DataSpecProfiler : public LoopListener
     std::vector<Frame> frames;
     std::unordered_map<uint32_t, LoopProfile> loops;
     std::unordered_map<uint64_t, std::vector<bool>> perIter;
+    std::unordered_map<uint64_t, std::vector<bool>> perIterLiveIn;
     DataSpecReport result;
     bool done = false;
 };

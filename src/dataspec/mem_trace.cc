@@ -1,0 +1,33 @@
+#include "dataspec/mem_trace.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace loopspec
+{
+
+uint64_t
+MemAccessTrace::stateHash() const
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) { h = (h ^ v) * 0x100000001b3ull; };
+    mix(totalInstrs);
+    mix(accesses.size());
+    for (const MemAccess &a : accesses) {
+        mix(a.seq);
+        mix(a.addr);
+        mix(a.pc);
+        mix(a.isStore ? 1u : 0u);
+    }
+    return h;
+}
+
+MemAccessTrace
+MemTraceRecorder::take()
+{
+    LOOPSPEC_ASSERT(done, "take() before onTraceEnd");
+    return std::move(trace);
+}
+
+} // namespace loopspec

@@ -184,7 +184,7 @@ runWorkloadFromTrace(const std::string &name, const RunOptions &opts,
 {
     WorkloadArtifacts out;
     out.name = name;
-    if (flags.dataSpec || flags.dataCorrectness) {
+    if (flags.dataSpec || flags.dataCorrectness || flags.memTrace) {
         fatal("%s: data-speculation profiling reads operand values, "
               "which a control-trace replay (--trace-dir) cannot "
               "provide",
@@ -378,12 +378,15 @@ runWorkload(const std::string &name, const RunOptions &opts,
         listeners.push_back(&profiler);
 
     PredictorMeter predictorMeter(flags.predictors);
+    MemTraceRecorder memRecorder;
 
     std::vector<TraceObserver *> extra;
     if (need_ctrace)
         extra.push_back(&ctraceRecorder);
     if (!flags.predictors.empty())
         extra.push_back(&predictorMeter);
+    if (flags.memTrace)
+        extra.push_back(&memRecorder);
 
     out.totalInstrs =
         tracePass(prog, opts.maxInstrs, opts.clsEntries, listeners, extra);
@@ -485,6 +488,8 @@ runWorkload(const std::string &name, const RunOptions &opts,
         out.dataSpec = profiler.report();
     if (flags.dataCorrectness)
         mergeDataCorrectness(out.recording, profiler);
+    if (flags.memTrace)
+        out.memTrace = memRecorder.take();
     if (flags.controlTrace)
         out.controlTrace = std::move(ctrace);
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dataspec/data_profiler.hh"
+#include "dataspec/mem_trace.hh"
 #include "loop/loop_stats.hh"
 #include "predict/predictor_meter.hh"
 #include "speculation/event_record.hh"
@@ -80,8 +81,14 @@ struct CollectFlags
     bool recording = false; //!< event recording for the TU simulator
     bool dataSpec = false;  //!< §4 profiler
     /** Annotate the recording with per-iteration live-in correctness
-     *  (implies recording + dataSpec); enables DataMode::Profiled. */
+     *  (implies recording + dataSpec); enables DataMode::Profiled and,
+     *  with the conflict annotation, DataMode::Full. */
     bool dataCorrectness = false;
+    /** Record the memory-access sidecar (dataspec/mem_trace.hh) so the
+     *  caller can derive conflict profiles at any CLS; enables
+     *  DataMode::Conflicts. Fatal in --trace-dir mode (a control-trace
+     *  replay has no operands). */
+    bool memTrace = false;
     /** Keep the control-event trace in the artifacts so the caller can
      *  replay further derived configurations (e.g. CLS-size sweeps). */
     bool controlTrace = false;
@@ -104,6 +111,7 @@ struct WorkloadArtifacts
     double idealTpcPrefix = 0.0; //!< first half of the trace
     LoopEventRecording recording;
     DataSpecReport dataSpec;
+    MemAccessTrace memTrace;   //!< populated when flags.memTrace
     ControlTrace controlTrace; //!< populated when flags.controlTrace
     /** Per-predictor accuracy, in CollectFlags::predictors order. */
     std::vector<PredictorMeterResult> predictorStats;

@@ -40,11 +40,36 @@ RecordingCache::traceKey(const std::string &workload, double scale_factor,
 std::string
 RecordingCache::recordingKey(const std::string &workload,
                              double scale_factor, uint64_t max_instrs,
-                             const std::string &src, size_t cls)
+                             const std::string &src, size_t cls,
+                             const std::string &annotations)
 {
-    return "rec|" + workload + "|scale=" + scaleBits(scale_factor) +
+    std::string key =
+        "rec|" + workload + "|scale=" + scaleBits(scale_factor) +
+        "|max=" + std::to_string(max_instrs) + "|src=" + src +
+        "|cls=" + std::to_string(cls) + "|fmt=engine-v1";
+    if (!annotations.empty())
+        key += "|ann=" + annotations;
+    return key;
+}
+
+std::string
+RecordingCache::memTraceKey(const std::string &workload,
+                            double scale_factor, uint64_t max_instrs,
+                            const std::string &src)
+{
+    return "memtrace|" + workload + "|scale=" + scaleBits(scale_factor) +
            "|max=" + std::to_string(max_instrs) + "|src=" + src +
-           "|cls=" + std::to_string(cls) + "|fmt=engine-v1";
+           "|fmt=engine-v1";
+}
+
+std::string
+RecordingCache::dataReportKey(const std::string &workload,
+                              double scale_factor, uint64_t max_instrs,
+                              const std::string &src)
+{
+    return "dsrep|" + workload + "|scale=" + scaleBits(scale_factor) +
+           "|max=" + std::to_string(max_instrs) + "|src=" + src +
+           "|fmt=engine-v1";
 }
 
 void
@@ -79,6 +104,34 @@ RecordingCache::getRecording(const std::string &key)
     ++hits;
     touch(it->second);
     return it->second.recording;
+}
+
+std::shared_ptr<const CachedMemTrace>
+RecordingCache::getMemTrace(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = entries.find(key);
+    if (it == entries.end() || !it->second.memTrace) {
+        ++misses;
+        return nullptr;
+    }
+    ++hits;
+    touch(it->second);
+    return it->second.memTrace;
+}
+
+std::shared_ptr<const CachedDataReport>
+RecordingCache::getDataReport(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = entries.find(key);
+    if (it == entries.end() || !it->second.dataReport) {
+        ++misses;
+        return nullptr;
+    }
+    ++hits;
+    touch(it->second);
+    return it->second.dataReport;
 }
 
 void
@@ -136,6 +189,45 @@ RecordingCache::putRecording(const std::string &key,
     e.bytes =
         e.recording->memoryBytes() + key.size() + kEntryOverheadBytes;
     auto kept = e.recording;
+    insertAndEvict(key, std::move(e));
+    return kept;
+}
+
+std::shared_ptr<const CachedMemTrace>
+RecordingCache::putMemTrace(const std::string &key,
+                            std::shared_ptr<const CachedMemTrace> value)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = entries.find(key);
+    if (it != entries.end() && it->second.memTrace) {
+        touch(it->second);
+        return it->second.memTrace;
+    }
+    Entry e;
+    e.memTrace = std::move(value);
+    e.bytes =
+        e.memTrace->memoryBytes() + key.size() + kEntryOverheadBytes;
+    auto kept = e.memTrace;
+    insertAndEvict(key, std::move(e));
+    return kept;
+}
+
+std::shared_ptr<const CachedDataReport>
+RecordingCache::putDataReport(
+    const std::string &key,
+    std::shared_ptr<const CachedDataReport> value)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = entries.find(key);
+    if (it != entries.end() && it->second.dataReport) {
+        touch(it->second);
+        return it->second.dataReport;
+    }
+    Entry e;
+    e.dataReport = std::move(value);
+    e.bytes =
+        e.dataReport->memoryBytes() + key.size() + kEntryOverheadBytes;
+    auto kept = e.dataReport;
     insertAndEvict(key, std::move(e));
     return kept;
 }

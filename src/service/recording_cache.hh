@@ -30,6 +30,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "dataspec/data_profiler.hh"
+#include "dataspec/mem_trace.hh"
 #include "speculation/event_record.hh"
 #include "speculation/spec_sim.hh"
 #include "tracegen/control_trace.hh"
@@ -58,6 +60,31 @@ struct CachedControlTrace
     memoryBytes() const
     {
         return trace.memoryBytes();
+    }
+};
+
+/** An immutable cached memory-access sidecar (CLS-independent, so one
+ *  entry serves conflict annotation at every CLS size). */
+struct CachedMemTrace
+{
+    MemAccessTrace trace;
+
+    size_t
+    memoryBytes() const
+    {
+        return trace.memoryBytes();
+    }
+};
+
+/** An immutable cached §4 per-workload data-speculation report. */
+struct CachedDataReport
+{
+    DataSpecReport report;
+
+    size_t
+    memoryBytes() const
+    {
+        return sizeof(DataSpecReport);
     }
 };
 
@@ -102,17 +129,38 @@ class RecordingCache
                                 double scale_factor, uint64_t max_instrs,
                                 const std::string &src);
 
-    /** Content-address of a (workload, CLS) recording+index pair. */
+    /** Content-address of a (workload, CLS) recording+index pair.
+     *  @p annotations names the derived data-speculation annotations
+     *  the recording carries ("" = none, "l" = live-in flags, "m" =
+     *  conflict sources, "lm" = both) — an annotated recording must
+     *  never be adopted by a grid expecting different annotations. */
     static std::string recordingKey(const std::string &workload,
                                     double scale_factor,
                                     uint64_t max_instrs,
-                                    const std::string &src, size_t cls);
+                                    const std::string &src, size_t cls,
+                                    const std::string &annotations = "");
+
+    /** Content-address of a workload's memory-access sidecar. */
+    static std::string memTraceKey(const std::string &workload,
+                                   double scale_factor,
+                                   uint64_t max_instrs,
+                                   const std::string &src);
+
+    /** Content-address of a workload's §4 data-speculation report. */
+    static std::string dataReportKey(const std::string &workload,
+                                     double scale_factor,
+                                     uint64_t max_instrs,
+                                     const std::string &src);
 
     /** nullptr on miss (counted); hit refreshes LRU position. */
     std::shared_ptr<const CachedControlTrace>
     getTrace(const std::string &key);
     std::shared_ptr<const CachedRecording>
     getRecording(const std::string &key);
+    std::shared_ptr<const CachedMemTrace>
+    getMemTrace(const std::string &key);
+    std::shared_ptr<const CachedDataReport>
+    getDataReport(const std::string &key);
 
     /** Insert-or-adopt: returns the resident entry for @p key — the
      *  one just inserted, or a pre-existing one from a racing builder
@@ -124,15 +172,23 @@ class RecordingCache
     std::shared_ptr<const CachedRecording>
     putRecording(const std::string &key,
                  std::shared_ptr<const CachedRecording> value);
+    std::shared_ptr<const CachedMemTrace>
+    putMemTrace(const std::string &key,
+                std::shared_ptr<const CachedMemTrace> value);
+    std::shared_ptr<const CachedDataReport>
+    putDataReport(const std::string &key,
+                  std::shared_ptr<const CachedDataReport> value);
 
     CacheStats stats() const;
 
   private:
     struct Entry
     {
-        // Exactly one of the two is set.
+        // Exactly one of the four is set.
         std::shared_ptr<const CachedControlTrace> trace;
         std::shared_ptr<const CachedRecording> recording;
+        std::shared_ptr<const CachedMemTrace> memTrace;
+        std::shared_ptr<const CachedDataReport> dataReport;
         size_t bytes = 0;
         std::list<std::string>::iterator lruIt;
     };

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "dataspec/conflict_profiler.hh"
 #include "harness/runner.hh"
 #include "loop/cls.hh"
 #include "loop/loop_detector.hh"
@@ -120,7 +121,8 @@ SweepService::validateGrid(const SweepGrid &grid) const
     if ((data || grid.dataSpec) && grid.clsSizes.size() > 1)
         return "data-speculation artifacts cannot be derived by "
                "control-trace replay; use a single-CLS grid";
-    if ((data || grid.dataSpec) && !grid.traceDir.empty())
+    if ((data || grid.dataSpec || grid.needsConflictProfile()) &&
+        !grid.traceDir.empty())
         return "data-speculation artifacts need operand values, which "
                "a control-trace replay cannot provide";
 
@@ -150,6 +152,20 @@ SweepService::materializeWorkload(
     const bool from_traces = !grid.traceDir.empty();
     const std::string src = from_traces ? grid.traceDir : "run";
 
+    // Operand-dependent needs (docs/DATASPEC.md): live-in annotations
+    // must come from a functional pass (single-CLS, validateGrid);
+    // conflict annotations re-derive per CLS from the cached
+    // memory-access sidecar; the §4 report is a per-workload row
+    // artifact. Annotated recordings are keyed apart from plain ones.
+    const bool need_data = grid.needsDataCorrectness();
+    const bool conflicts = cells && grid.needsConflictProfile();
+    const bool need_report = grid.dataSpec;
+    std::string ann;
+    if (need_data)
+        ann += "l";
+    if (conflicts)
+        ann += "m";
+
     // 1. Recording lookups — a fully warm cells-only workload needs no
     // control trace and no functional pass at all.
     std::vector<size_t> missing;
@@ -157,22 +173,92 @@ SweepService::materializeWorkload(
         for (size_t c = 0; c < num_c; ++c) {
             (*recs)[c] = cache.getRecording(RecordingCache::recordingKey(
                 name, grid.scale.factor, grid.maxInstrs, src,
-                grid.clsSizes[c]));
+                grid.clsSizes[c], ann));
             if (!(*recs)[c])
                 missing.push_back(c);
         }
     }
 
-    // Rows-only grids still need totalInstrs, which the trace carries.
-    const bool need_trace =
-        grid.ideal || !missing.empty() || !cells;
+    std::shared_ptr<const CachedDataReport> dsrep;
+    if (need_report) {
+        dsrep = cache.getDataReport(RecordingCache::dataReportKey(
+            name, grid.scale.factor, grid.maxInstrs, src));
+    }
+    std::shared_ptr<const CachedMemTrace> mt;
+    if (conflicts && !missing.empty()) {
+        mt = cache.getMemTrace(RecordingCache::memTraceKey(
+            name, grid.scale.factor, grid.maxInstrs, src));
+    }
 
-    // 2. Get-or-build the control trace.
+    // A live-in-annotated recording cannot be derived by replay: when
+    // it is missing (single CLS), the functional pass produces it
+    // directly and the replay stage below has nothing left to do.
+    const bool pass_recording = need_data && !missing.empty();
+
+    // Rows-only grids still need totalInstrs, which the trace carries.
+    const bool need_trace = grid.ideal || !cells ||
+                            (!missing.empty() && !pass_recording);
+
     std::shared_ptr<const CachedControlTrace> ct;
-    if (need_trace) {
-        const std::string tkey = RecordingCache::traceKey(
-            name, grid.scale.factor, grid.maxInstrs, src);
+    const std::string tkey = RecordingCache::traceKey(
+        name, grid.scale.factor, grid.maxInstrs, src);
+    if (need_trace)
         ct = cache.getTrace(tkey);
+
+    // 2a. One functional pass covers every operand-dependent miss
+    // (exactly what runSpecSweep's stage 1 would run), its products
+    // frozen into the cache so the next data-speculation request over
+    // this workload is served without executing it.
+    const bool live_pass = pass_recording || (need_report && !dsrep) ||
+                           (conflicts && !missing.empty() && !mt);
+    if (live_pass) {
+        RunOptions opts;
+        opts.scale = grid.scale;
+        opts.maxInstrs = grid.maxInstrs;
+        opts.clsEntries = grid.clsSizes[0];
+        CollectFlags flags;
+        flags.recording = pass_recording;
+        flags.dataCorrectness = pass_recording;
+        flags.dataSpec = need_report;
+        flags.memTrace = conflicts && !mt;
+        flags.controlTrace = need_trace && !ct;
+        WorkloadArtifacts art = runWorkload(name, opts, flags);
+        if (flags.memTrace) {
+            auto built = std::make_shared<CachedMemTrace>();
+            built->trace = std::move(art.memTrace);
+            mt = cache.putMemTrace(
+                RecordingCache::memTraceKey(name, grid.scale.factor,
+                                            grid.maxInstrs, src),
+                std::move(built));
+        }
+        if (need_report || pass_recording) {
+            auto built = std::make_shared<CachedDataReport>();
+            built->report = art.dataSpec;
+            dsrep = cache.putDataReport(
+                RecordingCache::dataReportKey(name, grid.scale.factor,
+                                              grid.maxInstrs, src),
+                std::move(built));
+        }
+        if (flags.controlTrace) {
+            auto built = std::make_shared<CachedControlTrace>();
+            built->trace = std::move(art.controlTrace);
+            ct = cache.putTrace(tkey, std::move(built));
+        }
+        if (pass_recording) {
+            LoopEventRecording r = std::move(art.recording);
+            if (conflicts)
+                annotateConflicts(&r, profileConflicts(r, mt->trace));
+            (*recs)[0] = cache.putRecording(
+                RecordingCache::recordingKey(name, grid.scale.factor,
+                                             grid.maxInstrs, src,
+                                             grid.clsSizes[0], ann),
+                std::make_shared<CachedRecording>(std::move(r)));
+            missing.clear();
+        }
+    }
+
+    // 2b. Get-or-build the control trace.
+    if (need_trace) {
         if (!ct) {
             auto built = std::make_shared<CachedControlTrace>();
             if (from_traces) {
@@ -236,12 +322,17 @@ SweepService::materializeWorkload(
             return name + ": " + err;
         for (size_t i = 0; i < missing.size(); ++i) {
             const size_t c = missing[i];
+            LoopEventRecording r = states[i]->rec.take();
+            // Conflict annotations are CLS-dependent but replay-
+            // derivable: the sidecar is one pass, the profile walk is
+            // per recording (exactly runSpecSweep's stage 1).
+            if (conflicts)
+                annotateConflicts(&r, profileConflicts(r, mt->trace));
             (*recs)[c] = cache.putRecording(
                 RecordingCache::recordingKey(name, grid.scale.factor,
                                              grid.maxInstrs, src,
-                                             grid.clsSizes[c]),
-                std::make_shared<CachedRecording>(
-                    states[i]->rec.take()));
+                                             grid.clsSizes[c], ann),
+                std::make_shared<CachedRecording>(std::move(r)));
         }
     }
 
@@ -293,6 +384,8 @@ SweepService::materializeWorkload(
             row.idealTpc = ideal_full[c];
             row.idealTpcPrefix = ideal_prefix[c];
         }
+        if (need_report)
+            row.dataSpec = dsrep->report;
     }
     return "";
 }
@@ -307,15 +400,6 @@ SweepService::run(const SweepGrid &grid, SweepResult *out)
     std::string err = validateGrid(grid);
     if (!err.empty())
         return err;
-
-    // Operand-dependent grids are uncacheable (a control trace carries
-    // no operand values): serve them with a plain in-request sweep.
-    // validateGrid has already bounded every input, so the fatal()
-    // paths inside cannot trigger on remote data.
-    if (grid.dataSpec || grid.needsDataCorrectness()) {
-        *out = runSpecSweep(grid, cfg.jobs);
-        return "";
-    }
 
     SweepResult result;
     result.grid = grid;

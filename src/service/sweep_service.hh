@@ -21,11 +21,15 @@
  * functional passes (the --check-replay / pipeline-equivalence suites).
  * A fully warm request never executes a workload at all.
  *
+ * Grids needing operand values (dataspec / +data / +mem / +all
+ * policies) run the functional pass in-process and freeze its
+ * operand-derived products — annotated recordings, the memory-access
+ * sidecar, the §4 report — into the same cache, keyed apart from their
+ * plain variants, so repeated data-speculation requests are served as
+ * cheaply as control-only ones (docs/DATASPEC.md).
+ *
  * Everything here returns error strings instead of fatal()ing: a bad
- * remote grid must produce an ErrResp, never kill the daemon. Grids
- * needing operand values (dataspec / +data policies) are uncacheable
- * (control traces carry no operands) and fall back to a plain
- * runSpecSweep inside the request.
+ * remote grid must produce an ErrResp, never kill the daemon.
  */
 
 #ifndef LOOPSPEC_SERVICE_SWEEP_SERVICE_HH

@@ -50,6 +50,23 @@ struct ExecRecord
      */
     std::vector<bool> iterDataOk;
 
+    /**
+     * Optional conflict annotation (annotateConflicts): iterDepSrc[j-2]
+     * is the largest iteration index whose store feeds a load of
+     * iteration j (0 = none). A thread spawned at front iteration f
+     * violates on iteration j iff iterDepSrc[j-2] >= f. Derived, never
+     * serialised (save/load drop it; compareRecordings ignores it).
+     */
+    std::vector<uint32_t> iterDepSrc;
+
+    /**
+     * Optional registers-only live-in annotation (mergeDataCorrectness):
+     * iterLiveInOk[j-2] says whether every live-in *register* of
+     * iteration j was stride predictable — DataMode::Full's value
+     * misprediction source. Derived, never serialised.
+     */
+    std::vector<bool> iterLiveInOk;
+
     /** Segment of iteration @p j (2-based); iteration must exist. */
     std::pair<uint64_t, uint64_t> iterSegment(uint32_t j) const;
 };
@@ -124,6 +141,8 @@ struct LoopEventRecording
         for (const ExecRecord &e : execs) {
             bytes += e.iterBoundaries.capacity() * sizeof(uint64_t);
             bytes += e.iterDataOk.capacity() / 8;
+            bytes += e.iterDepSrc.capacity() * sizeof(uint32_t);
+            bytes += e.iterLiveInOk.capacity() / 8;
         }
         return bytes;
     }
@@ -178,8 +197,8 @@ void dispatchLoopEvent(const LoopEventRec &e, uint32_t branch_addr,
  * "" when identical, else a one-line description of the first
  * difference. The shared oracle behind the fuzz harness's re-recording
  * check and the sweep engine's --check-replay of derived recordings.
- * iterDataOk annotations are not compared (they come from a separate
- * merge step, not from recording).
+ * Annotations (iterDataOk, iterDepSrc, iterLiveInOk) are not compared —
+ * they come from separate merge steps, not from recording.
  */
 std::string compareRecordings(const LoopEventRecording &a,
                               const LoopEventRecording &b);
@@ -189,8 +208,9 @@ class DataSpecProfiler; // forward: see dataspec/data_profiler.hh
 /**
  * Copy the profiler's per-iteration all-live-ins-predicted flags into a
  * recording's ExecRecords (profiler must have run with
- * recordPerIteration over the same trace). Enables the simulator's
- * Profiled data mode.
+ * recordPerIteration over the same trace) — both the combined
+ * register+memory flags (iterDataOk, the Profiled mode's source) and
+ * the registers-only flags (iterLiveInOk, the Full mode's source).
  */
 void mergeDataCorrectness(LoopEventRecording &recording,
                           const DataSpecProfiler &profiler);

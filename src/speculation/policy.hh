@@ -63,6 +63,23 @@ enum class DataMode : uint8_t
      * iteration — a value misprediction squash.
      */
     Profiled,
+    /**
+     * Memory-dependence violations only (docs/DATASPEC.md): a thread is
+     * squashed when its iteration loads an address stored by an
+     * iteration at or after the spawn point (ExecRecord::iterDepSrc,
+     * annotated from the conflict profiler). Violations cascade — every
+     * younger in-flight thread of the same speculation restarts too —
+     * and each violation event charges SpecConfig::dataSquashCycles of
+     * recovery. Live-in register values are assumed perfect.
+     */
+    Conflicts,
+    /**
+     * The combined model: Conflicts' memory-violation squashes plus a
+     * live-in register misprediction squash when the spawned
+     * iteration's registers were not stride-predictable at spawn time
+     * (ExecRecord::iterLiveInOk) — the full control+data figure.
+     */
+    Full,
 };
 
 /** Full simulator configuration. */
@@ -102,6 +119,15 @@ struct SpecConfig
      * throttling is on.
      */
     unsigned spawnConfidenceThreshold = 2;
+    /**
+     * Recovery penalty charged once per data-violation event (memory
+     * conflict or live-in misprediction) in the Conflicts/Full data
+     * modes — the per-edge misspeculation cost of the LAMP remediation
+     * model. 0 (the default) keeps the squash itself as the only cost,
+     * and the simulator bit-identical to the pre-dataspec model when
+     * dataMode is None.
+     */
+    unsigned dataSquashCycles = 0;
 };
 
 /** Results of one speculation simulation. */
@@ -115,7 +141,10 @@ struct SpecStats
     uint64_t threadsSquashed = 0;   //!< squashed (misspeculation or rule)
     uint64_t squashedByNestRule = 0; //!< subset of squashed: STR(i) rule
     uint64_t dataMisses = 0; //!< control-correct threads whose live-in
-                             //!< values mispredicted (Profiled mode)
+                             //!< values mispredicted (Profiled/Full)
+    uint64_t conflictSquashes = 0; //!< threads squashed by a profiled
+                                   //!< memory-dependence violation
+                                   //!< (Conflicts/Full modes)
     uint64_t instrToVerifSum = 0;   //!< over all threads, spawn->verify
     uint64_t spawnsThrottled = 0;   //!< spawn chances vetoed by the
                                     //!< per-loop confidence throttle
@@ -171,6 +200,7 @@ struct SpecStats
                threadsSquashed == o.threadsSquashed &&
                squashedByNestRule == o.squashedByNestRule &&
                dataMisses == o.dataMisses &&
+               conflictSquashes == o.conflictSquashes &&
                instrToVerifSum == o.instrToVerifSum &&
                spawnsThrottled == o.spawnsThrottled;
     }

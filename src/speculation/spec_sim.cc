@@ -171,6 +171,76 @@ ThreadSpecSimulator::iterDataCorrect(const ExecRecord &exec,
     return idx < exec.iterDataOk.size() && exec.iterDataOk[idx];
 }
 
+bool
+ThreadSpecSimulator::conflictViolates(const ExecRecord &exec,
+                                      const SpecThread &t) const
+{
+    if (t.iterIndex < 2)
+        return false;
+    size_t idx = t.iterIndex - 2;
+    // annotateConflicts sizes iterDepSrc to the full iteration count, so
+    // a missing slot means "no recorded dependence", not "unknown".
+    if (idx >= exec.iterDepSrc.size())
+        return false;
+    uint32_t src = exec.iterDepSrc[idx];
+    // src < spawnFrontIter: the producing iteration had completed when
+    // the thread spawned, its store is architectural state. 0 = none.
+    return src != 0 && src >= t.spawnFrontIter;
+}
+
+ThreadSpecSimulator::DataVerdict
+ThreadSpecSimulator::dataVerdict(const ExecRecord &exec,
+                                 const SpecThread &t) const
+{
+    switch (cfg.dataMode) {
+      case DataMode::None:
+        return DataVerdict::Ok;
+      case DataMode::Profiled:
+        return iterDataCorrect(exec, t.iterIndex) ? DataVerdict::Ok
+                                                  : DataVerdict::LiveInMiss;
+      case DataMode::Conflicts:
+        return conflictViolates(exec, t) ? DataVerdict::ConflictMiss
+                                         : DataVerdict::Ok;
+      case DataMode::Full:
+        // Memory wins ties: a conflicting load poisons the iteration no
+        // matter how well its registers were predicted.
+        if (conflictViolates(exec, t))
+            return DataVerdict::ConflictMiss;
+        // Chained live-in prediction: every iteration between the spawn
+        // point and this thread's got its registers from the predictor,
+        // and iterLiveInOk records one-step-ahead predictability.
+        // Un-annotated iterations are conservatively mispredicted.
+        for (uint32_t i = t.spawnFrontIter + 1; i <= t.iterIndex; ++i) {
+            size_t idx = i - 2; // i >= 3: spawnFrontIter is >= 2
+            if (idx >= exec.iterLiveInOk.size() ||
+                !exec.iterLiveInOk[idx])
+                return DataVerdict::LiveInMiss;
+        }
+        return DataVerdict::Ok;
+      default:
+        panic("bad DataMode");
+    }
+}
+
+void
+ThreadSpecSimulator::applyDataViolation(ActiveExec &ax,
+                                        DataVerdict verdict,
+                                        uint64_t boundary)
+{
+    if (verdict == DataVerdict::ConflictMiss)
+        ++stats.conflictSquashes;
+    else
+        ++stats.dataMisses;
+    if (cfg.dataMode != DataMode::Conflicts &&
+        cfg.dataMode != DataMode::Full)
+        return;
+    // Violation recovery (docs/DATASPEC.md): the violating thread's
+    // younger siblings consumed its state; restart them all and stall
+    // the front for the configured recovery penalty.
+    squashAll(ax, boundary, false);
+    clock += cfg.dataSquashCycles;
+}
+
 unsigned
 ThreadSpecSimulator::idleTUs() const
 {
@@ -261,6 +331,7 @@ ThreadSpecSimulator::trySpawn(uint32_t exec_idx, uint32_t j,
     for (unsigned k = 0; k < n; ++k, ++next_iter) {
         SpecThread t;
         t.iterIndex = next_iter;
+        t.spawnFrontIter = j;
         t.spawnClock = clock;
         t.spawnBoundary = boundary;
         if (next_iter <= exec.iterCount) {
@@ -352,18 +423,19 @@ ThreadSpecSimulator::handleIterStart(const SimEvent &ev, bool at_front)
         // outstanding, verify it without moving the front.
         if (!ax.queue.empty() &&
             ax.queue.front().iterIndex == ev.iterIndex) {
-            const SpecThread &t = ax.queue.front();
+            SpecThread t = ax.queue.front();
+            ax.queue.pop_front();
+            --outstanding;
             stats.instrToVerifSum += ev.boundary - t.spawnBoundary;
-            if (iterDataCorrect(exec, ev.iterIndex)) {
+            DataVerdict v = dataVerdict(exec, t);
+            if (v == DataVerdict::Ok) {
                 ++stats.threadsVerified;
                 trainSpawnConf(exec.loop, true);
             } else {
                 ++stats.threadsSquashed;
-                ++stats.dataMisses;
                 trainSpawnConf(exec.loop, false);
+                applyDataViolation(ax, v, ev.boundary);
             }
-            ax.queue.pop_front();
-            --outstanding;
         }
         return;
     }
@@ -379,7 +451,8 @@ ThreadSpecSimulator::handleIterStart(const SimEvent &ev, bool at_front)
         ax.queue.pop_front();
         --outstanding;
         stats.instrToVerifSum += ev.boundary - t.spawnBoundary;
-        if (iterDataCorrect(exec, ev.iterIndex)) {
+        DataVerdict v = dataVerdict(exec, t);
+        if (v == DataVerdict::Ok) {
             // Control and data both correct: the thread's work stands
             // and the front jumps over it.
             ++stats.threadsVerified;
@@ -389,11 +462,12 @@ ThreadSpecSimulator::handleIterStart(const SimEvent &ev, bool at_front)
             if (pen != squashPenalty.end())
                 pen->second.down();
         } else {
-            // Mispredicted live-in values: the thread computed with
-            // wrong inputs; discard its work, the front re-executes.
+            // Wrong inputs — a mispredicted live-in or a violated
+            // memory dependence: discard the thread's work, the front
+            // re-executes (and Conflicts/Full restart the queue).
             ++stats.threadsSquashed;
-            ++stats.dataMisses;
             trainSpawnConf(exec.loop, false);
+            applyDataViolation(ax, v, ev.boundary);
         }
     }
 

@@ -116,6 +116,11 @@ class ThreadSpecSimulator
     struct SpecThread
     {
         uint32_t iterIndex;
+        /** Front's iteration at spawn time: iterations < this had
+         *  completed when the thread started, so only stores from
+         *  iterations >= this can feed it a stale value
+         *  (Conflicts/Full data modes). */
+        uint32_t spawnFrontIter;
         bool phantom;       //!< beyond the execution's real trip count
         uint64_t segStart;  //!< trace segment (real threads only)
         uint64_t segEnd;
@@ -163,6 +168,31 @@ class ThreadSpecSimulator
      *  predicted? Always true in DataMode::None. */
     bool iterDataCorrect(const ExecRecord &exec,
                          uint32_t iter_index) const;
+
+    /** How a thread's verification resolves under the data model. */
+    enum class DataVerdict : uint8_t
+    {
+        Ok,           //!< data correct, the thread's work stands
+        LiveInMiss,   //!< live-in value misprediction (Profiled/Full)
+        ConflictMiss, //!< memory-dependence violation (Conflicts/Full)
+    };
+
+    /** Conflicts/Full: does @p t's iteration load a value stored by an
+     *  iteration at or after its spawn point (ExecRecord::iterDepSrc)? */
+    bool conflictViolates(const ExecRecord &exec,
+                          const SpecThread &t) const;
+
+    /** Mode-dispatching data check for a control-correct thread. */
+    DataVerdict dataVerdict(const ExecRecord &exec,
+                            const SpecThread &t) const;
+
+    /** Conflicts/Full violation recovery: count the verdict, cascade-
+     *  squash every younger in-flight thread of @p ax (their inputs
+     *  came from the violating thread's wrong state) and charge
+     *  SpecConfig::dataSquashCycles once. The violating thread itself
+     *  was already popped and counted squashed by the caller. */
+    void applyDataViolation(ActiveExec &ax, DataVerdict verdict,
+                            uint64_t boundary);
 
     /** Spawn throttle: is @p loop below the confidence threshold?
      *  Always false with spawnConfidenceBits == 0. */

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <utility>
 
+#include "dataspec/conflict_profiler.hh"
 #include "harness/runner.hh"
 #include "loop/cls.hh"
 #include "loop/loop_detector.hh"
@@ -22,6 +23,27 @@
 namespace loopspec
 {
 
+namespace
+{
+
+/** Policy-label suffix of a data mode (docs/DATASPEC.md). */
+const char *
+dataModeSuffix(DataMode mode)
+{
+    switch (mode) {
+      case DataMode::Profiled:
+        return "+data";
+      case DataMode::Conflicts:
+        return "+mem";
+      case DataMode::Full:
+        return "+all";
+      default:
+        return "";
+    }
+}
+
+} // namespace
+
 std::string
 GridPolicy::name() const
 {
@@ -30,7 +52,7 @@ GridPolicy::name() const
     std::string base = policy == SpecPolicy::Pred
                            ? predictorName(predictor)
                            : specPolicyName(policy, nestLimit);
-    return dataMode == DataMode::Profiled ? base + "+data" : base;
+    return base + dataModeSuffix(dataMode);
 }
 
 GridPolicy
@@ -65,7 +87,19 @@ bool
 SweepGrid::needsDataCorrectness() const
 {
     for (const GridPolicy &p : policies) {
-        if (p.dataMode == DataMode::Profiled)
+        if (p.dataMode == DataMode::Profiled ||
+            p.dataMode == DataMode::Full)
+            return true;
+    }
+    return false;
+}
+
+bool
+SweepGrid::needsConflictProfile() const
+{
+    for (const GridPolicy &p : policies) {
+        if (p.dataMode == DataMode::Conflicts ||
+            p.dataMode == DataMode::Full)
             return true;
     }
     return false;
@@ -199,17 +233,25 @@ applyPaperAxes(SweepGrid *grid)
 namespace
 {
 
-/** Grid-axis policy entry: "idle" / "str" / "strN", optional "+data"
- *  suffix for profiled live-in correctness. */
+/** Grid-axis policy entry: "idle" / "str" / "strN", with an optional
+ *  data-mode suffix — "+data" (profiled live-in correctness), "+mem"
+ *  (conflict violations) or "+all" (both). */
 std::string
 tryParseGridPolicy(std::string text, GridPolicy *gp)
 {
-    const std::string suffix = "+data";
-    if (text.size() > suffix.size() &&
-        text.compare(text.size() - suffix.size(), suffix.size(),
-                     suffix) == 0) {
-        gp->dataMode = DataMode::Profiled;
-        text.resize(text.size() - suffix.size());
+    static const std::pair<const char *, DataMode> suffixes[] = {
+        {"+data", DataMode::Profiled},
+        {"+mem", DataMode::Conflicts},
+        {"+all", DataMode::Full},
+    };
+    for (const auto &[suffix, mode] : suffixes) {
+        size_t len = std::string(suffix).size();
+        if (text.size() > len &&
+            text.compare(text.size() - len, len, suffix) == 0) {
+            gp->dataMode = mode;
+            text.resize(text.size() - len);
+            break;
+        }
     }
     return tryParseSpecPolicy(text, &gp->policy, &gp->nestLimit);
 }
@@ -231,6 +273,11 @@ applyGridSpec(const std::string &spec, SweepGrid *grid)
         applyPaperAxes(grid); // shared with bench_fig7
         return "";
     }
+    // dataspec= mode lists collect here and cross into the policy axis
+    // only after every key is parsed, so "dataspec=...;policies=..."
+    // and "policies=...;dataspec=..." produce the same grid.
+    std::vector<DataMode> data_modes;
+    bool have_data_modes = false;
     for (const std::string &pair : splitOn(spec, ';')) {
         size_t eq = pair.find('=');
         if (eq == std::string::npos)
@@ -345,20 +392,69 @@ applyGridSpec(const std::string &spec, SweepGrid *grid)
                 grid->spawnConfidenceThreshold =
                     static_cast<unsigned>(thr);
             }
-        } else if (key == "ideal" || key == "dataspec") {
+        } else if (key == "ideal") {
             uint64_t n = 0;
-            err = tryParseGridU64(vals[0], key == "ideal"
-                                               ? "grid ideal"
-                                               : "grid dataspec",
-                                  &n);
+            err = tryParseGridU64(vals[0], "grid ideal", &n);
             if (!err.empty())
                 return err;
-            (key == "ideal" ? grid->ideal : grid->dataSpec) = n != 0;
+            grid->ideal = n != 0;
+        } else if (key == "dataspec") {
+            // A single 0/1 is the legacy per-row §4 report switch; mode
+            // tokens become a data-mode axis crossed into the policies.
+            if (vals.size() == 1 && (vals[0] == "0" || vals[0] == "1")) {
+                grid->dataSpec = vals[0] == "1";
+            } else {
+                data_modes.clear();
+                for (const auto &v : vals) {
+                    if (v == "none")
+                        data_modes.push_back(DataMode::None);
+                    else if (v == "live")
+                        data_modes.push_back(DataMode::Profiled);
+                    else if (v == "mem")
+                        data_modes.push_back(DataMode::Conflicts);
+                    else if (v == "all")
+                        data_modes.push_back(DataMode::Full);
+                    else
+                        return "grid: bad dataspec mode '" + v +
+                               "' (want none|live|mem|all, or a "
+                               "single 0/1)";
+                }
+                have_data_modes = true;
+            }
+        } else if (key == "datacost") {
+            if (vals.size() != 1)
+                return "grid: datacost wants one cycle count "
+                       "(e.g. datacost=8)";
+            uint64_t n = 0;
+            err = tryParseGridU64(vals[0], "grid datacost", &n);
+            if (!err.empty())
+                return err;
+            if (n > 1000000)
+                return "grid: datacost outside [0, 1000000]";
+            grid->dataSquashCycles = static_cast<unsigned>(n);
         } else {
             return "grid: unknown axis '" + key +
                    "' (want policies|predictors|tus|cls|let|spawnconf|"
-                   "ideal|dataspec)";
+                   "ideal|dataspec|datacost)";
         }
+    }
+    if (have_data_modes) {
+        // Cross the data-mode axis into the policy axis: each policy
+        // entry fans out over the modes (policy-major, so a policy's
+        // modes sit side by side in reports), replacing any data mode
+        // a "+data"/"+mem"/"+all" suffix already set.
+        std::vector<GridPolicy> crossed;
+        crossed.reserve(grid->policies.size() * data_modes.size());
+        for (const GridPolicy &gp : grid->policies) {
+            for (DataMode mode : data_modes) {
+                GridPolicy copy = gp;
+                copy.dataMode = mode;
+                if (!copy.label.empty())
+                    copy.label += dataModeSuffix(mode);
+                crossed.push_back(std::move(copy));
+            }
+        }
+        grid->policies = std::move(crossed);
     }
     return "";
 }
@@ -385,12 +481,17 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
         fatal("sweep grid needs at least one CLS size");
     const bool cells = grid.hasCells();
     const bool data = grid.needsDataCorrectness();
+    const bool conflicts = cells && grid.needsConflictProfile();
+    // Live-in flags read register values, which only the functional
+    // pass sees — single CLS only. Conflict profiles are a pure
+    // function of (recording, memory sidecar) and re-derive at every
+    // CLS, so Conflicts-only grids stay multi-CLS legal.
     if ((data || grid.dataSpec) && num_c > 1) {
         fatal("data-speculation artifacts read operand values and cannot "
               "be derived by control-trace replay; use a single-CLS grid");
     }
     const bool from_traces = !grid.traceDir.empty();
-    if (from_traces && (data || grid.dataSpec)) {
+    if (from_traces && (data || conflicts || grid.dataSpec)) {
         fatal("data-speculation artifacts read operand values, which a "
               "control-trace replay (--trace-dir) cannot provide");
     }
@@ -417,6 +518,7 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
     flags.ideal = grid.ideal;
     flags.dataSpec = grid.dataSpec;
     flags.dataCorrectness = data;
+    flags.memTrace = conflicts;
     flags.controlTrace = derive_cls && !from_traces;
 
     // Stage 1: one functional pass per workload; every further CLS size
@@ -550,6 +652,17 @@ runSpecSweep(const SweepGrid &grid, unsigned jobs)
                         pstates[c - 1]->ideal.tpc();
             }
         }
+
+        // Conflicts/Full: annotate every CLS's recording with the
+        // cross-iteration dependence sources profiled from the shared,
+        // CLS-independent memory sidecar of the single functional pass.
+        if (conflicts) {
+            for (size_t c = 0; c < num_c; ++c) {
+                LoopEventRecording &r = recordings[w * num_c + c];
+                annotateConflicts(&r,
+                                  profileConflicts(r, art.memTrace));
+            }
+        }
     });
     out.functionalPasses = num_w;
     out.recordingsProduced = cells ? num_w * num_c : 0;
@@ -628,6 +741,7 @@ runSweepCells(const SweepGrid &grid,
         cfg.predictor = gp.predictor;
         cfg.spawnConfidenceBits = grid.spawnConfidenceBits;
         cfg.spawnConfidenceThreshold = grid.spawnConfidenceThreshold;
+        cfg.dataSquashCycles = grid.dataSquashCycles;
 
         const size_t rec_idx = w * num_c + c;
         ThreadSpecSimulator sim(*recordings[rec_idx], *indexes[rec_idx],
@@ -646,7 +760,16 @@ namespace
 const char *
 dataModeName(DataMode mode)
 {
-    return mode == DataMode::Profiled ? "profiled" : "none";
+    switch (mode) {
+      case DataMode::Profiled:
+        return "profiled";
+      case DataMode::Conflicts:
+        return "conflicts";
+      case DataMode::Full:
+        return "full";
+      default:
+        return "none";
+    }
 }
 
 void
@@ -693,6 +816,10 @@ writeSweepJson(std::ostream &os, const SweepResult &result, unsigned jobs,
     os << ",\n    \"spawn_conf_bits\": " << grid.spawnConfidenceBits
        << ",\n    \"spawn_conf_threshold\": "
        << grid.spawnConfidenceThreshold;
+    // Emitted only when set: grids without data speculation must stay
+    // byte-identical to the pre-dataspec artifact format.
+    if (grid.dataSquashCycles != 0)
+        os << ",\n    \"data_squash_cycles\": " << grid.dataSquashCycles;
     os << ",\n    \"ideal\": " << (grid.ideal ? "true" : "false")
        << ",\n    \"dataspec\": " << (grid.dataSpec ? "true" : "false")
        << ",\n    \"scale\": " << grid.scale.factor
@@ -742,8 +869,11 @@ writeSweepJson(std::ostream &os, const SweepResult &result, unsigned jobs,
            << ", \"threads_squashed\": " << s.threadsSquashed
            << ", \"nest_rule_squashes\": " << s.squashedByNestRule
            << ", \"spawns_throttled\": " << s.spawnsThrottled
-           << ", \"data_misses\": " << s.dataMisses
-           << ", \"cycles\": " << s.cycles
+           << ", \"data_misses\": " << s.dataMisses;
+        // Conditional for the same byte-identity reason as above.
+        if (grid.needsConflictProfile())
+            os << ", \"conflict_squashes\": " << s.conflictSquashes;
+        os << ", \"cycles\": " << s.cycles
            << ", \"total_instrs\": " << s.totalInstrs << "}"
            << (i + 1 < result.cells.size() ? "," : "") << "\n";
     }

@@ -52,11 +52,14 @@ struct GridPolicy
     SpecPolicy policy = SpecPolicy::Str;
     /** The i in STR(i); ignored by IDLE/STR. */
     unsigned nestLimit = 3;
-    /** Control-only vs profiled live-in correctness (needs the §4
-     *  profiler on the functional pass; single-CLS grids only). */
+    /** Data-dependence treatment (docs/DATASPEC.md). Profiled/Full need
+     *  the §4 profiler's live-in flags from the functional pass
+     *  (single-CLS grids only); Conflicts/Full need the conflict-
+     *  profile annotation, which is replay-derivable at any CLS. */
     DataMode dataMode = DataMode::None;
-    /** Display label; empty = specPolicyName(policy, nestLimit), or
-     *  predictorName(predictor) for PRED entries. */
+    /** Display label (mode suffix appended by name()); empty =
+     *  specPolicyName(policy, nestLimit), or predictorName(predictor)
+     *  for PRED entries. */
     std::string label;
     /** Scheme behind a SpecPolicy::Pred entry (the `predictors=` axis,
      *  docs/PREDICTORS.md); ignored by the paper policies. */
@@ -90,6 +93,9 @@ struct SweepGrid
      *  0 = off, the paper behaviour. */
     unsigned spawnConfidenceBits = 0;
     unsigned spawnConfidenceThreshold = 2;
+    /** Grid-wide data-violation recovery penalty
+     *  (SpecConfig::dataSquashCycles, the `datacost=` axis). */
+    unsigned dataSquashCycles = 0;
 
     /** Collect the ideal ∞-TU TPC and its half-prefix rerun per row. */
     bool ideal = false;
@@ -118,8 +124,13 @@ struct SweepGrid
     size_t numCells() const;
     /** True when the grid produces simulator cells at all. */
     bool hasCells() const;
-    /** True when any policy needs profiled live-in correctness. */
+    /** True when any policy needs the §4 profiler's per-iteration
+     *  live-in flags from the functional pass (Profiled/Full). */
     bool needsDataCorrectness() const;
+    /** True when any policy needs the memory-dependence conflict
+     *  annotation (Conflicts/Full) — and therefore the functional
+     *  pass's MemAccessTrace sidecar. */
+    bool needsConflictProfile() const;
 };
 
 /** Per-(workload × CLS) artifacts of a sweep. */
@@ -204,11 +215,16 @@ void applyPaperAxes(SweepGrid *grid);
 /**
  * Apply a `--grid` axis spec to @p grid: semicolon-separated key=value
  * pairs with comma-separated lists (policies | predictors | tus | cls |
- * let | spawnconf | ideal | dataspec), or the single preset "paper" =
- * applyPaperAxes(). `spawnconf=<bits>/<threshold>` (or `spawnconf=off`)
- * sets the grid-wide spawn throttle. Returns "" on success, else a
- * diagnostic — never fatal(), so the sweep service can reject bad
- * remote grids without dying (tools wrap it with fatal() themselves).
+ * let | spawnconf | ideal | dataspec | datacost), or the single preset
+ * "paper" = applyPaperAxes(). `spawnconf=<bits>/<threshold>` (or
+ * `spawnconf=off`) sets the grid-wide spawn throttle. `dataspec=` takes
+ * either a single 0/1 (the legacy per-row §4 report switch) or a list
+ * of data modes (none|live|mem|all) that crosses into the policy axis
+ * once the whole spec is parsed — key order does not matter;
+ * `datacost=<cycles>` sets the violation recovery penalty. Returns ""
+ * on success, else a diagnostic — never fatal(), so the sweep service
+ * can reject bad remote grids without dying (tools wrap it with
+ * fatal() themselves).
  */
 std::string applyGridSpec(const std::string &spec, SweepGrid *grid);
 

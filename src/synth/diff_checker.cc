@@ -11,6 +11,8 @@
 #include <memory>
 #include <sstream>
 
+#include "dataspec/conflict_profiler.hh"
+#include "dataspec/mem_trace.hh"
 #include "loop/loop_detector.hh"
 #include "loop/loop_stats.hh"
 #include "predict/predictor_meter.hh"
@@ -909,10 +911,12 @@ diffProgram(const Program &prog, const DiffConfig &cfg)
 
     StreamCollector batched;
     ControlTraceRecorder ctrace_rec;
+    MemTraceRecorder mem_rec_batched;
     {
         TraceEngine engine(prog, ecfg);
         engine.addObserver(&batched);
         engine.addObserver(&ctrace_rec);
+        engine.addObserver(&mem_rec_batched);
         engine.run();
     }
     if (scalar.all.size() != batched.all.size()) {
@@ -988,6 +992,24 @@ diffProgram(const Program &prog, const DiffConfig &cfg)
             return DiffResult::fail(err);
     }
 
+    // --- 1c. Memory-access sidecar: scalar vs batched delivery -------
+    // The sidecar is CLS-independent; both delivery paths must record
+    // the identical (seq, addr, pc, isStore) sequence.
+    MemTraceRecorder mem_rec_scalar;
+    for (const DynInstr &d : scalar.all)
+        mem_rec_scalar.onInstr(d);
+    mem_rec_scalar.onTraceEnd(scalar.totalInstrs);
+    const MemAccessTrace mem_scalar = mem_rec_scalar.take();
+    const MemAccessTrace mem_batched = mem_rec_batched.take();
+    if (mem_scalar.stateHash() != mem_batched.stateHash()) {
+        return DiffResult::fail(strprintf(
+            "memtrace: batched sidecar hash %016llx vs scalar %016llx "
+            "(%zu vs %zu accesses)",
+            static_cast<unsigned long long>(mem_batched.stateHash()),
+            static_cast<unsigned long long>(mem_scalar.stateHash()),
+            mem_batched.accesses.size(), mem_scalar.accesses.size()));
+    }
+
     // --- 2. Per-CLS-size detector pipeline comparisons ---------------
     for (size_t cls : cfg.clsSizes) {
         std::string tag = strprintf("cls=%zu", cls);
@@ -1012,11 +1034,13 @@ diffProgram(const Program &prog, const DiffConfig &cfg)
         // (B) Engine-batched: a real run() with the detector attached.
         EventLog log_b;
         LoopStats stats_b;
+        LoopEventRecorder recorder_b;
         {
             TraceEngine engine(prog, ecfg);
             LoopDetector det({cls});
             det.addListener(&log_b);
             det.addListener(&stats_b);
+            det.addListener(&recorder_b);
             engine.addObserver(&det);
             engine.run();
         }
@@ -1067,10 +1091,12 @@ diffProgram(const Program &prog, const DiffConfig &cfg)
             cfg.injectClsOffByOne && cls > 1 ? cls - 1 : cls;
         EventLog log_c;
         LoopStats stats_c;
+        LoopEventRecorder recorder_c;
         {
             LoopDetector det({replay_cls});
             det.addListener(&log_c);
             det.addListener(&stats_c);
+            det.addListener(&recorder_c);
             replayControlTrace(ctrace, det);
         }
         err = compareLogs((tag + " ctrace-replay").c_str(), log_a, log_c);
@@ -1128,6 +1154,45 @@ diffProgram(const Program &prog, const DiffConfig &cfg)
             err = checkDiskRoundTrip(ctrace, recording, log_a, cls, cfg);
             if (!err.empty())
                 return DiffResult::fail(err);
+        }
+
+        // (G) Conflict-profile equivalence (docs/DATASPEC.md): the
+        // profiler is a pure function of (recording, sidecar), so the
+        // scalar-fed, engine-batched and control-trace-replay
+        // recordings — paired with either sidecar delivery — must walk
+        // to identical conflict sets, violation sequences and hashes.
+        // The replay leg is the conflict injection point.
+        {
+            const ConflictProfile prof_a =
+                profileConflicts(recording, mem_scalar);
+            const ConflictProfile prof_b =
+                profileConflicts(recorder_b.take(), mem_batched);
+            ConflictConfig ccfg;
+            ccfg.injectIterOffByOne = cfg.injectConflictIterOffByOne;
+            const ConflictProfile prof_c =
+                profileConflicts(recorder_c.take(), mem_scalar, ccfg);
+            err = compareConflictProfiles(prof_a, prof_b);
+            if (!err.empty()) {
+                return DiffResult::fail(tag +
+                                        " conflicts engine-batched: " +
+                                        err);
+            }
+            err = compareConflictProfiles(prof_a, prof_c);
+            if (!err.empty()) {
+                return DiffResult::fail(
+                    tag + " conflicts ctrace-replay: " + err);
+            }
+            if (prof_a.stateHash() != prof_b.stateHash() ||
+                prof_a.stateHash() != prof_c.stateHash()) {
+                return DiffResult::fail(strprintf(
+                    "%s conflicts: state hashes diverge "
+                    "(scalar %016llx batched %016llx replay %016llx)",
+                    tag.c_str(),
+                    static_cast<unsigned long long>(prof_a.stateHash()),
+                    static_cast<unsigned long long>(prof_b.stateHash()),
+                    static_cast<unsigned long long>(
+                        prof_c.stateHash())));
+            }
         }
 
         // (E) Detector invariants on the reference log.

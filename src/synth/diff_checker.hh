@@ -27,11 +27,17 @@
  *    identical table state — stateHash plus lookup/hit counts — whether
  *    fed scalar onInstr calls, odd-sized manual batches, or a
  *    control-trace replay's synthesized batches (predictor-state
- *    invariant, docs/PREDICTORS.md).
+ *    invariant, docs/PREDICTORS.md);
+ *  - the memory-dependence conflict profiler (docs/DATASPEC.md) must
+ *    produce identical conflict sets, violation-event sequences and
+ *    state hashes whether its recording came from the scalar-fed
+ *    detector, the SoA-batched engine run, or a control-trace replay,
+ *    and whether its sidecar was recorded scalar or batched.
  *
  * `injectClsOffByOne` deliberately runs the replay detector one CLS entry
- * short — a synthetic detector bug the harness must catch; the fuzz tests
- * use it to prove the oracle has teeth.
+ * short, and `injectConflictIterOffByOne` shifts the replay-side conflict
+ * profiler's iteration indexing by one — synthetic bugs the harness must
+ * catch; the fuzz tests use them to prove the oracle has teeth.
  */
 
 #ifndef LOOPSPEC_SYNTH_DIFF_CHECKER_HH
@@ -124,6 +130,12 @@ struct DiffConfig
     /** Run the control-replay detector with one CLS entry fewer — a
      *  deliberate off-by-one the harness must detect (self-check). */
     bool injectClsOffByOne = false;
+
+    /** Shift the replay-side conflict profiler's per-iteration
+     *  dependence indexing by one (ConflictConfig::injectIterOffByOne,
+     *  replay leg only) — the conflict stage must flag the asymmetry
+     *  (self-check). */
+    bool injectConflictIterOffByOne = false;
 
     /**
      * Disk round-trip oracle (docs/TRACE_FORMAT.md): encode the

@@ -28,6 +28,13 @@ constexpr unsigned funcDepthCap = 2;
 constexpr Reg scratchA{27};
 constexpr Reg scratchB{28};
 
+// Data-memory slot base of the LoopCarried recurrence array. Every
+// LoopCarried loop shares it (deliberately: aliasing between nested
+// instances is more conflict-profile coverage, not less); with idx in
+// [0, trip) the touched range [carriedBase - 1, carriedBase + trip)
+// stays inside the 64-word data region the emitter reserves.
+constexpr int64_t carriedBase = 9;
+
 Reg
 idxRegAt(unsigned depth)
 {
@@ -82,6 +89,8 @@ ownCost(const LoopNode &n, const std::vector<uint64_t> &func_costs)
     if (n.shape == LoopShape::SelfBranch)
         return 2;
     uint64_t body = n.pad + 6u;
+    if (n.shape == LoopShape::LoopCarried)
+        body += 3; // the recurrence's ld/addi/st
     if (n.callFunc >= 0 &&
         static_cast<size_t>(n.callFunc) < func_costs.size())
         body += func_costs[static_cast<size_t>(n.callFunc)];
@@ -112,6 +121,7 @@ loopShapeName(LoopShape shape)
       case LoopShape::Overlapped: return "overlapped";
       case LoopShape::SelfBranch: return "selfbranch";
       case LoopShape::Trip1: return "trip1";
+      case LoopShape::LoopCarried: return "loopcarried";
       default: panic("bad LoopShape");
     }
 }
@@ -179,6 +189,8 @@ struct ProgramGenerator::Planner
             return LoopShape::WhileContinue;
         if ((p -= cfg.multiBackedgeProb) < 0)
             return LoopShape::MultiBackedge;
+        if ((p -= cfg.loopCarriedProb) < 0)
+            return LoopShape::LoopCarried;
         // Overlapped consumes two depth levels and stays a leaf.
         if ((p -= cfg.overlapProb) < 0 && !in_func &&
             depth + 1 < cfg.maxDepth) {
@@ -400,6 +412,22 @@ struct ProgramGenerator::Emitter
             b.li(idx, 0);
             b.countedLoop(idx, bnd,
                           [&](const LoopCtx &) { emitBody(n, depth); });
+            return;
+          case LoopShape::LoopCarried:
+            // Loop-carried recurrence through data memory: iteration i
+            // stores a[i] and loads a[i - 1], so every iteration after
+            // the first consumes the previous iteration's store — a
+            // distance-1 cross-iteration RAW the conflict profiler
+            // (docs/DATASPEC.md) must attribute to this loop on every
+            // pipeline.
+            b.li(idx, 0);
+            b.li(bnd, n.trip);
+            b.countedLoop(idx, bnd, [&](const LoopCtx &) {
+                b.ld(scratchB, idx, carriedBase - 1);
+                b.addi(scratchB, scratchB, 1);
+                b.st(scratchB, idx, carriedBase);
+                emitBody(n, depth);
+            });
             return;
           case LoopShape::EarlyExit:
             b.li(idx, 0);

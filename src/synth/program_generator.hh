@@ -46,6 +46,10 @@ enum class LoopShape : uint8_t
     Overlapped,    //!< rotated loop pair: T1 < T2 <= B1 < B2
     SelfBranch,    //!< not-taken backward branch to itself (single-iter)
     Trip1,         //!< 1-iteration counted loop (not-taken close)
+    LoopCarried,   //!< body stores a[i] and loads a[i-1]: every iteration
+                   //!< after the first reads the previous iteration's
+                   //!< store (the cross-iteration RAW substrate of the
+                   //!< conflict profiler, docs/DATASPEC.md)
     NumShapes,
 };
 
@@ -128,6 +132,12 @@ struct GenConfig
     double multiBackedgeProb = 0.10;
     double overlapProb = 0.08;
     double degenerateProb = 0.10;
+
+    /** Probability of a loop-carried memory recurrence (store a[i],
+     *  load a[i-1]). The registered synth.* families predating the
+     *  data-dependence layer pin this to 0 so their emitted programs —
+     *  and every artifact recorded from them — stay byte-stable. */
+    double loopCarriedProb = 0.10;
 
     /** Probability a loop body calls a helper function (when any exist). */
     double callProb = 0.15;

@@ -46,6 +46,10 @@ buildSynthNest(const WorkloadScale &scale)
     g.degenerateProb = 0.05;
     g.callProb = 0.0;
     g.maxFunctions = 0;
+    // Families predating the data-dependence layer pin loopCarriedProb
+    // to 0: their plans — and every artifact recorded from them — must
+    // stay byte-stable across the generator gaining new shapes.
+    g.loopCarriedProb = 0.0;
     return buildFamily(g, 1101, "synth.nest", scale);
 }
 
@@ -63,6 +67,7 @@ buildSynthIrregular(const WorkloadScale &scale)
     g.degenerateProb = 0.05;
     g.callProb = 0.0;
     g.maxFunctions = 0;
+    g.loopCarriedProb = 0.0;
     return buildFamily(g, 2202, "synth.irregular", scale);
 }
 
@@ -77,6 +82,7 @@ buildSynthCalls(const WorkloadScale &scale)
     g.callProb = 0.55;
     g.earlyExitProb = 0.2;
     g.degenerateProb = 0.05;
+    g.loopCarriedProb = 0.0;
     return buildFamily(g, 3303, "synth.calls", scale);
 }
 
@@ -105,7 +111,31 @@ buildSynthDegenerate(const WorkloadScale &scale)
     g.nestProb = 0.5;
     g.callProb = 0.0;
     g.maxFunctions = 0;
+    g.loopCarriedProb = 0.0;
     return buildFamily(g, 4404, "synth.degenerate", scale);
+}
+
+Program
+buildSynthMemdep(const WorkloadScale &scale)
+{
+    // Loop-carried memory recurrences at statistical weight: nearly
+    // every loop stores a[i] and loads a[i-1], so cross-iteration RAW
+    // conflicts are dense. This is the adversarial substrate for the
+    // data-dependence layer (docs/DATASPEC.md): control-only
+    // speculation books phantom TPC here that collapses once profiled
+    // conflicts are charged.
+    GenConfig g;
+    g.maxDepth = 4;
+    g.loopCarriedProb = 0.6;
+    g.dataDepProb = 0.10;
+    g.earlyExitProb = 0.05;
+    g.continueProb = 0.0;
+    g.multiBackedgeProb = 0.0;
+    g.overlapProb = 0.0;
+    g.degenerateProb = 0.05;
+    g.callProb = 0.0;
+    g.maxFunctions = 0;
+    return buildFamily(g, 6606, "synth.memdep", scale);
 }
 
 const std::vector<WorkloadInfo> &
@@ -121,6 +151,9 @@ syntheticWorkloadRegistry()
          "generated call-dense loops with early returns", false},
         {"synth.degenerate", buildSynthDegenerate,
          "generated trip-1/self-branch degenerate loops", false},
+        {"synth.memdep", buildSynthMemdep,
+         "generated loop-carried load/store recurrences (dense "
+         "cross-iteration RAW conflicts)", false},
     };
     return registry;
 }

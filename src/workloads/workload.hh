@@ -96,6 +96,7 @@ Program buildSynthNest(const WorkloadScale &scale);
 Program buildSynthIrregular(const WorkloadScale &scale);
 Program buildSynthCalls(const WorkloadScale &scale);
 Program buildSynthDegenerate(const WorkloadScale &scale);
+Program buildSynthMemdep(const WorkloadScale &scale);
 /**
  * 10^5-static-loop scale stressor for the out-of-core trace path
  * (massivePlan): buildable by name like every synth.* family but kept

@@ -3,10 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include "dataspec/conflict_profiler.hh"
 #include "harness/runner.hh"
 #include "speculation/spec_sim.hh"
 #include "speculation/sweep.hh"
 #include "tests/test_util.hh"
+#include "workloads/workload.hh"
 
 namespace loopspec
 {
@@ -254,6 +256,185 @@ TEST(SpecSimData, PartialCorrectnessIsProportional)
     EXPECT_LT(s.tpc(), control);
     EXPECT_GT(s.dataMisses, 0u);
     EXPECT_GT(s.threadsVerified, 0u);
+}
+
+// --- Profiled memory-conflict squashes (docs/DATASPEC.md) -----------------
+
+/** Functional pass with the memory sidecar attached, optionally running
+ *  the conflict profiler and writing its annotation back. */
+LoopEventRecording
+recordWithConflicts(const Program &prog, bool annotate)
+{
+    TraceEngine engine(prog);
+    LoopDetector det({16});
+    LoopEventRecorder rec;
+    MemTraceRecorder mem;
+    det.addListener(&rec);
+    engine.addObserver(&det);
+    engine.addObserver(&mem);
+    engine.run();
+    LoopEventRecording recording = rec.take();
+    MemAccessTrace mtrace = mem.take();
+    if (annotate)
+        annotateConflicts(&recording, profileConflicts(recording, mtrace));
+    return recording;
+}
+
+SpecStats
+simulateData(const LoopEventRecording &rec, unsigned tus, DataMode dm,
+             unsigned cost = 0)
+{
+    SpecConfig cfg{tus, SpecPolicy::Str, 3, dm};
+    cfg.dataSquashCycles = cost;
+    return ThreadSpecSimulator(rec, cfg).run();
+}
+
+TEST(SpecSimConflicts, NoneModeIgnoresConflictAnnotations)
+{
+    // The data-off bit-identity contract: annotations may ride the
+    // recording, but DataMode::None must not read them — every counter
+    // identical to the unannotated run, across the policy/TU grid.
+    Program prog = buildWorkload("synth.memdep", {0.05});
+    LoopEventRecording plain = recordWithConflicts(prog, false);
+    LoopEventRecording annotated = recordWithConflicts(prog, true);
+    for (auto &x : annotated.execs) // live-in flags must be inert too
+        x.iterLiveInOk.assign(x.iterCount, false);
+    for (unsigned tus : {2u, 4u, 8u}) {
+        for (SpecPolicy pol :
+             {SpecPolicy::Idle, SpecPolicy::Str, SpecPolicy::StrI}) {
+            SCOPED_TRACE(static_cast<int>(pol) * 100 + tus);
+            SpecConfig cfg{tus, pol, 3, DataMode::None};
+            SpecStats a = ThreadSpecSimulator(plain, cfg).run();
+            SpecStats b = ThreadSpecSimulator(annotated, cfg).run();
+            EXPECT_TRUE(a == b);
+            EXPECT_EQ(b.conflictSquashes, 0u);
+            EXPECT_EQ(b.dataMisses, 0u);
+        }
+    }
+}
+
+TEST(SpecSimConflicts, ConservationHoldsUnderConflictSquashes)
+{
+    // Squash accounting stays conserved when the violation cascade and
+    // its recovery penalty are active. No cycles <= totalInstrs or
+    // tpc >= 1 claims here: dataSquashCycles legitimately stalls the
+    // front past the sequential-execution bound.
+    LoopEventRecording rec =
+        recordWithConflicts(buildWorkload("synth.memdep", {0.05}), true);
+    bool any_conflict = false;
+    for (unsigned tus : {2u, 4u, 8u}) {
+        for (DataMode dm : {DataMode::Conflicts, DataMode::Full}) {
+            for (unsigned cost : {0u, 30u}) {
+                SCOPED_TRACE(static_cast<int>(dm) * 1000 + tus * 100 +
+                             cost);
+                SpecStats s = simulateData(rec, tus, dm, cost);
+                EXPECT_EQ(s.threadsSpeculated,
+                          s.threadsVerified + s.threadsSquashed);
+                EXPECT_LE(s.conflictSquashes + s.dataMisses,
+                          s.threadsSquashed);
+                EXPECT_LE(s.tpc(), static_cast<double>(tus) + 1e-9);
+                EXPECT_EQ(s.totalInstrs, rec.totalInstrs);
+                // Conflicts mode assumes perfect live-in prediction:
+                // only the memory source may fire.
+                if (dm == DataMode::Conflicts) {
+                    EXPECT_EQ(s.dataMisses, 0u);
+                }
+                any_conflict |= s.conflictSquashes > 0;
+            }
+        }
+    }
+    EXPECT_TRUE(any_conflict) << "adversarial workload never conflicted";
+}
+
+TEST(SpecSimConflicts, ProfiledConflictsCutPhantomTpcOnMemdep)
+{
+    // The adversarial substrate: synth.memdep's loop-carried recurrences
+    // make most cross-iteration spawns violate, so the §3 control-only
+    // TPC is largely phantom parallelism and the Conflicts mode must
+    // take a measurable bite out of it.
+    LoopEventRecording rec =
+        recordWithConflicts(buildWorkload("synth.memdep", {0.05}), true);
+    double control = simulateData(rec, 4, DataMode::None).tpc();
+    SpecStats s = simulateData(rec, 4, DataMode::Conflicts, 20);
+    EXPECT_GT(control, 1.3) << "substrate lost its control-mode headroom";
+    EXPECT_GT(s.conflictSquashes, 0u);
+    EXPECT_LT(s.tpc(), control - 0.2);
+}
+
+TEST(SpecSimConflicts, FullModeLayersLiveInMissesOverConflicts)
+{
+    LoopEventRecording rec =
+        recordWithConflicts(buildWorkload("synth.memdep", {0.05}), true);
+
+    // Perfect live-in prediction: Full degenerates to Conflicts,
+    // counter for counter.
+    for (auto &x : rec.execs)
+        x.iterLiveInOk.assign(x.iterCount, true);
+    SpecStats conflicts = simulateData(rec, 4, DataMode::Conflicts, 10);
+    SpecStats full_ok = simulateData(rec, 4, DataMode::Full, 10);
+    EXPECT_TRUE(conflicts == full_ok);
+    EXPECT_EQ(full_ok.dataMisses, 0u);
+
+    // Unpredictable live-ins add the second squash source on top.
+    for (auto &x : rec.execs)
+        x.iterLiveInOk.assign(x.iterCount, false);
+    SpecStats full_bad = simulateData(rec, 4, DataMode::Full, 10);
+    EXPECT_GT(full_bad.dataMisses, 0u);
+    EXPECT_GE(full_bad.cycles, full_ok.cycles);
+    EXPECT_EQ(full_bad.threadsSpeculated,
+              full_bad.threadsVerified + full_bad.threadsSquashed);
+}
+
+TEST(SpecSimConflicts, DataCostChargesRecoveryCycles)
+{
+    LoopEventRecording rec =
+        recordWithConflicts(buildWorkload("synth.memdep", {0.05}), true);
+    SpecStats free_recovery = simulateData(rec, 4, DataMode::Conflicts, 0);
+    SpecStats paid = simulateData(rec, 4, DataMode::Conflicts, 50);
+    ASSERT_GT(free_recovery.conflictSquashes, 0u);
+    ASSERT_GT(paid.conflictSquashes, 0u);
+    EXPECT_GT(paid.cycles, free_recovery.cycles);
+    EXPECT_LT(paid.tpc(), free_recovery.tpc());
+}
+
+TEST(SpecSimConflicts, MalformedDataspecGridSpecsAreRejected)
+{
+    // applyGridSpec is the shared wire/CLI parser: malformed dataspec
+    // and datacost axes must come back as diagnostics, never as a grid.
+    for (const char *spec :
+         {"policies=str;tus=2;dataspec=bogus",
+          "policies=str;tus=2;dataspec=",
+          "policies=str;tus=2;dataspec=mem,turbo",
+          "policies=str;tus=2;datacost=abc",
+          "policies=str;tus=2;datacost=5,6",
+          "policies=str;tus=2;datacost=2000000"}) {
+        SCOPED_TRACE(spec);
+        SweepGrid grid;
+        EXPECT_NE(applyGridSpec(spec, &grid), "");
+    }
+    SweepGrid ok;
+    EXPECT_EQ(applyGridSpec("policies=str;tus=2;dataspec=none,mem;"
+                            "datacost=8",
+                            &ok),
+              "");
+    ASSERT_EQ(ok.policies.size(), 2u);
+    EXPECT_EQ(ok.dataSquashCycles, 8u);
+}
+
+TEST(SpecSimConflictsDeathTest, LiveDataModesRejectMultiClsGrids)
+{
+    // live/all need the functional pass's live-in flags, which exist at
+    // the traced CLS only — a multi-CLS grid crossed with dataspec=all
+    // must die before running anything.
+    RunOptions opts;
+    opts.scale.factor = 0.05;
+    opts.benchmarks = {"li"};
+    SweepGrid grid = sweepGridFromOptions(opts);
+    ASSERT_EQ(applyGridSpec("policies=str;tus=2;cls=16,8;dataspec=all",
+                            &grid),
+              "");
+    EXPECT_EXIT(runSpecSweep(grid, 1), testing::ExitedWithCode(1),
+                "single-CLS");
 }
 
 TEST(SpecSimReplay, ReplayedRecordingGivesIdenticalStats)

@@ -432,25 +432,50 @@ TEST(SweepService, ServedResultsMatchDirectSweepBitForBit)
     EXPECT_GT(s.insertions, 0u);
 }
 
-TEST(SweepService, DataSpecGridsFallBackToDirectSweep)
+TEST(SweepService, DataSpecGridsAreServedFromCacheBitForBit)
 {
-    SweepGrid grid;
-    grid.workloads = {"compress"};
-    grid.scale.factor = 0.1;
-    ASSERT_EQ(applyGridSpec("policies=str+data;tus=2;dataspec=1", &grid),
+    // Live-in + §4-report grid (single CLS) and a conflicts grid over
+    // two CLS sizes: both served through the cache — annotated
+    // recordings, the memory-access sidecar and the report are frozen
+    // like any other artifact — and byte-identical to the direct
+    // engine, warm or cold.
+    SweepGrid live;
+    live.workloads = {"compress"};
+    live.scale.factor = 0.1;
+    ASSERT_EQ(applyGridSpec("policies=str+data;tus=2;dataspec=1", &live),
               "");
+
+    SweepGrid mem;
+    mem.workloads = {"compress"};
+    mem.scale.factor = 0.1;
+    ASSERT_EQ(
+        applyGridSpec("policies=str;tus=2;cls=8,16;dataspec=mem", &mem),
+        "");
 
     SweepServiceConfig cfg;
     cfg.jobs = 1;
     SweepService svc(cfg);
-    SweepResult served;
-    ASSERT_EQ(svc.run(grid, &served), "");
 
-    const SweepResult direct = runSpecSweep(grid, 1);
-    EXPECT_EQ(renderedWithoutWall(served, 1),
-              renderedWithoutWall(direct, 1));
-    // Operand-dependent artifacts are uncacheable by design.
-    EXPECT_EQ(svc.cacheStats().insertions, 0u);
+    for (const SweepGrid *grid : {&live, &mem}) {
+        const SweepResult direct = runSpecSweep(*grid, 1);
+        const uint64_t misses_before = svc.cacheStats().misses;
+        for (int pass = 0; pass < 2; ++pass) {
+            SweepResult served;
+            ASSERT_EQ(svc.run(*grid, &served), "") << "pass " << pass;
+            EXPECT_EQ(renderedWithoutWall(served, 1),
+                      renderedWithoutWall(direct, 1))
+                << "pass " << pass;
+        }
+        // The warm pass was actually warm: no new misses after the
+        // cold pass populated the operand-derived entries.
+        const CacheStats s = svc.cacheStats();
+        EXPECT_GT(s.insertions, 0u);
+        EXPECT_GT(s.misses, misses_before);
+        SweepResult again;
+        const uint64_t misses_warm = svc.cacheStats().misses;
+        ASSERT_EQ(svc.run(*grid, &again), "");
+        EXPECT_EQ(svc.cacheStats().misses, misses_warm);
+    }
 }
 
 // ------------------------------------------------------------ server end-to-end

@@ -150,6 +150,33 @@ TEST(DiffChecker, CatchesInjectedClsOffByOne)
         << r.failure;
 }
 
+TEST(DiffChecker, CatchesInjectedConflictIterOffByOne)
+{
+    // A single loop-carried recurrence is the minimal program with a
+    // cross-iteration RAW: with the replay-side conflict profiler's
+    // iteration indexing shifted by one, the conflict stage must
+    // diverge on the ctrace-replay leg.
+    ProgramGenerator gen;
+    LoopNode n;
+    n.shape = LoopShape::LoopCarried;
+    n.trip = 4;
+    ProgramPlan plan;
+    plan.seed = 1;
+    plan.main.push_back(n);
+    Program prog = gen.emit(plan, "carried4");
+
+    DiffConfig honest;
+    EXPECT_TRUE(diffProgram(prog, honest).ok);
+
+    DiffConfig injected;
+    injected.injectConflictIterOffByOne = true;
+    DiffResult r = diffProgram(prog, injected);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.failure.find("conflicts ctrace-replay"),
+              std::string::npos)
+        << r.failure;
+}
+
 TEST(FuzzCampaign, InjectedBugIsCaughtAndShrunkToFiveLoopsOrFewer)
 {
     // The acceptance bar: a deliberately injected detector off-by-one
@@ -216,7 +243,7 @@ TEST(FuzzCampaign, ReproJsonRoundTrips)
 
 TEST(SyntheticWorkloads, RegisteredFamiliesBuildAndRun)
 {
-    ASSERT_EQ(syntheticWorkloadNames().size(), 4u);
+    ASSERT_EQ(syntheticWorkloadNames().size(), 5u);
     for (const auto &name : syntheticWorkloadNames()) {
         SCOPED_TRACE(name);
         Program p = buildWorkload(name, {0.5});

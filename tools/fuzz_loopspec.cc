@@ -5,6 +5,7 @@
  *   fuzz_loopspec --seeds 0..999                # campaign, all cores
  *   fuzz_loopspec --seeds 0..199 --cls 4,8,16   # explicit CLS sweep
  *   fuzz_loopspec --seeds 0..99 --inject-bug    # self-check: must fail
+ *   fuzz_loopspec --seeds 0..99 --inject-conflict-bug # ditto, conflict stage
  *   fuzz_loopspec --repro fuzz_repro.json       # re-run a saved repro
  *
  * Exit code 0 = every seed agreed on every pipeline; 1 = divergences
@@ -89,11 +90,15 @@ main(int argc, char **argv)
 {
     CliArgs args(argc, argv,
                  {"seeds", "cls", "jobs", "max-instrs", "inject-bug",
-                  "no-shrink", "no-disk-oracle", "repro", "repro-out",
-                  "quiet"});
+                  "inject-conflict-bug", "no-shrink", "no-disk-oracle",
+                  "repro", "repro-out", "quiet"});
 
     DiffConfig diff;
     diff.injectClsOffByOne = args.getBool("inject-bug", false);
+    // Conflict-stage self-check: shift the replay-side conflict
+    // profiler's iteration indexing by one (docs/DATASPEC.md).
+    diff.injectConflictIterOffByOne =
+        args.getBool("inject-conflict-bug", false);
     diff.maxInstrs = args.getUint("max-instrs", diff.maxInstrs);
     // The container round-trip + corruption stage (docs/TRACE_FORMAT.md)
     // is on by default; --no-disk-oracle restores the pure in-memory

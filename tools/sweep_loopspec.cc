@@ -27,7 +27,17 @@
  *               throttle trained on verify/squash outcomes (off = the
  *               paper behaviour, bit-identical to no throttle)
  *   ideal       0/1: collect the ∞-TU TPC artifact per workload
- *   dataspec    0/1: collect the §4 data-speculation report per workload
+ *   dataspec    "0"/"1": collect the §4 data-speculation report per
+ *               workload (the legacy row-report switch); otherwise a
+ *               comma list of data modes (none | live | mem | all,
+ *               docs/DATASPEC.md) crossed into the policy axis
+ *               policy-major — e.g. "policies=str,str3;dataspec=none,mem"
+ *               produces str, str+mem, str3, str3+mem cells. live/all
+ *               need the functional pass's live-in flags (single-CLS
+ *               grids only); mem re-derives the conflict annotation
+ *               from the memory sidecar at every CLS
+ *   datacost    recovery cycles charged per data-violation event in the
+ *               mem/all modes (SpecConfig::dataSquashCycles; default 0)
  * or the single preset "paper": every Table-1 workload ×
  * {IDLE, STR, STR(1..3)} × {2,4,8,16} TUs at CLS 16 — the union of the
  * Figure 6/7 and Table 2 grids.
